@@ -1,0 +1,29 @@
+# Radical (SOSP '25) reproduction.
+
+.PHONY: all build test bench examples quick clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+# Every table and figure of the paper, at the paper's request volume.
+bench:
+	dune exec bench/main.exe
+
+# Quick 2k-request variant of the evaluation.
+quick:
+	dune exec bench/main.exe -- --scale 1
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/social_media.exe
+	dune exec examples/hotel_booking.exe
+	dune exec examples/failure_drill.exe
+	dune exec examples/external_payments.exe
+
+clean:
+	dune clean
