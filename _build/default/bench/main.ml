@@ -1,0 +1,170 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index), plus Bechamel
+   microbenchmarks of the core primitives.
+
+     dune exec bench/main.exe                 # everything at paper volume
+     dune exec bench/main.exe -- fig4         # one experiment
+     dune exec bench/main.exe -- --scale 1 fig4   # quick 2k-request run *)
+
+let micro () =
+  print_newline ();
+  print_endline "================================================================";
+  print_endline "Microbenchmarks (Bechamel) — core primitive costs";
+  print_endline "================================================================";
+  let open Bechamel in
+  let open Toolkit in
+  (* A VM workload: sum 1..1000 through the interpreter. *)
+  let sum_module =
+    let open Wasm.Instr in
+    Wasm.Wmodule.create
+      ~funcs:
+        [
+          {
+            Wasm.Wmodule.fn_name = "sum";
+            n_params = 0;
+            n_locals = 2;
+            body =
+              [
+                Loop
+                  [
+                    Local_get 0; I64_const 1L; I64_binop Add; Local_set 0;
+                    Local_get 1; Local_get 0; I64_binop Add; Local_set 1;
+                    Local_get 0; I64_const 1000L; I64_binop Lt_s; Br_if 0;
+                  ];
+                Local_get 1;
+              ];
+          };
+        ]
+      ~imports:[]
+  in
+  let pure_host = Wasm.Host.pure () in
+  let timeline_fn =
+    List.find
+      (fun (f : Fdsl.Ast.func) -> f.fn_name = "social-timeline")
+      Apps.Catalog.all_functions
+  in
+  let derived =
+    match Analyzer.Derive.derive timeline_fn with
+    | Ok d -> d
+    | Error _ -> assert false
+  in
+  let zipf = Workload.Zipf.create ~n:10000 ~theta:0.99 in
+  let rng = Sim.Rng.create 1 in
+  let lin_history =
+    List.init 8 (fun i ->
+        {
+          Lincheck.op_id = string_of_int i;
+          start = float_of_int i;
+          finish = float_of_int i +. 0.5;
+          reads = [ ("x", if i = 0 then Dval.Unit else Dval.int i) ];
+          writes = [ ("x", Dval.int (i + 1)) ];
+        })
+  in
+  let tests =
+    Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+      [
+        Test.make ~name:"vm-interp-sum1000"
+          (Staged.stage (fun () ->
+               ignore (Wasm.Interp.run sum_module ~host:pure_host ~entry:"sum" [])));
+        Test.make ~name:"fdsl-compile-timeline"
+          (Staged.stage (fun () -> ignore (Fdsl.Compile.compile timeline_fn)));
+        Test.make ~name:"analyzer-derive-timeline"
+          (Staged.stage (fun () -> ignore (Analyzer.Derive.derive timeline_fn)));
+        Test.make ~name:"analyzer-predict-timeline"
+          (Staged.stage (fun () ->
+               ignore
+                 (Analyzer.Derive.predict derived
+                    ~read:(fun _ -> Dval.List [ Dval.Str "a" ])
+                    [ Dval.Str "u1" ])));
+        Test.make ~name:"zipf-sample"
+          (Staged.stage (fun () -> ignore (Workload.Zipf.sample zipf rng)));
+        Test.make ~name:"rng-bits64"
+          (Staged.stage (fun () -> ignore (Sim.Rng.bits64 rng)));
+        Test.make ~name:"lincheck-8ops"
+          (Staged.stage (fun () -> ignore (Lincheck.check lin_history)));
+        Test.make ~name:"pqueue-push-pop-64"
+          (Staged.stage (fun () ->
+               let q = Sim.Pqueue.create ~cmp:Int.compare in
+               for i = 0 to 63 do
+                 Sim.Pqueue.push q (i * 7919 mod 64)
+               done;
+               while not (Sim.Pqueue.is_empty q) do
+                 ignore (Sim.Pqueue.pop q)
+               done));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> Printf.sprintf "%.0f ns" t
+            | _ -> "n/a"
+          in
+          rows := [ name; time_ns ] :: !rows)
+        tbl;
+      Metrics.Table.print ~header:[ "benchmark"; "time/run" ]
+        ~rows:(List.sort compare !rows))
+    results
+
+let usage () =
+  print_endline
+    "usage: main.exe [--scale F] \
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|micro]";
+  exit 1
+
+let () =
+  (* Default 5.0 reproduces the paper's 10,000 requests per deployment. *)
+  let scale = ref 5.0 in
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> scale := f
+        | _ -> usage ());
+        parse rest
+    | arg :: rest ->
+        targets := arg :: !targets;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let targets = if !targets = [] then [ "all" ] else List.rev !targets in
+  let scale = !scale in
+  let eval_data = lazy (Experiments.Figures.collect_eval ~scale ()) in
+  List.iter
+    (fun target ->
+      match target with
+      | "all" ->
+          Experiments.Figures.all ~scale ();
+          micro ()
+      | "fig1" -> ignore (Experiments.Figures.fig1 ~scale ())
+      | "table1" -> ignore (Experiments.Figures.table1 ())
+      | "table2" -> ignore (Experiments.Figures.table2 ())
+      | "fig4" -> ignore (Experiments.Figures.fig4 (Lazy.force eval_data))
+      | "fig5" -> ignore (Experiments.Figures.fig5 (Lazy.force eval_data))
+      | "fig6" -> ignore (Experiments.Figures.fig6 (Lazy.force eval_data))
+      | "repl" -> ignore (Experiments.Figures.replication ())
+      | "sensitivity" -> ignore (Experiments.Figures.sensitivity ())
+      | "skew" -> ignore (Experiments.Figures.skew ())
+      | "throughput" -> ignore (Experiments.Figures.throughput ())
+      | "bootstrap" -> ignore (Experiments.Figures.bootstrap ())
+      | "cost" -> ignore (Experiments.Figures.cost ())
+      | "ablation" -> ignore (Experiments.Figures.ablation ~scale ())
+      | "micro" -> micro ()
+      | _ -> usage ())
+    targets

@@ -1,0 +1,1 @@
+examples/external_payments.ml: Dval Engine Fdsl Net Printf Radical Rng Sim Store

@@ -1,0 +1,1 @@
+examples/failure_drill.ml: Apps Cache Dval Engine Net Printf Radical Rng Sim Store

@@ -1,0 +1,1 @@
+examples/hotel_booking.ml: Apps Dval Engine Ivar List Net Printf Radical Rng Sim Store

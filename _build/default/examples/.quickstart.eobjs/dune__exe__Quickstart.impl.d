@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dval Engine Fdsl Ivar Net Printf Radical Rng Sim Store

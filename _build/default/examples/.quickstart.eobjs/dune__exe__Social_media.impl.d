@@ -1,0 +1,1 @@
+examples/social_media.ml: Apps Array Dval Engine Hashtbl Lincheck List Metrics Net Printf Radical Rng Sim Store Workload

@@ -1,0 +1,1 @@
+lib/analyzer/derive.ml: Ast Eval Fdsl Format Int List Option Rwset Set String

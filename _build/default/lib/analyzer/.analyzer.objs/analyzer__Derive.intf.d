@@ -1,0 +1,1 @@
+lib/analyzer/derive.mli: Dval Fdsl Format Rwset

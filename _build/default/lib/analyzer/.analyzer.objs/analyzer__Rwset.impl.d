@@ -1,0 +1,1 @@
+lib/analyzer/rwset.ml: Format List String

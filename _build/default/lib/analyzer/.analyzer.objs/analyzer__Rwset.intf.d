@@ -1,0 +1,1 @@
+lib/analyzer/rwset.mli: Format

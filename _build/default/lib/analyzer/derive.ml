@@ -1,0 +1,384 @@
+open Fdsl
+
+module Ints = Set.Make (Int)
+
+type classification = Static | Dependent of int | Expensive | Manual
+
+type t = {
+  source : Ast.func;
+  rw_func : Ast.func;
+  classification : classification;
+}
+
+type error = { fn_name : string; reason : string }
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.fn_name e.reason
+
+let pp_classification fmt = function
+  | Static -> Format.pp_print_string fmt "static"
+  | Dependent n -> Format.fprintf fmt "dependent(%d)" n
+  | Expensive -> Format.pp_print_string fmt "expensive"
+  | Manual -> Format.pp_print_string fmt "manual"
+
+let manual ~source ~rw_func =
+  if source.Ast.params <> rw_func.Ast.params then
+    invalid_arg "Derive.manual: f^rw must take the same parameters as f";
+  { source; rw_func; classification = Manual }
+
+(* --- Phase 1: dependency (taint) analysis --------------------------- *)
+
+type taint = { reads : Ints.t; compute : bool; opaque : bool }
+
+let bot = { reads = Ints.empty; compute = false; opaque = false }
+
+let join a b =
+  {
+    reads = Ints.union a.reads b.reads;
+    compute = a.compute || b.compute;
+    opaque = a.opaque || b.opaque;
+  }
+
+(* A branch or loop decides which accesses happen only if its body can
+   access storage at all; value-level conditionals (picking between two
+   pure results) do not make their scrutinee key-relevant. [Compute] is
+   deliberately not an access: residualization strips non-key-relevant
+   compute, so trip counts and branch choices that only affect CPU time
+   cannot change the predicted set. *)
+let rec contains_accesses (e : Ast.expr) =
+  match e with
+  | Ast.Read _ | Ast.Write _ | Ast.Declare _ -> true
+  | Ast.External (_, e) -> contains_accesses e
+  | Ast.Unit | Ast.Bool _ | Ast.Int _ | Ast.Str _ | Ast.Input _ | Ast.Var _
+  | Ast.Time_now | Ast.Random_int _ ->
+      false
+  | Ast.Let (_, v, b) -> contains_accesses v || contains_accesses b
+  | Ast.Seq es | Ast.Concat es | Ast.List_lit es ->
+      List.exists contains_accesses es
+  | Ast.If (a, b, c) ->
+      contains_accesses a || contains_accesses b || contains_accesses c
+  | Ast.Binop (_, a, b)
+  | Ast.Append (a, b)
+  | Ast.Prepend (a, b)
+  | Ast.Concat_list (a, b)
+  | Ast.Take (a, b)
+  | Ast.Nth (a, b)
+  | Ast.Foreach (_, a, b) ->
+      contains_accesses a || contains_accesses b
+  | Ast.Not e | Ast.Str_of_int e | Ast.Length e | Ast.Field (e, _)
+  | Ast.Opaque e
+  | Ast.Compute (_, e) ->
+      contains_accesses e
+  | Ast.Set_field (a, _, b) -> contains_accesses a || contains_accesses b
+  | Ast.Record_lit fs -> List.exists (fun (_, e) -> contains_accesses e) fs
+
+(* Walks the body assigning ids to [Read] nodes in traversal order and
+   accumulating the join of every key- and control-relevant taint. *)
+let analyze (f : Ast.func) =
+  let counter = ref 0 in
+  let relevant = ref bot in
+  let mark t = relevant := join !relevant t in
+  let rec go env (e : Ast.expr) : taint =
+    match e with
+    | Unit | Bool _ | Int _ | Str _ | Input _ -> bot
+    | Time_now | Random_int _ -> { bot with opaque = true }
+    | Var x -> Option.value ~default:bot (List.assoc_opt x env)
+    | Let (x, v, b) ->
+        let tv = go env v in
+        go ((x, tv) :: env) b
+    | Seq es -> List.fold_left (fun _ e -> go env e) bot es
+    | If (c, th, el) ->
+        (* Children are visited left to right everywhere in this pass;
+           [residualize] mirrors the order so Read ids line up. *)
+        let tc = go env c in
+        if contains_accesses th || contains_accesses el then mark tc;
+        let tt = go env th in
+        let te = go env el in
+        join tc (join tt te)
+    | Binop (_, a, b)
+    | Append (a, b)
+    | Prepend (a, b)
+    | Concat_list (a, b)
+    | Take (a, b)
+    | Nth (a, b)
+    | Set_field (a, _, b) ->
+        let ta = go env a in
+        let tb = go env b in
+        join ta tb
+    | Not e | Str_of_int e | Length e | Field (e, _) -> go env e
+    | Concat es | List_lit es ->
+        List.fold_left (fun acc e -> join acc (go env e)) bot es
+    | Record_lit fs ->
+        List.fold_left (fun acc (_, e) -> join acc (go env e)) bot fs
+    | Read k ->
+        let tk = go env k in
+        mark tk;
+        let id = !counter in
+        incr counter;
+        { tk with reads = Ints.add id tk.reads }
+    | Write (k, v) ->
+        let tk = go env k in
+        mark tk;
+        let _ = go env v in
+        bot
+    | Foreach (x, l, body) ->
+        (* The list drives the trip count: control-relevant whenever the
+           body touches storage. *)
+        let tl = go env l in
+        if contains_accesses body then mark tl;
+        join tl (go ((x, tl) :: env) body)
+    | Compute (_, e) -> { (go env e) with compute = true }
+    | Opaque e -> { (go env e) with opaque = true }
+    | Declare (_, k) ->
+        let tk = go env k in
+        mark tk;
+        bot
+    | External (_, payload) ->
+        (* The provider's response cannot be predicted at f^rw time: a
+           key or branch depending on it makes the function
+           unanalyzable. *)
+        { (go env payload) with opaque = true }
+  in
+  let env = List.map (fun p -> (p, bot)) f.params in
+  let _ = go env f.body in
+  !relevant
+
+(* --- Phase 2: residual program construction ------------------------- *)
+
+let rec occurs x (e : Ast.expr) =
+  match e with
+  | Var y | Input y -> String.equal x y
+  | Unit | Bool _ | Int _ | Str _ | Time_now | Random_int _ -> false
+  | Let (y, v, b) -> occurs x v || ((not (String.equal x y)) && occurs x b)
+  | Foreach (y, l, b) ->
+      occurs x l || ((not (String.equal x y)) && occurs x b)
+  | Seq es | Concat es | List_lit es -> List.exists (occurs x) es
+  | If (a, b, c) -> occurs x a || occurs x b || occurs x c
+  | Binop (_, a, b)
+  | Append (a, b)
+  | Prepend (a, b)
+  | Concat_list (a, b)
+  | Take (a, b)
+  | Nth (a, b)
+  | Write (a, b)
+  | Set_field (a, _, b) ->
+      occurs x a || occurs x b
+  | Not e | Str_of_int e | Length e | Field (e, _) | Read e | Opaque e
+  | Compute (_, e)
+  | Declare (_, e)
+  | External (_, e) ->
+      occurs x e
+  | Record_lit fs -> List.exists (fun (_, e) -> occurs x e) fs
+
+(* Number of Read nodes in a subtree — the ids a traversal consumes.
+   Effect-free pruning never skips a Read, so every traversal of [e]
+   consumes exactly this many ids. *)
+let rec count_reads (e : Ast.expr) =
+  match e with
+  | Ast.Read k -> 1 + count_reads k
+  | Ast.Unit | Ast.Bool _ | Ast.Int _ | Ast.Str _ | Ast.Input _ | Ast.Var _
+  | Ast.Time_now | Ast.Random_int _ ->
+      0
+  | Ast.Let (_, v, b) -> count_reads v + count_reads b
+  | Ast.Seq es | Ast.Concat es | Ast.List_lit es ->
+      List.fold_left (fun acc e -> acc + count_reads e) 0 es
+  | Ast.If (a, b, c) -> count_reads a + count_reads b + count_reads c
+  | Ast.Binop (_, a, b)
+  | Ast.Append (a, b)
+  | Ast.Prepend (a, b)
+  | Ast.Concat_list (a, b)
+  | Ast.Take (a, b)
+  | Ast.Nth (a, b)
+  | Ast.Foreach (_, a, b)
+  | Ast.Write (a, b)
+  | Ast.Set_field (a, _, b) ->
+      count_reads a + count_reads b
+  | Ast.Not e | Ast.Str_of_int e | Ast.Length e | Ast.Field (e, _)
+  | Ast.Opaque e
+  | Ast.Compute (_, e)
+  | Ast.Declare (_, e)
+  | Ast.External (_, e) ->
+      count_reads e
+  | Ast.Record_lit fs ->
+      List.fold_left (fun acc (_, e) -> acc + count_reads e) 0 fs
+
+(* [rw needed e] keeps exactly the parts of [e] needed to reproduce the
+   access trace: key expressions, control flow, and — when [needed] —
+   the value itself. Reads stay as reads when their value is relevant
+   (they will run against the cache inside f^rw); all other accesses
+   degrade to [Declare] records; non-key-relevant [Compute] costs are
+   stripped.
+
+   INVARIANT: this pass must visit Read nodes in exactly the order
+   [analyze] does, because the influencing set is keyed by visit index.
+   Both passes therefore visit children strictly left to right, and a
+   Read consumes its id after its key subtree. OCaml evaluates
+   constructor arguments right to left, so every multi-child case binds
+   its recursive calls with explicit lets. Subtrees skipped by the
+   effect-freeness prune contain no Reads, so skipping is id-safe. *)
+let residualize influencing (f : Ast.func) =
+  let counter = ref 0 in
+  let rec rw needed (e : Ast.expr) : Ast.expr =
+    if (not needed) && not (Ast.contains_effects e) then Ast.Unit
+    else
+      match e with
+      | Unit | Bool _ | Int _ | Str _ | Input _ | Var _ | Time_now
+      | Random_int _ ->
+          e
+      | Read k ->
+          let k' = rw true k in
+          let id = !counter in
+          incr counter;
+          if Ints.mem id influencing || needed then Ast.Read k'
+          else Ast.Declare (Decl_read, k')
+      | Write (k, v) ->
+          let k' = rw true k in
+          let v' = rw false v in
+          Ast.Seq [ v'; Ast.Declare (Decl_write, k') ]
+      | Declare (d, k) ->
+          let k' = rw true k in
+          Ast.Declare (d, k')
+      | External (_, payload) ->
+          (* f^rw must never invoke external services; keep only the
+             storage accesses buried in the payload. A needed External
+             implies an opaque key taint, which derive rejects first. *)
+          rw false payload
+      | Compute (ms, e) ->
+          if needed then
+            let e' = rw true e in
+            Ast.Compute (ms, e')
+          else rw false e
+      | Opaque e ->
+          let e' = rw needed e in
+          Ast.Opaque e'
+      | If (c, t, el) ->
+          let c' = rw true c in
+          let t' = rw needed t in
+          let el' = rw needed el in
+          Ast.If (c', t', el')
+      | Foreach (x, l, b) ->
+          let l' = rw true l in
+          let b' = rw needed b in
+          Ast.Foreach (x, l', b')
+      | Seq es ->
+          let rec slice = function
+            | [] -> []
+            | [ last ] -> [ rw needed last ]
+            | e :: rest ->
+                let e' = rw false e in
+                e' :: slice rest
+          in
+          Ast.Seq (slice es)
+      | Let (x, v, b) ->
+          (* Whether [v]'s value is needed depends on whether [x] occurs
+             in the *residual* body — e.g. a read-modify-write's read
+             only feeds the dropped write value, so it must degrade to a
+             Declare. Ids are assigned by syntactic Read count, so we can
+             residualize [b] first under a shifted counter and then come
+             back for [v] without breaking the id alignment. *)
+          let v_reads = count_reads v in
+          let saved = !counter in
+          counter := saved + v_reads;
+          let b' = rw needed b in
+          let after_b = !counter in
+          counter := saved;
+          let v' = rw (occurs x b') v in
+          assert (!counter = saved + v_reads);
+          counter := after_b;
+          if occurs x b' then Ast.Let (x, v', b') else Ast.Seq [ v'; b' ]
+      | Binop (op, a, b) ->
+          let a' = rw needed a in
+          let b' = rw needed b in
+          if needed then Ast.Binop (op, a', b') else Ast.Seq [ a'; b' ]
+      | Not e ->
+          let e' = rw needed e in
+          if needed then Ast.Not e' else e'
+      | Str_of_int e ->
+          let e' = rw needed e in
+          if needed then Ast.Str_of_int e' else e'
+      | Length e ->
+          let e' = rw needed e in
+          if needed then Ast.Length e' else e'
+      | Field (e, n) ->
+          let e' = rw needed e in
+          if needed then Ast.Field (e', n) else e'
+      | Concat es ->
+          let es' = List.map (rw needed) es in
+          if needed then Ast.Concat es' else Ast.Seq es'
+      | List_lit es ->
+          let es' = List.map (rw needed) es in
+          if needed then Ast.List_lit es' else Ast.Seq es'
+      | Record_lit fs ->
+          let fs' = List.map (fun (k, e) -> (k, rw needed e)) fs in
+          if needed then Ast.Record_lit fs'
+          else Ast.Seq (List.map snd fs')
+      | Append (a, b) ->
+          let a' = rw needed a in
+          let b' = rw needed b in
+          if needed then Ast.Append (a', b') else Ast.Seq [ a'; b' ]
+      | Prepend (a, b) ->
+          let a' = rw needed a in
+          let b' = rw needed b in
+          if needed then Ast.Prepend (a', b') else Ast.Seq [ a'; b' ]
+      | Concat_list (a, b) ->
+          let a' = rw needed a in
+          let b' = rw needed b in
+          if needed then Ast.Concat_list (a', b') else Ast.Seq [ a'; b' ]
+      | Take (a, b) ->
+          let a' = rw needed a in
+          let b' = rw needed b in
+          if needed then Ast.Take (a', b') else Ast.Seq [ a'; b' ]
+      | Nth (a, b) ->
+          let a' = rw needed a in
+          let b' = rw needed b in
+          if needed then Ast.Nth (a', b') else Ast.Seq [ a'; b' ]
+      | Set_field (a, n, b) ->
+          let a' = rw needed a in
+          let b' = rw needed b in
+          if needed then Ast.Set_field (a', n, b') else Ast.Seq [ a'; b' ]
+  in
+  { f with body = rw false f.body; fn_name = f.fn_name ^ "^rw" }
+
+let derive (f : Ast.func) =
+  let relevant = analyze f in
+  if relevant.opaque then
+    Error
+      {
+        fn_name = f.fn_name;
+        reason =
+          "a storage key or branch depends on an opaque or nondeterministic \
+           computation; the read/write set cannot be predicted";
+      }
+  else
+    let classification =
+      if relevant.compute then Expensive
+      else if Ints.is_empty relevant.reads then Static
+      else Dependent (Ints.cardinal relevant.reads)
+    in
+    Ok
+      {
+        source = f;
+        rw_func = residualize relevant.reads f;
+        classification;
+      }
+
+let predict t ~read ?(compute = fun _ -> ()) args =
+  let reads = ref [] in
+  let writes = ref [] in
+  let log_read k = reads := k :: !reads in
+  let host =
+    Eval.host
+      ~read:(fun k ->
+        log_read k;
+        read k)
+      ~write:(fun k _ ->
+        (* Residual programs contain no writes; fail loudly if one leaks. *)
+        raise (Eval.Error ("unexpected write in f^rw: " ^ k)))
+      ~compute
+      ~declare:(fun d k ->
+        match d with
+        | Ast.Decl_read -> log_read k
+        | Ast.Decl_write -> writes := k :: !writes)
+      ()
+  in
+  let _ = Eval.eval host t.rw_func args in
+  Rwset.make ~reads:!reads ~writes:!writes

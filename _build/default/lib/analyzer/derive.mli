@@ -1,0 +1,69 @@
+(** Static analysis deriving [f^rw] from a function (§3.3).
+
+    Mirrors the paper's Eunomia-based analyzer: a symbolic pass
+    propagates, for every subexpression, which storage reads and which
+    expensive computations its value depends on. Every storage *key*
+    expression and every *control* expression (if-conditions, foreach
+    lists — they decide which accesses happen) contributes to a
+    relevance set, which classifies the function:
+
+    - {b Static}: keys derive from inputs and constants only. [f^rw]
+      runs without touching storage.
+    - {b Dependent}: some key or branch depends on earlier reads; those
+      reads are kept in [f^rw] and executed against the near-user cache
+      (§3.3 "Dependent accesses"). Stale cache values are safe: the
+      mispredicted keys fail validation.
+    - {b Expensive}: a key depends on a [Compute]; [f^rw] must perform
+      that work, costing roughly as much as [f] itself (§3.3 "Failure
+      case").
+    - {b Unanalyzable}: a key or branch depends on an [Opaque] barrier
+      or a nondeterministic source — [derive] returns an error and the
+      framework always runs the function near storage.
+
+    The derived function is a *residual program*: storage writes become
+    [Declare] records, reads that nothing key-relevant consumes become
+    [Declare]s too, dead computation is sliced away, and [Compute] costs
+    are stripped unless key-relevant. Running it under {!predict} on the
+    same inputs follows the same control path as [f] and returns the
+    exact keys [f] will access. *)
+
+type classification =
+  | Static
+  | Dependent of int (** Number of reads that must run inside [f^rw]. *)
+  | Expensive
+  | Manual (** Developer-provided [f^rw] (§3.3, §7). *)
+
+type t = {
+  source : Fdsl.Ast.func;
+  rw_func : Fdsl.Ast.func; (** The residual [f^rw]; same parameters. *)
+  classification : classification;
+}
+
+type error = { fn_name : string; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val pp_classification : Format.formatter -> classification -> unit
+
+val derive : Fdsl.Ast.func -> (t, error) result
+
+val manual : source:Fdsl.Ast.func -> rw_func:Fdsl.Ast.func -> t
+(** Pair a function with a hand-written [f^rw] — the paper's escape
+    hatch when automatic analysis fails (§7). The residual program must
+    use [Declare] for accesses it does not fetch and plain [Read]s for
+    cache-fetched dependent reads; its exactness is the developer's
+    responsibility (a wrong set surfaces as validation failures or
+    uncovered locks, not corruption, since validation still checks every
+    declared read). Raises [Invalid_argument] on a parameter mismatch. *)
+
+val predict :
+  t ->
+  read:(string -> Dval.t) ->
+  ?compute:(float -> unit) ->
+  Dval.t list ->
+  Rwset.t
+(** Run [f^rw] on the invocation's inputs. [read] is the near-user cache
+    (must return [Dval.Unit] on miss); it is consulted only for
+    dependent reads. [compute] is charged for key-relevant computation
+    (Expensive functions). Raises [Fdsl.Eval.Error] if the residual
+    program faults — callers treat that as a validation-path failure. *)

@@ -1,0 +1,34 @@
+type t = { reads : string list; writes : string list }
+
+let make ~reads ~writes =
+  {
+    reads = List.sort_uniq String.compare reads;
+    writes = List.sort_uniq String.compare writes;
+  }
+
+let empty = { reads = []; writes = [] }
+
+let all_keys t =
+  List.sort_uniq String.compare (t.reads @ t.writes)
+
+let lock_modes t =
+  List.map
+    (fun k -> (k, if List.mem k t.writes then `W else `R))
+    (all_keys t)
+
+let has_writes t = t.writes <> []
+
+let mem_read t k = List.mem k t.reads
+
+let mem_write t k = List.mem k t.writes
+
+let cardinal t = List.length t.reads + List.length t.writes
+
+let equal a b =
+  List.equal String.equal a.reads b.reads
+  && List.equal String.equal a.writes b.writes
+
+let pp fmt t =
+  let pp_keys = Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_string in
+  Format.fprintf fmt "@[reads: [%a]@ writes: [%a]@]" pp_keys t.reads pp_keys
+    t.writes

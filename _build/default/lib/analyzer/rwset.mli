@@ -1,0 +1,34 @@
+(** Read/write sets — what the LVI request carries.
+
+    [reads] is every key the execution reads — including keys it also
+    writes, because every read must be validated against the primary's
+    version (§3.2) regardless of lock mode. [writes] is every key
+    written. For locking, write mode dominates: a key in both sets takes
+    a single write lock (§3.6). Keys are kept sorted for the
+    lexicographic lock acquisition order. *)
+
+type t = { reads : string list; writes : string list }
+
+val make : reads:string list -> writes:string list -> t
+(** Deduplicates and sorts both sets; they may overlap. *)
+
+val empty : t
+
+val all_keys : t -> string list
+(** Sorted, deduplicated union of reads and writes. *)
+
+val lock_modes : t -> (string * [ `R | `W ]) list
+(** One entry per key of [all_keys]; [`W] when the key is written. *)
+
+val has_writes : t -> bool
+
+val mem_read : t -> string -> bool
+
+val mem_write : t -> string -> bool
+
+val cardinal : t -> int
+(** [List.length reads + List.length writes]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/apps/appdsl.mli: Fdsl

@@ -1,0 +1,1 @@
+lib/apps/catalog.ml: Forum Hotel Imageboard List Projectmgmt Social String

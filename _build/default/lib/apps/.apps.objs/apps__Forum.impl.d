@@ -1,0 +1,1 @@
+lib/apps/forum.ml: Appdsl Dval Fdsl List Printf Sim Workload

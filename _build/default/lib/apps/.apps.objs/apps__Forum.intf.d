@@ -1,0 +1,1 @@
+lib/apps/forum.mli: Dval Fdsl Sim

@@ -1,0 +1,1 @@
+lib/apps/hotel.ml: Appdsl Dval Fdsl List Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/apps/hotel.mli: Dval Fdsl Sim

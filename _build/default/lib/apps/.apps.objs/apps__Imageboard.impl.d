@@ -1,0 +1,1 @@
+lib/apps/imageboard.ml: Appdsl Dval Fdsl List Printf Sim Workload

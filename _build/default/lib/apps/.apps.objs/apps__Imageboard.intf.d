@@ -1,0 +1,1 @@
+lib/apps/imageboard.mli: Dval Fdsl Sim

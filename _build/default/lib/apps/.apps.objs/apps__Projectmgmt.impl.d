@@ -1,0 +1,1 @@
+lib/apps/projectmgmt.ml: Appdsl Dval Fdsl List Printf Sim Workload

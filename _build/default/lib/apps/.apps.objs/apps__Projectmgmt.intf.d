@@ -1,0 +1,1 @@
+lib/apps/projectmgmt.mli: Dval Fdsl Sim

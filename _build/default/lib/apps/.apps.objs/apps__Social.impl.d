@@ -1,0 +1,1 @@
+lib/apps/social.ml: Appdsl Dval Fdsl Hashtbl List Option Printf Sim String Workload

@@ -1,0 +1,1 @@
+lib/apps/social.mli: Dval Fdsl Sim

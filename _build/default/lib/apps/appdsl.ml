@@ -1,0 +1,37 @@
+open Fdsl.Ast
+
+let key prefix e = Concat [ Str prefix; e ]
+
+let key2 prefix a b = Concat [ Str prefix; a; Str ":"; b ]
+
+let str s = Str s
+
+let int i = Int (Int64.of_int i)
+
+let ( +: ) a b = Binop (Add, a, b)
+
+let ( -: ) a b = Binop (Sub, a, b)
+
+let ( >: ) a b = Binop (Gt, a, b)
+
+let ( ==: ) a b = Binop (Eq, a, b)
+
+let fields fs = Record_lit fs
+
+let fn fn_name params body = { fn_name; params; body }
+
+let rmw ~key f =
+  Let
+    ( "__cur",
+      Read key,
+      Let ("__new", f (Var "__cur"), Seq [ Write (key, Var "__new"); Var "__new" ])
+    )
+
+let bump_list ~key:k ~keep elem =
+  Let
+    ( "__list",
+      Read k,
+      Write
+        ( k,
+          Take (Prepend (If (Var "__list", Var "__list", List_lit []), elem), int keep)
+        ) )

@@ -1,0 +1,35 @@
+(** Shared DSL shorthand for writing application handlers. *)
+
+open Fdsl.Ast
+
+val key : string -> expr -> expr
+(** [key "user:" e] concatenates the prefix with a string expression. *)
+
+val key2 : string -> expr -> expr -> expr
+(** [key2 "avail:" h d] builds ["avail:<h>:<d>"]. *)
+
+val str : string -> expr
+
+val int : int -> expr
+
+val ( +: ) : expr -> expr -> expr
+(** Integer addition. *)
+
+val ( -: ) : expr -> expr -> expr
+
+val ( >: ) : expr -> expr -> expr
+
+val ( ==: ) : expr -> expr -> expr
+
+val fields : (string * expr) list -> expr
+
+val fn : string -> string list -> expr -> func
+
+val rmw : key:expr -> (expr -> expr) -> expr
+(** [rmw ~key f] reads the key, applies [f] to the value, writes it
+    back, and evaluates to the new value. *)
+
+val bump_list : key:expr -> keep:int -> expr -> expr
+(** Prepend an element to the list stored at [key], truncated to the
+    newest [keep] entries (the timeline/home-page maintenance pattern).
+    Treats an absent key as the empty list. *)

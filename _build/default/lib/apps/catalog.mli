@@ -1,0 +1,27 @@
+(** Function catalog: the ground truth of Table 1, plus the full
+    27-function inventory across the five ported applications (§3.4,
+    §5.1). The benchmark harness checks its measurements against these
+    figures and reprints the table. *)
+
+type info = {
+  fn_name : string;
+  app : string;
+  description : string;
+  writes : bool;
+  dependent : bool;
+      (** Asterisk in Table 1: needed the dependent-read optimization. *)
+  exec_ms : float; (** Median execution time reported in Table 1. *)
+  workload_pct : float; (** Share of the app's request mix. *)
+}
+
+val table1 : info list
+(** The 16 functions of the three evaluated applications, in Table 1
+    order. *)
+
+val evaluated_apps : (string * Fdsl.Ast.func list) list
+(** [("social", ...); ("hotel", ...); ("forum", ...)]. *)
+
+val all_functions : Fdsl.Ast.func list
+(** All 27 handlers across the five applications. *)
+
+val find : string -> info option

@@ -1,0 +1,163 @@
+open Fdsl.Ast
+open Appdsl
+
+let fpost p = key "fpost:" p
+
+let fcomments p = key "fcomments:" p
+
+let fuser u = key "fuser:" u
+
+let home = Str "fhome"
+
+(* Table 1: 209 ms = 203 ms compute + 1 cache read; 80% of the workload hits this hot key. *)
+let homepage_fn =
+  fn "forum-homepage" [ "u" ]
+    (Compute (203.0, Take (Read home, int 25)))
+
+(* Table 1: 18 ms = 12 ms compute + 1 cache read (the front page). *)
+let post_fn =
+  fn "forum-post" [ "u"; "pid"; "title"; "text" ]
+    (Compute
+       ( 12.0,
+         Seq
+           [
+             Write
+               ( fpost (Input "pid"),
+                 fields
+                   [
+                     ("title", Input "title");
+                     ("body", Input "text");
+                     ("by", Input "u");
+                     ("score", int 1);
+                   ] );
+             Write (fcomments (Input "pid"), List_lit []);
+             bump_list ~key:home ~keep:30
+               (fields [ ("pid", Input "pid"); ("title", Input "title") ]);
+             Input "pid";
+           ] ))
+
+(* Table 1: 16 ms = 10 ms compute + 1 cache read (rmw of the score). *)
+let interact_fn =
+  fn "forum-interact" [ "u"; "p" ]
+    (Compute
+       ( 10.0,
+         rmw ~key:(fpost (Input "p")) (fun post ->
+             Set_field (post, "score", Field (post, "score") +: int 1)) ))
+
+(* Table 1: 123 ms = 111 ms compute + 2 cache reads. *)
+let view_fn =
+  fn "forum-view" [ "u"; "p" ]
+    (Compute
+       ( 111.0,
+         fields
+           [
+             ("post", Read (fpost (Input "p")));
+             ("comments", Take (Read (fcomments (Input "p")), int 20));
+           ] ))
+
+(* Table 1: 212 ms = 206 ms pbkdf2 + 1 cache read. *)
+let login_fn =
+  fn "forum-login" [ "u"; "pw" ]
+    (Let
+       ( "acct",
+         Read (fuser (Input "u")),
+         Compute (206.0, Field (Var "acct", "pwhash") ==: Input "pw") ))
+
+let functions = [ homepage_fn; post_fn; interact_fn; view_fn; login_fn ]
+
+let pid i = Printf.sprintf "p%d" i
+
+let uid i = Printf.sprintf "f%d" i
+
+let seed ?(n_users = 500) ?(n_posts = 500) rng =
+  let posts =
+    List.concat
+      (List.init n_posts (fun i ->
+           let p = pid i in
+           [
+             ( "fpost:" ^ p,
+               Dval.Record
+                 [
+                   ("title", Dval.Str ("title-" ^ p));
+                   ("body", Dval.Str ("body-" ^ p));
+                   ("by", Dval.Str (uid (Sim.Rng.int rng n_users)));
+                   ("score", Dval.int (Sim.Rng.int rng 100));
+                 ] );
+             ( "fcomments:" ^ p,
+               Dval.List
+                 (List.init
+                    (Sim.Rng.int rng 5)
+                    (fun c -> Dval.Str (Printf.sprintf "%s-c%d" p c))) );
+           ]))
+  in
+  let front =
+    ( "fhome",
+      Dval.List
+        (List.init 30 (fun i ->
+             Dval.Record
+               [ ("pid", Dval.Str (pid i)); ("title", Dval.Str ("title-" ^ pid i)) ]))
+    )
+  in
+  let users =
+    List.init n_users (fun i ->
+        let u = uid i in
+        ( "fuser:" ^ u,
+          Dval.Record [ ("name", Dval.Str u); ("pwhash", Dval.Str ("hash-" ^ u)) ]
+        ))
+  in
+  (front :: posts) @ users
+
+type gen = {
+  n_users : int;
+  posts : Workload.Zipf.t;
+  mix : string Workload.Mix.t;
+  mutable next_pid : int;
+}
+
+let table1_mix =
+  [
+    ("forum-homepage", 80.0);
+    ("forum-interact", 9.0);
+    ("forum-view", 8.0);
+    ("forum-login", 2.0);
+    ("forum-post", 1.0);
+  ]
+
+let gen ?(n_users = 500) ?(n_posts = 500) ?(zipf_theta = 0.99) () =
+  {
+    n_users;
+    posts = Workload.Zipf.create ~n:n_posts ~theta:zipf_theta;
+    mix = Workload.Mix.create table1_mix;
+    next_pid = n_posts;
+  }
+
+let next g rng =
+  let u = uid (Sim.Rng.int rng g.n_users) in
+  let p = pid (Workload.Zipf.sample g.posts rng) in
+  match Workload.Mix.sample g.mix rng with
+  | "forum-homepage" -> ("forum-homepage", [ Dval.Str u ])
+  | "forum-interact" -> ("forum-interact", [ Dval.Str u; Dval.Str p ])
+  | "forum-view" -> ("forum-view", [ Dval.Str u; Dval.Str p ])
+  | "forum-login" -> ("forum-login", [ Dval.Str u; Dval.Str ("hash-" ^ u) ])
+  | "forum-post" ->
+      g.next_pid <- g.next_pid + 1;
+      let fresh = pid g.next_pid in
+      ( "forum-post",
+        [
+          Dval.Str u;
+          Dval.Str fresh;
+          Dval.Str ("title-" ^ fresh);
+          Dval.Str "hot take";
+        ] )
+  | other -> invalid_arg other
+
+let schema : Fdsl.Typecheck.schema =
+  let open Fdsl.Types in
+  [
+    ("fhome", TList (TRecord [ ("pid", TStr); ("title", TStr) ]));
+    ( "fpost:",
+      TRecord
+        [ ("title", TStr); ("body", TStr); ("by", TStr); ("score", TInt) ] );
+    ("fcomments:", TList TAny);
+    ("fuser:", TRecord [ ("name", TStr); ("pwhash", TStr) ]);
+  ]

@@ -1,0 +1,25 @@
+(** The forum benchmark (Lobsters, §5.1).
+
+    Five handlers matching Table 1: homepage (209 ms, 80% of requests —
+    one hot key, like lobste.rs' front page), post (18 ms, writes the
+    post and the front page), interact (16 ms, read-modify-write of a
+    post's score), view (123 ms), login (212 ms). Posts are selected
+    with zipf 0.99 (§5.3).
+
+    Data model: [fhome] front-page digest (single hot key),
+    [fpost:{p}] post record with score, [fcomments:{p}], [fuser:{u}]. *)
+
+val functions : Fdsl.Ast.func list
+
+val seed : ?n_users:int -> ?n_posts:int -> Sim.Rng.t -> (string * Dval.t) list
+
+type gen
+
+val gen : ?n_users:int -> ?n_posts:int -> ?zipf_theta:float -> unit -> gen
+
+val next : gen -> Sim.Rng.t -> string * Dval.t list
+(** Table 1 mix: homepage 80%, interact 9%, view 8%, login 2%,
+    post 1%. *)
+
+val schema : Fdsl.Typecheck.schema
+(** Storage schema for registration-time typechecking. *)

@@ -1,0 +1,207 @@
+open Fdsl.Ast
+open Appdsl
+
+let geo c = key "geo:" c
+
+let avail h d = key2 "avail:" h d
+
+let reviews h = key "reviews:" h
+
+let rec_key c = key "rec:" c
+
+let attractions c = key "attractions:" c
+
+let huser u = key "huser:" u
+
+(* Table 1: 161 ms median execution = 95 ms compute + 11 cache reads
+   (geo index + one availability per hotel). Dependent reads: the geo
+   index determines which availability keys are checked. *)
+let search_fn =
+  fn "hotel-search" [ "cell"; "date" ]
+    (Let
+       ( "hs",
+         Read (geo (Input "cell")),
+         Compute
+           ( 95.0,
+             Foreach
+               ( "h",
+                 If (Var "hs", Var "hs", List_lit []),
+                 fields
+                   [
+                     ("hotel", Var "h");
+                     ("rooms", Read (avail (Var "h") (Input "date")));
+                   ] ) ) ))
+
+(* Table 1: 207 ms = 201 ms compute + 1 cache read (precomputed per-cell recommendations). *)
+let recommend_fn =
+  fn "hotel-recommend" [ "cell" ]
+    (Compute (201.0, Read (rec_key (Input "cell"))))
+
+(* Table 1: 272 ms = 266 ms compute + 1 cache read. Branch-free
+   accesses: the booking record is written with a status either way, so
+   the read/write set is static. *)
+let book_fn =
+  fn "hotel-book" [ "u"; "h"; "date" ]
+    (Let
+       ( "rooms",
+         Read (avail (Input "h") (Input "date")),
+         Compute
+           ( 266.0,
+             Let
+               ( "ok",
+                 Var "rooms" >: int 0,
+                 Seq
+                   [
+                     Write
+                       ( avail (Input "h") (Input "date"),
+                         If (Var "ok", Var "rooms" -: int 1, Var "rooms") );
+                     Write
+                       ( Concat
+                           [
+                             Str "booking:";
+                             Input "u";
+                             Str ":";
+                             Input "h";
+                             Str ":";
+                             Input "date";
+                           ],
+                         fields
+                           [
+                             ("status",
+                              If (Var "ok", Str "confirmed", Str "rejected"));
+                             ("user", Input "u");
+                           ] );
+                     If (Var "ok", Str "confirmed", Str "sold-out");
+                   ] ) ) ))
+
+(* Table 1: 13 ms = 7 ms compute + 1 cache read. *)
+let review_fn =
+  fn "hotel-review" [ "u"; "h"; "text" ]
+    (Compute
+       ( 7.0,
+         Seq
+           [
+             bump_list ~key:(reviews (Input "h")) ~keep:30
+               (fields [ ("by", Input "u"); ("text", Input "text") ]);
+             Bool true;
+           ] ))
+
+(* Table 1: 213 ms = 207 ms pbkdf2 + 1 cache read. *)
+let login_fn =
+  fn "hotel-login" [ "u"; "pw" ]
+    (Let
+       ( "acct",
+         Read (huser (Input "u")),
+         Compute (207.0, Field (Var "acct", "pwhash") ==: Input "pw") ))
+
+(* Table 1: 111 ms = 105 ms compute + 1 cache read. *)
+let attractions_fn =
+  fn "hotel-attractions" [ "cell" ]
+    (Compute (105.0, Read (attractions (Input "cell"))))
+
+let functions =
+  [ search_fn; recommend_fn; book_fn; review_fn; login_fn; attractions_fn ]
+
+let hid c i = Printf.sprintf "h%d-%d" c i
+
+let uid i = Printf.sprintf "g%d" i
+
+let cell c = Printf.sprintf "c%d" c
+
+let date d = Printf.sprintf "d%d" d
+
+let seed ?(n_users = 500) ?(n_cells = 10) ?(hotels_per_cell = 10) ?(n_dates = 10)
+    rng =
+  let hotels =
+    List.concat
+      (List.init n_cells (fun c ->
+           List.init hotels_per_cell (fun i ->
+               let h = hid c i in
+               [
+                 ( "hotel:" ^ h,
+                   Dval.Record
+                     [ ("name", Dval.Str h); ("cell", Dval.Str (cell c)) ] );
+               ]
+               @ List.init n_dates (fun d ->
+                     ( Printf.sprintf "avail:%s:%s" h (date d),
+                       Dval.int (5 + Sim.Rng.int rng 10) ))
+               @ [
+                   ( "reviews:" ^ h,
+                     Dval.List
+                       [
+                         Dval.Record
+                           [ ("by", Dval.Str "seed"); ("text", Dval.Str "nice") ];
+                       ] );
+                 ])))
+  in
+  let cells =
+    List.concat
+      (List.init n_cells (fun c ->
+           let ids = List.init hotels_per_cell (fun i -> Dval.Str (hid c i)) in
+           [
+             ("geo:" ^ cell c, Dval.List ids);
+             ("rec:" ^ cell c, Dval.List (List.filteri (fun i _ -> i < 3) ids));
+             ( "attractions:" ^ cell c,
+               Dval.List
+                 (List.init 5 (fun i ->
+                      Dval.Str (Printf.sprintf "%s-sight-%d" (cell c) i))) );
+           ]))
+  in
+  let users =
+    List.init n_users (fun i ->
+        let u = uid i in
+        ( "huser:" ^ u,
+          Dval.Record [ ("name", Dval.Str u); ("pwhash", Dval.Str ("hash-" ^ u)) ]
+        ))
+  in
+  List.concat hotels @ cells @ users
+
+type gen = {
+  n_users : int;
+  n_cells : int;
+  hotels_per_cell : int;
+  n_dates : int;
+  mix : string Workload.Mix.t;
+}
+
+let table1_mix =
+  [
+    ("hotel-search", 60.0);
+    ("hotel-recommend", 30.0);
+    ("hotel-attractions", 8.5);
+    ("hotel-book", 0.5);
+    ("hotel-review", 0.5);
+    ("hotel-login", 0.5);
+  ]
+
+let gen ?(n_users = 500) ?(n_cells = 10) ?(hotels_per_cell = 10) ?(n_dates = 10)
+    () =
+  { n_users; n_cells; hotels_per_cell; n_dates; mix = Workload.Mix.create table1_mix }
+
+let next g rng =
+  let u = uid (Sim.Rng.int rng g.n_users) in
+  let c = cell (Sim.Rng.int rng g.n_cells) in
+  let h = hid (Sim.Rng.int rng g.n_cells) (Sim.Rng.int rng g.hotels_per_cell) in
+  let d = date (Sim.Rng.int rng g.n_dates) in
+  match Workload.Mix.sample g.mix rng with
+  | "hotel-search" -> ("hotel-search", [ Dval.Str c; Dval.Str d ])
+  | "hotel-recommend" -> ("hotel-recommend", [ Dval.Str c ])
+  | "hotel-attractions" -> ("hotel-attractions", [ Dval.Str c ])
+  | "hotel-book" -> ("hotel-book", [ Dval.Str u; Dval.Str h; Dval.Str d ])
+  | "hotel-review" ->
+      ("hotel-review", [ Dval.Str u; Dval.Str h; Dval.Str "lovely" ])
+  | "hotel-login" -> ("hotel-login", [ Dval.Str u; Dval.Str ("hash-" ^ u) ])
+  | other -> invalid_arg other
+
+let schema : Fdsl.Typecheck.schema =
+  let open Fdsl.Types in
+  [
+    ("hotel:", TRecord [ ("name", TStr); ("cell", TStr) ]);
+    ("geo:", TList TStr);
+    ("avail:", TInt);
+    ("reviews:", TList (TRecord [ ("by", TStr); ("text", TStr) ]));
+    ("rec:", TList TStr);
+    ("attractions:", TList TStr);
+    ("huser:", TRecord [ ("name", TStr); ("pwhash", TStr) ]);
+    ("booking:", TRecord [ ("status", TStr); ("user", TStr) ]);
+  ]

@@ -1,0 +1,32 @@
+(** The hotel-reservation benchmark (DeathStarBench, §5.1).
+
+    Six handlers matching Table 1: search (161 ms, dependent-read
+    optimization: the geo index feeds the availability keys), recommend
+    (207 ms), book (272 ms, writes), review (13 ms, writes), login
+    (213 ms), attractions (111 ms). Hotels and users are selected
+    uniformly at random (DSB's mixed workload, §5.3).
+
+    Data model: [hotel:{h}] record, [geo:{cell}] hotel ids per
+    geographic cell, [avail:{h}:{d}] rooms free for a date,
+    [reviews:{h}], [rec:{cell}] precomputed recommendations,
+    [attractions:{cell}], [huser:{u}] accounts, [booking:{u}:{h}:{d}]
+    confirmations. *)
+
+val functions : Fdsl.Ast.func list
+
+val seed :
+  ?n_users:int -> ?n_cells:int -> ?hotels_per_cell:int -> ?n_dates:int ->
+  Sim.Rng.t -> (string * Dval.t) list
+
+type gen
+
+val gen :
+  ?n_users:int -> ?n_cells:int -> ?hotels_per_cell:int -> ?n_dates:int ->
+  unit -> gen
+
+val next : gen -> Sim.Rng.t -> string * Dval.t list
+(** Table 1 mix: search 60%, recommend 30%, attractions 8.5%, book 0.5%,
+    review 0.5%, login 0.5%. *)
+
+val schema : Fdsl.Typecheck.schema
+(** Storage schema for registration-time typechecking. *)

@@ -1,0 +1,184 @@
+open Fdsl.Ast
+open Appdsl
+
+let img i = key "img:" i
+
+let tag t = key "tag:" t
+
+let icomments i = key "icomments:" i
+
+let ifavs i = key "ifavs:" i
+
+let ufavs u = key "ufavs:" u
+
+let iuser u = key "iuser:" u
+
+(* Dependent: the tag index determines which image records load. *)
+let search_fn =
+  fn "ib-search" [ "t" ]
+    (Let
+       ( "ids",
+         Read (tag (Input "t")),
+         Compute
+           ( 130.0,
+             Foreach
+               ( "i",
+                 Take (If (Var "ids", Var "ids", List_lit []), int 10),
+                 Read (img (Var "i")) ) ) ))
+
+let upload_fn =
+  fn "ib-upload" [ "u"; "i"; "tags" ]
+    (Compute
+       ( 45.0,
+         Seq
+           [
+             Write
+               ( img (Input "i"),
+                 fields [ ("by", Input "u"); ("id", Input "i") ] );
+             Write (icomments (Input "i"), List_lit []);
+             Foreach
+               ( "t",
+                 Input "tags",
+                 bump_list ~key:(tag (Var "t")) ~keep:50 (Input "i") );
+             Input "i";
+           ] ))
+
+let view_fn =
+  fn "ib-view" [ "i" ]
+    (Compute
+       ( 95.0,
+         fields
+           [
+             ("image", Read (img (Input "i")));
+             ("comments", Take (Read (icomments (Input "i")), int 20));
+           ] ))
+
+let comment_fn =
+  fn "ib-comment" [ "u"; "i"; "text" ]
+    (Compute
+       ( 15.0,
+         Seq
+           [
+             bump_list ~key:(icomments (Input "i")) ~keep:50
+               (fields [ ("by", Input "u"); ("text", Input "text") ]);
+             Bool true;
+           ] ))
+
+let favorite_fn =
+  fn "ib-favorite" [ "u"; "i" ]
+    (Compute
+       ( 14.0,
+         Seq
+           [
+             rmw ~key:(ifavs (Input "i")) (fun c ->
+                 If (c, c, int 0) +: int 1);
+             bump_list ~key:(ufavs (Input "u")) ~keep:100 (Input "i");
+             Bool true;
+           ] ))
+
+let login_fn =
+  fn "ib-login" [ "u"; "pw" ]
+    (Let
+       ( "acct",
+         Read (iuser (Input "u")),
+         Compute (213.0, Field (Var "acct", "pwhash") ==: Input "pw") ))
+
+let functions =
+  [ search_fn; upload_fn; view_fn; comment_fn; favorite_fn; login_fn ]
+
+let iid i = Printf.sprintf "i%d" i
+
+let tid t = Printf.sprintf "t%d" t
+
+let uid u = Printf.sprintf "b%d" u
+
+let seed ?(n_users = 300) ?(n_images = 400) ?(n_tags = 40) rng =
+  let images =
+    List.concat
+      (List.init n_images (fun i ->
+           [
+             ( "img:" ^ iid i,
+               Dval.Record
+                 [ ("by", Dval.Str (uid (Sim.Rng.int rng n_users)));
+                   ("id", Dval.Str (iid i)) ] );
+             ("icomments:" ^ iid i, Dval.List []);
+             ("ifavs:" ^ iid i, Dval.int (Sim.Rng.int rng 50));
+           ]))
+  in
+  let tags =
+    List.init n_tags (fun t ->
+        let members =
+          List.init 12 (fun _ -> Dval.Str (iid (Sim.Rng.int rng n_images)))
+        in
+        ("tag:" ^ tid t, Dval.List members))
+  in
+  let users =
+    List.concat
+      (List.init n_users (fun u ->
+           [
+             ( "iuser:" ^ uid u,
+               Dval.Record
+                 [ ("name", Dval.Str (uid u));
+                   ("pwhash", Dval.Str ("hash-" ^ uid u)) ] );
+             ("ufavs:" ^ uid u, Dval.List []);
+           ]))
+  in
+  images @ tags @ users
+
+type gen = {
+  n_users : int;
+  n_images : int;
+  n_tags : int;
+  mix : string Workload.Mix.t;
+  mutable next_img : int;
+}
+
+let mix_weights =
+  [
+    ("ib-search", 45.0);
+    ("ib-view", 35.0);
+    ("ib-favorite", 10.0);
+    ("ib-comment", 5.0);
+    ("ib-login", 4.0);
+    ("ib-upload", 1.0);
+  ]
+
+let gen ?(n_users = 300) ?(n_images = 400) ?(n_tags = 40) () =
+  {
+    n_users;
+    n_images;
+    n_tags;
+    mix = Workload.Mix.create mix_weights;
+    next_img = n_images;
+  }
+
+let next g rng =
+  let u = uid (Sim.Rng.int rng g.n_users) in
+  let i = iid (Sim.Rng.int rng g.n_images) in
+  let t = tid (Sim.Rng.int rng g.n_tags) in
+  match Workload.Mix.sample g.mix rng with
+  | "ib-search" -> ("ib-search", [ Dval.Str t ])
+  | "ib-view" -> ("ib-view", [ Dval.Str i ])
+  | "ib-favorite" -> ("ib-favorite", [ Dval.Str u; Dval.Str i ])
+  | "ib-comment" -> ("ib-comment", [ Dval.Str u; Dval.Str i; Dval.Str "nice" ])
+  | "ib-login" -> ("ib-login", [ Dval.Str u; Dval.Str ("hash-" ^ u) ])
+  | "ib-upload" ->
+      g.next_img <- g.next_img + 1;
+      ( "ib-upload",
+        [
+          Dval.Str u;
+          Dval.Str (iid g.next_img);
+          Dval.List [ Dval.Str t ];
+        ] )
+  | other -> invalid_arg other
+
+let schema : Fdsl.Typecheck.schema =
+  let open Fdsl.Types in
+  [
+    ("img:", TRecord [ ("by", TStr); ("id", TStr) ]);
+    ("tag:", TList TStr);
+    ("icomments:", TList TAny);
+    ("ifavs:", TInt);
+    ("ufavs:", TList TStr);
+    ("iuser:", TRecord [ ("name", TStr); ("pwhash", TStr) ]);
+  ]

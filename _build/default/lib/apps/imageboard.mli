@@ -1,0 +1,23 @@
+(** The image-board application (Danbooru-style, §5.1).
+
+    One of the five ported applications (27 functions total); not part
+    of the detailed Table 1 evaluation, but registered and exercised by
+    tests and examples. Six handlers: search by tag (dependent reads
+    through the tag index), upload, view, comment, favorite, login.
+
+    Data model: [img:{i}] record, [tag:{t}] image ids per tag,
+    [icomments:{i}], [ifavs:{i}] favorite count, [ufavs:{u}] a user's
+    favorites, [iuser:{u}]. *)
+
+val functions : Fdsl.Ast.func list
+
+val seed : ?n_users:int -> ?n_images:int -> ?n_tags:int -> Sim.Rng.t -> (string * Dval.t) list
+
+type gen
+
+val gen : ?n_users:int -> ?n_images:int -> ?n_tags:int -> unit -> gen
+
+val next : gen -> Sim.Rng.t -> string * Dval.t list
+
+val schema : Fdsl.Typecheck.schema
+(** Storage schema for registration-time typechecking. *)

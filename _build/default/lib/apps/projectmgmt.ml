@@ -1,0 +1,163 @@
+open Fdsl.Ast
+open Appdsl
+
+let board p = key "board:" p
+
+let ptasks p = key "ptasks:" p
+
+let task t = key "task:" t
+
+let puser u = key "puser:" u
+
+let board_fn =
+  fn "pm-board" [ "p" ]
+    (Compute
+       ( 85.0,
+         fields
+           [
+             ("summary", Read (board (Input "p")));
+             ("tasks", Take (Read (ptasks (Input "p")), int 25));
+           ] ))
+
+let create_fn =
+  fn "pm-create" [ "u"; "p"; "t"; "title" ]
+    (Compute
+       ( 22.0,
+         Seq
+           [
+             Write
+               ( task (Input "t"),
+                 fields
+                   [
+                     ("title", Input "title");
+                     ("assignee", Input "u");
+                     ("status", Str "open");
+                   ] );
+             bump_list ~key:(ptasks (Input "p")) ~keep:100 (Input "t");
+             rmw ~key:(board (Input "p")) (fun b ->
+                 Set_field (b, "open", Field (b, "open") +: int 1));
+             Input "t";
+           ] ))
+
+let complete_fn =
+  fn "pm-complete" [ "u"; "t" ]
+    (Compute
+       ( 17.0,
+         rmw ~key:(task (Input "t")) (fun tk ->
+             Set_field (tk, "status", Str "done")) ))
+
+(* Dependent: the assignee's account key comes out of the task record. *)
+let view_task_fn =
+  fn "pm-view-task" [ "t" ]
+    (Let
+       ( "tk",
+         Read (task (Input "t")),
+         Compute
+           ( 60.0,
+             fields
+               [
+                 ("task", Var "tk");
+                 ("assignee", Read (puser (Field (Var "tk", "assignee"))));
+               ] ) ))
+
+let login_fn =
+  fn "pm-login" [ "u"; "pw" ]
+    (Let
+       ( "acct",
+         Read (puser (Input "u")),
+         Compute (213.0, Field (Var "acct", "pwhash") ==: Input "pw") ))
+
+let functions = [ board_fn; create_fn; complete_fn; view_task_fn; login_fn ]
+
+let pid p = Printf.sprintf "pr%d" p
+
+let tid p t = Printf.sprintf "pr%d-t%d" p t
+
+let uid u = Printf.sprintf "m%d" u
+
+let seed ?(n_users = 200) ?(n_projects = 50) ?(tasks_per_project = 10) rng =
+  let projects =
+    List.concat
+      (List.init n_projects (fun p ->
+           [
+             ( "board:" ^ pid p,
+               Dval.Record
+                 [ ("open", Dval.int tasks_per_project); ("name", Dval.Str (pid p)) ]
+             );
+             ( "ptasks:" ^ pid p,
+               Dval.List
+                 (List.init tasks_per_project (fun t -> Dval.Str (tid p t))) );
+           ]
+           @ List.init tasks_per_project (fun t ->
+                 ( "task:" ^ tid p t,
+                   Dval.Record
+                     [
+                       ("title", Dval.Str (tid p t));
+                       ("assignee", Dval.Str (uid (Sim.Rng.int rng n_users)));
+                       ("status", Dval.Str "open");
+                     ] ))))
+  in
+  let users =
+    List.init n_users (fun u ->
+        ( "puser:" ^ uid u,
+          Dval.Record
+            [ ("name", Dval.Str (uid u)); ("pwhash", Dval.Str ("hash-" ^ uid u)) ]
+        ))
+  in
+  projects @ users
+
+type gen = {
+  n_users : int;
+  n_projects : int;
+  tasks_per_project : int;
+  mix : string Workload.Mix.t;
+  mutable next_task : int;
+}
+
+let mix_weights =
+  [
+    ("pm-board", 55.0);
+    ("pm-view-task", 30.0);
+    ("pm-complete", 8.0);
+    ("pm-create", 4.0);
+    ("pm-login", 3.0);
+  ]
+
+let gen ?(n_users = 200) ?(n_projects = 50) ?(tasks_per_project = 10) () =
+  {
+    n_users;
+    n_projects;
+    tasks_per_project;
+    mix = Workload.Mix.create mix_weights;
+    next_task = 100000;
+  }
+
+let next g rng =
+  let u = uid (Sim.Rng.int rng g.n_users) in
+  let p = Sim.Rng.int rng g.n_projects in
+  let t = tid p (Sim.Rng.int rng g.tasks_per_project) in
+  match Workload.Mix.sample g.mix rng with
+  | "pm-board" -> ("pm-board", [ Dval.Str (pid p) ])
+  | "pm-view-task" -> ("pm-view-task", [ Dval.Str t ])
+  | "pm-complete" -> ("pm-complete", [ Dval.Str u; Dval.Str t ])
+  | "pm-create" ->
+      g.next_task <- g.next_task + 1;
+      ( "pm-create",
+        [
+          Dval.Str u;
+          Dval.Str (pid p);
+          Dval.Str (Printf.sprintf "pr%d-t%d" p g.next_task);
+          Dval.Str "new task";
+        ] )
+  | "pm-login" -> ("pm-login", [ Dval.Str u; Dval.Str ("hash-" ^ u) ])
+  | other -> invalid_arg other
+
+let schema : Fdsl.Typecheck.schema =
+  let open Fdsl.Types in
+  [
+    ("board:", TRecord [ ("open", TInt); ("name", TStr) ]);
+    ("ptasks:", TList TStr);
+    ( "task:",
+      TRecord [ ("title", TStr); ("assignee", TStr); ("status", TStr) ] );
+    ("puser:", TRecord [ ("name", TStr); ("pwhash", TStr) ]);
+  ]

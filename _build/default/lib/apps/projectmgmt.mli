@@ -1,0 +1,22 @@
+(** The project/team-management application (§5.1's fourth category).
+
+    One of the five ported applications; not part of the detailed
+    Table 1 evaluation. Five handlers: board view, task creation, task
+    completion, task view (dependent: the task record names its
+    assignee), login.
+
+    Data model: [proj:{p}] record, [board:{p}] summary counters,
+    [ptasks:{p}] task ids, [task:{t}] record, [puser:{u}]. *)
+
+val functions : Fdsl.Ast.func list
+
+val seed : ?n_users:int -> ?n_projects:int -> ?tasks_per_project:int -> Sim.Rng.t -> (string * Dval.t) list
+
+type gen
+
+val gen : ?n_users:int -> ?n_projects:int -> ?tasks_per_project:int -> unit -> gen
+
+val next : gen -> Sim.Rng.t -> string * Dval.t list
+
+val schema : Fdsl.Typecheck.schema
+(** Storage schema for registration-time typechecking. *)

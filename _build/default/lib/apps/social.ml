@@ -1,0 +1,171 @@
+open Fdsl.Ast
+open Appdsl
+
+let user u = key "user:" u
+
+let followers u = key "followers:" u
+
+let follows u = key "follows:" u
+
+let posts u = key "posts:" u
+
+let timeline u = key "timeline:" u
+
+(* Table 1: 213 ms median execution = 207 ms pbkdf2 + 1 cache read. *)
+let login_fn =
+  fn "social-login" [ "u"; "pw" ]
+    (Let
+       ( "acct",
+         Read (user (Input "u")),
+         Compute (207.0, Field (Var "acct", "pwhash") ==: Input "pw") ))
+
+(* Table 1: 106 ms median execution = 46 ms compute + ~10 cache reads
+   (followers, own posts, one timeline per follower; speculative writes
+   are buffered and free). Dependent-read optimization: the follower
+   list read feeds the timeline keys. *)
+let post_fn =
+  fn "social-post" [ "u"; "text" ]
+    (Let
+       ( "post",
+         fields [ ("author", Input "u"); ("text", Input "text") ],
+         Let
+           ( "fs",
+             Read (followers (Input "u")),
+             Compute
+               ( 46.0,
+                 Seq
+                   [
+                     bump_list ~key:(posts (Input "u")) ~keep:50 (Var "post");
+                     Foreach
+                       ( "f",
+                         If (Var "fs", Var "fs", List_lit []),
+                         bump_list ~key:(timeline (Var "f")) ~keep:50
+                           (Var "post") );
+                     Var "post";
+                   ] ) ) ))
+
+(* Table 1: 16 ms = 4 ms compute + 2 cache reads. *)
+let follow_fn =
+  fn "social-follow" [ "u"; "target" ]
+    (Compute
+       ( 4.0,
+         Seq
+           [
+             bump_list ~key:(follows (Input "u")) ~keep:200 (Input "target");
+             bump_list ~key:(followers (Input "target")) ~keep:200 (Input "u");
+             Bool true;
+           ] ))
+
+(* Table 1: 120 ms = 114 ms compute + 1 cache read; 80% of requests. *)
+let timeline_fn =
+  fn "social-timeline" [ "u" ]
+    (Compute
+       ( 114.0,
+         Let
+           ( "tl",
+             Read (timeline (Input "u")),
+             Take (If (Var "tl", Var "tl", List_lit []), int 20) ) ))
+
+(* Table 1: 124 ms = 112 ms compute + 2 cache reads. *)
+let profile_fn =
+  fn "social-profile" [ "u" ]
+    (Compute
+       ( 112.0,
+         fields
+           [
+             ("account", Read (user (Input "u")));
+             ("recent", Take (Read (posts (Input "u")), int 10));
+           ] ))
+
+let functions = [ login_fn; post_fn; follow_fn; timeline_fn; profile_fn ]
+
+let uid i = Printf.sprintf "u%d" i
+
+let seed ?(n_users = 1000) ?(followers_per_user = 8) rng =
+  let post_of u n =
+    Dval.Record
+      [ ("author", Dval.Str u); ("text", Dval.Str (Printf.sprintf "%s-post-%d" u n)) ]
+  in
+  List.concat
+    (List.init n_users (fun i ->
+         let u = uid i in
+         let outgoing =
+           List.init followers_per_user (fun _ ->
+               uid (Sim.Rng.int rng n_users))
+         in
+         [
+           ( "user:" ^ u,
+             Dval.Record
+               [ ("name", Dval.Str u); ("pwhash", Dval.Str ("hash-" ^ u)) ] );
+           ("follows:" ^ u, Dval.List (List.map (fun f -> Dval.Str f) outgoing));
+           ("posts:" ^ u, Dval.List (List.init 5 (post_of u)));
+           ("timeline:" ^ u, Dval.List (List.init 10 (post_of ("seed-" ^ u))));
+         ]))
+  (* Follower lists are the transpose of the follows edges; build them
+     from the same RNG stream by regenerating deterministically. *)
+  |> fun base ->
+  let followers_tbl = Hashtbl.create n_users in
+  List.iter
+    (fun (k, v) ->
+      match (String.length k > 8 && String.sub k 0 8 = "follows:", v) with
+      | true, Dval.List fs ->
+          let u = String.sub k 8 (String.length k - 8) in
+          List.iter
+            (fun f ->
+              let f = Dval.to_str f in
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt followers_tbl f)
+              in
+              Hashtbl.replace followers_tbl f (Dval.Str u :: prev))
+            fs
+      | _ -> ())
+    base;
+  base
+  @ List.init n_users (fun i ->
+        let u = uid i in
+        ( "followers:" ^ u,
+          Dval.List (Option.value ~default:[] (Hashtbl.find_opt followers_tbl u))
+        ))
+
+type gen = { users : Workload.Zipf.t; mix : string Workload.Mix.t; mutable seq : int }
+
+let table1_mix =
+  [
+    ("social-timeline", 80.0);
+    ("social-login", 9.5);
+    ("social-profile", 9.5);
+    ("social-post", 0.5);
+    ("social-follow", 0.5);
+  ]
+
+let gen ?(n_users = 1000) ?(zipf_theta = 0.99) () =
+  {
+    users = Workload.Zipf.create ~n:n_users ~theta:zipf_theta;
+    mix = Workload.Mix.create table1_mix;
+    seq = 0;
+  }
+
+let next g rng =
+  let u = uid (Workload.Zipf.sample g.users rng) in
+  g.seq <- g.seq + 1;
+  match Workload.Mix.sample g.mix rng with
+  | "social-timeline" -> ("social-timeline", [ Dval.Str u ])
+  | "social-login" -> ("social-login", [ Dval.Str u; Dval.Str ("hash-" ^ u) ])
+  | "social-profile" -> ("social-profile", [ Dval.Str u ])
+  | "social-post" ->
+      ("social-post", [ Dval.Str u; Dval.Str (Printf.sprintf "p%d" g.seq) ])
+  | "social-follow" ->
+      let target = uid (Workload.Zipf.sample g.users rng) in
+      ("social-follow", [ Dval.Str u; Dval.Str target ])
+  | other -> invalid_arg other
+
+let schema : Fdsl.Typecheck.schema =
+  let open Fdsl.Types in
+  let post = TRecord [ ("author", TStr); ("text", TStr) ] in
+  [
+    ("user:", TRecord [ ("name", TStr); ("pwhash", TStr) ]);
+    ("followers:", TList TStr);
+    ("follows:", TList TStr);
+    ("posts:", TList post);
+    ("timeline:", TList post);
+  ]

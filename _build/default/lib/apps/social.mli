@@ -1,0 +1,27 @@
+(** The social-media benchmark (Diaspora-style, §5.1).
+
+    Five handlers matching Table 1: login (pbkdf2 check, 213 ms), post
+    (fan-out to follower timelines, 106 ms, needs the dependent-read
+    optimization), follow (16 ms), timeline (120 ms, 80% of the
+    workload), profile (124 ms). Users are selected with zipf 0.99 —
+    Tapir's workload parameters (§5.3).
+
+    Data model: [user:{u}] account record, [follows:{u}] /
+    [followers:{u}] edge lists, [posts:{u}] newest-first posts,
+    [timeline:{u}] materialized timeline (push model). *)
+
+val functions : Fdsl.Ast.func list
+
+val seed : ?n_users:int -> ?followers_per_user:int -> Sim.Rng.t -> (string * Dval.t) list
+
+type gen
+
+val gen : ?n_users:int -> ?zipf_theta:float -> unit -> gen
+
+val next : gen -> Sim.Rng.t -> string * Dval.t list
+(** Sample one request: (function name, arguments), with the Table 1
+    mix (timeline 80%, login 9.5%, profile 9.5%, post 0.5%,
+    follow 0.5%). *)
+
+val schema : Fdsl.Typecheck.schema
+(** Storage schema for registration-time typechecking. *)

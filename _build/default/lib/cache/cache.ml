@@ -1,0 +1,107 @@
+type entry = { value : Dval.t; version : int }
+
+type t = {
+  items : (string, entry) Hashtbl.t;
+  stamps : (string, int) Hashtbl.t; (* LRU recency, keyed like items *)
+  latency : float;
+  capacity : int option;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(access_latency = 0.5) ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Cache.create: capacity must be positive"
+  | _ -> ());
+  {
+    items = Hashtbl.create 1024;
+    stamps = Hashtbl.create 1024;
+    latency = access_latency;
+    capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t key =
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.stamps key t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.items key with
+  | Some e ->
+      touch t key;
+      Some e
+  | None -> None
+
+let record t = function
+  | Some _ as r ->
+      t.hits <- t.hits + 1;
+      r
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let get t key =
+  Sim.Engine.sleep t.latency;
+  record t (find t key)
+
+let get_many t keys =
+  Sim.Engine.sleep t.latency;
+  List.map (fun k -> (k, record t (find t k))) keys
+
+let version_of t key =
+  match Hashtbl.find_opt t.items key with
+  | Some { version; _ } -> version
+  | None -> -1
+
+(* Evict the least recently used entry. O(n); fine at cache sizes the
+   simulation uses, and only runs when a capacity is configured. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k stamp ->
+      match !victim with
+      | Some (_, best) when best <= stamp -> ()
+      | _ -> victim := Some (k, stamp))
+    t.stamps;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.items k;
+      Hashtbl.remove t.stamps k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let update t key value ~version =
+  match Hashtbl.find_opt t.items key with
+  | Some existing when existing.version >= version -> touch t key
+  | Some _ | None ->
+      (match t.capacity with
+      | Some cap
+        when (not (Hashtbl.mem t.items key)) && Hashtbl.length t.items >= cap
+        ->
+          evict_one t
+      | _ -> ());
+      Hashtbl.replace t.items key { value; version };
+      touch t key
+
+let wipe t =
+  Hashtbl.reset t.items;
+  Hashtbl.reset t.stamps
+
+let size t = Hashtbl.length t.items
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let snapshot t =
+  Hashtbl.fold (fun k { value; version } acc -> (k, value, version) :: acc) t.items []
+
+let restore t entries =
+  List.iter (fun (k, value, version) -> update t k value ~version) entries

@@ -1,0 +1,52 @@
+(** Near-user, eventually consistent versioned cache (§3.1, §3.2).
+
+    Holds (value, version) pairs fed by LVI responses and by the local
+    runtime after its own successful commits. Needs neither durability
+    nor consistency: a miss is reported to the LVI request as version
+    [-1], which forces validation to fail and the response to carry the
+    fresh value — so a wiped cache repopulates itself through normal
+    protocol traffic ("gradual bootstrap"). *)
+
+type entry = { value : Dval.t; version : int }
+
+type t
+
+val create : ?access_latency:float -> ?capacity:int -> unit -> t
+(** Default access latency 0.5 ms — an in-memory store colocated with
+    the runtime (the paper uses DynamoDB here only to isolate protocol
+    effects; §5.7 notes ScyllaDB/`in-memory` caches are the intended
+    deployment). [capacity] bounds the entry count with LRU eviction;
+    evicted keys simply become misses and are repaired by the next LVI
+    response, like any other cold entry. Unbounded by default. *)
+
+val get : t -> string -> entry option
+(** Blocking read; [None] on miss. *)
+
+val get_many : t -> string list -> (string * entry option) list
+(** Batch read: one access latency. *)
+
+val version_of : t -> string -> int
+(** Latency-free version probe; [-1] on miss, matching the protocol's
+    miss marker. *)
+
+val update : t -> string -> Dval.t -> version:int -> unit
+(** Install a (value, version) pair if newer than what is cached.
+    Latency-free: updates ride on protocol responses. *)
+
+val wipe : t -> unit
+(** Drop everything (failure injection / bootstrap experiments). *)
+
+val size : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val snapshot : t -> (string * Dval.t * int) list
+(** Dump (key, value, version) triples — the persistent-cache extension
+    of §3.2 that avoids re-bootstrapping after a restart. *)
+
+val restore : t -> (string * Dval.t * int) list -> unit
+(** Load a snapshot; per-key, newer versions win. *)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Dval Engine Execute Float List Net Proto Registry Sim Store

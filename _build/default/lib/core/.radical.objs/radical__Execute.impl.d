@@ -1,0 +1,1 @@
+lib/core/execute.ml: Dval List Option Proto Registry Sim Store Wasm

@@ -1,0 +1,1 @@
+lib/core/execute.mli: Dval Proto Registry Store

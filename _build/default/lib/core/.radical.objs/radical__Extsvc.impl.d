@@ -1,0 +1,1 @@
+lib/core/extsvc.ml: Dval Hashtbl Printf Sim

@@ -1,0 +1,1 @@
+lib/core/extsvc.mli: Dval

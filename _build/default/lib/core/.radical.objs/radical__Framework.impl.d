@@ -1,0 +1,1 @@
+lib/core/framework.ml: Cache Extsvc Fdsl Format Lincheck List Net Registry Runtime Server Store

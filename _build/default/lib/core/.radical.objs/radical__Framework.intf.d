@@ -1,0 +1,1 @@
+lib/core/framework.mli: Dval Extsvc Fdsl Lincheck Net Registry Runtime Server Store

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Analyzer Fdsl Format Hashtbl List Printf String Wasm

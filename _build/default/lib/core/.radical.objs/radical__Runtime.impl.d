@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Analyzer Cache Dval Engine Extsvc Fdsl Ivar Lincheck List Logs Net Option Printf Proto Registry Server Sim Wasm

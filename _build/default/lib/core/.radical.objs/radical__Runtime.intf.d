@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Cache Dval Extsvc Lincheck Net Registry Server

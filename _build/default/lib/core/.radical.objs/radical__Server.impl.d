@@ -1,0 +1,1 @@
+lib/core/server.ml: Analyzer Dval Engine Execute Extsvc Fdsl Float Hashtbl List Logs Net Option Printf Proto Raft Raft_locks Registry Rng Sim Store String Timer

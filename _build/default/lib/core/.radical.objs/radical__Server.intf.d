@@ -1,0 +1,1 @@
+lib/core/server.mli: Extsvc Net Proto Raft_locks Registry Store

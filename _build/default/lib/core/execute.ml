@@ -1,0 +1,39 @@
+let no_external svc _ =
+  raise (Invalid_argument ("no external service bound: " ^ svc))
+
+let run ?(external_call = no_external) (entry : Registry.entry) ~read ~write
+    args : Proto.exec_result =
+  let observed = ref [] in
+  let written = ref [] in
+  let host =
+    {
+      Wasm.Host.external_call;
+      read =
+        (fun k ->
+          match List.assoc_opt k !written with
+          | Some v -> v
+          | None ->
+              let v = Option.value ~default:Dval.Unit (read k) in
+              if not (List.mem_assoc k !observed) then
+                observed := (k, v) :: !observed;
+              v);
+      write =
+        (fun k v ->
+          write k v;
+          written := (k, v) :: List.remove_assoc k !written);
+      compute = Sim.Engine.sleep;
+    }
+  in
+  let value =
+    Wasm.Interp.run entry.modul ~host ~entry:entry.func.fn_name args
+  in
+  { value; observed = List.rev !observed; written = List.rev !written }
+
+let on_kv ?external_call entry ~kv args =
+  run ?external_call entry
+    ~read:(fun k ->
+      match Store.Kv.get kv k with
+      | Some { value; _ } -> Some value
+      | None -> None)
+    ~write:(fun k v -> ignore (Store.Kv.put kv k v))
+    args

@@ -1,0 +1,23 @@
+(** Shared function-execution harness over a storage host.
+
+    Runs a registered function's compiled module while recording the
+    reads it observed and the writes it made — the raw material for both
+    the protocol's responses and linearizability checking. Reads see the
+    execution's own earlier writes. *)
+
+val run :
+  ?external_call:(string -> Dval.t -> Dval.t) ->
+  Registry.entry ->
+  read:(string -> Dval.t option) ->
+  write:(string -> Dval.t -> unit) ->
+  Dval.t list ->
+  Proto.exec_result
+(** [read] returning [None] is observed as [Dval.Unit]. [compute] burns
+    virtual time via the engine. The default [external_call] rejects
+    every service (functions that use none are unaffected). *)
+
+val on_kv :
+  ?external_call:(string -> Dval.t -> Dval.t) ->
+  Registry.entry -> kv:Store.Kv.t -> Dval.t list -> Proto.exec_result
+(** Execute directly against a versioned store, paying its access
+    latency per operation and applying writes immediately. *)

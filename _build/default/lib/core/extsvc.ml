@@ -1,0 +1,44 @@
+type service = {
+  handler : Dval.t -> Dval.t;
+  latency : float;
+  responses : (string, Dval.t) Hashtbl.t; (* idempotency key -> response *)
+  mutable runs : int;
+  mutable calls : int;
+}
+
+type t = (string, service) Hashtbl.t
+
+let create () = Hashtbl.create 8
+
+let register t ~name ?(latency = 5.0) handler =
+  Hashtbl.replace t name
+    { handler; latency; responses = Hashtbl.create 64; runs = 0; calls = 0 }
+
+let call t ~service ~key payload =
+  match Hashtbl.find_opt t service with
+  | None -> Error (Printf.sprintf "unknown external service %S" service)
+  | Some s -> (
+      s.calls <- s.calls + 1;
+      Sim.Engine.sleep s.latency;
+      match Hashtbl.find_opt s.responses key with
+      | Some response -> Ok response (* at-most-once: replay the record *)
+      | None ->
+          let response = s.handler payload in
+          Hashtbl.replace s.responses key response;
+          s.runs <- s.runs + 1;
+          Ok response)
+
+let handler_runs t name =
+  match Hashtbl.find_opt t name with Some s -> s.runs | None -> 0
+
+let requests t name =
+  match Hashtbl.find_opt t name with Some s -> s.calls | None -> 0
+
+let dispatcher t ~exec_id =
+  let n = ref 0 in
+  fun service payload ->
+    incr n;
+    let key = Printf.sprintf "%s:%d" exec_id !n in
+    match call t ~service ~key payload with
+    | Ok v -> v
+    | Error e -> raise (Invalid_argument e)

@@ -1,0 +1,40 @@
+(** External services beyond storage (§3.5).
+
+    A single Radical request can execute its function twice (speculation
+    plus backup, or speculation plus deterministic re-execution), so any
+    external service it calls must provide at-most-once semantics. Like
+    Stripe's IdempotencyKey, every call carries a key — Radical derives
+    it from the execution id and a per-execution call counter, so
+    re-executions replay the same keys — and the service returns the
+    recorded response instead of re-running its handler.
+
+    Handlers must be deterministic functions of their payload for
+    deterministic re-execution to remain sound; the registry records the
+    first response and serves it for every duplicate. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> ?latency:float -> (Dval.t -> Dval.t) -> unit
+(** Register a service handler (default latency 5.0 ms per call,
+    charged also on deduplicated replays — the network round trip to the
+    provider). Re-registering replaces the handler. *)
+
+val call : t -> service:string -> key:string -> Dval.t -> (Dval.t, string) result
+(** Invoke with an idempotency key. The handler runs at most once per
+    key; duplicates get the recorded response. [Error] for an unknown
+    service. *)
+
+val handler_runs : t -> string -> int
+(** Times the named service's handler actually executed. *)
+
+val requests : t -> string -> int
+(** Total call attempts, including deduplicated replays. *)
+
+val dispatcher : t -> exec_id:string -> string -> Dval.t -> Dval.t
+(** A per-execution dispatcher for wiring into a VM host: idempotency
+    keys are [exec_id ^ ":" ^ call-sequence-number], so a deterministic
+    re-execution regenerates exactly the same keys and the provider
+    deduplicates. Raises [Invalid_argument] for an unknown service
+    (surfacing as a VM trap). *)

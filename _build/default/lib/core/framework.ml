@@ -1,0 +1,104 @@
+type config = {
+  locations : Net.Location.t list;
+  server : Server.config;
+  invoke_overhead : float;
+  frw_overhead : float;
+  overlap : bool;
+  warm_caches : bool;
+  cache_latency : float;
+}
+
+let default_config =
+  {
+    locations = Net.Location.user_locations;
+    server = Server.default_config;
+    invoke_overhead = 12.0;
+    frw_overhead = 1.0;
+    overlap = true;
+    warm_caches = true;
+    cache_latency = 6.0;
+  }
+
+type t = {
+  cfg : config;
+  net : Net.Transport.t;
+  reg : Registry.t;
+  kv : Store.Kv.t;
+  extsvc : Extsvc.t;
+  srv : Server.t;
+  sites : (Net.Location.t * Runtime.t) list;
+  mutable ops : Lincheck.op list; (* newest first *)
+}
+
+let create ?(config = default_config) ?schema ~net ~funcs ~data () =
+  (match schema with
+  | None -> ()
+  | Some schema -> (
+      match Fdsl.Typecheck.check_all ~schema funcs with
+      | Ok () -> ()
+      | Error (e :: _) ->
+          invalid_arg
+            (Format.asprintf "Framework.create: type error: %a"
+               Fdsl.Typecheck.pp_error e)
+      | Error [] -> ()));
+  let reg = Registry.create () in
+  List.iter
+    (fun f ->
+      match Registry.register reg f with
+      | Ok _ -> ()
+      | Error e -> invalid_arg ("Framework.create: " ^ e))
+    funcs;
+  let kv = Store.Kv.create () in
+  Store.Kv.load kv data;
+  let extsvc = Extsvc.create () in
+  let srv = Server.create ~extsvc ~net ~registry:reg ~kv config.server in
+  let sites =
+    List.map
+      (fun loc ->
+        let cache = Cache.create ~access_latency:config.cache_latency () in
+        if config.warm_caches then
+          List.iter
+            (fun (k, v) ->
+              let version =
+                match Store.Kv.peek kv k with
+                | Some { version; _ } -> version
+                | None -> 0
+              in
+              Cache.update cache k v ~version)
+            data;
+        let rt =
+          Runtime.create ~extsvc ~net ~registry:reg ~cache ~server:srv
+            (Runtime.config ~invoke_overhead:config.invoke_overhead
+               ~frw_overhead:config.frw_overhead ~overlap:config.overlap loc)
+        in
+        (loc, rt))
+      config.locations
+  in
+  { cfg = config; net; reg; kv; extsvc; srv; sites; ops = [] }
+
+let runtime t loc =
+  match List.assoc_opt loc t.sites with
+  | Some rt -> rt
+  | None -> invalid_arg ("Framework.runtime: no site at " ^ loc)
+
+let invoke t ~from fn args = Runtime.invoke (runtime t from) fn args
+
+let server t = t.srv
+
+let primary t = t.kv
+
+let registry t = t.reg
+
+let register_external t ~name ?latency handler =
+  Extsvc.register t.extsvc ~name ?latency handler
+
+let external_services t = t.extsvc
+
+let record_history t =
+  List.iter
+    (fun (_, rt) -> Runtime.set_recorder rt (fun op -> t.ops <- op :: t.ops))
+    t.sites
+
+let history t = List.rev t.ops
+
+let stop t = Server.stop t.srv

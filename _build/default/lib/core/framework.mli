@@ -1,0 +1,69 @@
+(** Top-level deployment of a Radical application (§3.1, Figure 2).
+
+    Wires together: a primary versioned store in the near-storage
+    location, the LVI server beside it, and a (cache, runtime) pair per
+    near-user location. Functions are registered through the full
+    toolchain (compile → determinism validation → derive f^rw); seed
+    data loads into the primary and — warm-start — into each cache. *)
+
+type config = {
+  locations : Net.Location.t list; (** Near-user deployment locations. *)
+  server : Server.config;
+  invoke_overhead : float;
+  frw_overhead : float;
+  overlap : bool; (** Disable to ablate speculation/LVI overlap. *)
+  warm_caches : bool;
+      (** Pre-populate near-user caches with the seed data (the paper's
+          persistent caches); [false] exercises gradual bootstrap. *)
+  cache_latency : float;
+      (** Per-access latency of the near-user cache. The default 6.0 ms
+          models the paper's DynamoDB-as-cache evaluation setup (§5.2);
+          lower it to model ScyllaDB or in-memory caches (§5.7). *)
+}
+
+val default_config : config
+(** The paper's evaluation setup: the five user locations, singleton
+    server in VA, 12 ms invoke overhead, warm caches. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?schema:Fdsl.Typecheck.schema ->
+  net:Net.Transport.t ->
+  funcs:Fdsl.Ast.func list ->
+  data:(string * Dval.t) list ->
+  unit ->
+  t
+(** Must run inside the engine. Raises [Invalid_argument] if any
+    function fails determinism validation (unanalyzable functions are
+    fine — they fall back to near-storage execution), or fails the
+    gradual typecheck when a storage [schema] is supplied. *)
+
+val invoke : t -> from:Net.Location.t -> string -> Dval.t list -> Runtime.outcome
+
+val runtime : t -> Net.Location.t -> Runtime.t
+
+val server : t -> Server.t
+
+val primary : t -> Store.Kv.t
+
+val registry : t -> Registry.t
+
+val register_external :
+  t -> name:string -> ?latency:float -> (Dval.t -> Dval.t) -> unit
+(** Register an external service (§3.5) available to every execution
+    path; calls are idempotency-keyed per execution so a function
+    running twice invokes the provider at most once. *)
+
+val external_services : t -> Extsvc.t
+
+val record_history : t -> unit
+(** Start recording every invocation (all sites) for linearizability
+    checking. *)
+
+val history : t -> Lincheck.op list
+(** Recorded operations, oldest first. *)
+
+val stop : t -> unit
+(** Tear down background machinery (replicated server's Raft cluster). *)

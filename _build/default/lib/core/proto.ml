@@ -1,0 +1,37 @@
+type exec_id = string
+
+type lvi_request = {
+  exec_id : exec_id;
+  fn_name : string;
+  args : Dval.t list;
+  reads : (string * int) list;
+  writes : string list;
+  from_loc : Net.Location.t;
+}
+
+type update = { up_key : string; up_value : Dval.t; up_version : int }
+
+type exec_result = {
+  value : (Dval.t, string) result;
+  observed : (string * Dval.t) list;
+  written : (string * Dval.t) list;
+}
+
+type lvi_response =
+  | Validated of { write_versions : (string * int) list }
+  | Mismatch of { backup : exec_result; updates : update list }
+
+type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
+
+type exec_request = {
+  dx_exec_id : exec_id;
+  dx_fn_name : string;
+  dx_args : Dval.t list;
+}
+
+let pp_response fmt = function
+  | Validated { write_versions } ->
+      Format.fprintf fmt "Validated(%d write versions)"
+        (List.length write_versions)
+  | Mismatch { updates; _ } ->
+      Format.fprintf fmt "Mismatch(%d updates)" (List.length updates)

@@ -1,0 +1,60 @@
+(** Wire types of the LVI protocol (§3.2, Figure 3).
+
+    One {!lvi_request} per function invocation carries the predicted
+    read/write set and the cache's version for every read. The response
+    either blesses the speculation ([Validated]) or carries the result
+    of the near-storage backup execution plus fresh cache material
+    ([Mismatch]). The {!followup} ships the speculative writes after the
+    client reply. *)
+
+type exec_id = string
+
+type lvi_request = {
+  exec_id : exec_id;
+  fn_name : string;
+  args : Dval.t list;
+      (** Shipped with the request so the near-storage location can run
+          the backup copy of [f] on the same inputs (Figure 2). *)
+  reads : (string * int) list;
+      (** Read-set keys with the near-user cache's version; [-1] marks a
+          cache miss, which guarantees validation failure (§3.2). *)
+  writes : string list; (** Write-set keys. *)
+  from_loc : Net.Location.t;
+}
+
+type update = { up_key : string; up_value : Dval.t; up_version : int }
+
+type exec_result = {
+  value : (Dval.t, string) result;
+  observed : (string * Dval.t) list;
+      (** Reads the execution performed, with the values it saw —
+          recorded for linearizability checking. *)
+  written : (string * Dval.t) list;
+}
+
+type lvi_response =
+  | Validated of { write_versions : (string * int) list }
+      (** Validation succeeded: every cached version matched primary.
+          [write_versions] are the primary's current versions of the
+          write-set keys, letting the runtime install its own writes in
+          the cache with the exact post-commit versions. *)
+  | Mismatch of {
+      backup : exec_result;
+          (** The function ran in the near-storage location (6b). *)
+      updates : update list;
+          (** Fresh values and versions for the keys found stale plus
+          the keys the backup wrote — the near-user location installs
+          these in its cache (8b). *)
+    }
+
+type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
+
+type exec_request = {
+  dx_exec_id : exec_id;
+  dx_fn_name : string;
+  dx_args : Dval.t list;
+}
+(** Direct near-storage execution, used when the analyzer failed and for
+    the primary-datacenter baseline. *)
+
+val pp_response : Format.formatter -> lvi_response -> unit

@@ -1,0 +1,61 @@
+type entry = {
+  func : Fdsl.Ast.func;
+  modul : Wasm.Wmodule.t;
+  derived : Analyzer.Derive.t option;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let register t (f : Fdsl.Ast.func) =
+  if Hashtbl.mem t f.fn_name then
+    Error (Printf.sprintf "%s: already registered" f.fn_name)
+  else
+    match Fdsl.Compile.compile f with
+    | exception Fdsl.Compile.Unsupported reason ->
+        Error (Printf.sprintf "%s: %s" f.fn_name reason)
+    | modul -> (
+        match Wasm.Validate.check_all modul with
+        | Error e ->
+            Error
+              (Format.asprintf "%s: determinism validation failed: %a"
+                 f.fn_name Wasm.Validate.pp_error e)
+        | Ok () ->
+            let derived =
+              match Analyzer.Derive.derive f with
+              | Ok d -> Some d
+              | Error _ -> None
+            in
+            let entry = { func = f; modul; derived } in
+            Hashtbl.replace t f.fn_name entry;
+            Ok entry)
+
+let register_manual t (f : Fdsl.Ast.func) ~rw_func =
+  if Hashtbl.mem t f.fn_name then
+    Error (Printf.sprintf "%s: already registered" f.fn_name)
+  else
+    match Fdsl.Compile.compile f with
+    | exception Fdsl.Compile.Unsupported reason ->
+        Error (Printf.sprintf "%s: %s" f.fn_name reason)
+    | modul -> (
+        match Wasm.Validate.check_all modul with
+        | Error e ->
+            Error
+              (Format.asprintf "%s: determinism validation failed: %a"
+                 f.fn_name Wasm.Validate.pp_error e)
+        | Ok () -> (
+            match Analyzer.Derive.manual ~source:f ~rw_func with
+            | exception Invalid_argument m -> Error m
+            | derived ->
+                let entry = { func = f; modul; derived = Some derived } in
+                Hashtbl.replace t f.fn_name entry;
+                Ok entry))
+
+let find t name = Hashtbl.find_opt t name
+
+let names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let analyzable_count t =
+  Hashtbl.fold (fun _ e acc -> if e.derived <> None then acc + 1 else acc) t 0

@@ -1,0 +1,35 @@
+(** Function registration (§3.2 "function registration", §4).
+
+    Registering a function runs the full toolchain: compile the DSL
+    source to the deterministic VM, validate the module (rejecting
+    nondeterministic imports — the paper's WasmTime configuration), and
+    run the static analyzer to derive [f^rw]. Analysis failure is not
+    fatal — the function is registered without a derived [f^rw] and
+    every invocation falls back to near-storage execution (§3.3
+    "Failure case"); a determinism violation is fatal. *)
+
+type entry = {
+  func : Fdsl.Ast.func;
+  modul : Wasm.Wmodule.t; (** Compiled, validated module. *)
+  derived : Analyzer.Derive.t option; (** [None]: unanalyzable. *)
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> Fdsl.Ast.func -> (entry, string) result
+
+val register_manual :
+  t -> Fdsl.Ast.func -> rw_func:Fdsl.Ast.func -> (entry, string) result
+(** Register with a developer-provided [f^rw] instead of running the
+    analyzer (§7) — for functions the symbolic execution cannot handle.
+    The function itself still goes through compilation and determinism
+    validation. *)
+
+val find : t -> string -> entry option
+
+val names : t -> string list
+(** Registered function names, sorted. *)
+
+val analyzable_count : t -> int

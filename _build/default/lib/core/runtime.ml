@@ -1,0 +1,258 @@
+open Sim
+module Transport = Net.Transport
+
+let log_src = Logs.Src.create "radical.runtime" ~doc:"Near-user runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  loc : Net.Location.t;
+  invoke_overhead : float;
+  frw_overhead : float;
+  overlap : bool;
+}
+
+let config ?(invoke_overhead = 12.0) ?(frw_overhead = 1.0) ?(overlap = true) loc =
+  { loc; invoke_overhead; frw_overhead; overlap }
+
+type path = Speculative | Backup | Fallback
+
+type outcome = { value : (Dval.t, string) result; latency : float; path : path }
+
+type stats = {
+  invocations : int;
+  speculative : int;
+  backup : int;
+  fallback : int;
+  skipped_speculations : int;
+}
+
+type t = {
+  cfg : config;
+  net : Transport.t;
+  registry : Registry.t;
+  cache : Cache.t;
+  extsvc : Extsvc.t;
+  lvi_svc : (Proto.lvi_request, Proto.lvi_response) Transport.service;
+  fu_svc : (Proto.followup, unit) Transport.service;
+  exec_svc : (Proto.exec_request, Proto.exec_result) Transport.service;
+  mutable next_id : int;
+  mutable recorder : (Lincheck.op -> unit) option;
+  mutable s_invocations : int;
+  mutable s_spec : int;
+  mutable s_backup : int;
+  mutable s_fallback : int;
+  mutable s_skipped : int;
+}
+
+let create ?extsvc ~net ~registry ~cache ~server cfg =
+  {
+    cfg;
+    net;
+    registry;
+    cache;
+    extsvc = (match extsvc with Some e -> e | None -> Extsvc.create ());
+    lvi_svc = Server.lvi_service server;
+    fu_svc = Server.followup_service server;
+    exec_svc = Server.exec_service server;
+    next_id = 0;
+    recorder = None;
+    s_invocations = 0;
+    s_spec = 0;
+    s_backup = 0;
+    s_fallback = 0;
+    s_skipped = 0;
+  }
+
+let set_recorder t r = t.recorder <- Some r
+
+let location t = t.cfg.loc
+
+let cache t = t.cache
+
+let fresh_exec_id t fn =
+  t.next_id <- t.next_id + 1;
+  Printf.sprintf "%s/%s/%d" t.cfg.loc fn t.next_id
+
+let record t ~exec_id ~start ~finish (res : Proto.exec_result) =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+      r
+        {
+          Lincheck.op_id = exec_id;
+          start;
+          finish;
+          reads = res.observed;
+          writes = res.written;
+        }
+
+(* Speculative execution against the near-user cache (Figure 3, 2a).
+   Writes are buffered — Radical delays cache updates until the LVI
+   response arrives (§3.2) — and reads see the buffer first so the
+   execution observes its own writes. *)
+let speculate t ~exec_id (entry : Registry.entry) args :
+    Proto.exec_result Ivar.t =
+  let iv = Ivar.create () in
+  Engine.spawn ~name:"speculate" (fun () ->
+      let observed = ref [] in
+      let buffer = ref [] in
+      let host =
+        {
+          Wasm.Host.external_call = Extsvc.dispatcher t.extsvc ~exec_id;
+          read =
+            (fun k ->
+              match List.assoc_opt k !buffer with
+              | Some v -> v
+              | None ->
+                  let v =
+                    match Cache.get t.cache k with
+                    | Some { value; _ } -> value
+                    | None -> Dval.Unit
+                  in
+                  if not (List.mem_assoc k !observed) then
+                    observed := (k, v) :: !observed;
+                  v);
+          write = (fun k v -> buffer := (k, v) :: List.remove_assoc k !buffer);
+          compute = Engine.sleep;
+        }
+      in
+      let value =
+        Wasm.Interp.run entry.modul ~host ~entry:entry.func.fn_name args
+      in
+      Ivar.fill iv
+        {
+          Proto.value;
+          observed = List.rev !observed;
+          written = List.rev !buffer;
+        });
+  iv
+
+let direct_execute t ~start ~exec_id fn args =
+  t.s_fallback <- t.s_fallback + 1;
+  let res =
+    Transport.call t.net ~from:t.cfg.loc t.exec_svc
+      { Proto.dx_exec_id = exec_id; dx_fn_name = fn; dx_args = args }
+  in
+  let finish = Engine.now () in
+  record t ~exec_id ~start ~finish res;
+  { value = res.value; latency = finish -. start; path = Fallback }
+
+let invoke t fn args =
+  t.s_invocations <- t.s_invocations + 1;
+  let start = Engine.now () in
+  let exec_id = fresh_exec_id t fn in
+  Engine.sleep t.cfg.invoke_overhead;
+  let entry =
+    match Registry.find t.registry fn with
+    | Some e -> e
+    | None -> invalid_arg ("Runtime.invoke: unknown function " ^ fn)
+  in
+  match entry.derived with
+  | None -> direct_execute t ~start ~exec_id fn args
+  | Some { classification = Analyzer.Derive.Expensive; _ } ->
+      (* §3.3 "Failure case": an f^rw that must do the function's own
+         expensive computation runs in series with f and would erase the
+         benefit — such functions always run near storage. *)
+      direct_execute t ~start ~exec_id fn args
+  | Some derived -> (
+      (* (1) Run f^rw to predict the read/write set. Dependent reads hit
+         the cache (paying its latency); an analysis-time [Compute] kept
+         in an expensive f^rw burns virtual CPU. *)
+      Engine.sleep t.cfg.frw_overhead;
+      let cache_read k =
+        match Cache.get t.cache k with
+        | Some { value; _ } -> value
+        | None -> Dval.Unit
+      in
+      match
+        Analyzer.Derive.predict derived ~read:cache_read ~compute:Engine.sleep
+          args
+      with
+      | exception Fdsl.Eval.Error _ -> direct_execute t ~start ~exec_id fn args
+      | rwset ->
+          let reads =
+            List.map (fun k -> (k, Cache.version_of t.cache k)) rwset.reads
+          in
+          let misses = List.exists (fun (_, v) -> v = -1) reads in
+          (* (2a) Speculate unless a miss makes failure certain (§3.2).
+             With overlap disabled (ablation), execution is deferred
+             until the LVI response arrives. *)
+          let spec =
+            if misses || not t.cfg.overlap then None
+            else Some (speculate t ~exec_id entry args)
+          in
+          if misses then t.s_skipped <- t.s_skipped + 1;
+          (* (2b) The single LVI request, concurrent with speculation. *)
+          let response =
+            Transport.call t.net ~from:t.cfg.loc t.lvi_svc
+              {
+                Proto.exec_id;
+                fn_name = fn;
+                args;
+                reads;
+                writes = rwset.writes;
+                from_loc = t.cfg.loc;
+              }
+          in
+          let spec =
+            match (response, spec) with
+            | Proto.Validated _, None when (not t.cfg.overlap) && not misses ->
+                (* Ablation: execution starts only after validation, so
+                   the LVI latency is fully exposed. *)
+                Some (speculate t ~exec_id entry args)
+            | _ -> spec
+          in
+          (match (response, spec) with
+          | Proto.Validated { write_versions }, Some spec_iv ->
+              t.s_spec <- t.s_spec + 1;
+              Log.debug (fun m -> m "%s validated; releasing speculation" exec_id);
+              let spec_result = Ivar.read spec_iv in
+              let finish = Engine.now () in
+              record t ~exec_id ~start ~finish spec_result;
+              (* (7a) Reply to the client, then (8a) update the cache and
+                 send the write followup. *)
+              let outcome =
+                {
+                  value = spec_result.value;
+                  latency = finish -. start;
+                  path = Speculative;
+                }
+              in
+              if spec_result.written <> [] then begin
+                List.iter
+                  (fun (k, v) ->
+                    let base =
+                      Option.value ~default:0 (List.assoc_opt k write_versions)
+                    in
+                    Cache.update t.cache k v ~version:(base + 1))
+                  spec_result.written;
+                Transport.post t.net ~from:t.cfg.loc t.fu_svc
+                  { Proto.fu_exec_id = exec_id; fu_updates = spec_result.written }
+              end;
+              outcome
+          | Proto.Validated _, None ->
+              (* Unreachable: a cache miss forces validation failure. *)
+              assert false
+          | Proto.Mismatch { backup; updates }, _ ->
+              t.s_backup <- t.s_backup + 1;
+              Log.debug (fun m ->
+                  m "%s mismatched; %d cache repairs" exec_id
+                    (List.length updates));
+              (* (8b) Install fresh values, return the backup result. *)
+              List.iter
+                (fun { Proto.up_key; up_value; up_version } ->
+                  Cache.update t.cache up_key up_value ~version:up_version)
+                updates;
+              let finish = Engine.now () in
+              record t ~exec_id ~start ~finish backup;
+              { value = backup.value; latency = finish -. start; path = Backup }))
+
+let stats t =
+  {
+    invocations = t.s_invocations;
+    speculative = t.s_spec;
+    backup = t.s_backup;
+    fallback = t.s_fallback;
+    skipped_speculations = t.s_skipped;
+  }

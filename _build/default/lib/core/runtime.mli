@@ -1,0 +1,72 @@
+(** The near-user runtime (§3.1, Figure 2).
+
+    For each invocation it runs [f^rw] to predict the read/write set,
+    speculatively executes the function against the local cache while
+    the single LVI request is in flight, and reconciles: a validated
+    speculation is released to the client and its writes follow up to
+    the near-storage location *after* the reply; a mismatch discards the
+    speculation and returns the backup result, refreshing the cache.
+
+    A recorder hook captures one {!Lincheck.op} per invocation so tests
+    can verify Linearizability of whole histories. *)
+
+type config = {
+  loc : Net.Location.t;
+  invoke_overhead : float;
+      (** Lambda instantiation + WASM blob load (§5.5 items 1–2);
+          the paper measures ~12 ms. *)
+  frw_overhead : float;
+      (** Base CPU cost of running [f^rw] (§5.5 item 3); dependent
+          reads additionally pay cache latency. *)
+  overlap : bool;
+      (** Overlap speculation with the LVI request (the paper's design).
+          [false] serializes them — the speculation-ablation bench. *)
+}
+
+val config :
+  ?invoke_overhead:float -> ?frw_overhead:float -> ?overlap:bool ->
+  Net.Location.t -> config
+
+type path =
+  | Speculative (** Validation succeeded; the speculative result was used. *)
+  | Backup (** Validation failed; the near-storage result was used. *)
+  | Fallback (** No [f^rw]; ran near storage unconditionally. *)
+
+type outcome = {
+  value : (Dval.t, string) result;
+  latency : float;
+  path : path;
+}
+
+type t
+
+type stats = {
+  invocations : int;
+  speculative : int;
+  backup : int;
+  fallback : int;
+  skipped_speculations : int; (** Cache misses suppressed speculation. *)
+}
+
+val create :
+  ?extsvc:Extsvc.t ->
+  net:Net.Transport.t ->
+  registry:Registry.t ->
+  cache:Cache.t ->
+  server:Server.t ->
+  config ->
+  t
+(** [extsvc] must be the same registry as the server's so speculation
+    and re-execution share idempotency records (§3.5). *)
+
+val invoke : t -> string -> Dval.t list -> outcome
+(** Blocking; must run inside a fiber. Raises [Invalid_argument] for an
+    unregistered function name. *)
+
+val set_recorder : t -> (Lincheck.op -> unit) -> unit
+
+val stats : t -> stats
+
+val location : t -> Net.Location.t
+
+val cache : t -> Cache.t

@@ -1,0 +1,471 @@
+open Sim
+module Transport = Net.Transport
+module Kv = Store.Kv
+module Locks = Store.Locks
+module Intents = Store.Intents
+module RaftLocks = Raft_locks
+
+let log_src = Logs.Src.create "radical.server" ~doc:"LVI server events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Singleton | Replicated of { az_rtt : float }
+
+type config = {
+  loc : Net.Location.t;
+  intent_timeout : float;
+  adaptive_timeout : bool;
+  mode : mode;
+}
+
+let default_config =
+  {
+    loc = Net.Location.near_storage;
+    intent_timeout = 1500.0;
+    adaptive_timeout = true;
+    mode = Singleton;
+  }
+
+type stats = {
+  requests : int;
+  validated : int;
+  mismatched : int;
+  followups_applied : int;
+  followups_discarded : int;
+  reexecutions : int;
+  direct_executions : int;
+}
+
+type repl = {
+  cluster : RaftLocks.cluster;
+  idempotency : Store.Idempotency.t;
+}
+
+type pending = {
+  p_req : Proto.lvi_request;
+  p_timer : Timer.t;
+  p_created : float;
+}
+
+type t = {
+  config : config;
+  net : Transport.t;
+  registry : Registry.t;
+  kv : Kv.t;
+  extsvc : Extsvc.t;
+  locks : Locks.t;
+  intents : Intents.t;
+  (* The request that created each intent, persisted in the same storage
+     item as the intent record (§3.4 needs the function and inputs to
+     re-execute after a failure). Unlike [pending] below, this survives a
+     server restart. *)
+  durable_reqs : (string, Proto.lvi_request) Hashtbl.t;
+  (* Observed intent-to-followup delays per function, driving the
+     adaptive intent timer (§3.4: "a timer longer than the expected
+     execution latency of the function"). *)
+  followup_delay : (string, float) Hashtbl.t;
+  repl : repl option;
+  pending : (string, pending) Hashtbl.t; (* volatile: timers, lost on crash *)
+  mutable owners : int;
+  mutable s_requests : int;
+  mutable s_validated : int;
+  mutable s_mismatched : int;
+  mutable s_fu_applied : int;
+  mutable s_fu_discarded : int;
+  mutable s_reexec : int;
+  mutable s_direct : int;
+  mutable lvi_svc :
+    (Proto.lvi_request, Proto.lvi_response) Transport.service option;
+  mutable fu_svc : (Proto.followup, unit) Transport.service option;
+  mutable exec_svc :
+    (Proto.exec_request, Proto.exec_result) Transport.service option;
+}
+
+(* --- Replicated-mode persistence (§5.6) ---------------------------- *)
+
+(* Lock records travel through Raft one by one ("our implementation of
+   the replicated server acquires all locks in series"). *)
+let persist_locks t ~exec_id keys =
+  match t.repl with
+  | None -> ()
+  | Some { cluster; _ } ->
+      List.iter
+        (fun key ->
+          ignore
+            (RaftLocks.submit cluster (Raft.Kvsm.Set ("lock:" ^ key, exec_id))))
+        keys
+
+let persist_unlocks t keys =
+  match t.repl with
+  | None -> ()
+  | Some { cluster; _ } ->
+      (* Off the critical path: the response does not wait for these. *)
+      Engine.spawn ~name:"unlock-persist" (fun () ->
+          List.iter
+            (fun key ->
+              ignore (RaftLocks.submit cluster (Raft.Kvsm.Del ("lock:" ^ key))))
+            keys)
+
+(* Returns false if the execution was already claimed: at-most-once near
+   storage. Singleton mode always allows. *)
+let claim_execution t ~exec_id =
+  match t.repl with
+  | None -> true
+  | Some { idempotency; _ } -> Store.Idempotency.register idempotency ~exec_id
+
+let register_invocation t ~exec_id =
+  match t.repl with
+  | None -> ()
+  | Some { idempotency; _ } ->
+      ignore (Store.Idempotency.register idempotency ~exec_id:("inv:" ^ exec_id))
+
+(* --- Execution against primary storage ----------------------------- *)
+
+let execute_on_primary t ~exec_id (entry : Registry.entry) args :
+    Proto.exec_result =
+  Execute.on_kv
+    ~external_call:(Extsvc.dispatcher t.extsvc ~exec_id)
+    entry ~kv:t.kv args
+
+let release t ~owner keys =
+  Locks.release t.locks ~owner;
+  t.owners <- t.owners - 1;
+  persist_unlocks t keys
+
+let acquire t ~owner lock_list =
+  Locks.acquire t.locks ~owner lock_list;
+  t.owners <- t.owners + 1;
+  persist_locks t ~exec_id:owner (List.map fst lock_list)
+
+let lock_list_of rwset =
+  List.map
+    (fun (k, m) -> (k, match m with `R -> Locks.Read | `W -> Locks.Write))
+    (Analyzer.Rwset.lock_modes rwset)
+
+(* Backup execution for a function whose validation failed. Static
+   functions have an exact predicted set, so they run under the locks
+   already held. Dependent functions may have mispredicted from a stale
+   cache: re-predict against the primary (now coherent), re-lock the
+   corrected set, and confirm the prediction is stable under those locks
+   before executing. *)
+let backup_execute t (entry : Registry.entry) (req : Proto.lvi_request)
+    ~held_keys =
+  let exec_id = req.exec_id in
+  match entry.derived with
+  | Some d
+    when (match d.classification with
+         | Analyzer.Derive.Dependent _ | Analyzer.Derive.Manual -> true
+         | Analyzer.Derive.Static | Analyzer.Derive.Expensive -> false) ->
+      release t ~owner:exec_id held_keys;
+      let predict_with reader =
+        Analyzer.Derive.predict d ~read:reader ~compute:ignore req.args
+      in
+      let charged_read k =
+        match Kv.get t.kv k with Some { value; _ } -> value | None -> Dval.Unit
+      in
+      let free_read k =
+        match Kv.peek t.kv k with Some { value; _ } -> value | None -> Dval.Unit
+      in
+      let rec settle attempt =
+        match predict_with charged_read with
+        | exception Fdsl.Eval.Error _ ->
+            (* The residual program faulted on current primary data
+               (shape drift); fall back to an unlocked execution rather
+               than stranding the client. *)
+            execute_on_primary t ~exec_id entry req.args
+        | rwset ->
+            let owner = Printf.sprintf "%s#%d" exec_id attempt in
+            acquire t ~owner (lock_list_of rwset);
+            let stable =
+              match predict_with free_read with
+              | rwset' -> Analyzer.Rwset.equal rwset rwset'
+              | exception Fdsl.Eval.Error _ -> false
+            in
+            if stable || attempt >= 3 then begin
+              let result = execute_on_primary t ~exec_id entry req.args in
+              release t ~owner (Analyzer.Rwset.all_keys rwset);
+              result
+            end
+            else begin
+              release t ~owner (Analyzer.Rwset.all_keys rwset);
+              settle (attempt + 1)
+            end
+      in
+      settle 1
+  | Some _ | None ->
+      let result = execute_on_primary t ~exec_id entry req.args in
+      release t ~owner:exec_id held_keys;
+      result
+
+(* --- LVI request handling (Figure 3, steps 4-6) -------------------- *)
+
+let apply_updates t updates =
+  ignore (Kv.put_many t.kv updates)
+
+let fresh_updates t keys =
+  List.map
+    (fun (k, vo) ->
+      match (vo : Kv.versioned option) with
+      | Some { value; version } ->
+          { Proto.up_key = k; up_value = value; up_version = version }
+      | None -> { Proto.up_key = k; up_value = Dval.Unit; up_version = 0 })
+    (Kv.get_many t.kv keys)
+
+(* Resolve an intent whose followup never arrived: deterministic
+   re-execution (§3.4). Read locks kept the read set frozen, so the
+   replay sees exactly the state the speculation saw and reproduces its
+   writes. Shared by the intent timer and by post-restart recovery. *)
+let resolve_orphaned_intent t (req : Proto.lvi_request) =
+  let exec_id = req.exec_id in
+  Log.info (fun m -> m "intent %s orphaned; deterministic re-execution" exec_id);
+  if Intents.try_complete t.intents ~exec_id then begin
+    if claim_execution t ~exec_id:("ns:" ^ exec_id) then begin
+      t.s_reexec <- t.s_reexec + 1;
+      match Registry.find t.registry req.fn_name with
+      | Some entry -> ignore (execute_on_primary t ~exec_id entry req.args)
+      | None -> ()
+    end
+  end;
+  Intents.remove t.intents ~exec_id;
+  Hashtbl.remove t.durable_reqs exec_id;
+  release t ~owner:exec_id (List.map fst req.reads @ req.writes)
+
+(* Exponentially-weighted expected followup delay for a function; the
+   timer fires at 4x the expectation (bounded below by 200 ms and above
+   by the configured ceiling) so transient jitter does not trigger
+   spurious re-executions, while fast functions recover quickly. *)
+let intent_timeout_for t fn_name =
+  if not t.config.adaptive_timeout then t.config.intent_timeout
+  else
+    match Hashtbl.find_opt t.followup_delay fn_name with
+    | Some avg ->
+        Float.min t.config.intent_timeout (Float.max 200.0 (4.0 *. avg))
+    | None -> t.config.intent_timeout
+
+let observe_followup_delay t fn_name delay =
+  let avg =
+    match Hashtbl.find_opt t.followup_delay fn_name with
+    | Some avg -> (0.8 *. avg) +. (0.2 *. delay)
+    | None -> delay
+  in
+  Hashtbl.replace t.followup_delay fn_name avg
+
+let start_intent_timer t (req : Proto.lvi_request) =
+  let exec_id = req.exec_id in
+  let timer =
+    Timer.after (intent_timeout_for t req.fn_name) (fun () ->
+        match Hashtbl.find_opt t.pending exec_id with
+        | None -> ()
+        | Some _ ->
+            Hashtbl.remove t.pending exec_id;
+            resolve_orphaned_intent t req)
+  in
+  Hashtbl.replace t.pending exec_id
+    { p_req = req; p_timer = timer; p_created = Engine.now () }
+
+let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
+  t.s_requests <- t.s_requests + 1;
+  let exec_id = req.exec_id in
+  register_invocation t ~exec_id;
+  (* Write locks dominate for keys that are both read and written; the
+     read is still validated below. *)
+  let lock_list =
+    List.map (fun k -> (k, Locks.Write)) req.writes
+    @ List.filter_map
+        (fun (k, _) ->
+          if List.mem k req.writes then None else Some (k, Locks.Read))
+        req.reads
+  in
+  acquire t ~owner:exec_id lock_list;
+  let all_keys = List.map fst lock_list in
+  let versions = Kv.versions_of t.kv all_keys in
+  let version_of k = Option.value ~default:0 (List.assoc_opt k versions) in
+  let stale =
+    List.filter_map
+      (fun (k, cached) -> if version_of k <> cached then Some k else None)
+      req.reads
+  in
+  Log.debug (fun m ->
+      m "LVI %s: %d reads, %d writes, stale=[%s]" exec_id
+        (List.length req.reads) (List.length req.writes)
+        (String.concat "," stale));
+  if stale = [] then begin
+    t.s_validated <- t.s_validated + 1;
+    if req.writes = [] then begin
+      release t ~owner:exec_id all_keys;
+      Proto.Validated { write_versions = [] }
+    end
+    else begin
+      Intents.put t.intents ~exec_id;
+      Hashtbl.replace t.durable_reqs exec_id req;
+      start_intent_timer t req;
+      Proto.Validated
+        { write_versions = List.map (fun k -> (k, version_of k)) req.writes }
+    end
+  end
+  else begin
+    t.s_mismatched <- t.s_mismatched + 1;
+    match Registry.find t.registry req.fn_name with
+    | None ->
+        release t ~owner:exec_id all_keys;
+        Proto.Mismatch
+          {
+            backup =
+              {
+                value = Error ("unknown function " ^ req.fn_name);
+                observed = [];
+                written = [];
+              };
+            updates = [];
+          }
+    | Some entry ->
+        let backup = backup_execute t entry req ~held_keys:all_keys in
+        let refresh_keys =
+          List.sort_uniq String.compare
+            (stale @ List.map fst backup.written)
+        in
+        Proto.Mismatch { backup; updates = fresh_updates t refresh_keys }
+  end
+
+(* Figure 3 steps 8a-10: apply the speculative writes carried by the
+   followup, unless re-execution already handled the intent. *)
+let handle_followup t (fu : Proto.followup) =
+  let exec_id = fu.fu_exec_id in
+  match Hashtbl.find_opt t.pending exec_id with
+  | None -> t.s_fu_discarded <- t.s_fu_discarded + 1
+  | Some { p_req; p_timer; p_created } ->
+      Hashtbl.remove t.pending exec_id;
+      Timer.cancel p_timer;
+      observe_followup_delay t p_req.fn_name (Engine.now () -. p_created);
+      if Intents.try_complete t.intents ~exec_id then begin
+        t.s_fu_applied <- t.s_fu_applied + 1;
+        Log.debug (fun m ->
+            m "followup %s: applying %d writes" exec_id
+              (List.length fu.fu_updates));
+        apply_updates t fu.fu_updates
+      end
+      else begin
+        t.s_fu_discarded <- t.s_fu_discarded + 1;
+        Log.info (fun m -> m "followup %s discarded (already handled)" exec_id)
+      end;
+      Intents.remove t.intents ~exec_id;
+      Hashtbl.remove t.durable_reqs exec_id;
+      release t ~owner:exec_id (List.map fst p_req.reads @ p_req.writes)
+
+let handle_exec t (req : Proto.exec_request) : Proto.exec_result =
+  t.s_direct <- t.s_direct + 1;
+  match Registry.find t.registry req.dx_fn_name with
+  | None ->
+      {
+        value = Error ("unknown function " ^ req.dx_fn_name);
+        observed = [];
+        written = [];
+      }
+  | Some entry -> execute_on_primary t ~exec_id:req.dx_exec_id entry req.dx_args
+
+(* --- Construction --------------------------------------------------- *)
+
+let create ?extsvc ~net ~registry ~kv config =
+  let extsvc = match extsvc with Some e -> e | None -> Extsvc.create () in
+  let repl =
+    match config.mode with
+    | Singleton -> None
+    | Replicated { az_rtt } ->
+        let azs = [ "AZ-a"; "AZ-b"; "AZ-c" ] in
+        let raft_net =
+          Transport.create
+            ~rtt:(fun a b -> if String.equal a b then 0.3 else az_rtt)
+            ~jitter_sigma:0.02
+            ~rng:(Rng.split (Engine.rng ()))
+            ()
+        in
+        let cluster =
+          (* Compact the lock log regularly: every acquisition appends an
+             entry, so long runs would otherwise grow it unboundedly. *)
+          RaftLocks.create ~net:raft_net ~locs:azs ~sm:Raft.Kvsm.create
+            ~election_timeout:(50.0, 100.0) ~heartbeat_interval:15.0
+            ~rpc_timeout:20.0 ~compaction_threshold:256 ()
+        in
+        Some { cluster; idempotency = Store.Idempotency.create () }
+  in
+  let t =
+    {
+      config;
+      net;
+      registry;
+      kv;
+      extsvc;
+      locks = Locks.create ();
+      intents = Intents.create ();
+      durable_reqs = Hashtbl.create 64;
+      followup_delay = Hashtbl.create 16;
+      repl;
+      pending = Hashtbl.create 64;
+      owners = 0;
+      s_requests = 0;
+      s_validated = 0;
+      s_mismatched = 0;
+      s_fu_applied = 0;
+      s_fu_discarded = 0;
+      s_reexec = 0;
+      s_direct = 0;
+      lvi_svc = None;
+      fu_svc = None;
+      exec_svc = None;
+    }
+  in
+  t.lvi_svc <-
+    Some (Transport.serve net ~loc:config.loc ~name:"lvi" (handle_lvi t));
+  t.fu_svc <-
+    Some (Transport.serve net ~loc:config.loc ~name:"followup" (handle_followup t));
+  t.exec_svc <-
+    Some (Transport.serve net ~loc:config.loc ~name:"exec" (handle_exec t));
+  t
+
+let lvi_service t = Option.get t.lvi_svc
+
+let followup_service t = Option.get t.fu_svc
+
+let exec_service t = Option.get t.exec_svc
+
+let stats t =
+  {
+    requests = t.s_requests;
+    validated = t.s_validated;
+    mismatched = t.s_mismatched;
+    followups_applied = t.s_fu_applied;
+    followups_discarded = t.s_fu_discarded;
+    reexecutions = t.s_reexec;
+    direct_executions = t.s_direct;
+  }
+
+let locks_held t = t.owners
+
+let pending_intents t = Intents.pending_count t.intents
+
+(* Simulate a restart of the LVI server process at a quiescent instant:
+   volatile state (intent timers and the pending table) is lost; the
+   intent records, their request payloads, and the lock table (persisted
+   to disk, §4) survive. Recovery resolves every orphaned pending intent
+   by deterministic re-execution, releasing its locks. Followups that
+   arrive afterwards find their intent completed and are discarded. *)
+let restart_recover t =
+  Log.info (fun m ->
+      m "server restart: recovering %d pending intent(s)"
+        (Hashtbl.length t.pending));
+  Hashtbl.iter (fun _ { p_timer; _ } -> Timer.cancel p_timer) t.pending;
+  Hashtbl.reset t.pending;
+  let orphans = Hashtbl.fold (fun _ req acc -> req :: acc) t.durable_reqs [] in
+  List.iter
+    (fun (req : Proto.lvi_request) ->
+      if Intents.peek t.intents ~exec_id:req.exec_id = Some Intents.Pending then
+        resolve_orphaned_intent t req)
+    orphans
+
+let raft_cluster t =
+  match t.repl with None -> None | Some { cluster; _ } -> Some cluster
+
+let stop t =
+  match t.repl with
+  | None -> ()
+  | Some { cluster; _ } -> RaftLocks.stop cluster

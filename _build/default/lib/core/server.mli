@@ -1,0 +1,79 @@
+(** The LVI server (§3.2, §3.6, §5.6) running in the near-storage
+    location.
+
+    Handles LVI requests — lock, validate, set up write intents — plus
+    write followups, intent-timer expiry with deterministic re-execution
+    (§3.4), and direct execution requests for unanalyzable functions.
+
+    Two deployments:
+    - {b Singleton} (the paper's main evaluation): the lock table lives
+      in server memory, costing no extra latency.
+    - {b Replicated} (§5.6): every lock record and an idempotency key
+      per invocation are persisted through a three-node Raft cluster
+      (the etcd role), adding ≈ [3 + 2.3·L] ms to LVI processing; the
+      idempotency key guarantees at-most-once near-storage execution. *)
+
+type mode = Singleton | Replicated of { az_rtt : float }
+
+type config = {
+  loc : Net.Location.t;
+  intent_timeout : float;
+      (** Ceiling (virtual ms) before an unanswered write intent
+          triggers deterministic re-execution. *)
+  adaptive_timeout : bool;
+      (** Scale each function's timer to 4× its observed followup delay
+          (EWMA), bounded by [200, intent_timeout] — §3.4's "timer
+          longer than the expected execution latency of the function".
+          Until a function has history, the ceiling applies. *)
+  mode : mode;
+}
+
+val default_config : config
+(** VA, 1500 ms ceiling with adaptive per-function timers, singleton. *)
+
+type t
+
+type stats = {
+  requests : int;
+  validated : int; (** Requests whose validation step succeeded. *)
+  mismatched : int;
+  followups_applied : int;
+  followups_discarded : int; (** Late followups (§3.6 case 3). *)
+  reexecutions : int; (** Intent timers that fired and replayed. *)
+  direct_executions : int;
+}
+
+val create :
+  ?extsvc:Extsvc.t ->
+  net:Net.Transport.t -> registry:Registry.t -> kv:Store.Kv.t -> config -> t
+(** [extsvc] is the external-service registry used by backup execution
+    and deterministic re-execution (§3.5); defaults to an empty one. *)
+
+val lvi_service : t -> (Proto.lvi_request, Proto.lvi_response) Net.Transport.service
+
+val followup_service : t -> (Proto.followup, unit) Net.Transport.service
+
+val exec_service : t -> (Proto.exec_request, Proto.exec_result) Net.Transport.service
+
+val stats : t -> stats
+
+val locks_held : t -> int
+(** Owners currently holding locks — 0 at quiescence. *)
+
+val pending_intents : t -> int
+
+val restart_recover : t -> unit
+(** Simulate an LVI-server restart at a quiescent instant: in-memory
+    intent timers are gone, but the intent records (with the function
+    and inputs needed for re-execution) and the disk-persisted lock
+    table survive (§3.4, §4). Every orphaned pending intent is resolved
+    by deterministic re-execution and its locks released; followups
+    arriving later are discarded as duplicates. *)
+
+val raft_cluster : t -> Raft_locks.cluster option
+(** The replicated server's lock cluster ([None] for a singleton) —
+    exposed so tests can crash and restart its nodes. *)
+
+val stop : t -> unit
+(** Shut down the Raft cluster of a replicated server (no-op for a
+    singleton). Required for the simulation to reach quiescence. *)

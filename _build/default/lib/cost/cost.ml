@@ -1,0 +1,44 @@
+type params = {
+  dynamodb_monthly : float;
+  cache_instance_monthly : float;
+  n_cache_locations : int;
+  lvi_server_monthly : float;
+  lambda_cost_per_invocation : float;
+  validation_failure_rate : float;
+}
+
+let defaults =
+  {
+    dynamodb_monthly = 1077.36;
+    cache_instance_monthly = 34.0;
+    n_cache_locations = 5;
+    lvi_server_monthly = 166.0;
+    lambda_cost_per_invocation = 2.87 /. 1_000_000.0;
+    validation_failure_rate = 0.05;
+  }
+
+type breakdown = {
+  invocations_per_month : float;
+  baseline_total : float;
+  radical_total : float;
+  overhead_ratio : float;
+}
+
+let infrastructure_baseline p = p.dynamodb_monthly
+
+let infrastructure_radical p =
+  p.dynamodb_monthly
+  +. (p.cache_instance_monthly *. float_of_int p.n_cache_locations)
+  +. p.lvi_server_monthly
+
+let at_scale p ~invocations_per_month =
+  let lambda = invocations_per_month *. p.lambda_cost_per_invocation in
+  let reexec = lambda *. p.validation_failure_rate in
+  let baseline_total = infrastructure_baseline p +. lambda in
+  let radical_total = infrastructure_radical p +. lambda +. reexec in
+  {
+    invocations_per_month;
+    baseline_total;
+    radical_total;
+    overhead_ratio = radical_total /. baseline_total;
+  }

@@ -1,0 +1,38 @@
+(** The §5.7 infrastructure-cost model.
+
+    Reproduces the paper's arithmetic exactly: a DynamoDB instance
+    provisioned for 50k reads/s and 500 writes/s costs $1077.36/month;
+    Radical adds per-location ScyllaDB caches ($34 × 5 = $170/month) and
+    the LVI server ($166/month); validation failures re-run ~5%% of
+    invocations near storage at Lambda prices. *)
+
+type params = {
+  dynamodb_monthly : float;
+  cache_instance_monthly : float; (** One m6g.large ScyllaDB node. *)
+  n_cache_locations : int;
+  lvi_server_monthly : float;
+  lambda_cost_per_invocation : float;
+      (** 100 ms @ 2 GB, derived from the paper's $2.87 per million. *)
+  validation_failure_rate : float;
+}
+
+val defaults : params
+(** The paper's numbers: $1077.36, $34 × 5, $166, $2.87/M, 5%. *)
+
+type breakdown = {
+  invocations_per_month : float;
+  baseline_total : float;
+  radical_total : float;
+  overhead_ratio : float; (** radical / baseline. *)
+}
+
+val infrastructure_baseline : params -> float
+(** Monthly cost of the primary-datacenter deployment, excluding
+    function invocations ($1077.36). *)
+
+val infrastructure_radical : params -> float
+(** $1077.36 + $170 + $166 = $1413.36, a 31%% increase. *)
+
+val at_scale : params -> invocations_per_month:float -> breakdown
+(** Total monthly cost including function executions and Radical's
+    ~5%% re-executions, at a given invocation volume. *)

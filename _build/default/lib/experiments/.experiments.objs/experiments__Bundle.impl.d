@@ -1,0 +1,1 @@
+lib/experiments/bundle.ml: Apps Dval Fdsl List Printf Sim

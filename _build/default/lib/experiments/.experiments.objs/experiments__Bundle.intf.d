@@ -1,0 +1,1 @@
+lib/experiments/bundle.mli: Dval Fdsl Sim

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Analyzer Apps Array Bundle Cost Dval Engine Fdsl Hashtbl List Metrics Net Option Printf Radical Rng Runner Sim Store Workload

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Bundle Engine List Metrics Net Radical Result Rng Sim String Workload

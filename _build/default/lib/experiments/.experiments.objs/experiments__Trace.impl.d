@@ -1,0 +1,1 @@
+lib/experiments/trace.ml: Bundle Dval Engine Fdsl Format In_channel Ivar List Net Out_channel Printf Radical Result Rng Runner Sim String

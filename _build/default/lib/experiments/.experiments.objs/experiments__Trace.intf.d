@@ -1,0 +1,1 @@
+lib/experiments/trace.mli: Bundle Dval Net Runner

@@ -1,0 +1,69 @@
+type app = {
+  name : string;
+  funcs : Fdsl.Ast.func list;
+  schema : Fdsl.Typecheck.schema;
+  seed : Sim.Rng.t -> (string * Dval.t) list;
+  new_gen : unit -> Sim.Rng.t -> string * Dval.t list;
+}
+
+let social =
+  {
+    name = "social";
+    funcs = Apps.Social.functions;
+    schema = Apps.Social.schema;
+    seed = (fun rng -> Apps.Social.seed rng);
+    new_gen =
+      (fun () ->
+        let g = Apps.Social.gen () in
+        fun rng -> Apps.Social.next g rng);
+  }
+
+let hotel =
+  {
+    name = "hotel";
+    funcs = Apps.Hotel.functions;
+    schema = Apps.Hotel.schema;
+    seed = (fun rng -> Apps.Hotel.seed rng);
+    new_gen =
+      (fun () ->
+        let g = Apps.Hotel.gen () in
+        fun rng -> Apps.Hotel.next g rng);
+  }
+
+let forum =
+  {
+    name = "forum";
+    funcs = Apps.Forum.functions;
+    schema = Apps.Forum.schema;
+    seed = (fun rng -> Apps.Forum.seed ~n_posts:2000 rng);
+    new_gen =
+      (fun () ->
+        let g = Apps.Forum.gen ~n_posts:2000 () in
+        fun rng -> Apps.Forum.next g rng);
+  }
+
+let evaluated = [ social; hotel; forum ]
+
+let simple =
+  let open Fdsl.Ast in
+  let n_keys = 200 in
+  {
+    name = "simple";
+    schema = [ ("k:", Fdsl.Types.TStr) ];
+    funcs =
+      [
+        {
+          fn_name = "simple";
+          params = [ "k" ];
+          body = Compute (100.0, Read (Concat [ Str "k:"; Input "k" ]));
+        };
+      ];
+    seed =
+      (fun _ ->
+        List.init n_keys (fun i ->
+            (Printf.sprintf "k:%d" i, Dval.Str (Printf.sprintf "value-%d" i))));
+    new_gen =
+      (fun () ->
+        fun rng ->
+         ("simple", [ Dval.Str (string_of_int (Sim.Rng.int rng n_keys)) ]));
+  }

@@ -1,0 +1,144 @@
+open Sim
+module Transport = Net.Transport
+module Location = Net.Location
+module Framework = Radical.Framework
+
+type system =
+  | Radical
+  | Radical_with of Radical.Framework.config
+  | Central
+  | Local
+  | Geo of Net.Location.t list
+  | Naive_edge
+  | Validate_per_read
+
+let system_name = function
+  | Radical | Radical_with _ -> "radical"
+  | Central -> "central"
+  | Local -> "local"
+  | Geo _ -> "geo"
+  | Naive_edge -> "naive-edge"
+  | Validate_per_read -> "validate-per-read"
+
+type sample = { s_loc : Net.Location.t; s_fn : string; s_latency : float }
+
+type result = {
+  samples : sample list;
+  validation_rate : float option;
+  spec_rate : float option;
+  errors : int;
+}
+
+let run ?(seed = 42) ?(locations = Location.user_locations)
+    ?(clients_per_loc = 10) ?(requests_per_client = 40) ?(jitter = 0.05)
+    ?(think_time = 500.0) system (app : Bundle.app) =
+  let engine = Engine.create ~seed () in
+  let samples = ref [] in
+  let errors = ref 0 in
+  let validation_rate = ref None in
+  let spec_rate = ref None in
+  Engine.run engine (fun () ->
+      let rng = Engine.rng () in
+      let net = Transport.create ~jitter_sigma:jitter ~rng:(Rng.split rng) () in
+      let data = app.seed (Rng.split rng) in
+      let invoke, finish =
+        match system with
+        | Radical | Radical_with _ ->
+            let config =
+              match system with
+              | Radical_with c -> Some { c with locations }
+              | _ -> Some { Framework.default_config with locations }
+            in
+            let fw =
+              Framework.create ?config ~schema:app.schema ~net
+                ~funcs:app.funcs ~data ()
+            in
+            ( (fun ~from fn args ->
+                let o = Framework.invoke fw ~from fn args in
+                (o.latency, Result.is_error o.value)),
+              fun () ->
+                let st = Radical.Server.stats (Framework.server fw) in
+                let checked = st.validated + st.mismatched in
+                if checked > 0 then
+                  validation_rate :=
+                    Some (float_of_int st.validated /. float_of_int checked);
+                let invocations, spec =
+                  List.fold_left
+                    (fun (inv, sp) loc ->
+                      let s = Radical.Runtime.stats (Framework.runtime fw loc) in
+                      (inv + s.invocations, sp + s.speculative))
+                    (0, 0) locations
+                in
+                if invocations > 0 then
+                  spec_rate :=
+                    Some (float_of_int spec /. float_of_int invocations);
+                Framework.stop fw )
+        | Central | Local | Geo _ | Naive_edge | Validate_per_read ->
+            let b =
+              match system with
+              | Central ->
+                  Radical.Baselines.centralized ~net ~funcs:app.funcs ~data ()
+              | Local ->
+                  Radical.Baselines.local ~locations ~funcs:app.funcs ~data ()
+              | Geo replicas ->
+                  Radical.Baselines.geo_replicated ~replicas ~locations
+                    ~funcs:app.funcs ~data ()
+              | Naive_edge ->
+                  Radical.Baselines.naive_edge ~funcs:app.funcs ~data ()
+              | Validate_per_read ->
+                  Radical.Baselines.validate_per_read ~funcs:app.funcs ~data ()
+              | Radical | Radical_with _ -> assert false
+            in
+            ( (fun ~from fn args ->
+                let o = Radical.Baselines.invoke b ~from fn args in
+                (o.latency, Result.is_error o.value)),
+              fun () -> () )
+      in
+      let gen = app.new_gen () in
+      let n_locs = List.length locations in
+      let client_rngs =
+        Array.init (n_locs * clients_per_loc) (fun _ -> Rng.split rng)
+      in
+      Workload.Driver.run_clients ~n:(n_locs * clients_per_loc)
+        ~iterations:requests_per_client ~think_time (fun ~client ~iter:_ ->
+          let from = List.nth locations (client mod n_locs) in
+          let crng = client_rngs.(client) in
+          let fn, args = gen crng in
+          let latency, is_error = invoke ~from fn args in
+          if is_error then incr errors;
+          samples := { s_loc = from; s_fn = fn; s_latency = latency } :: !samples);
+      finish ());
+  {
+    samples = List.rev !samples;
+    validation_rate = !validation_rate;
+    spec_rate = !spec_rate;
+    errors = !errors;
+  }
+
+let stats_of_samples samples =
+  Metrics.Stats.of_list (List.map (fun s -> s.s_latency) samples)
+
+let overall r = stats_of_samples r.samples
+
+let by_fn r =
+  let fns =
+    List.sort_uniq String.compare (List.map (fun s -> s.s_fn) r.samples)
+  in
+  List.map
+    (fun fn ->
+      (fn, stats_of_samples (List.filter (fun s -> s.s_fn = fn) r.samples)))
+    fns
+
+let by_loc r =
+  let present = List.map (fun s -> s.s_loc) r.samples in
+  List.filter_map
+    (fun loc ->
+      if List.mem loc present then
+        Some
+          (loc, stats_of_samples (List.filter (fun s -> s.s_loc = loc) r.samples))
+      else None)
+    Location.user_locations
+
+let median_of r = Metrics.Stats.median (overall r)
+
+let p99_of r = Metrics.Stats.p99 (overall r)

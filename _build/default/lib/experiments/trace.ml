@@ -1,0 +1,169 @@
+open Sim
+module Location = Net.Location
+
+type event = {
+  at : float;
+  from : Net.Location.t;
+  fn : string;
+  args : Dval.t list;
+}
+
+type t = event list
+
+let generate ?(seed = 42) ?(rate = 100.0) ?(duration = 10_000.0)
+    ?(locations = Location.user_locations) (app : Bundle.app) =
+  let rng = Rng.create seed in
+  let gen = app.new_gen () in
+  let n_locs = List.length locations in
+  let rec arrivals now i acc =
+    let now = now +. Rng.exponential rng ~mean:(1000.0 /. rate) in
+    if now >= duration then List.rev acc
+    else
+      let fn, args = gen rng in
+      let from = List.nth locations (i mod n_locs) in
+      arrivals now (i + 1) ({ at = now; from; fn; args } :: acc)
+  in
+  arrivals 0.0 0 []
+
+(* --- Persistence ------------------------------------------------------ *)
+
+let rec expr_of_dval (d : Dval.t) : Fdsl.Ast.expr =
+  match d with
+  | Unit -> Fdsl.Ast.Unit
+  | Bool b -> Fdsl.Ast.Bool b
+  | Int i -> Fdsl.Ast.Int i
+  | Str s -> Fdsl.Ast.Str s
+  | List xs -> Fdsl.Ast.List_lit (List.map expr_of_dval xs)
+  | Record [] ->
+      (* The literal syntax cannot express an empty record. *)
+      invalid_arg "Trace.save: empty record argument"
+  | Record fs ->
+      Fdsl.Ast.Record_lit (List.map (fun (k, v) -> (k, expr_of_dval v)) fs)
+
+let save trace path =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "%.3f\t%s\t%s\t%s\n" e.at e.from e.fn
+            (Fdsl.Parse.to_source
+               (Fdsl.Ast.List_lit (List.map expr_of_dval e.args))))
+        trace)
+
+let parse_args source =
+  match Fdsl.Parse.expr source with
+  | Error e -> Error (Format.asprintf "%a" Fdsl.Parse.pp_error e)
+  | Ok expr -> (
+      match Fdsl.Eval.eval_expr (Fdsl.Eval.host ()) [] expr with
+      | Dval.List args -> Ok args
+      | other -> Error ("expected an argument list, got " ^ Dval.to_string other)
+      | exception Fdsl.Eval.Error m -> Error m)
+
+let load path =
+  try
+    let lines =
+      In_channel.with_open_text path In_channel.input_lines
+    in
+    let events =
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match String.split_on_char '\t' line with
+            | [ at; from; fn; args_src ] -> (
+                match (float_of_string_opt at, parse_args args_src) with
+                | Some at, Ok args -> Some (Ok { at; from; fn; args })
+                | None, _ -> Some (Error ("bad timestamp in: " ^ line))
+                | _, Error e -> Some (Error e))
+            | _ -> Some (Error ("malformed line: " ^ line)))
+        lines
+    in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | Ok e :: rest -> collect (e :: acc) rest
+      | Error m :: _ -> Error m
+    in
+    collect [] events
+  with Sys_error m -> Error m
+
+(* --- Replay ------------------------------------------------------------ *)
+
+let replay ?(seed = 42) system (app : Bundle.app) trace =
+  let engine = Engine.create ~seed () in
+  let samples = ref [] in
+  let errors = ref 0 in
+  let validation_rate = ref None in
+  let spec_rate = ref None in
+  Engine.run engine (fun () ->
+      let rng = Engine.rng () in
+      let net =
+        Net.Transport.create ~jitter_sigma:0.05 ~rng:(Rng.split rng) ()
+      in
+      let data = app.seed (Rng.split rng) in
+      let invoke, finish =
+        match system with
+        | Runner.Radical | Runner.Radical_with _ ->
+            let config =
+              match system with
+              | Runner.Radical_with c -> c
+              | _ -> Radical.Framework.default_config
+            in
+            let fw =
+              Radical.Framework.create ~config ~schema:app.schema ~net
+                ~funcs:app.funcs ~data ()
+            in
+            ( (fun ~from fn args ->
+                let o = Radical.Framework.invoke fw ~from fn args in
+                (o.latency, Result.is_error o.value)),
+              fun () ->
+                let st = Radical.Server.stats (Radical.Framework.server fw) in
+                let checked = st.validated + st.mismatched in
+                if checked > 0 then
+                  validation_rate :=
+                    Some (float_of_int st.validated /. float_of_int checked);
+                Radical.Framework.stop fw )
+        | Runner.Central | Runner.Local | Runner.Geo _ | Runner.Naive_edge
+        | Runner.Validate_per_read ->
+            let b =
+              match system with
+              | Runner.Central ->
+                  Radical.Baselines.centralized ~net ~funcs:app.funcs ~data ()
+              | Runner.Local ->
+                  Radical.Baselines.local ~locations:Location.user_locations
+                    ~funcs:app.funcs ~data ()
+              | Runner.Geo replicas ->
+                  Radical.Baselines.geo_replicated ~replicas
+                    ~locations:Location.user_locations ~funcs:app.funcs ~data ()
+              | Runner.Naive_edge ->
+                  Radical.Baselines.naive_edge ~funcs:app.funcs ~data ()
+              | Runner.Validate_per_read ->
+                  Radical.Baselines.validate_per_read ~funcs:app.funcs ~data ()
+              | Runner.Radical | Runner.Radical_with _ -> assert false
+            in
+            ( (fun ~from fn args ->
+                let o = Radical.Baselines.invoke b ~from fn args in
+                (o.latency, Result.is_error o.value)),
+              fun () -> () )
+      in
+      let outstanding = ref 0 in
+      let all_done = Ivar.create () in
+      List.iter
+        (fun e ->
+          incr outstanding;
+          Engine.schedule ~at:e.at (fun () ->
+              Engine.spawn ~name:"replay" (fun () ->
+                  let latency, is_error = invoke ~from:e.from e.fn e.args in
+                  if is_error then incr errors;
+                  samples :=
+                    { Runner.s_loc = e.from; s_fn = e.fn; s_latency = latency }
+                    :: !samples;
+                  decr outstanding;
+                  if !outstanding = 0 then Ivar.try_fill all_done () |> ignore)))
+        trace;
+      if !outstanding > 0 then Ivar.read all_done;
+      finish ());
+  {
+    Runner.samples = List.rev !samples;
+    validation_rate = !validation_rate;
+    spec_rate = !spec_rate;
+    errors = !errors;
+  }

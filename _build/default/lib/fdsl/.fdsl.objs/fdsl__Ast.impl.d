@@ -1,0 +1,1 @@
+lib/fdsl/ast.ml: Format List

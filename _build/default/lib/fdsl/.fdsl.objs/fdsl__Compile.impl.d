@@ -1,0 +1,1 @@
+lib/fdsl/compile.ml: Ast Dval Int64 List String Wasm

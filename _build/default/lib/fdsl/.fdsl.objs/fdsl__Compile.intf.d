@@ -1,0 +1,1 @@
+lib/fdsl/compile.mli: Ast Wasm

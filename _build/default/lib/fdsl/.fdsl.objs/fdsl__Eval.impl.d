@@ -1,0 +1,1 @@
+lib/fdsl/eval.ml: Ast Dval Format Int64 List String

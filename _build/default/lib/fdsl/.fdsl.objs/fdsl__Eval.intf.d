@@ -1,0 +1,1 @@
+lib/fdsl/eval.mli: Ast Dval

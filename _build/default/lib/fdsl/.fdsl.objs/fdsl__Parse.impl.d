@@ -1,0 +1,1 @@
+lib/fdsl/parse.ml: Array Ast Buffer Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/fdsl/parse.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/fdsl/typecheck.ml: Ast Format List Option String Types

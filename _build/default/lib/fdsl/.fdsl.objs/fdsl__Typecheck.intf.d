@@ -1,0 +1,1 @@
+lib/fdsl/typecheck.mli: Ast Format Types

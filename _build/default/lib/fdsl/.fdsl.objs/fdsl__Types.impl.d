@@ -1,0 +1,1 @@
+lib/fdsl/types.ml: Dval Format List

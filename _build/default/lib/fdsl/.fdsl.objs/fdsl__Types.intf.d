@@ -1,0 +1,1 @@
+lib/fdsl/types.mli: Dval Format

@@ -1,0 +1,147 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | And
+  | Or
+
+type decl = Decl_read | Decl_write
+
+type expr =
+  | Unit
+  | Bool of bool
+  | Int of int64
+  | Str of string
+  | Input of string
+  | Var of string
+  | Let of string * expr * expr
+  | Seq of expr list
+  | If of expr * expr * expr
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Str_of_int of expr
+  | Concat of expr list
+  | List_lit of expr list
+  | Append of expr * expr
+  | Prepend of expr * expr
+  | Concat_list of expr * expr
+  | Take of expr * expr
+  | Length of expr
+  | Nth of expr * expr
+  | Record_lit of (string * expr) list
+  | Field of expr * string
+  | Set_field of expr * string * expr
+  | Read of expr
+  | Write of expr * expr
+  | Foreach of string * expr * expr
+  | Compute of float * expr
+  | Opaque of expr
+  | Time_now
+  | Random_int of int
+  | Declare of decl * expr
+  | External of string * expr
+
+type func = { fn_name : string; params : string list; body : expr }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp fmt = function
+  | Unit -> Format.pp_print_string fmt "()"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.fprintf fmt "%Ld" i
+  | Str s -> Format.fprintf fmt "%S" s
+  | Input x -> Format.fprintf fmt "input:%s" x
+  | Var x -> Format.pp_print_string fmt x
+  | Let (x, v, b) -> Format.fprintf fmt "@[<2>let %s =@ %a in@ %a@]" x pp v pp b
+  | Seq es ->
+      Format.fprintf fmt "@[<2>{%a}@]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp)
+        es
+  | If (c, t, e) ->
+      Format.fprintf fmt "@[<2>if %a@ then %a@ else %a@]" pp c pp t pp e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp a (binop_name op) pp b
+  | Not e -> Format.fprintf fmt "!(%a)" pp e
+  | Str_of_int e -> Format.fprintf fmt "str(%a)" pp e
+  | Concat es ->
+      Format.fprintf fmt "concat(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
+        es
+  | List_lit es ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp)
+        es
+  | Append (l, x) -> Format.fprintf fmt "append(%a, %a)" pp l pp x
+  | Prepend (l, x) -> Format.fprintf fmt "prepend(%a, %a)" pp l pp x
+  | Concat_list (a, b) -> Format.fprintf fmt "(%a @@ %a)" pp a pp b
+  | Take (l, n) -> Format.fprintf fmt "take(%a, %a)" pp l pp n
+  | Length l -> Format.fprintf fmt "len(%a)" pp l
+  | Nth (l, i) -> Format.fprintf fmt "%a[%a]" pp l pp i
+  | Record_lit fs ->
+      let pp_field f (k, v) = Format.fprintf f "%s=%a" k pp v in
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+           pp_field)
+        fs
+  | Field (e, name) -> Format.fprintf fmt "%a.%s" pp e name
+  | Set_field (e, name, v) -> Format.fprintf fmt "%a.%s<-%a" pp e name pp v
+  | Read k -> Format.fprintf fmt "read(%a)" pp k
+  | Write (k, v) -> Format.fprintf fmt "write(%a, %a)" pp k pp v
+  | Foreach (x, l, b) ->
+      Format.fprintf fmt "@[<2>foreach %s in %a:@ %a@]" x pp l pp b
+  | Compute (ms, e) -> Format.fprintf fmt "compute(%.1fms, %a)" ms pp e
+  | Opaque e -> Format.fprintf fmt "opaque(%a)" pp e
+  | Time_now -> Format.pp_print_string fmt "time_now()"
+  | Random_int n -> Format.fprintf fmt "random_int(%d)" n
+  | Declare (Decl_read, k) -> Format.fprintf fmt "declare_read(%a)" pp k
+  | Declare (Decl_write, k) -> Format.fprintf fmt "declare_write(%a)" pp k
+  | External (svc, payload) -> Format.fprintf fmt "external(%s, %a)" svc pp payload
+
+let pp_func fmt f =
+  Format.fprintf fmt "@[<2>fn %s(%a) =@ %a@]" f.fn_name
+    (Format.pp_print_list
+       ~pp_sep:(fun fm () -> Format.fprintf fm ",@ ")
+       Format.pp_print_string)
+    f.params pp f.body
+
+let rec contains_effects = function
+  | Read _ | Write _ | Declare _ | Compute _ | External _ -> true
+  | Unit | Bool _ | Int _ | Str _ | Input _ | Var _ | Time_now | Random_int _ ->
+      false
+  | Let (_, v, b) -> contains_effects v || contains_effects b
+  | Seq es | Concat es | List_lit es -> List.exists contains_effects es
+  | If (a, b, c) ->
+      contains_effects a || contains_effects b || contains_effects c
+  | Binop (_, a, b)
+  | Append (a, b)
+  | Prepend (a, b)
+  | Concat_list (a, b)
+  | Take (a, b)
+  | Nth (a, b)
+  | Foreach (_, a, b) ->
+      contains_effects a || contains_effects b
+  | Not e | Str_of_int e | Length e | Field (e, _) | Opaque e ->
+      contains_effects e
+  | Set_field (a, _, b) -> contains_effects a || contains_effects b
+  | Record_lit fs -> List.exists (fun (_, e) -> contains_effects e) fs

@@ -1,0 +1,86 @@
+(** The function DSL that application handlers are written in.
+
+    This plays the role of the Rust source in the paper's toolchain:
+    handlers are expressed as [func] values, compiled to the
+    deterministic VM for execution ({!Compile}), and symbolically
+    analyzed to derive [f^rw] ({!Analyzer.Derive}). The language is
+    deliberately serverless-shaped — stateless, with explicit [Read] and
+    [Write] storage operations, which is exactly what makes the
+    read/write-set analysis tractable (§3.3).
+
+    [Compute] is how a handler declares CPU work: it burns the given
+    virtual milliseconds. [Opaque] is an analysis barrier modelling code
+    the symbolic executor cannot see through; [Time_now] and
+    [Random_int] model nondeterministic imports — the VM validator
+    rejects functions using them (§4). [Declare] never appears in source
+    programs; the analyzer emits it inside derived [f^rw] functions to
+    record an access without fetching it. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div (** Evaluation fails on zero divisor. *)
+  | Mod
+  | Eq (** Structural equality on any values. *)
+  | Ne
+  | Lt (** Numeric comparisons require ints. *)
+  | Gt
+  | Le
+  | Ge
+  | And (** Truthiness conjunction; not short-circuiting. *)
+  | Or
+
+type decl = Decl_read | Decl_write
+
+type expr =
+  | Unit
+  | Bool of bool
+  | Int of int64
+  | Str of string
+  | Input of string (** A named parameter of the function. *)
+  | Var of string (** A [Let]- or [Foreach]-bound variable. *)
+  | Let of string * expr * expr
+  | Seq of expr list (** Value of the last expression; [Unit] if empty. *)
+  | If of expr * expr * expr (** Condition uses truthiness. *)
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Str_of_int of expr
+  | Concat of expr list (** String concatenation; all parts must be strings. *)
+  | List_lit of expr list
+  | Append of expr * expr (** [Append list elem] adds at the end. *)
+  | Prepend of expr * expr
+  | Concat_list of expr * expr
+  | Take of expr * expr (** [Take list n] keeps the first n elements. *)
+  | Length of expr
+  | Nth of expr * expr (** Fails out of bounds. *)
+  | Record_lit of (string * expr) list
+  | Field of expr * string
+  | Set_field of expr * string * expr
+  | Read of expr (** Storage read; the key expression must be a string. *)
+  | Write of expr * expr (** Storage write; evaluates to [Unit]. *)
+  | Foreach of string * expr * expr
+      (** [Foreach (x, list, body)] maps [body] over [list], yielding the
+          list of results. *)
+  | Compute of float * expr (** Burn CPU milliseconds, then evaluate. *)
+  | Opaque of expr (** Analysis barrier; transparent at runtime. *)
+  | Time_now (** Nondeterministic: wall clock. *)
+  | Random_int of int (** Nondeterministic: uniform in [0, n). *)
+  | Declare of decl * expr
+      (** Analyzer-emitted: evaluate the key, record the access, return
+          [Unit] without touching storage. *)
+  | External of string * expr
+      (** Call an external service (§3.5) with a payload. Radical
+          attaches an idempotency key so the provider executes at most
+          once per request even when the function runs twice. Results
+          must not feed storage keys (the analyzer rejects that). *)
+
+type func = { fn_name : string; params : string list; body : expr }
+
+val pp : Format.formatter -> expr -> unit
+
+val pp_func : Format.formatter -> func -> unit
+
+val contains_effects : expr -> bool
+(** True if the subtree contains [Read], [Write], [Declare] or
+    [Compute]. *)

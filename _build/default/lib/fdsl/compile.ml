@@ -1,0 +1,201 @@
+exception Unsupported of string
+
+open Wasm.Instr
+
+type ctx = { mutable n_locals : int }
+
+let fresh ctx =
+  let slot = ctx.n_locals in
+  ctx.n_locals <- ctx.n_locals + 1;
+  slot
+
+let to_i64 = Call_host "dval.to_i64"
+
+let of_i64 = Call_host "dval.of_i64"
+
+let of_bool = Call_host "dval.of_bool"
+
+let truthy = Call_host "dval.truthy"
+
+let arith_binop : Ast.binop -> Wasm.Instr.binop option = function
+  | Add -> Some Add
+  | Sub -> Some Sub
+  | Mul -> Some Mul
+  | Div -> Some Div_s
+  | Mod -> Some Rem_s
+  | Lt -> Some Lt_s
+  | Gt -> Some Gt_s
+  | Le -> Some Le_s
+  | Ge -> Some Ge_s
+  | Eq | Ne | And | Or -> None
+
+let is_comparison : Ast.binop -> bool = function
+  | Lt | Gt | Le | Ge -> true
+  | Add | Sub | Mul | Div | Mod | Eq | Ne | And | Or -> false
+
+(* Every [emit] produces code that pushes exactly one reference. *)
+let rec emit ctx env (e : Ast.expr) : t list =
+  match e with
+  | Unit -> [ Ref_const Dval.Unit ]
+  | Bool b -> [ Ref_const (Dval.Bool b) ]
+  | Int i -> [ Ref_const (Dval.Int i) ]
+  | Str s -> [ Ref_const (Dval.Str s) ]
+  | Input x | Var x -> (
+      match List.assoc_opt x env with
+      | Some slot -> [ Local_get slot ]
+      | None -> raise (Unsupported ("unbound variable " ^ x)))
+  | Let (x, v, b) ->
+      let slot = fresh ctx in
+      emit ctx env v @ [ Local_set slot ] @ emit ctx ((x, slot) :: env) b
+  | Seq [] -> [ Ref_const Dval.Unit ]
+  | Seq es ->
+      let rec go = function
+        | [ last ] -> emit ctx env last
+        | e :: rest -> emit ctx env e @ [ Drop ] @ go rest
+        | [] -> assert false
+      in
+      go es
+  | If (c, t, e) ->
+      emit ctx env c @ [ truthy; If (emit ctx env t, emit ctx env e) ]
+  | Binop (Eq, a, b) ->
+      emit ctx env a @ emit ctx env b @ [ Call_host "dval.eq"; of_bool ]
+  | Binop (Ne, a, b) ->
+      emit ctx env a @ emit ctx env b @ [ Call_host "dval.eq"; I64_eqz; of_bool ]
+  | Binop (And, a, b) ->
+      emit ctx env a
+      @ [ truthy; If (emit ctx env b @ [ truthy ], [ I64_const 0L ]); of_bool ]
+  | Binop (Or, a, b) ->
+      emit ctx env a
+      @ [ truthy; If ([ I64_const 1L ], emit ctx env b @ [ truthy ]); of_bool ]
+  | Binop (op, a, b) -> (
+      match arith_binop op with
+      | Some w_op ->
+          emit ctx env a @ [ to_i64 ] @ emit ctx env b
+          @ [ to_i64; I64_binop w_op; (if is_comparison op then of_bool else of_i64) ]
+      | None -> assert false)
+  | Not e -> emit ctx env e @ [ truthy; I64_eqz; of_bool ]
+  | Str_of_int e -> emit ctx env e @ [ to_i64; Call_host "str.of_i64" ]
+  | Concat [] -> [ Ref_const (Dval.Str "") ]
+  | Concat (first :: rest) ->
+      emit ctx env first
+      @ List.concat_map
+          (fun e -> emit ctx env e @ [ Call_host "str.concat" ])
+          rest
+  | List_lit es ->
+      [ Call_host "list.empty" ]
+      @ List.concat_map
+          (fun e -> emit ctx env e @ [ Call_host "list.append" ])
+          es
+  | Append (l, x) -> emit ctx env l @ emit ctx env x @ [ Call_host "list.append" ]
+  | Prepend (l, x) ->
+      emit ctx env l @ emit ctx env x @ [ Call_host "list.prepend" ]
+  | Concat_list (a, b) ->
+      emit ctx env a @ emit ctx env b @ [ Call_host "list.concat" ]
+  | Take (l, n) ->
+      emit ctx env l @ emit ctx env n @ [ to_i64; Call_host "list.take" ]
+  | Length l -> emit ctx env l @ [ Call_host "list.len"; of_i64 ]
+  | Nth (l, i) -> emit ctx env l @ emit ctx env i @ [ to_i64; Call_host "list.get" ]
+  | Record_lit fs ->
+      [ Call_host "record.new" ]
+      @ List.concat_map
+          (fun (k, v) ->
+            (Ref_const (Dval.Str k) :: emit ctx env v)
+            @ [ Call_host "record.set" ])
+          fs
+  | Field (e, name) ->
+      emit ctx env e @ [ Ref_const (Dval.Str name); Call_host "record.get" ]
+  | Set_field (e, name, v) ->
+      emit ctx env e
+      @ (Ref_const (Dval.Str name) :: emit ctx env v)
+      @ [ Call_host "record.set" ]
+  | Read k -> emit ctx env k @ [ Call_host "storage.read" ]
+  | Write (k, v) ->
+      emit ctx env k @ emit ctx env v @ [ Call_host "storage.write" ]
+  | Foreach (x, l, body) ->
+      let lst = fresh ctx in
+      let idx = fresh ctx in
+      let len = fresh ctx in
+      let acc = fresh ctx in
+      let x_slot = fresh ctx in
+      emit ctx env l
+      @ [
+          Local_set lst;
+          Call_host "list.empty";
+          Local_set acc;
+          I64_const 0L;
+          Local_set idx;
+          Local_get lst;
+          Call_host "list.len";
+          Local_set len;
+          Block
+            [
+              Loop
+                ([
+                   Local_get idx;
+                   Local_get len;
+                   I64_binop Ge_s;
+                   Br_if 1;
+                   Local_get lst;
+                   Local_get idx;
+                   Call_host "list.get";
+                   Local_set x_slot;
+                   Local_get acc;
+                 ]
+                @ emit ctx ((x, x_slot) :: env) body
+                @ [
+                    Call_host "list.append";
+                    Local_set acc;
+                    Local_get idx;
+                    I64_const 1L;
+                    I64_binop Add;
+                    Local_set idx;
+                    Br 0;
+                  ]);
+            ];
+          Local_get acc;
+        ]
+  | Compute (ms, e) ->
+      [ I64_const (Int64.of_float (ms *. 1000.0)); Call_host "cpu.burn"; Drop ]
+      @ emit ctx env e
+  | Opaque e -> emit ctx env e
+  | Time_now -> [ Call_host "wasi.clock_time_get"; of_i64 ]
+  | Random_int n ->
+      [ I64_const (Int64.of_int n); Call_host "wasi.random_get"; of_i64 ]
+  | Declare _ ->
+      raise (Unsupported "Declare occurs only in derived f^rw functions")
+  | External (svc, payload) ->
+      (Ref_const (Dval.Str svc) :: emit ctx env payload)
+      @ [ Call_host "external.call" ]
+
+let collect_imports body =
+  let acc = ref [] in
+  let add name = if not (List.mem name !acc) then acc := name :: !acc in
+  let rec go = function
+    | Call_host name -> add name
+    | Block b | Loop b -> List.iter go b
+    | If (t, e) ->
+        List.iter go t;
+        List.iter go e
+    | I64_const _ | I64_binop _ | I64_eqz | Ref_const _ | Local_get _
+    | Local_set _ | Local_tee _ | Drop | Br _ | Br_if _ | Return | Call _ | Nop
+    | Unreachable ->
+        ()
+  in
+  List.iter go body;
+  List.sort String.compare !acc
+
+let compile (f : Ast.func) =
+  let ctx = { n_locals = List.length f.params } in
+  let env = List.mapi (fun i x -> (x, i)) f.params in
+  let body = emit ctx env f.body in
+  Wasm.Wmodule.create
+    ~funcs:
+      [
+        {
+          Wasm.Wmodule.fn_name = f.fn_name;
+          n_params = List.length f.params;
+          n_locals = ctx.n_locals - List.length f.params;
+          body;
+        };
+      ]
+    ~imports:(collect_imports body)

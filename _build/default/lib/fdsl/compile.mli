@@ -1,0 +1,21 @@
+(** Compiler from the DSL to the deterministic VM.
+
+    The moral equivalent of `rustc --target wasm32-unknown-unknown` in
+    the paper's pipeline. Every expression compiles to code leaving one
+    reference on the operand stack (ints are boxed at expression
+    boundaries, unboxed inside arithmetic). [And]/[Or] compile to
+    short-circuit branches so compiled code agrees with {!Eval} even
+    when operands have effects.
+
+    [Time_now] and [Random_int] compile to the forbidden wasi imports,
+    so a function using them produces a module that
+    {!Wasm.Validate.check} rejects — which is how Radical's registration
+    step enforces determinism. *)
+
+exception Unsupported of string
+(** Raised on [Declare], which only occurs in analyzer-derived
+    functions; those are evaluated, never compiled. *)
+
+val compile : Ast.func -> Wasm.Wmodule.t
+(** The module exports one function named after the source function;
+    its imports list is exactly the set of host calls the code uses. *)

@@ -1,0 +1,46 @@
+(** Reference evaluator for the DSL.
+
+    Defines the language's semantics; the compiled VM code must agree
+    with it (property-tested). It is also the engine behind derived
+    [f^rw] functions: the analyzer's residual programs are ordinary DSL
+    expressions evaluated against a host whose [read] hits the near-user
+    cache and whose [declare] records accesses. *)
+
+exception Error of string
+(** Dynamic type errors, unbound variables, division by zero, etc. *)
+
+type host = {
+  read : string -> Dval.t;
+  write : string -> Dval.t -> unit;
+  compute : float -> unit;
+  declare : Ast.decl -> string -> unit;
+  time_now : unit -> int64;
+  random_int : int -> int64;
+  external_call : string -> Dval.t -> Dval.t;
+}
+
+val host :
+  ?read:(string -> Dval.t) ->
+  ?write:(string -> Dval.t -> unit) ->
+  ?compute:(float -> unit) ->
+  ?declare:(Ast.decl -> string -> unit) ->
+  ?time_now:(unit -> int64) ->
+  ?random_int:(int -> int64) ->
+  ?external_call:(string -> Dval.t -> Dval.t) ->
+  unit ->
+  host
+(** Unspecified components default to: reads return [Dval.Unit], writes
+    and declares are dropped, compute is a no-op, the two
+    nondeterministic sources raise [Error], and external calls raise
+    [Error] unless a service binding is supplied. *)
+
+val truthy : Dval.t -> bool
+(** [false], [0], [()], [""] and [[]] are falsy; records are truthy. *)
+
+val eval : host -> Ast.func -> Dval.t list -> Dval.t
+(** Run a function on positional arguments. Raises [Error] on arity
+    mismatch or any dynamic fault. *)
+
+val eval_expr : host -> (string * Dval.t) list -> Ast.expr -> Dval.t
+(** Evaluate an expression under an environment binding inputs and
+    variables (inputs and vars share the namespace here). *)

@@ -1,0 +1,170 @@
+open Types
+
+type schema = (string * Types.t) list
+
+type error = { fn_name : string; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.fn_name e.message
+
+exception Fail of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Fail s)) fmt
+
+let expect what ty expected =
+  if not (consistent ty expected) then
+    fail "%s: expected %a, found %a" what Types.pp expected Types.pp ty
+
+(* The statically known prefix of a key expression: a string literal is
+   complete; a concatenation starting with one is a prefix; anything
+   else is unknown. *)
+let static_prefix (e : Ast.expr) =
+  match e with
+  | Ast.Str s -> Some s
+  | Ast.Concat (Ast.Str s :: _) -> Some s
+  | _ -> None
+
+let schema_type schema key_expr =
+  match static_prefix key_expr with
+  | None -> TAny
+  | Some prefix -> (
+      let matches =
+        List.filter
+          (fun (p, _) ->
+            String.length p <= String.length prefix
+            && String.sub prefix 0 (String.length p) = p
+            || String.length prefix < String.length p
+               && String.sub p 0 (String.length prefix) = prefix)
+          schema
+      in
+      match matches with
+      | [] -> TAny
+      | (_, t) :: rest ->
+          if List.for_all (fun (_, t') -> t' = t) rest then t else TAny)
+
+let rec infer schema env (e : Ast.expr) : Types.t =
+  let infer_ = infer schema env in
+  match e with
+  | Unit -> TUnit
+  | Bool _ -> TBool
+  | Int _ -> TInt
+  | Str _ -> TStr
+  | Input x | Var x -> (
+      match List.assoc_opt x env with
+      | Some t -> t
+      | None -> fail "unbound variable %s" x)
+  | Let (x, v, b) ->
+      let tv = infer_ v in
+      infer schema ((x, tv) :: env) b
+  | Seq es -> List.fold_left (fun _ e -> infer_ e) TUnit es
+  | If (c, t, e) ->
+      (* Any type is a valid condition (truthiness). *)
+      let _ = infer_ c in
+      join (infer_ t) (infer_ e)
+  | Binop ((Add | Sub | Mul | Div | Mod), a, b) ->
+      expect "left operand of arithmetic" (infer_ a) TInt;
+      expect "right operand of arithmetic" (infer_ b) TInt;
+      TInt
+  | Binop ((Lt | Gt | Le | Ge), a, b) ->
+      expect "left operand of comparison" (infer_ a) TInt;
+      expect "right operand of comparison" (infer_ b) TInt;
+      TBool
+  | Binop ((Eq | Ne | And | Or), a, b) ->
+      let _ = infer_ a and _ = infer_ b in
+      TBool
+  | Not e ->
+      let _ = infer_ e in
+      TBool
+  | Str_of_int e ->
+      expect "str_of_int argument" (infer_ e) TInt;
+      TStr
+  | Concat es ->
+      List.iter (fun e -> expect "concat part" (infer_ e) TStr) es;
+      TStr
+  | List_lit es ->
+      TList (List.fold_left (fun acc e -> join acc (infer_ e)) TAny es)
+  | Append (l, x) | Prepend (l, x) ->
+      let tl = infer_ l in
+      expect "list operand" tl (TList TAny);
+      let elem = match tl with TList t -> t | _ -> TAny in
+      TList (join elem (infer_ x))
+  | Concat_list (a, b) ->
+      let ta = infer_ a and tb = infer_ b in
+      expect "left list" ta (TList TAny);
+      expect "right list" tb (TList TAny);
+      join ta tb
+  | Take (l, n) ->
+      let tl = infer_ l in
+      expect "take list" tl (TList TAny);
+      expect "take count" (infer_ n) TInt;
+      tl
+  | Length l ->
+      expect "length argument" (infer_ l) (TList TAny);
+      TInt
+  | Nth (l, i) ->
+      let tl = infer_ l in
+      expect "nth list" tl (TList TAny);
+      expect "nth index" (infer_ i) TInt;
+      (match tl with TList t -> t | _ -> TAny)
+  | Record_lit fs -> TRecord (List.map (fun (k, e) -> (k, infer_ e)) fs)
+  | Field (e, name) -> (
+      match infer_ e with
+      | TRecord fs -> (
+          match List.assoc_opt name fs with
+          | Some t -> t
+          | None -> fail "record has no field %S" name)
+      | TAny -> TAny
+      | t -> fail "field access .%s on non-record %a" name Types.pp t)
+  | Set_field (e, name, v) -> (
+      let tv = infer_ v in
+      match infer_ e with
+      | TRecord fs ->
+          TRecord
+            (if List.mem_assoc name fs then
+               List.map (fun (k, t) -> if k = name then (k, tv) else (k, t)) fs
+             else fs @ [ (name, tv) ])
+      | TAny -> TAny
+      | t -> fail "field update .%s on non-record %a" name Types.pp t)
+  | Read k ->
+      expect "storage key" (infer_ k) TStr;
+      schema_type schema k
+  | Write (k, v) ->
+      expect "storage key" (infer_ k) TStr;
+      let tv = infer_ v in
+      let declared = schema_type schema k in
+      if not (consistent tv declared) then
+        fail "write of %a to a key declared %a" Types.pp tv Types.pp declared;
+      TUnit
+  | Foreach (x, l, body) ->
+      let tl = infer_ l in
+      expect "foreach list" tl (TList TAny);
+      let elem = match tl with TList t -> t | _ -> TAny in
+      TList (infer schema ((x, elem) :: env) body)
+  | Compute (_, e) -> infer_ e
+  | Opaque e -> infer_ e
+  | Time_now -> TInt
+  | Random_int _ -> TInt
+  | Declare (_, k) ->
+      expect "declared key" (infer_ k) TStr;
+      TUnit
+  | External (_, payload) ->
+      let _ = infer_ payload in
+      TAny
+
+let check ?(schema = []) ?(param_types = []) (f : Ast.func) =
+  let env =
+    List.map
+      (fun p ->
+        (p, Option.value ~default:TAny (List.assoc_opt p param_types)))
+      f.params
+  in
+  match infer schema env f.body with
+  | t -> Ok t
+  | exception Fail message -> Error { fn_name = f.fn_name; message }
+
+let check_all ?schema funcs =
+  let errors =
+    List.filter_map
+      (fun f -> match check ?schema f with Ok _ -> None | Error e -> Some e)
+      funcs
+  in
+  if errors = [] then Ok () else Error errors

@@ -1,0 +1,30 @@
+(** Gradual typechecking of handlers against a storage schema.
+
+    A schema maps key prefixes to the type stored under them — the moral
+    equivalent of declaring your DynamoDB tables. Keys whose static
+    prefix resolves to exactly one schema entry get its type; everything
+    else is [TAny] and checks pass gradually. Reported errors are real:
+    a handler that concatenates an int, reads a field off a string, or
+    writes a value inconsistent with the key's declared type is rejected
+    at registration time instead of trapping in production. *)
+
+type schema = (string * Types.t) list
+(** [(prefix, type)] pairs; the longest prefix compatible with a key's
+    statically known prefix wins. *)
+
+type error = { fn_name : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check :
+  ?schema:schema ->
+  ?param_types:(string * Types.t) list ->
+  Ast.func ->
+  (Types.t, error) result
+(** Infer the function's result type. Unlisted parameters are [TAny].
+    An empty schema still catches shape errors between literals and
+    operations. *)
+
+val check_all :
+  ?schema:schema -> Ast.func list -> (unit, error list) result
+(** Check a whole application; collects every failing function. *)

@@ -1,0 +1,64 @@
+type t =
+  | TAny
+  | TUnit
+  | TBool
+  | TInt
+  | TStr
+  | TList of t
+  | TRecord of (string * t) list
+
+let rec pp fmt = function
+  | TAny -> Format.pp_print_string fmt "any"
+  | TUnit -> Format.pp_print_string fmt "unit"
+  | TBool -> Format.pp_print_string fmt "bool"
+  | TInt -> Format.pp_print_string fmt "int"
+  | TStr -> Format.pp_print_string fmt "str"
+  | TList t -> Format.fprintf fmt "list(%a)" pp t
+  | TRecord fs ->
+      let pp_field f (k, v) = Format.fprintf f "%s: %a" k pp v in
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+           pp_field)
+        fs
+
+let rec consistent a b =
+  match (a, b) with
+  | TAny, _ | _, TAny -> true
+  | TUnit, TUnit | TBool, TBool | TInt, TInt | TStr, TStr -> true
+  | TList x, TList y -> consistent x y
+  | TRecord xs, TRecord ys ->
+      List.for_all
+        (fun (k, tx) ->
+          match List.assoc_opt k ys with
+          | Some ty -> consistent tx ty
+          | None -> true)
+        xs
+  | (TUnit | TBool | TInt | TStr | TList _ | TRecord _), _ -> false
+
+let rec join a b =
+  match (a, b) with
+  | x, y when x = y -> x
+  | TAny, _ | _, TAny -> TAny
+  | TList x, TList y -> TList (join x y)
+  | TRecord xs, TRecord ys ->
+      TRecord
+        (List.filter_map
+           (fun (k, tx) ->
+             match List.assoc_opt k ys with
+             | Some ty -> Some (k, join tx ty)
+             | None -> None)
+           xs)
+  (* Absent storage keys read as Unit, so unit joins benignly. *)
+  | TUnit, t | t, TUnit -> t
+  | _ -> TAny
+
+let rec of_dval = function
+  | Dval.Unit -> TUnit
+  | Dval.Bool _ -> TBool
+  | Dval.Int _ -> TInt
+  | Dval.Str _ -> TStr
+  | Dval.List [] -> TList TAny
+  | Dval.List (x :: xs) ->
+      TList (List.fold_left (fun acc v -> join acc (of_dval v)) (of_dval x) xs)
+  | Dval.Record fs -> TRecord (List.map (fun (k, v) -> (k, of_dval v)) fs)

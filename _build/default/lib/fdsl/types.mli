@@ -1,0 +1,30 @@
+(** Types for the gradual typechecker.
+
+    The DSL is dynamically typed at runtime (storage holds arbitrary
+    {!Dval.t}); the typechecker gives registration-time diagnostics in
+    the style of gradual typing: [TAny] is consistent with everything,
+    while precise types catch real shape errors (string concatenation of
+    an int, field access on a non-record, arithmetic on storage values
+    whose schema says string, ...). *)
+
+type t =
+  | TAny
+  | TUnit
+  | TBool
+  | TInt
+  | TStr
+  | TList of t
+  | TRecord of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+
+val consistent : t -> t -> bool
+(** Gradual consistency: [TAny] matches anything; lists elementwise;
+    records on their common fields (width subtyping both ways). *)
+
+val join : t -> t -> t
+(** Least informative common type of two branches: equal types stay,
+    lists/records join structurally, anything else becomes [TAny]. *)
+
+val of_dval : Dval.t -> t
+(** The precise type of a concrete value (used to type seed data). *)

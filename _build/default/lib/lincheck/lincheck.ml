@@ -1,0 +1,66 @@
+type op = {
+  op_id : string;
+  start : float;
+  finish : float;
+  reads : (string * Dval.t) list;
+  writes : (string * Dval.t) list;
+}
+
+let pp_op fmt o =
+  let pp_kv fmt (k, v) = Format.fprintf fmt "%s=%a" k Dval.pp v in
+  let pp_kvs = Format.pp_print_list ~pp_sep:Format.pp_print_space pp_kv in
+  Format.fprintf fmt "@[%s [%.2f,%.2f] reads(%a) writes(%a)@]" o.op_id o.start
+    o.finish pp_kvs o.reads pp_kvs o.writes
+
+module Smap = Map.Make (String)
+
+let read_state state k =
+  match Smap.find_opt k state with Some v -> v | None -> Dval.Unit
+
+let applicable state op =
+  List.for_all (fun (k, v) -> Dval.equal (read_state state k) v) op.reads
+
+let apply state op =
+  List.fold_left (fun st (k, v) -> Smap.add k v st) state op.writes
+
+(* Depth-first search over linearization prefixes. A pending op is a
+   candidate when no other pending op finished before it started. *)
+let witness ?(init = []) ops =
+  let init_state =
+    List.fold_left (fun st (k, v) -> Smap.add k v st) Smap.empty init
+  in
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let taken = Array.make n false in
+  let rec search state acc remaining =
+    if remaining = 0 then Some (List.rev acc)
+    else begin
+      let minimal i =
+        (not taken.(i))
+        && not
+             (Array.exists Fun.id
+                (Array.mapi
+                   (fun j t -> (not t) && j <> i && ops.(j).finish < ops.(i).start)
+                   taken))
+      in
+      let rec try_from i =
+        if i >= n then None
+        else if taken.(i) || not (minimal i) then try_from (i + 1)
+        else if not (applicable state ops.(i)) then try_from (i + 1)
+        else begin
+          taken.(i) <- true;
+          match
+            search (apply state ops.(i)) (ops.(i).op_id :: acc) (remaining - 1)
+          with
+          | Some _ as r -> r
+          | None ->
+              taken.(i) <- false;
+              try_from (i + 1)
+        end
+      in
+      try_from 0
+    end
+  in
+  search init_state [] n
+
+let check ?init ops = witness ?init ops <> None

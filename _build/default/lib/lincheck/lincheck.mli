@@ -1,0 +1,33 @@
+(** Linearizability checking for transactional key-value histories.
+
+    Radical claims Linearizability of whole function executions (§3.6):
+    each handler atomically reads and writes a set of keys. The tests
+    record one {!op} per client-visible execution — the values its reads
+    observed and the writes it exposed — with real-time invocation and
+    response instants, then ask [check] whether some legal total order
+    explains the history.
+
+    The checker is a Wing–Herlihy style exhaustive search: repeatedly
+    pick an operation that no other *pending* operation really-precedes
+    (finish < start), apply it if every read matches the simulated store
+    state, and backtrack on failure. Exponential in the worst case, ample
+    for test-sized histories (hundreds of operations with bounded
+    concurrency). *)
+
+type op = {
+  op_id : string;
+  start : float; (** Invocation instant. *)
+  finish : float; (** Response instant; must be [>= start]. *)
+  reads : (string * Dval.t) list; (** Key and the value observed. *)
+  writes : (string * Dval.t) list;
+}
+
+val check : ?init:(string * Dval.t) list -> op list -> bool
+(** [check history] is true iff the history is linearizable starting
+    from [init] (absent keys read as [Dval.Unit]). *)
+
+val witness : ?init:(string * Dval.t) list -> op list -> string list option
+(** Like [check] but returns the op ids in a valid linearization
+    order. *)
+
+val pp_op : Format.formatter -> op -> unit

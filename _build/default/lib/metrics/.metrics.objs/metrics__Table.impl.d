@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Float List Printf Stdlib String

@@ -1,0 +1,37 @@
+(** Latency sample collection and summary statistics.
+
+    The paper reports medians (bars) and p99s (whiskers) over 10,000
+    requests; this module computes exact percentiles over the full
+    sample. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t 0.5] is the median. Uses nearest-rank on the sorted
+    sample. Raises [Invalid_argument] on an empty collector or a rank
+    outside [0, 1]. *)
+
+val median : t -> float
+
+val p99 : t -> float
+
+val mean : t -> float
+
+val min : t -> float
+
+val max : t -> float
+
+val merge : t -> t -> t
+(** A new collector holding both sample sets. *)
+
+val of_list : float list -> t
+
+val histogram : t -> buckets:int -> (float * float * int) list
+(** Equal-width buckets over [\[min, max\]]: (lo, hi, count) per bucket.
+    Raises on an empty collector. *)

@@ -1,0 +1,52 @@
+let render ~header ~rows =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let pad r = r @ List.init (n_cols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths =
+    List.init n_cols (fun c ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r c))) 0 all)
+  in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell)
+         r)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line (List.hd all) :: rule :: List.map line (List.tl all))
+
+let print ~header ~rows = print_endline (render ~header ~rows)
+
+let bars ?(width = 48) data =
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 data in
+  let lmax =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 data
+  in
+  String.concat "\n"
+    (List.map
+       (fun (label, v) ->
+         let n = int_of_float (Float.round (v /. vmax *. float_of_int width)) in
+         Printf.sprintf "%-*s | %-*s %8.1f" lmax label width
+           (String.make (max 0 n) '#')
+           v)
+       data)
+
+let print_bars ?width data = print_endline (bars ?width data)
+
+let ms v = Printf.sprintf "%.1f" v
+
+let pct v = Printf.sprintf "%.1f%%" (v *. 100.0)
+
+let print_histogram ?(width = 40) buckets =
+  let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 buckets in
+  let peak = List.fold_left (fun acc (_, _, n) -> Stdlib.max acc n) 1 buckets in
+  List.iter
+    (fun (lo, hi, n) ->
+      let bar = n * width / peak in
+      Printf.printf "%8.1f-%-8.1f | %-*s %5d (%4.1f%%)\n" lo hi width
+        (String.make bar '#') n
+        (100.0 *. float_of_int n /. float_of_int (Stdlib.max 1 total)))
+    buckets

@@ -1,0 +1,25 @@
+(** Plain-text table and bar-chart rendering for the benchmark harness.
+
+    Every figure in the paper becomes an ASCII table plus a bar chart;
+    the harness prints them so runs are diffable. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a rule under the header. *)
+
+val print : header:string list -> rows:string list list -> unit
+
+val bars : ?width:int -> (string * float) list -> string
+(** Horizontal bar chart scaled to the maximum value, one row per
+    (label, value); values are printed after the bar. *)
+
+val print_bars : ?width:int -> (string * float) list -> unit
+
+val ms : float -> string
+(** Format a latency in milliseconds with one decimal. *)
+
+val pct : float -> string
+(** Format a ratio as a percentage with one decimal. *)
+
+val print_histogram : ?width:int -> (float * float * int) list -> unit
+(** Render {!Stats.histogram} buckets as rows of bars with counts and
+    percentages. *)

@@ -1,0 +1,1 @@
+lib/net/location.ml: Format List Printf String

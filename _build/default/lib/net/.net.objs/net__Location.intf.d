@@ -1,0 +1,1 @@
+lib/net/location.mli: Format

@@ -1,0 +1,1 @@
+lib/net/transport.ml: Engine Ivar Location Rng Sim

@@ -1,0 +1,58 @@
+type t = string
+
+let va = "VA"
+let ca = "CA"
+let ie = "IE"
+let de = "DE"
+let jp = "JP"
+let oh = "OH"
+let oregon = "OR"
+
+let user_locations = [ va; ca; ie; de; jp ]
+
+let near_storage = va
+
+(* Upper triangle of the symmetric RTT matrix (ms). The ↔VA entries are
+   Table 2's values minus the 6 ms DynamoDB service time modelled by the
+   storage layer, so that a storage ping reproduces Table 2. *)
+let pairs =
+  [
+    ((va, ca), 68.0);
+    ((va, ie), 64.0);
+    ((va, de), 87.0);
+    ((va, jp), 140.0);
+    ((va, oh), 12.0);
+    ((va, oregon), 65.0);
+    ((ca, ie), 135.0);
+    ((ca, de), 150.0);
+    ((ca, jp), 105.0);
+    ((ca, oh), 52.0);
+    ((ca, oregon), 22.0);
+    ((ie, de), 25.0);
+    ((ie, jp), 210.0);
+    ((ie, oh), 75.0);
+    ((ie, oregon), 130.0);
+    ((de, jp), 230.0);
+    ((de, oh), 95.0);
+    ((de, oregon), 150.0);
+    ((jp, oh), 130.0);
+    ((jp, oregon), 97.0);
+    ((oh, oregon), 50.0);
+  ]
+
+let known l =
+  List.mem l [ va; ca; ie; de; jp; oh; oregon ]
+
+let rtt a b =
+  if not (known a && known b) then
+    invalid_arg (Printf.sprintf "Location.rtt: unknown location %s/%s" a b);
+  if String.equal a b then 1.0
+  else
+    match List.assoc_opt (a, b) pairs with
+    | Some v -> v
+    | None -> (
+        match List.assoc_opt (b, a) pairs with
+        | Some v -> v
+        | None -> invalid_arg "Location.rtt: missing pair")
+
+let pp fmt t = Format.pp_print_string fmt t

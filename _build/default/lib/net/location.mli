@@ -1,0 +1,38 @@
+(** Deployment locations and the inter-region round-trip latency matrix.
+
+    The five application deployment locations are those of the paper's
+    evaluation (§5.2): Ashburn VA, San Francisco CA, Dublin IE, Frankfurt
+    DE, Tokyo JP. Ohio and Oregon additionally host replicas for the
+    geo-replicated storage baseline of Figure 1. RTTs to VA are chosen so
+    that a storage ping (network RTT + storage service time) reproduces
+    Table 2 exactly; the remaining pairs use public inter-region figures. *)
+
+type t = string
+
+val va : t (** Ashburn, Virginia — the near-storage location. *)
+
+val ca : t (** San Francisco, California. *)
+
+val ie : t (** Dublin, Ireland. *)
+
+val de : t (** Frankfurt, Germany. *)
+
+val jp : t (** Tokyo, Japan. *)
+
+val oh : t (** Columbus, Ohio — geo-replication baseline only. *)
+
+val oregon : t (** Portland, Oregon — geo-replication baseline only. *)
+
+val user_locations : t list
+(** The five locations where applications and clients are deployed
+    ([va; ca; ie; de; jp]). *)
+
+val near_storage : t
+(** Where the primary copy of the data lives ([va]). *)
+
+val rtt : t -> t -> float
+(** Network round-trip time in milliseconds between two locations.
+    Symmetric; same-location RTT is 1.0 ms. Raises [Invalid_argument] on
+    an unknown location. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+open Sim
+
+type fault = Deliver | Drop | Delay of float
+
+type t = {
+  rtt : Location.t -> Location.t -> float;
+  jitter_sigma : float;
+  rng : Rng.t;
+  mutable fault_hook : src:Location.t -> dst:Location.t -> label:string -> fault;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+type ('req, 'resp) service = {
+  svc_loc : Location.t;
+  svc_name : string;
+  handler : 'req -> 'resp;
+}
+
+let no_fault ~src:_ ~dst:_ ~label:_ = Deliver
+
+let create ?(rtt = Location.rtt) ?(jitter_sigma = 0.05) ~rng () =
+  { rtt; jitter_sigma; rng; fault_hook = no_fault; sent = 0; dropped = 0 }
+
+let one_way t src dst =
+  let base = t.rtt src dst /. 2.0 in
+  if t.jitter_sigma <= 0.0 then base
+  else
+    (* mu = -sigma^2/2 keeps the multiplier's mean at 1, so medians track
+       the matrix while the tail furnishes a p99. *)
+    let s = t.jitter_sigma in
+    base *. Rng.lognormal t.rng ~mu:(-.s *. s /. 2.0) ~sigma:s
+
+let set_fault t hook = t.fault_hook <- hook
+
+let clear_fault t = t.fault_hook <- no_fault
+
+let serve _t ~loc ~name handler = { svc_loc = loc; svc_name = name; handler }
+
+let service_location svc = svc.svc_loc
+
+(* Deliver [k] at [dst] after sampled latency, subject to the fault hook. *)
+let transmit t ~src ~dst ~label k =
+  t.sent <- t.sent + 1;
+  match t.fault_hook ~src ~dst ~label with
+  | Drop -> t.dropped <- t.dropped + 1
+  | Deliver ->
+      Engine.schedule ~at:(Engine.now () +. one_way t src dst) k
+  | Delay extra ->
+      Engine.schedule ~at:(Engine.now () +. one_way t src dst +. extra) k
+
+let dispatch t ~from svc req ~on_reply =
+  transmit t ~src:from ~dst:svc.svc_loc ~label:svc.svc_name (fun () ->
+      Engine.spawn ~name:svc.svc_name (fun () ->
+          let resp = svc.handler req in
+          transmit t ~src:svc.svc_loc ~dst:from
+            ~label:(svc.svc_name ^ ":reply")
+            (fun () -> on_reply resp)))
+
+let call t ~from svc req =
+  let iv = Ivar.create () in
+  dispatch t ~from svc req ~on_reply:(fun resp -> Ivar.try_fill iv resp |> ignore);
+  Ivar.read iv
+
+let call_timeout t ~from ~timeout svc req =
+  let iv = Ivar.create () in
+  dispatch t ~from svc req ~on_reply:(fun resp ->
+      Ivar.try_fill iv (Some resp) |> ignore);
+  Engine.schedule ~at:(Engine.now () +. timeout) (fun () ->
+      Ivar.try_fill iv None |> ignore);
+  Ivar.read iv
+
+let post t ~from svc req =
+  dispatch t ~from svc req ~on_reply:(fun _ -> ())
+
+let messages_sent t = t.sent
+
+let messages_dropped t = t.dropped

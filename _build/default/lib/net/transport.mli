@@ -1,0 +1,61 @@
+(** Simulated wide-area message transport.
+
+    A [t] carries messages between locations with latency sampled from the
+    RTT matrix plus multiplicative jitter, giving medians that match the
+    configured matrix and a realistic p99 tail. Services are typed request
+    handlers; every incoming request runs in its own fiber so a slow
+    handler does not serialize the service.
+
+    Fault injection hooks decide per message whether it is delivered,
+    dropped, or delayed — used by the tests to exercise lost followups and
+    late messages in the LVI protocol. *)
+
+type t
+
+type fault = Deliver | Drop | Delay of float
+
+val create :
+  ?rtt:(Location.t -> Location.t -> float) ->
+  ?jitter_sigma:float ->
+  rng:Sim.Rng.t ->
+  unit ->
+  t
+(** [create ~rng ()] uses [Location.rtt] and a log-normal jitter with the
+    given sigma (default 0.05; 0.0 disables jitter). *)
+
+val one_way : t -> Location.t -> Location.t -> float
+(** Sample a one-way delay (RTT/2 × jitter). *)
+
+val set_fault :
+  t -> (src:Location.t -> dst:Location.t -> label:string -> fault) -> unit
+(** Install a fault hook consulted once per message (requests, responses
+    and one-way posts independently). [label] is the target service's
+    name for requests and ["<name>:reply"] for responses, letting tests
+    drop, say, only followup messages. *)
+
+val clear_fault : t -> unit
+
+type ('req, 'resp) service
+
+val serve :
+  t -> loc:Location.t -> name:string -> ('req -> 'resp) -> ('req, 'resp) service
+(** Register a handler at a location. The handler may block. *)
+
+val service_location : ('req, 'resp) service -> Location.t
+
+val call : t -> from:Location.t -> ('req, 'resp) service -> 'req -> 'resp
+(** Round-trip RPC. If the request or response is dropped the caller
+    blocks forever — use [call_timeout] when faults are active. *)
+
+val call_timeout :
+  t -> from:Location.t -> timeout:float -> ('req, 'resp) service -> 'req ->
+  'resp option
+(** Like [call] but returns [None] if no response arrived in [timeout]. *)
+
+val post : t -> from:Location.t -> ('req, 'resp) service -> 'req -> unit
+(** One-way, fire-and-forget message; the response is discarded. Returns
+    immediately. *)
+
+val messages_sent : t -> int
+
+val messages_dropped : t -> int

@@ -1,0 +1,1 @@
+lib/raft/consensus.ml: Array Engine Float Hashtbl Int Ivar List Net Option Printf Rng Sim Vec

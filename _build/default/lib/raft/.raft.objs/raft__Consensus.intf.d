@@ -1,0 +1,1 @@
+lib/raft/consensus.mli: Net

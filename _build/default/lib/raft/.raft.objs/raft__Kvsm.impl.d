@@ -1,0 +1,1 @@
+lib/raft/kvsm.ml: Hashtbl List

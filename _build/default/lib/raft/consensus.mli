@@ -1,0 +1,109 @@
+(** Raft consensus (Ongaro & Ousterhout, ATC '14) over the simulated
+    network.
+
+    This is the substrate behind the replicated LVI server of §5.6: the
+    paper stores locks in a three-node etcd cluster spread across
+    availability zones, so every lock acquisition travels through Raft.
+    The implementation covers leader election with randomized timeouts,
+    log replication with the AppendEntries consistency check and conflict
+    truncation, commit-rule application (current-term entries only),
+    crash/restart with persistent term/vote/log and in-memory state
+    machines rebuilt by replay. Snapshots and membership changes are out
+    of scope — the lock service never needs them in the evaluation.
+
+    The replicated state machine is supplied as a functor argument. *)
+
+module type State_machine = sig
+  type t
+
+  type cmd
+
+  type output
+
+  val apply : t -> cmd -> output
+  (** Must be deterministic; called exactly once per committed entry per
+      (live) replica, in log order. *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  (** Serialize the current state for log compaction. *)
+
+  val restore : snapshot -> t
+end
+
+module Make (Sm : State_machine) : sig
+  type cluster
+
+  type node_id = int
+
+  val create :
+    net:Net.Transport.t ->
+    locs:Net.Location.t list ->
+    sm:(unit -> Sm.t) ->
+    ?election_timeout:float * float ->
+    ?heartbeat_interval:float ->
+    ?rpc_timeout:float ->
+    ?compaction_threshold:int ->
+    unit ->
+    cluster
+  (** One node per element of [locs] (normally three availability zones).
+      [sm] builds a fresh state machine per node (and per restart —
+      recovery replays the log). Defaults: election timeout uniform in
+      [150, 300) ms, heartbeats every 40 ms, RPC timeout 50 ms. Must be
+      called inside a running engine; nodes start as followers and elect
+      a leader on their own. With [compaction_threshold] set, a node
+      whose applied-but-uncompacted log reaches that many entries folds
+      the prefix into a state-machine snapshot; followers that lag
+      behind a compacted prefix catch up via snapshot installation. *)
+
+  val size : cluster -> int
+
+  val submit : ?timeout:float -> cluster -> Sm.cmd -> Sm.output option
+  (** Replicate and apply one command; blocks until the leader applied it
+      and returns its output. Retries internally across leader changes
+      until [timeout] (default 1000 ms) virtual time has passed; [None]
+      on timeout (e.g. no quorum alive). At-least-once on retry: a
+      command re-submitted after a lost reply may apply twice — callers
+      needing exactly-once must make commands idempotent, as the LVI
+      server's lock records are. Snapshots and log compaction are
+      supported; membership change is not. *)
+
+  val leader : cluster -> node_id option
+  (** The live node that currently believes itself leader, if any. *)
+
+  val crash : cluster -> node_id -> unit
+  (** Stop a node: it ignores messages and loses volatile state. *)
+
+  val restart : cluster -> node_id -> unit
+  (** Revive a crashed node with its persistent state (term, vote, log);
+      the state machine is rebuilt by replaying committed entries. *)
+
+  val stop : cluster -> unit
+  (** Crash every node. The cluster's perpetual fibers (election tickers,
+      heartbeats) terminate on their next wakeup, letting the simulation
+      reach quiescence — call this when an experiment is done, since
+      [Engine.run] without [~until] only returns once no event remains. *)
+
+  val is_alive : cluster -> node_id -> bool
+
+  val current_term : cluster -> node_id -> int
+
+  val log_length : cluster -> node_id -> int
+  (** Logical log length (snapshot prefix included). *)
+
+  val snapshot_index : cluster -> node_id -> int
+  (** Last log index folded into the node's snapshot; 0 if none. *)
+
+  val stored_entries : cluster -> node_id -> int
+  (** Entries physically retained after compaction. *)
+
+  val commit_index : cluster -> node_id -> int
+
+  val applied : cluster -> node_id -> Sm.cmd list
+  (** Commands applied by this node's state machine, oldest first. *)
+
+  val leaders_at_term : cluster -> int -> node_id list
+  (** Every node that ever won the given term — safety tests assert the
+      list never has two elements. *)
+end

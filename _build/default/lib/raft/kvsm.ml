@@ -1,0 +1,29 @@
+type t = (string, string) Hashtbl.t
+
+type cmd = Set of string * string | Get of string | Del of string
+
+type output = Done | Value of string option
+
+let create () = Hashtbl.create 64
+
+let apply t = function
+  | Set (k, v) ->
+      Hashtbl.replace t k v;
+      Done
+  | Get k -> Value (Hashtbl.find_opt t k)
+  | Del k ->
+      Hashtbl.remove t k;
+      Done
+
+let peek t k = Hashtbl.find_opt t k
+
+let size t = Hashtbl.length t
+
+type snapshot = (string * string) list
+
+let snapshot t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+
+let restore snap =
+  let t = create () in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) snap;
+  t

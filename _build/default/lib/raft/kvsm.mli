@@ -1,0 +1,25 @@
+(** A small key-value state machine to replicate with {!Consensus.Make}.
+
+    Used directly by the Raft tests, and by the replicated LVI server to
+    persist lock records through consensus (the etcd role in §5.6). *)
+
+type t
+
+type cmd = Set of string * string | Get of string | Del of string
+
+type output = Done | Value of string option
+
+val create : unit -> t
+
+val apply : t -> cmd -> output
+
+val peek : t -> string -> string option
+(** Direct read bypassing the log — test assertions only. *)
+
+val size : t -> int
+
+type snapshot = (string * string) list
+
+val snapshot : t -> snapshot
+
+val restore : snapshot -> t

@@ -1,0 +1,131 @@
+open Effect
+open Effect.Deep
+
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  events : event Pqueue.t;
+  root_rng : Rng.t;
+  mutable fibers : int;
+  mutable processed : int;
+  mutable failure : exn option;
+}
+
+exception Not_running
+exception Fiber_error of string * exn
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  {
+    now = 0.0;
+    seq = 0;
+    events = Pqueue.create ~cmp:compare_event;
+    root_rng = Rng.create seed;
+    fibers = 0;
+    processed = 0;
+    failure = None;
+  }
+
+(* The engine currently executing; set for the duration of [run]. The
+   simulator is strictly single-domain, so a plain ref is safe. *)
+let current : t option ref = ref None
+
+let get () = match !current with Some t -> t | None -> raise Not_running
+
+let push t ~at run =
+  let time = Float.max at t.now in
+  Pqueue.push t.events { time; seq = t.seq; run };
+  t.seq <- t.seq + 1
+
+let schedule ~at run = push (get ()) ~at run
+
+let now () = (get ()).now
+
+let rng () = (get ()).root_rng
+
+let events_processed t = t.processed
+
+let live_fibers t = t.fibers
+
+let sleep d = perform (Sleep d)
+
+let yield () = perform (Sleep 0.0)
+
+let suspend register = perform (Suspend register)
+
+let run_fiber t name f =
+  t.fibers <- t.fibers + 1;
+  match_with f ()
+    {
+      retc = (fun () -> t.fibers <- t.fibers - 1);
+      exnc =
+        (fun e ->
+          t.fibers <- t.fibers - 1;
+          if t.failure = None then t.failure <- Some (Fiber_error (name, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  push t ~at:(t.now +. Float.max 0.0 d) (fun () ->
+                      continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let resumed = ref false in
+                  let resume v =
+                    if !resumed then
+                      invalid_arg "Engine.suspend: resumed twice"
+                    else begin
+                      resumed := true;
+                      push t ~at:t.now (fun () -> continue k v)
+                    end
+                  in
+                  register resume)
+          | _ -> None);
+    }
+
+let spawn ?(name = "fiber") f =
+  let t = get () in
+  push t ~at:t.now (fun () -> run_fiber t name f)
+
+let run ?until t main =
+  (match !current with
+  | Some _ -> invalid_arg "Engine.run: an engine is already running"
+  | None -> ());
+  current := Some t;
+  let finish () = current := None in
+  (try
+     push t ~at:t.now (fun () -> run_fiber t "main" main);
+     let continue_loop = ref true in
+     while !continue_loop && t.failure = None do
+       match Pqueue.peek t.events with
+       | None -> continue_loop := false
+       | Some ev -> (
+           match until with
+           | Some limit when ev.time > limit -> continue_loop := false
+           | _ ->
+               ignore (Pqueue.pop t.events);
+               t.now <- ev.time;
+               t.processed <- t.processed + 1;
+               ev.run ())
+     done
+   with e ->
+     finish ();
+     raise e);
+  finish ();
+  match t.failure with
+  | Some e ->
+      t.failure <- None;
+      raise e
+  | None -> ()

@@ -1,0 +1,29 @@
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+      t.state <- Full v;
+      (* Wake in FIFO order: waiters were consed, so reverse. *)
+      List.iter (fun resume -> resume v) (List.rev waiters);
+      true
+
+let fill t v = if not (try_fill t v) then invalid_arg "Ivar.fill: already full"
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+      Engine.suspend (fun resume ->
+          match t.state with
+          | Full v -> resume v
+          | Empty waiters -> t.state <- Empty (resume :: waiters))
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false

@@ -1,0 +1,22 @@
+(** Write-once synchronization variables for fibers.
+
+    An ivar starts empty; [fill] transitions it to full exactly once and
+    wakes every fiber blocked in [read]. Reads after the fill return
+    immediately. The canonical building block for RPC replies. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if already full. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like [fill] but returns [false] instead of raising when full. *)
+
+val read : 'a t -> 'a
+(** Block the calling fiber until the ivar is full, then return its value. *)
+
+val peek : 'a t -> 'a option
+
+val is_full : 'a t -> bool

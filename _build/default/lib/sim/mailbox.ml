@@ -1,0 +1,41 @@
+type 'a waiter = { deliver : 'a -> unit; mutable live : bool }
+
+type 'a t = { messages : 'a Queue.t; waiters : 'a waiter Queue.t }
+
+let create () = { messages = Queue.create (); waiters = Queue.create () }
+
+let rec next_live_waiter t =
+  match Queue.take_opt t.waiters with
+  | None -> None
+  | Some w -> if w.live then Some w else next_live_waiter t
+
+let send t v =
+  match next_live_waiter t with
+  | Some w ->
+      w.live <- false;
+      w.deliver v
+  | None -> Queue.push v t.messages
+
+let recv_opt t = Queue.take_opt t.messages
+
+let recv t =
+  match Queue.take_opt t.messages with
+  | Some v -> v
+  | None ->
+      Engine.suspend (fun resume ->
+          Queue.push { deliver = resume; live = true } t.waiters)
+
+let recv_timeout t d =
+  match Queue.take_opt t.messages with
+  | Some v -> Some v
+  | None ->
+      Engine.suspend (fun resume ->
+          let w = { deliver = (fun v -> resume (Some v)); live = true } in
+          Queue.push w t.waiters;
+          Engine.schedule ~at:(Engine.now () +. d) (fun () ->
+              if w.live then begin
+                w.live <- false;
+                resume None
+              end))
+
+let length t = Queue.length t.messages

@@ -1,0 +1,23 @@
+(** Unbounded FIFO channels between fibers.
+
+    [send] never blocks; [recv] blocks the calling fiber until a message is
+    available. Messages are delivered in send order and each message is
+    received by exactly one fiber (waiters are served FIFO). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+
+val recv_opt : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val recv_timeout : 'a t -> float -> 'a option
+(** [recv_timeout t d] blocks for at most virtual duration [d]; returns
+    [None] on timeout. *)
+
+val length : 'a t -> int
+(** Number of queued, undelivered messages. *)

@@ -1,0 +1,60 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a tiny, high-quality, splittable
+   generator. State is a single 64-bit counter advanced by the golden-gamma
+   constant; outputs are a finalizing hash of the state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = mix (bits64 t) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Reject the sliver of the 62-bit range that would bias the modulus. *)
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let rec loop () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod n in
+    if r - v + (n - 1) < 0 then loop () else v
+  in
+  loop ()
+
+let float t x =
+  (* 53 uniform bits into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits /. 9007199254740992.0 *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform t lo hi = lo +. float t (hi -. lo)
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* 1 - u is in (0, 1], keeping log finite. *)
+  -.mean *. log (1.0 -. u)
+
+let lognormal t ~mu ~sigma =
+  (* Box–Muller transform. *)
+  let u1 = 1.0 -. float t 1.0 in
+  let u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

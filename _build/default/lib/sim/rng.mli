@@ -1,0 +1,38 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the simulator flows from one of these
+    generators so that a run is fully reproducible from its seed. [split]
+    derives an independent child stream, letting subsystems (network jitter,
+    workload sampling, fault injection) evolve without perturbing each
+    other's sequences. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** Derive an independent generator; advances [t] by one step. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normally distributed sample; used for latency tails. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,18 @@
+type state = Armed | Fired | Cancelled
+
+type t = { mutable state : state }
+
+let after d f =
+  let t = { state = Armed } in
+  Engine.schedule ~at:(Engine.now () +. d) (fun () ->
+      if t.state = Armed then begin
+        t.state <- Fired;
+        Engine.spawn ~name:"timer" f
+      end);
+  t
+
+let cancel t = if t.state = Armed then t.state <- Cancelled
+
+let fired t = t.state = Fired
+
+let cancelled t = t.state = Cancelled

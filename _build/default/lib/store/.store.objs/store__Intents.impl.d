@@ -1,0 +1,1 @@
+lib/store/intents.ml: Hashtbl Sim

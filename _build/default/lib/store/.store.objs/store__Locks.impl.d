@@ -1,0 +1,1 @@
+lib/store/locks.ml: Hashtbl List Option Printf Queue Sim String

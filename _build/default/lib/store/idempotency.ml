@@ -1,0 +1,16 @@
+type t = { table : (string, unit) Hashtbl.t; latency : float }
+
+let create ?(access_latency = 3.0) () =
+  { table = Hashtbl.create 64; latency = access_latency }
+
+let register t ~exec_id =
+  Sim.Engine.sleep t.latency;
+  if Hashtbl.mem t.table exec_id then false
+  else begin
+    Hashtbl.replace t.table exec_id ();
+    true
+  end
+
+let seen t ~exec_id = Hashtbl.mem t.table exec_id
+
+let count t = Hashtbl.length t.table

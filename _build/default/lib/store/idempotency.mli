@@ -1,0 +1,20 @@
+(** Idempotency-key table used by the replicated LVI server (§5.6).
+
+    One key per function execution guarantees a function runs at most
+    twice per user request: once near-user and at most once near-storage.
+    The paper measures 3 ms to write and update a key in DynamoDB; that
+    is this table's default access latency. *)
+
+type t
+
+val create : ?access_latency:float -> unit -> t
+
+val register : t -> exec_id:string -> bool
+(** Record that a near-storage execution is claiming [exec_id]. Returns
+    [true] on first registration, [false] if already claimed (the caller
+    must not execute). *)
+
+val seen : t -> exec_id:string -> bool
+(** Latency-free inspection. *)
+
+val count : t -> int

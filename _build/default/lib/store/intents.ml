@@ -1,0 +1,35 @@
+type status = Pending | Completed
+
+type t = { table : (string, status) Hashtbl.t; latency : float }
+
+let create ?(access_latency = 6.0) () =
+  { table = Hashtbl.create 64; latency = access_latency }
+
+let pay t = Sim.Engine.sleep t.latency
+
+let peek t ~exec_id = Hashtbl.find_opt t.table exec_id
+
+let put t ~exec_id =
+  pay t;
+  if Hashtbl.mem t.table exec_id then
+    invalid_arg ("Intents.put: duplicate intent " ^ exec_id);
+  Hashtbl.replace t.table exec_id Pending
+
+let status t ~exec_id =
+  pay t;
+  peek t ~exec_id
+
+let try_complete t ~exec_id =
+  pay t;
+  match Hashtbl.find_opt t.table exec_id with
+  | Some Pending ->
+      Hashtbl.replace t.table exec_id Completed;
+      true
+  | Some Completed | None -> false
+
+let remove t ~exec_id =
+  pay t;
+  Hashtbl.remove t.table exec_id
+
+let pending_count t =
+  Hashtbl.fold (fun _ s acc -> if s = Pending then acc + 1 else acc) t.table 0

@@ -1,0 +1,128 @@
+type mode = Read | Write
+
+type waiter = { w_mode : mode; w_owner : string; w_resume : unit -> unit }
+
+type kstate = {
+  mutable readers : string list;
+  mutable writer : string option;
+  queue : waiter Queue.t;
+}
+
+type t = {
+  keys : (string, kstate) Hashtbl.t;
+  held : (string, (string * mode) list) Hashtbl.t; (* owner -> locks *)
+  mutable granted : int;
+  mutable contended : int;
+}
+
+let create () =
+  { keys = Hashtbl.create 256; held = Hashtbl.create 64; granted = 0; contended = 0 }
+
+let kstate t key =
+  match Hashtbl.find_opt t.keys key with
+  | Some ks -> ks
+  | None ->
+      let ks = { readers = []; writer = None; queue = Queue.create () } in
+      Hashtbl.add t.keys key ks;
+      ks
+
+let free_now ks mode =
+  match mode with
+  | Read -> ks.writer = None && Queue.is_empty ks.queue
+  | Write -> ks.writer = None && ks.readers = [] && Queue.is_empty ks.queue
+
+let grant t ks owner mode =
+  (match mode with
+  | Read -> ks.readers <- ks.readers @ [ owner ]
+  | Write -> ks.writer <- Some owner);
+  t.granted <- t.granted + 1
+
+let record_held t owner key mode =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.held owner) in
+  Hashtbl.replace t.held owner (prev @ [ (key, mode) ])
+
+let acquire_one t ~owner key mode =
+  let ks = kstate t key in
+  if free_now ks mode then grant t ks owner mode
+  else begin
+    t.contended <- t.contended + 1;
+    Sim.Engine.suspend (fun resume ->
+        Queue.push { w_mode = mode; w_owner = owner; w_resume = (fun () -> resume ()) }
+          ks.queue)
+  end;
+  record_held t owner key mode
+
+(* Wake waiters at the front of the queue that are compatible with the
+   holders left after a release. Grants happen here (synchronously) so a
+   newly arriving request cannot overtake a waiter that was just woken. *)
+let drain t ks =
+  let rec loop () =
+    match Queue.peek_opt ks.queue with
+    | None -> ()
+    | Some w -> (
+        match w.w_mode with
+        | Read when ks.writer = None ->
+            ignore (Queue.pop ks.queue);
+            grant t ks w.w_owner Read;
+            w.w_resume ();
+            loop ()
+        | Write when ks.writer = None && ks.readers = [] ->
+            ignore (Queue.pop ks.queue);
+            grant t ks w.w_owner Write;
+            w.w_resume ()
+        | Read | Write -> ())
+  in
+  loop ()
+
+let release_one t ~owner key mode =
+  match Hashtbl.find_opt t.keys key with
+  | None -> ()
+  | Some ks ->
+      (match mode with
+      | Read -> ks.readers <- List.filter (fun o -> o <> owner) ks.readers
+      | Write -> if ks.writer = Some owner then ks.writer <- None);
+      drain t ks
+
+let acquire t ~owner locks =
+  if Hashtbl.mem t.held owner then
+    invalid_arg (Printf.sprintf "Locks.acquire: %s already holds locks" owner);
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) locks
+  in
+  let rec check_dups = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg ("Locks.acquire: duplicate key " ^ a)
+        else check_dups rest
+    | [ _ ] | [] -> ()
+  in
+  check_dups sorted;
+  Hashtbl.replace t.held owner [];
+  List.iter (fun (key, mode) -> acquire_one t ~owner key mode) sorted
+
+let release t ~owner =
+  match Hashtbl.find_opt t.held owner with
+  | None -> ()
+  | Some locks ->
+      Hashtbl.remove t.held owner;
+      List.iter (fun (key, mode) -> release_one t ~owner key mode) locks
+
+let holders t key =
+  match Hashtbl.find_opt t.keys key with
+  | None -> None
+  | Some ks -> (
+      match (ks.writer, ks.readers) with
+      | Some o, _ -> Some (Write, [ o ])
+      | None, [] -> None
+      | None, readers -> Some (Read, readers))
+
+let held_by t ~owner = Option.value ~default:[] (Hashtbl.find_opt t.held owner)
+
+let waiting t key =
+  match Hashtbl.find_opt t.keys key with
+  | None -> 0
+  | Some ks -> Queue.length ks.queue
+
+let acquisitions t = t.granted
+
+let contended_acquisitions t = t.contended

@@ -1,0 +1,40 @@
+(** Read/write lock table for the LVI server.
+
+    Each key has an independent read/write lock with a FIFO wait queue
+    (no overtaking, so writers are not starved). [acquire] takes every
+    lock an execution needs in ascending key order — the paper's
+    lexicographic sort (§3.6) — which precludes deadlock between
+    concurrent LVI requests. Acquisition itself adds no virtual latency:
+    the singleton server keeps the table in memory; the replicated
+    variant built on Raft charges consensus latency separately. *)
+
+type t
+
+type mode = Read | Write
+
+val create : unit -> t
+
+val acquire : t -> owner:string -> (string * mode) list -> unit
+(** Block until every listed lock is held by [owner]. Keys must be
+    distinct; raises [Invalid_argument] on duplicates or if [owner]
+    already holds locks. *)
+
+val release : t -> owner:string -> unit
+(** Release every lock held by [owner]; wakes eligible waiters FIFO.
+    No-op for an unknown owner. *)
+
+val holders : t -> string -> (mode * string list) option
+(** Current holders of a key's lock: [(Write, [o])] or [(Read, owners)];
+    [None] if free. *)
+
+val held_by : t -> owner:string -> (string * mode) list
+(** Locks currently held by an owner, in acquisition order. *)
+
+val waiting : t -> string -> int
+(** Number of queued waiters on a key. *)
+
+val acquisitions : t -> int
+(** Total locks granted so far. *)
+
+val contended_acquisitions : t -> int
+(** Locks that had to wait before being granted. *)

@@ -1,0 +1,1 @@
+lib/wasm/codec.ml: Array Buffer Char Dval Instr Int64 List Printf String Wmodule

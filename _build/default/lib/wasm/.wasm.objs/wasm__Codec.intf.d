@@ -1,0 +1,1 @@
+lib/wasm/codec.mli: Wmodule

@@ -1,0 +1,1 @@
+lib/wasm/host.ml: Dval Hashtbl List

@@ -1,0 +1,1 @@
+lib/wasm/host.mli: Dval

@@ -1,0 +1,1 @@
+lib/wasm/instr.ml: Dval Format

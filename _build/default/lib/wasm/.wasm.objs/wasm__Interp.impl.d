@@ -1,0 +1,1 @@
+lib/wasm/interp.ml: Array Dval Host Instr Int64 List Printf Sim String Wmodule

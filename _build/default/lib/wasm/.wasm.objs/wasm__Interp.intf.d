@@ -1,0 +1,1 @@
+lib/wasm/interp.mli: Dval Host Wmodule

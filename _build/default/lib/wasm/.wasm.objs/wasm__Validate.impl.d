@@ -1,0 +1,1 @@
+lib/wasm/validate.ml: Array Format Host Instr List Printf Wmodule

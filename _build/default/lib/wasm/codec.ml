@@ -1,0 +1,242 @@
+let magic = "RWSM\x01"
+
+(* --- Encoding -------------------------------------------------------- *)
+
+let put_uleb buf n =
+  if n < 0 then invalid_arg "Codec.put_uleb: negative";
+  let rec go n =
+    let byte = n land 0x7f in
+    let rest = n lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go n
+
+let put_i64 buf i =
+  for shift = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical i (shift * 8)) 0xFFL)))
+  done
+
+let put_str buf s =
+  put_uleb buf (String.length s);
+  Buffer.add_string buf s
+
+let rec put_dval buf (d : Dval.t) =
+  match d with
+  | Unit -> Buffer.add_char buf '\x00'
+  | Bool false -> Buffer.add_char buf '\x01'
+  | Bool true -> Buffer.add_char buf '\x02'
+  | Int i ->
+      Buffer.add_char buf '\x03';
+      put_i64 buf i
+  | Str s ->
+      Buffer.add_char buf '\x04';
+      put_str buf s
+  | List xs ->
+      Buffer.add_char buf '\x05';
+      put_uleb buf (List.length xs);
+      List.iter (put_dval buf) xs
+  | Record fs ->
+      Buffer.add_char buf '\x06';
+      put_uleb buf (List.length fs);
+      List.iter
+        (fun (k, v) ->
+          put_str buf k;
+          put_dval buf v)
+        fs
+
+let binop_code (op : Instr.binop) =
+  match op with
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div_s -> 3 | Rem_s -> 4
+  | And -> 5 | Or -> 6 | Xor -> 7 | Eq -> 8 | Ne -> 9
+  | Lt_s -> 10 | Gt_s -> 11 | Le_s -> 12 | Ge_s -> 13
+  [@@ocamlformat "disable"]
+
+let binop_of_code = function
+  | 0 -> Instr.Add | 1 -> Instr.Sub | 2 -> Instr.Mul | 3 -> Instr.Div_s
+  | 4 -> Instr.Rem_s | 5 -> Instr.And | 6 -> Instr.Or | 7 -> Instr.Xor
+  | 8 -> Instr.Eq | 9 -> Instr.Ne | 10 -> Instr.Lt_s | 11 -> Instr.Gt_s
+  | 12 -> Instr.Le_s | 13 -> Instr.Ge_s
+  | c -> failwith (Printf.sprintf "bad binop code %d" c)
+  [@@ocamlformat "disable"]
+
+let rec put_instr buf (i : Instr.t) =
+  match i with
+  | I64_const v ->
+      Buffer.add_char buf '\x01';
+      put_i64 buf v
+  | I64_binop op ->
+      Buffer.add_char buf '\x02';
+      Buffer.add_char buf (Char.chr (binop_code op))
+  | I64_eqz -> Buffer.add_char buf '\x03'
+  | Ref_const d ->
+      Buffer.add_char buf '\x04';
+      put_dval buf d
+  | Local_get n ->
+      Buffer.add_char buf '\x05';
+      put_uleb buf n
+  | Local_set n ->
+      Buffer.add_char buf '\x06';
+      put_uleb buf n
+  | Local_tee n ->
+      Buffer.add_char buf '\x07';
+      put_uleb buf n
+  | Drop -> Buffer.add_char buf '\x08'
+  | Block body ->
+      Buffer.add_char buf '\x09';
+      put_body buf body
+  | Loop body ->
+      Buffer.add_char buf '\x0a';
+      put_body buf body
+  | If (t, e) ->
+      Buffer.add_char buf '\x0b';
+      put_body buf t;
+      put_body buf e
+  | Br n ->
+      Buffer.add_char buf '\x0c';
+      put_uleb buf n
+  | Br_if n ->
+      Buffer.add_char buf '\x0d';
+      put_uleb buf n
+  | Return -> Buffer.add_char buf '\x0e'
+  | Call n ->
+      Buffer.add_char buf '\x0f';
+      put_uleb buf n
+  | Call_host name ->
+      Buffer.add_char buf '\x10';
+      put_str buf name
+  | Nop -> Buffer.add_char buf '\x11'
+  | Unreachable -> Buffer.add_char buf '\x12'
+
+and put_body buf instrs =
+  put_uleb buf (List.length instrs);
+  List.iter (put_instr buf) instrs
+
+let encode (m : Wmodule.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  put_uleb buf (List.length m.imports);
+  List.iter (put_str buf) m.imports;
+  put_uleb buf (Array.length m.funcs);
+  Array.iter
+    (fun (f : Wmodule.func) ->
+      put_str buf f.fn_name;
+      put_uleb buf f.n_params;
+      put_uleb buf f.n_locals;
+      put_body buf f.body)
+    m.funcs;
+  Buffer.contents buf
+
+let blob_size m = String.length (encode m)
+
+(* --- Decoding -------------------------------------------------------- *)
+
+exception Bad of string
+
+type reader = { data : string; mutable pos : int }
+
+let byte r =
+  if r.pos >= String.length r.data then raise (Bad "truncated");
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_uleb r =
+  let rec go shift acc =
+    if shift > 56 then raise (Bad "uleb overflow");
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let get_i64 r =
+  let v = ref 0L in
+  for shift = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte r)) (shift * 8))
+  done;
+  !v
+
+let get_str r =
+  let n = get_uleb r in
+  if r.pos + n > String.length r.data then raise (Bad "truncated string");
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let rec get_dval r : Dval.t =
+  match byte r with
+  | 0x00 -> Unit
+  | 0x01 -> Bool false
+  | 0x02 -> Bool true
+  | 0x03 -> Int (get_i64 r)
+  | 0x04 -> Str (get_str r)
+  | 0x05 ->
+      let n = get_uleb r in
+      List (List.init n (fun _ -> get_dval r))
+  | 0x06 ->
+      let n = get_uleb r in
+      Record
+        (List.init n (fun _ ->
+             let k = get_str r in
+             let v = get_dval r in
+             (k, v)))
+  | t -> raise (Bad (Printf.sprintf "bad value tag 0x%02x" t))
+
+let rec get_instr r : Instr.t =
+  match byte r with
+  | 0x01 -> I64_const (get_i64 r)
+  | 0x02 -> I64_binop (binop_of_code (byte r))
+  | 0x03 -> I64_eqz
+  | 0x04 -> Ref_const (get_dval r)
+  | 0x05 -> Local_get (get_uleb r)
+  | 0x06 -> Local_set (get_uleb r)
+  | 0x07 -> Local_tee (get_uleb r)
+  | 0x08 -> Drop
+  | 0x09 -> Block (get_body r)
+  | 0x0a -> Loop (get_body r)
+  | 0x0b ->
+      let t = get_body r in
+      let e = get_body r in
+      If (t, e)
+  | 0x0c -> Br (get_uleb r)
+  | 0x0d -> Br_if (get_uleb r)
+  | 0x0e -> Return
+  | 0x0f -> Call (get_uleb r)
+  | 0x10 -> Call_host (get_str r)
+  | 0x11 -> Nop
+  | 0x12 -> Unreachable
+  | c -> raise (Bad (Printf.sprintf "bad opcode 0x%02x" c))
+
+and get_body r =
+  let n = get_uleb r in
+  List.init n (fun _ -> get_instr r)
+
+let decode data =
+  try
+    let r = { data; pos = 0 } in
+    if
+      String.length data < String.length magic
+      || String.sub data 0 (String.length magic) <> magic
+    then raise (Bad "bad magic");
+    r.pos <- String.length magic;
+    let n_imports = get_uleb r in
+    let imports = List.init n_imports (fun _ -> get_str r) in
+    let n_funcs = get_uleb r in
+    let funcs =
+      List.init n_funcs (fun _ ->
+          let fn_name = get_str r in
+          let n_params = get_uleb r in
+          let n_locals = get_uleb r in
+          let body = get_body r in
+          { Wmodule.fn_name; n_params; n_locals; body })
+    in
+    if r.pos <> String.length data then raise (Bad "trailing bytes");
+    Ok (Wmodule.create ~funcs ~imports)
+  with
+  | Bad reason -> Error reason
+  | Failure reason -> Error reason

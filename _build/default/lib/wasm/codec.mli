@@ -1,0 +1,15 @@
+(** Binary encoding of modules — the "blob" a registered function ships
+    to the cloud and the runtime loads from disk (§5.5 component 2).
+
+    A compact custom format in the spirit of the WebAssembly binary
+    format: a magic header, LEB128-style variable-length integers,
+    length-prefixed strings, one opcode byte per instruction with nested
+    bodies length-counted. Decoding validates structure and fails on
+    trailing garbage, bad opcodes, or truncation. *)
+
+val encode : Wmodule.t -> string
+
+val decode : string -> (Wmodule.t, string) result
+
+val blob_size : Wmodule.t -> int
+(** [String.length (encode m)]. *)

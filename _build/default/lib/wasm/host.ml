@@ -1,0 +1,60 @@
+type t = {
+  read : string -> Dval.t;
+  write : string -> Dval.t -> unit;
+  compute : float -> unit;
+  external_call : string -> Dval.t -> Dval.t;
+}
+
+let pure () =
+  {
+    read = (fun _ -> Dval.Unit);
+    write = (fun _ _ -> ());
+    compute = (fun _ -> ());
+    external_call = (fun _ _ -> Dval.Unit);
+  }
+
+let recording ?(store = []) () =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) store;
+  let writes = ref [] in
+  let host =
+    {
+      read =
+        (fun k -> match Hashtbl.find_opt tbl k with Some v -> v | None -> Dval.Unit);
+      write =
+        (fun k v ->
+          Hashtbl.replace tbl k v;
+          writes := (k, v) :: !writes);
+      compute = (fun _ -> ());
+      external_call = (fun _ _ -> Dval.Unit);
+    }
+  in
+  (host, fun () -> List.rev !writes)
+
+let storage_imports =
+  [ "storage.read"; "storage.write"; "cpu.burn"; "external.call" ]
+
+let pure_imports =
+  [
+    "dval.to_i64";
+    "dval.of_i64";
+    "dval.of_bool";
+    "dval.truthy";
+    "dval.eq";
+    "str.concat";
+    "str.of_i64";
+    "str.eq";
+    "list.empty";
+    "list.append";
+    "list.prepend";
+    "list.len";
+    "list.get";
+    "list.take";
+    "list.concat";
+    "record.new";
+    "record.set";
+    "record.get";
+    "unit";
+  ]
+
+let forbidden_imports = [ "wasi.clock_time_get"; "wasi.random_get" ]

@@ -1,0 +1,40 @@
+(** Host environment a module is instantiated against.
+
+    The three impure imports are injected by the embedder: the near-user
+    runtime wires [read]/[write] to its cache-backed storage library and
+    [compute] to the virtual clock; the LVI server wires them straight to
+    primary storage for backup execution and deterministic re-execution.
+    Everything else a module may import is a pure builtin implemented by
+    the interpreter. *)
+
+type t = {
+  read : string -> Dval.t;
+      (** Storage read by key. Absent keys should be returned as
+          [Dval.Unit] by the embedder. *)
+  write : string -> Dval.t -> unit;  (** Storage write. *)
+  compute : float -> unit;
+      (** Burn the given CPU time in milliseconds (virtual). *)
+  external_call : string -> Dval.t -> Dval.t;
+      (** Call an external service (§3.5). The embedder supplies the
+          idempotency-keyed dispatcher; by contract the provider
+          executes at most once per request. *)
+}
+
+val pure : unit -> t
+(** A host with no storage and a no-op clock: reads return [Dval.Unit],
+    writes are dropped. For testing pure computations. *)
+
+val recording : ?store:(string * Dval.t) list -> unit -> t * (unit -> (string * Dval.t) list)
+(** A host over an in-memory association store; the second component
+    returns the writes performed so far, oldest first. *)
+
+val storage_imports : string list
+(** Names of the impure storage/compute imports. *)
+
+val pure_imports : string list
+(** Names of the deterministic pure builtins. *)
+
+val forbidden_imports : string list
+(** Nondeterministic imports that the validator must reject and the
+    interpreter refuses to execute ("wasi.clock_time_get",
+    "wasi.random_get"). *)

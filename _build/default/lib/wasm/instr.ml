@@ -1,0 +1,74 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div_s
+  | Rem_s
+  | And
+  | Or
+  | Xor
+  | Eq
+  | Ne
+  | Lt_s
+  | Gt_s
+  | Le_s
+  | Ge_s
+
+type t =
+  | I64_const of int64
+  | I64_binop of binop
+  | I64_eqz
+  | Ref_const of Dval.t
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Drop
+  | Block of t list
+  | Loop of t list
+  | If of t list * t list
+  | Br of int
+  | Br_if of int
+  | Return
+  | Call of int
+  | Call_host of string
+  | Nop
+  | Unreachable
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div_s -> "div_s"
+  | Rem_s -> "rem_s"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt_s -> "lt_s"
+  | Gt_s -> "gt_s"
+  | Le_s -> "le_s"
+  | Ge_s -> "ge_s"
+
+let rec pp fmt = function
+  | I64_const i -> Format.fprintf fmt "i64.const %Ld" i
+  | I64_binop op -> Format.fprintf fmt "i64.%s" (binop_name op)
+  | I64_eqz -> Format.pp_print_string fmt "i64.eqz"
+  | Ref_const v -> Format.fprintf fmt "ref.const %a" Dval.pp v
+  | Local_get i -> Format.fprintf fmt "local.get %d" i
+  | Local_set i -> Format.fprintf fmt "local.set %d" i
+  | Local_tee i -> Format.fprintf fmt "local.tee %d" i
+  | Drop -> Format.pp_print_string fmt "drop"
+  | Block body -> Format.fprintf fmt "(block %a)" pp_seq body
+  | Loop body -> Format.fprintf fmt "(loop %a)" pp_seq body
+  | If (t, f) -> Format.fprintf fmt "(if (then %a) (else %a))" pp_seq t pp_seq f
+  | Br n -> Format.fprintf fmt "br %d" n
+  | Br_if n -> Format.fprintf fmt "br_if %d" n
+  | Return -> Format.pp_print_string fmt "return"
+  | Call i -> Format.fprintf fmt "call %d" i
+  | Call_host name -> Format.fprintf fmt "call_host %s" name
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Unreachable -> Format.pp_print_string fmt "unreachable"
+
+and pp_seq fmt instrs =
+  Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "@ ") pp fmt instrs

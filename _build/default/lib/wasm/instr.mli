@@ -1,0 +1,46 @@
+(** Instruction set of the deterministic stack VM.
+
+    A compact WebAssembly-like machine: i64 numerics, locals, structured
+    control flow with relative branch depths, intra-module calls, and
+    host calls for storage access and structured-value manipulation
+    (handles play the role of externrefs). [Ref_const] materializes a
+    constant structured value into the host heap — the moral equivalent
+    of a data segment plus a pointer. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div_s (** Traps on division by zero. *)
+  | Rem_s (** Traps on division by zero. *)
+  | And
+  | Or
+  | Xor
+  | Eq
+  | Ne
+  | Lt_s
+  | Gt_s
+  | Le_s
+  | Ge_s
+
+type t =
+  | I64_const of int64
+  | I64_binop of binop (** Pops two i64s, pushes the result (bools as 0/1). *)
+  | I64_eqz
+  | Ref_const of Dval.t (** Allocate a constant in the heap, push its handle. *)
+  | Local_get of int
+  | Local_set of int
+  | Local_tee of int
+  | Drop
+  | Block of t list (** [Br 0] inside jumps past the block's end. *)
+  | Loop of t list (** [Br 0] inside jumps back to the loop's start. *)
+  | If of t list * t list (** Pops an i64 condition; acts as a block. *)
+  | Br of int
+  | Br_if of int
+  | Return
+  | Call of int (** Call a module function by index. *)
+  | Call_host of string (** Invoke an imported host function by name. *)
+  | Nop
+  | Unreachable (** Always traps. *)
+
+val pp : Format.formatter -> t -> unit

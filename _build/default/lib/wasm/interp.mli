@@ -1,0 +1,26 @@
+(** Interpreter for the deterministic VM.
+
+    Executes a validated module against a {!Host.t}. Execution is bounded
+    by fuel (one unit per instruction) so analyzer-style invocations can
+    time out; traps — type confusion, stack underflow, division by zero,
+    [Unreachable], forbidden imports, fuel exhaustion — are reported as
+    [Error]. Given equal host read results, execution is bit-for-bit
+    deterministic, which is what makes the LVI protocol's deterministic
+    re-execution (§3.4) sound. *)
+
+type outcome = (Dval.t, string) result
+
+val run :
+  Wmodule.t ->
+  host:Host.t ->
+  ?fuel:int ->
+  entry:string ->
+  Dval.t list ->
+  outcome
+(** [run m ~host ~entry args] invokes the named function with [args]
+    bound to its parameters. Default fuel is 10_000_000. Errors if the
+    entry point is missing or its arity mismatches. *)
+
+val instructions_executed : unit -> int
+(** Instructions retired by the most recent [run] (for tests and the
+    microbenchmarks). *)

@@ -1,0 +1,37 @@
+(** Static validation of modules, including the determinism check.
+
+    Radical requires registered functions not to import sources of
+    nondeterminism (§4): the validator rejects any module whose import
+    list or code mentions an import outside the deterministic whitelist
+    (storage, compute and the pure builtins). It also checks structural
+    well-formedness: call indices, local indices, branch depths, and that
+    every [Call_host] was declared in the module's import list. *)
+
+type error = { in_func : string; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : Wmodule.t -> (unit, error) result
+
+val check_stack : Wmodule.t -> (unit, error) result
+(** Static stack-discipline validation, in the style of real
+    WebAssembly validation: an abstract stack height is threaded through
+    the body with one control frame per [Block]/[Loop]/[If]; underflow
+    past a frame's base, branches to out-of-range depths, arity-wrong
+    branch targets, and bodies that do not end with exactly the
+    function's one result are all rejected before execution. Code after
+    an unconditional transfer ([Br], [Return], [Unreachable]) is
+    stack-polymorphic, as in the spec.
+
+    Block discipline (matching everything {!Fdsl.Compile} emits): blocks
+    and loops yield no values; an [If] consumes its i64 condition and
+    both arms yield exactly one value; [Br]/[Br_if] carry the target
+    frame's yield count (0 for blocks, 0 for loop headers, 1 for ifs). *)
+
+val check_all : Wmodule.t -> (unit, error) result
+(** [check] followed by [check_stack] — what function registration
+    runs. *)
+
+val deterministic : Wmodule.t -> bool
+(** True iff no declared or used import is outside the whitelist. Implied
+    by [check] succeeding. *)

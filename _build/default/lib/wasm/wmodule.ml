@@ -1,0 +1,22 @@
+type func = {
+  fn_name : string;
+  n_params : int;
+  n_locals : int;
+  body : Instr.t list;
+}
+
+type t = { funcs : func array; imports : string list }
+
+let create ~funcs ~imports = { funcs = Array.of_list funcs; imports }
+
+let find t name =
+  let found = ref None in
+  Array.iteri
+    (fun i f -> if !found = None && String.equal f.fn_name name then found := Some i)
+    t.funcs;
+  !found
+
+let func t i =
+  if i < 0 || i >= Array.length t.funcs then
+    invalid_arg (Printf.sprintf "Wmodule.func: index %d out of range" i);
+  t.funcs.(i)

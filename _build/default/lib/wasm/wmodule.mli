@@ -1,0 +1,23 @@
+(** Module format of the deterministic VM.
+
+    A module is a set of functions plus the list of host imports it
+    declares. Functions follow a one-result convention: the value on top
+    of the operand stack when the body ends (or [Return] executes) is the
+    function's result. *)
+
+type func = {
+  fn_name : string;
+  n_params : int; (** Locals [0 .. n_params-1] hold the arguments. *)
+  n_locals : int; (** Additional zero-initialized locals. *)
+  body : Instr.t list;
+}
+
+type t = { funcs : func array; imports : string list }
+
+val create : funcs:func list -> imports:string list -> t
+
+val find : t -> string -> int option
+(** Function index by name. *)
+
+val func : t -> int -> func
+(** Raises [Invalid_argument] for an out-of-range index. *)

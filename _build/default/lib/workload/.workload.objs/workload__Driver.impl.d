@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Engine Ivar Printf Rng Sim

@@ -1,0 +1,57 @@
+open Sim
+
+let spawn_and_wait n body =
+  let left = ref n in
+  let all_done = Ivar.create () in
+  for client = 0 to n - 1 do
+    Engine.spawn ~name:(Printf.sprintf "client-%d" client) (fun () ->
+        body client;
+        decr left;
+        if !left = 0 then Ivar.fill all_done ())
+  done;
+  if n > 0 then Ivar.read all_done
+
+let run_clients ~n ~iterations ?(think_time = 0.0) step =
+  spawn_and_wait n (fun client ->
+      for iter = 0 to iterations - 1 do
+        step ~client ~iter;
+        if think_time > 0.0 then Engine.sleep think_time
+      done)
+
+let run_for ~n ~duration ?(think_time = 0.0) step =
+  let deadline = Engine.now () +. duration in
+  spawn_and_wait n (fun client ->
+      let iter = ref 0 in
+      while Engine.now () < deadline do
+        step ~client ~iter:!iter;
+        incr iter;
+        if think_time > 0.0 then Engine.sleep think_time
+      done)
+
+let run_open ~rate ~duration ~rng step =
+  if rate <= 0.0 then invalid_arg "Driver.run_open: rate must be positive";
+  let deadline = Engine.now () +. duration in
+  let in_flight = ref 0 in
+  let all_done = Ivar.create () in
+  let finished_arrivals = ref false in
+  let seq = ref 0 in
+  let rec arrivals () =
+    if Engine.now () < deadline then begin
+      Engine.sleep (Rng.exponential rng ~mean:(1000.0 /. rate));
+      if Engine.now () < deadline then begin
+        let n = !seq in
+        incr seq;
+        incr in_flight;
+        Engine.spawn ~name:"open-request" (fun () ->
+            step ~arrival:n;
+            decr in_flight;
+            if !finished_arrivals && !in_flight = 0 then
+              Ivar.try_fill all_done () |> ignore)
+      end;
+      arrivals ()
+    end
+  in
+  arrivals ();
+  finished_arrivals := true;
+  if !in_flight > 0 then Ivar.read all_done;
+  !seq

@@ -1,0 +1,31 @@
+(** Closed-loop client driver (§5.2: 50 logical client processes).
+
+    Spawns [n] client fibers that each perform [iterations] requests
+    back to back (optionally separated by think time) and blocks until
+    every client finished. *)
+
+val run_clients :
+  n:int ->
+  iterations:int ->
+  ?think_time:float ->
+  (client:int -> iter:int -> unit) ->
+  unit
+
+val run_for :
+  n:int ->
+  duration:float ->
+  ?think_time:float ->
+  (client:int -> iter:int -> unit) ->
+  unit
+(** Time-bounded variant: clients issue requests until the virtual clock
+    passes [duration] from the call. *)
+
+val run_open :
+  rate:float ->
+  duration:float ->
+  rng:Sim.Rng.t ->
+  (arrival:int -> unit) ->
+  int
+(** Open-loop load: Poisson arrivals at [rate] requests per (virtual)
+    second for [duration] ms; each arrival runs in its own fiber.
+    Returns the number of arrivals after all of them complete. *)

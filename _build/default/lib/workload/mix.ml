@@ -1,0 +1,21 @@
+type 'a t = { items : 'a array; cdf : float array }
+
+let create weighted =
+  if weighted = [] then invalid_arg "Mix.create: empty";
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then invalid_arg "Mix.create: non-positive total weight";
+  let items = Array.of_list (List.map fst weighted) in
+  let cdf = Array.make (Array.length items) 0.0 in
+  let acc = ref 0.0 in
+  List.iteri
+    (fun i (_, w) ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weighted;
+  cdf.(Array.length cdf - 1) <- 1.0;
+  { items; cdf }
+
+let sample t rng =
+  let u = Sim.Rng.float rng 1.0 in
+  let rec find i = if t.cdf.(i) >= u then t.items.(i) else find (i + 1) in
+  find 0

@@ -1,0 +1,9 @@
+(** Weighted request mixes (the Workload%% column of Table 1). *)
+
+type 'a t
+
+val create : ('a * float) list -> 'a t
+(** Weights need not sum to one; they are normalized. Requires a
+    non-empty list with positive total weight. *)
+
+val sample : 'a t -> Sim.Rng.t -> 'a

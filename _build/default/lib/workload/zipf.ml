@@ -1,0 +1,29 @@
+type t = { cdf : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let weights =
+    Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let sample t rng =
+  let u = Sim.Rng.float rng 1.0 in
+  (* First index whose cdf is >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let n t = Array.length t.cdf

@@ -1,0 +1,16 @@
+(** Zipfian sampling over ranks [0, n).
+
+    The paper's social-media and forum workloads select users and posts
+    with a zipf parameter of 0.99 (Tapir's and lobste.rs-derived
+    parameters, §5.3); the hotel workload is uniform. Sampling inverts a
+    precomputed CDF by binary search. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [theta = 0.0] degenerates to uniform. Requires [n > 0]. *)
+
+val sample : t -> Sim.Rng.t -> int
+(** A rank in [0, n); rank 0 is the hottest. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Analyzer Ast Dval Eval Fdsl Format Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Analyzer Apps Array Cost Dval Fdsl Format Hashtbl List Metrics Option Printf QCheck QCheck_alcotest Radical Sim String Workload

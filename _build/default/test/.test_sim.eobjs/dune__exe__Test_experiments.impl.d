@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dval Experiments Fdsl Filename Float Fun In_channel List Metrics Net Option Out_channel Printf QCheck QCheck_alcotest Radical Sim Sys

@@ -1,0 +1,1 @@
+test/test_fdsl.ml: Alcotest Ast Compile Dval Eval Fdsl Float Format Hashtbl Int64 List Option Printf QCheck QCheck_alcotest String Wasm

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Analyzer Apps Array Cache Dval Engine Fdsl Format List Net Option Printf Radical Result Rng Sim Store String Wasm Workload

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Dval Hashtbl Lincheck List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Float Fun Ivar List Net Printf Rng Sim

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Ast Dval Eval Fdsl Format Hashtbl Int64 List Option Parse Printf QCheck QCheck_alcotest Radical String

@@ -1,0 +1,1 @@
+test/test_radical.ml: Alcotest Cache Dval Engine Fdsl Gen Ivar Lincheck List Net Printf QCheck QCheck_alcotest Radical Rng Sim Store String

@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Engine Gen List Net Printf QCheck QCheck_alcotest Raft Rng Sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Float Fun Int Ivar List Mailbox Pqueue QCheck QCheck_alcotest Rng Sim Timer

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Dval Engine Gen List Printf QCheck QCheck_alcotest Rng Sim Store String

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Apps Ast Dval Fdsl Format List Sim Typecheck Types

@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Apps Bytes Char Codec Dval Fdsl Format Gen Host Instr Int64 Interp List Option Printf QCheck QCheck_alcotest String Validate Wasm Wmodule

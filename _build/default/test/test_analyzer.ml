@@ -1,0 +1,400 @@
+(* Tests for the static analyzer: classification, residual f^rw
+   behaviour, and exactness of the predicted read/write set against the
+   accesses the real execution performs. *)
+
+open Fdsl
+open Ast
+module Derive = Analyzer.Derive
+module Rwset = Analyzer.Rwset
+
+let derive_ok f =
+  match Derive.derive f with
+  | Ok d -> d
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Derive.pp_error e)
+
+let classification d = d.Derive.classification
+
+let store_read store k =
+  Option.value ~default:Dval.Unit (List.assoc_opt k store)
+
+let rwset =
+  Alcotest.testable Rwset.pp Rwset.equal
+
+(* ------------------------------------------------------------------ *)
+(* Rwset                                                               *)
+
+let test_rwset_normalization () =
+  let s = Rwset.make ~reads:[ "b"; "a"; "b"; "c" ] ~writes:[ "c"; "c" ] in
+  Alcotest.(check (list string)) "reads sorted, deduped (written keys kept)"
+    [ "a"; "b"; "c" ] s.Rwset.reads;
+  Alcotest.(check (list string)) "writes" [ "c" ] s.Rwset.writes;
+  Alcotest.(check (list string)) "all keys" [ "a"; "b"; "c" ] (Rwset.all_keys s);
+  Alcotest.(check bool) "has writes" true (Rwset.has_writes s);
+  Alcotest.(check int) "cardinal" 4 (Rwset.cardinal s);
+  (* Write locks dominate for read+written keys. *)
+  Alcotest.(check (list (pair string bool)))
+    "lock modes"
+    [ ("a", false); ("b", false); ("c", true) ]
+    (List.map (fun (k, m) -> (k, m = `W)) (Rwset.lock_modes s))
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+
+let profile_fn =
+  {
+    fn_name = "profile";
+    params = [ "user" ];
+    body =
+      Compute
+        ( 100.0,
+          Record_lit
+            [
+              ("user", Read (Concat [ Str "user:"; Input "user" ]));
+              ("posts", Read (Concat [ Str "posts:"; Input "user" ]));
+            ] );
+  }
+
+let test_static_classification () =
+  let d = derive_ok profile_fn in
+  (match classification d with
+  | Derive.Static -> ()
+  | c -> Alcotest.fail (Format.asprintf "expected static, got %a" Derive.pp_classification c))
+
+let timeline_fn =
+  (* Key of the inner reads depends on the follows list: dependent. *)
+  {
+    fn_name = "timeline";
+    params = [ "user" ];
+    body =
+      Let
+        ( "ids",
+          Read (Concat [ Str "follows:"; Input "user" ]),
+          Foreach
+            ( "id",
+              Var "ids",
+              Compute (5.0, Read (Concat [ Str "posts:"; Var "id" ])) ) );
+  }
+
+let test_dependent_classification () =
+  let d = derive_ok timeline_fn in
+  match classification d with
+  | Derive.Dependent 1 -> ()
+  | c ->
+      Alcotest.fail
+        (Format.asprintf "expected dependent(1), got %a" Derive.pp_classification c)
+
+let test_expensive_classification () =
+  let f =
+    {
+      fn_name = "mine";
+      params = [ "seed" ];
+      body = Read (Concat [ Str "k:"; Str_of_int (Compute (200.0, Input "seed")) ]);
+    }
+  in
+  let d = derive_ok f in
+  match classification d with
+  | Derive.Expensive -> ()
+  | c ->
+      Alcotest.fail
+        (Format.asprintf "expected expensive, got %a" Derive.pp_classification c)
+
+let test_opaque_key_unanalyzable () =
+  let f =
+    {
+      fn_name = "shady";
+      params = [];
+      body = Read (Opaque (Str "k"));
+    }
+  in
+  match Derive.derive f with
+  | Error e -> Alcotest.(check string) "names the function" "shady" e.fn_name
+  | Ok _ -> Alcotest.fail "expected unanalyzable"
+
+let test_opaque_branch_unanalyzable () =
+  let f =
+    {
+      fn_name = "shady-branch";
+      params = [];
+      body = If (Opaque (Bool true), Read (Str "a"), Read (Str "b"));
+    }
+  in
+  match Derive.derive f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unanalyzable"
+
+let test_opaque_result_is_fine () =
+  (* Opaqueness only in the result value doesn't block key prediction. *)
+  let f =
+    {
+      fn_name = "opaque-result";
+      params = [];
+      body = Seq [ Write (Str "k", Unit); Opaque (Str "mystery") ];
+    }
+  in
+  let d = derive_ok f in
+  match classification d with
+  | Derive.Static -> ()
+  | _ -> Alcotest.fail "expected static"
+
+let test_nondeterministic_key_unanalyzable () =
+  let f =
+    { fn_name = "rand-key"; params = []; body = Read (Str_of_int (Random_int 5)) }
+  in
+  match Derive.derive f with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unanalyzable"
+
+(* ------------------------------------------------------------------ *)
+(* Prediction                                                          *)
+
+let predict ?(cache = []) ?compute d args =
+  Derive.predict d ~read:(store_read cache) ?compute args
+
+let actual_accesses f store args =
+  let reads = ref [] and writes = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) store;
+  let host =
+    Eval.host
+      ~read:(fun k ->
+        reads := k :: !reads;
+        Option.value ~default:Dval.Unit (Hashtbl.find_opt tbl k))
+      ~write:(fun k v ->
+        writes := k :: !writes;
+        Hashtbl.replace tbl k v)
+      ()
+  in
+  let _ = Eval.eval host f args in
+  Rwset.make ~reads:!reads ~writes:!writes
+
+let test_static_prediction_exact () =
+  let d = derive_ok profile_fn in
+  let args = [ Dval.Str "u9" ] in
+  Alcotest.check rwset "prediction matches execution"
+    (actual_accesses profile_fn [] args)
+    (predict d args)
+
+let test_static_prediction_no_cache_fetch () =
+  let d = derive_ok profile_fn in
+  let fetches = ref 0 in
+  let _ =
+    Derive.predict d
+      ~read:(fun _ ->
+        incr fetches;
+        Dval.Unit)
+      [ Dval.Str "u9" ]
+  in
+  Alcotest.(check int) "static f^rw reads nothing" 0 !fetches
+
+let test_static_prediction_strips_compute () =
+  let d = derive_ok profile_fn in
+  let charged = ref 0.0 in
+  let _ = predict d ~compute:(fun ms -> charged := !charged +. ms) [ Dval.Str "u" ] in
+  Alcotest.(check (float 1e-9)) "no compute in static f^rw" 0.0 !charged
+
+let follows_cache =
+  [
+    ("follows:u1", Dval.List [ Dval.Str "a"; Dval.Str "b"; Dval.Str "c" ]);
+    ("posts:a", Dval.Str "pa");
+    ("posts:b", Dval.Str "pb");
+    ("posts:c", Dval.Str "pc");
+  ]
+
+let test_dependent_prediction_exact () =
+  let d = derive_ok timeline_fn in
+  let args = [ Dval.Str "u1" ] in
+  Alcotest.check rwset "prediction from coherent cache is exact"
+    (actual_accesses timeline_fn follows_cache args)
+    (predict ~cache:follows_cache d args)
+
+let test_dependent_prediction_uses_cache () =
+  let d = derive_ok timeline_fn in
+  (* A stale cache (shorter follows list) predicts a smaller read set —
+     which validation would catch via the follows key's version. *)
+  let stale = [ ("follows:u1", Dval.List [ Dval.Str "a" ]) ] in
+  let s = predict ~cache:stale d [ Dval.Str "u1" ] in
+  Alcotest.(check (list string)) "keys from stale cache"
+    [ "follows:u1"; "posts:a" ] s.Rwset.reads
+
+let test_dependent_fetches_only_influencing () =
+  (* The per-post reads feed no key, so f^rw must declare them without
+     touching the cache — only the follows list is fetched. *)
+  let d = derive_ok timeline_fn in
+  let fetches = ref 0 in
+  let s =
+    Derive.predict d
+      ~read:(fun k ->
+        incr fetches;
+        store_read follows_cache k)
+      [ Dval.Str "u1" ]
+  in
+  Alcotest.(check int) "single cache fetch" 1 !fetches;
+  Alcotest.(check int) "all four reads predicted" 4
+    (List.length s.Rwset.reads)
+
+let test_dependent_prediction_strips_inner_compute () =
+  let d = derive_ok timeline_fn in
+  let charged = ref 0.0 in
+  let _ =
+    predict ~cache:follows_cache d
+      ~compute:(fun ms -> charged := !charged +. ms)
+      [ Dval.Str "u1" ]
+  in
+  Alcotest.(check (float 1e-9)) "per-post compute stripped" 0.0 !charged
+
+let test_expensive_prediction_charges_compute () =
+  let f =
+    {
+      fn_name = "mine";
+      params = [ "seed" ];
+      body = Read (Concat [ Str "k:"; Str_of_int (Compute (200.0, Input "seed")) ]);
+    }
+  in
+  let d = derive_ok f in
+  let charged = ref 0.0 in
+  let s = predict d ~compute:(fun ms -> charged := !charged +. ms) [ Dval.Int 3L ] in
+  Alcotest.(check (float 1e-9)) "compute kept" 200.0 !charged;
+  Alcotest.(check (list string)) "key correct" [ "k:3" ] s.Rwset.reads
+
+let test_branchy_prediction_follows_control () =
+  let f =
+    {
+      fn_name = "branchy";
+      params = [ "n" ];
+      body =
+        If
+          ( Binop (Gt, Input "n", Int 10L),
+            Write (Str "big", Compute (50.0, Input "n")),
+            Write (Str "small", Input "n") );
+    }
+  in
+  let d = derive_ok f in
+  let s_hi = predict d [ Dval.Int 50L ] in
+  let s_lo = predict d [ Dval.Int 5L ] in
+  Alcotest.(check (list string)) "big branch" [ "big" ] s_hi.Rwset.writes;
+  Alcotest.(check (list string)) "small branch" [ "small" ] s_lo.Rwset.writes
+
+let test_write_value_reads_are_logged () =
+  (* write(k, read(k2)): k2's value is never key-relevant, yet the real
+     execution reads it, so f^rw must still declare it. *)
+  let f =
+    {
+      fn_name = "copy";
+      params = [];
+      body = Write (Str "dst", Read (Str "src"));
+    }
+  in
+  let d = derive_ok f in
+  let fetches = ref 0 in
+  let s =
+    Derive.predict d
+      ~read:(fun _ ->
+        incr fetches;
+        Dval.Unit)
+      []
+  in
+  Alcotest.(check (list string)) "src logged" [ "src" ] s.Rwset.reads;
+  Alcotest.(check (list string)) "dst logged" [ "dst" ] s.Rwset.writes;
+  Alcotest.(check int) "but not fetched" 0 !fetches
+
+let test_fanout_writes_predicted () =
+  (* The social-media "post" shape: read followers, write each timeline. *)
+  let f =
+    {
+      fn_name = "post";
+      params = [ "user"; "text" ];
+      body =
+        Let
+          ( "fs",
+            Read (Concat [ Str "followers:"; Input "user" ]),
+            Seq
+              [
+                Write (Concat [ Str "posts:"; Input "user" ], Input "text");
+                Foreach
+                  ( "fid",
+                    Var "fs",
+                    Write (Concat [ Str "timeline:"; Var "fid" ], Input "text")
+                  );
+              ] );
+    }
+  in
+  let d = derive_ok f in
+  (match classification d with
+  | Derive.Dependent 1 -> ()
+  | c -> Alcotest.fail (Format.asprintf "got %a" Derive.pp_classification c));
+  let cache = [ ("followers:u", Dval.List [ Dval.Str "f1"; Dval.Str "f2" ]) ] in
+  let s = predict ~cache d [ Dval.Str "u"; Dval.Str "hi" ] in
+  Alcotest.(check (list string)) "write fan-out"
+    [ "posts:u"; "timeline:f1"; "timeline:f2" ]
+    s.Rwset.writes;
+  Alcotest.(check (list string)) "followers read" [ "followers:u" ] s.Rwset.reads
+
+(* The soundness property: on a coherent cache, prediction equals the
+   accesses of the real execution, for randomized inputs over a fixed
+   corpus of analyzable functions. *)
+let corpus = [ profile_fn; timeline_fn ]
+
+let prop_prediction_sound =
+  QCheck.Test.make ~name:"predicted rwset = actual accesses (coherent cache)"
+    ~count:200
+    QCheck.(pair (int_range 0 1) (int_range 0 9))
+    (fun (which, user_n) ->
+      let f = List.nth corpus which in
+      let user = Printf.sprintf "u%d" user_n in
+      let store =
+        ("follows:" ^ user, Dval.List [ Dval.Str "x"; Dval.Str "y" ])
+        :: ("posts:x", Dval.Str "px")
+        :: ("posts:y", Dval.Str "py")
+        :: [ ("user:" ^ user, Dval.Str user); ("posts:" ^ user, Dval.Str "") ]
+      in
+      let d = derive_ok f in
+      let args = [ Dval.Str user ] in
+      Rwset.equal
+        (actual_accesses f store args)
+        (Derive.predict d ~read:(store_read store) args))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "analyzer"
+    [
+      ("rwset", [ Alcotest.test_case "normalization" `Quick test_rwset_normalization ]);
+      ( "classification",
+        [
+          Alcotest.test_case "static" `Quick test_static_classification;
+          Alcotest.test_case "dependent" `Quick test_dependent_classification;
+          Alcotest.test_case "expensive" `Quick test_expensive_classification;
+          Alcotest.test_case "opaque key unanalyzable" `Quick
+            test_opaque_key_unanalyzable;
+          Alcotest.test_case "opaque branch unanalyzable" `Quick
+            test_opaque_branch_unanalyzable;
+          Alcotest.test_case "opaque result ok" `Quick test_opaque_result_is_fine;
+          Alcotest.test_case "nondeterministic key unanalyzable" `Quick
+            test_nondeterministic_key_unanalyzable;
+        ] );
+      ( "prediction",
+        [
+          Alcotest.test_case "static exact" `Quick test_static_prediction_exact;
+          Alcotest.test_case "static: no cache fetch" `Quick
+            test_static_prediction_no_cache_fetch;
+          Alcotest.test_case "static: compute stripped" `Quick
+            test_static_prediction_strips_compute;
+          Alcotest.test_case "dependent exact" `Quick
+            test_dependent_prediction_exact;
+          Alcotest.test_case "dependent uses cache" `Quick
+            test_dependent_prediction_uses_cache;
+          Alcotest.test_case "dependent fetches only influencing" `Quick
+            test_dependent_fetches_only_influencing;
+          Alcotest.test_case "dependent: inner compute stripped" `Quick
+            test_dependent_prediction_strips_inner_compute;
+          Alcotest.test_case "expensive charges compute" `Quick
+            test_expensive_prediction_charges_compute;
+          Alcotest.test_case "branches follow control" `Quick
+            test_branchy_prediction_follows_control;
+          Alcotest.test_case "write-value reads logged" `Quick
+            test_write_value_reads_are_logged;
+          Alcotest.test_case "fan-out writes predicted" `Quick
+            test_fanout_writes_predicted;
+        ]
+        @ qsuite [ prop_prediction_sound ] );
+    ]

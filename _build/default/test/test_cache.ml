@@ -1,0 +1,100 @@
+(* Tests for the near-user eventually consistent cache. *)
+
+open Sim
+
+let run_sim f =
+  let e = Engine.create () in
+  Engine.run e f
+
+let test_miss_marker () =
+  run_sim (fun () ->
+      let c = Cache.create () in
+      Alcotest.(check int) "miss is -1" (-1) (Cache.version_of c "x");
+      Alcotest.(check bool) "get misses" true (Cache.get c "x" = None);
+      Alcotest.(check int) "miss counted" 1 (Cache.misses c))
+
+let test_update_and_get () =
+  run_sim (fun () ->
+      let c = Cache.create () in
+      Cache.update c "x" (Dval.Str "a") ~version:3;
+      (match Cache.get c "x" with
+      | Some { value; version } ->
+          Alcotest.(check string) "value" "\"a\"" (Dval.to_string value);
+          Alcotest.(check int) "version" 3 version
+      | None -> Alcotest.fail "expected hit");
+      Alcotest.(check int) "hit counted" 1 (Cache.hits c))
+
+let test_stale_update_ignored () =
+  run_sim (fun () ->
+      let c = Cache.create () in
+      Cache.update c "x" (Dval.Str "new") ~version:5;
+      Cache.update c "x" (Dval.Str "old") ~version:2;
+      Alcotest.(check int) "keeps newer" 5 (Cache.version_of c "x"))
+
+let test_get_latency () =
+  run_sim (fun () ->
+      let c = Cache.create ~access_latency:0.5 () in
+      let t0 = Engine.now () in
+      ignore (Cache.get c "x");
+      Alcotest.(check (float 1e-9)) "pays latency" 0.5 (Engine.now () -. t0);
+      let t1 = Engine.now () in
+      ignore (Cache.get_many c [ "a"; "b"; "c" ]);
+      Alcotest.(check (float 1e-9)) "batch pays once" 0.5 (Engine.now () -. t1))
+
+let test_lru_eviction () =
+  run_sim (fun () ->
+      let c = Cache.create ~capacity:3 () in
+      Cache.update c "a" Dval.Unit ~version:1;
+      Cache.update c "b" Dval.Unit ~version:1;
+      Cache.update c "c" Dval.Unit ~version:1;
+      (* Touch a and c so b is the least recently used. *)
+      ignore (Cache.get c "a");
+      ignore (Cache.get c "c");
+      Cache.update c "d" Dval.Unit ~version:1;
+      Alcotest.(check int) "capacity respected" 3 (Cache.size c);
+      Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+      Alcotest.(check int) "b evicted" (-1) (Cache.version_of c "b");
+      Alcotest.(check bool) "a survived" true (Cache.version_of c "a" = 1);
+      Alcotest.(check bool) "d present" true (Cache.version_of c "d" = 1))
+
+let test_lru_update_existing_never_evicts () =
+  run_sim (fun () ->
+      let c = Cache.create ~capacity:2 () in
+      Cache.update c "a" Dval.Unit ~version:1;
+      Cache.update c "b" Dval.Unit ~version:1;
+      Cache.update c "a" Dval.Unit ~version:2;
+      Alcotest.(check int) "no eviction on in-place update" 0 (Cache.evictions c);
+      Alcotest.(check int) "both present" 2 (Cache.size c))
+
+let test_capacity_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Cache.create: capacity must be positive") (fun () ->
+      ignore (Cache.create ~capacity:0 ()))
+
+let test_wipe () =
+  run_sim (fun () ->
+      let c = Cache.create () in
+      Cache.update c "x" Dval.Unit ~version:1;
+      Cache.update c "y" Dval.Unit ~version:1;
+      Alcotest.(check int) "populated" 2 (Cache.size c);
+      Cache.wipe c;
+      Alcotest.(check int) "wiped" 0 (Cache.size c);
+      Alcotest.(check int) "back to miss marker" (-1) (Cache.version_of c "x"))
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "miss marker" `Quick test_miss_marker;
+          Alcotest.test_case "update and get" `Quick test_update_and_get;
+          Alcotest.test_case "stale update ignored" `Quick
+            test_stale_update_ignored;
+          Alcotest.test_case "get latency" `Quick test_get_latency;
+          Alcotest.test_case "wipe" `Quick test_wipe;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "update never evicts in place" `Quick
+            test_lru_update_existing_never_evicts;
+          Alcotest.test_case "capacity validated" `Quick test_capacity_validation;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Tests for locations, the latency matrix, and the simulated transport. *)
+
+open Sim
+module Location = Net.Location
+module Transport = Net.Transport
+
+let run_sim ?(seed = 1) f =
+  let e = Engine.create ~seed () in
+  Engine.run e f
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let mknet ?(jitter_sigma = 0.0) () =
+  Transport.create ~jitter_sigma ~rng:(Rng.create 99) ()
+
+(* ------------------------------------------------------------------ *)
+(* Location                                                            *)
+
+let test_rtt_symmetric () =
+  let locs = Location.(user_locations @ [ oh; oregon ]) in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_float
+            (Printf.sprintf "rtt %s-%s symmetric" a b)
+            (Location.rtt a b) (Location.rtt b a))
+        locs)
+    locs
+
+let test_rtt_table2 () =
+  (* Table 2 = network RTT + 6 ms storage service time. *)
+  let expected = [ ("VA", 7.0); ("CA", 74.0); ("IE", 70.0); ("DE", 93.0); ("JP", 146.0) ] in
+  List.iter
+    (fun (l, ms) ->
+      check_float ("table2 " ^ l) ms (Location.rtt l Location.va +. 6.0))
+    expected
+
+let test_rtt_unknown () =
+  Alcotest.check_raises "unknown location"
+    (Invalid_argument "Location.rtt: unknown location XX/VA") (fun () ->
+      ignore (Location.rtt "XX" Location.va))
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                           *)
+
+let test_one_way_no_jitter () =
+  let net = mknet () in
+  check_float "half rtt" (Location.rtt Location.ca Location.va /. 2.0)
+    (Transport.one_way net Location.ca Location.va)
+
+let test_jitter_tail () =
+  let net = mknet ~jitter_sigma:0.1 () in
+  let samples =
+    List.init 2000 (fun _ -> Transport.one_way net Location.jp Location.va)
+  in
+  let sorted = List.sort Float.compare samples in
+  let nth p = List.nth sorted (int_of_float (p *. 2000.0)) in
+  let median = nth 0.5 and p99 = nth 0.99 in
+  let base = Location.rtt Location.jp Location.va /. 2.0 in
+  Alcotest.(check bool) "median near base" true (Float.abs (median -. base) < 0.05 *. base);
+  Alcotest.(check bool) "p99 above median" true (p99 > median *. 1.1)
+
+let test_call_roundtrip_latency () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" (fun x -> x * 2) in
+      let t0 = Engine.now () in
+      let r = Transport.call net ~from:Location.ca svc 21 in
+      Alcotest.(check int) "result" 42 r;
+      check_float "latency = rtt" (Location.rtt Location.ca Location.va)
+        (Engine.now () -. t0))
+
+let test_call_includes_handler_time () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc =
+        Transport.serve net ~loc:Location.va ~name:"slow" (fun () -> Engine.sleep 50.0)
+      in
+      let t0 = Engine.now () in
+      Transport.call net ~from:Location.ca svc ();
+      check_float "rtt + handler"
+        (Location.rtt Location.ca Location.va +. 50.0)
+        (Engine.now () -. t0))
+
+let test_concurrent_handlers () =
+  (* Two simultaneous calls to a 50 ms handler must overlap, not serialize. *)
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc =
+        Transport.serve net ~loc:Location.va ~name:"slow" (fun () -> Engine.sleep 50.0)
+      in
+      let done1 = Ivar.create () and done2 = Ivar.create () in
+      Engine.spawn (fun () ->
+          Transport.call net ~from:Location.ca svc ();
+          Ivar.fill done1 (Engine.now ()));
+      Engine.spawn (fun () ->
+          Transport.call net ~from:Location.ca svc ();
+          Ivar.fill done2 (Engine.now ()));
+      let t1 = Ivar.read done1 and t2 = Ivar.read done2 in
+      check_float "both finish together" t1 t2;
+      check_float "single rtt+handler" (68.0 +. 50.0) t1)
+
+let test_call_timeout_success () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      let r = Transport.call_timeout net ~from:Location.ca ~timeout:1000.0 svc 7 in
+      Alcotest.(check (option int)) "delivered" (Some 7) r)
+
+let test_call_timeout_drop () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      Transport.set_fault net (fun ~src ~dst:_ ~label:_ -> if src = Location.ca then Transport.Drop else Transport.Deliver);
+      let t0 = Engine.now () in
+      let r = Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 7 in
+      Alcotest.(check (option int)) "timed out" None r;
+      check_float "waited full timeout" 200.0 (Engine.now () -. t0);
+      Alcotest.(check int) "one drop recorded" 1 (Transport.messages_dropped net))
+
+let test_response_drop () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      (* Drop only the response leg. *)
+      Transport.set_fault net (fun ~src ~dst:_ ~label:_ ->
+          if src = Location.va then Transport.Drop else Transport.Deliver);
+      let r = Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 7 in
+      Alcotest.(check (option int)) "response lost" None r)
+
+let test_delay_fault () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      Transport.set_fault net (fun ~src:_ ~dst:_ ~label:_ -> Transport.Delay 100.0);
+      let t0 = Engine.now () in
+      ignore (Transport.call net ~from:Location.ca svc 1);
+      check_float "rtt + 2 delays" (68.0 +. 200.0) (Engine.now () -. t0);
+      Transport.clear_fault net;
+      let t1 = Engine.now () in
+      ignore (Transport.call net ~from:Location.ca svc 1);
+      check_float "back to rtt" 68.0 (Engine.now () -. t1))
+
+let test_post_delivers () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let got = ref [] in
+      let svc =
+        Transport.serve net ~loc:Location.va ~name:"sink" (fun x -> got := x :: !got)
+      in
+      let t0 = Engine.now () in
+      Transport.post net ~from:Location.ca svc 1;
+      check_float "post returns immediately" t0 (Engine.now ());
+      Engine.sleep 100.0;
+      Alcotest.(check (list int)) "delivered" [ 1 ] !got)
+
+let test_message_counts () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      ignore (Transport.call net ~from:Location.ca svc 1);
+      Transport.post net ~from:Location.ca svc 2;
+      Engine.sleep 500.0;
+      (* call = request + response; post = request + discarded response. *)
+      Alcotest.(check int) "sent" 4 (Transport.messages_sent net))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "location",
+        [
+          Alcotest.test_case "rtt symmetric" `Quick test_rtt_symmetric;
+          Alcotest.test_case "table2 values" `Quick test_rtt_table2;
+          Alcotest.test_case "unknown raises" `Quick test_rtt_unknown;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "one_way no jitter" `Quick test_one_way_no_jitter;
+          Alcotest.test_case "jitter tail" `Quick test_jitter_tail;
+          Alcotest.test_case "call roundtrip latency" `Quick
+            test_call_roundtrip_latency;
+          Alcotest.test_case "call includes handler time" `Quick
+            test_call_includes_handler_time;
+          Alcotest.test_case "handlers run concurrently" `Quick
+            test_concurrent_handlers;
+          Alcotest.test_case "call_timeout success" `Quick
+            test_call_timeout_success;
+          Alcotest.test_case "call_timeout drop" `Quick test_call_timeout_drop;
+          Alcotest.test_case "response drop" `Quick test_response_drop;
+          Alcotest.test_case "delay fault" `Quick test_delay_fault;
+          Alcotest.test_case "post delivers" `Quick test_post_delivers;
+          Alcotest.test_case "message counts" `Quick test_message_counts;
+        ] );
+    ]

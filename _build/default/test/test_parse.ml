@@ -1,0 +1,269 @@
+(* Tests for the DSL's concrete syntax: parsing, precedence, error
+   positions, and the print/parse roundtrip. *)
+
+open Fdsl
+module P = Parse
+
+let parse_expr src =
+  match P.expr src with
+  | Ok e -> e
+  | Error e -> Alcotest.fail (Format.asprintf "%s: %a" src P.pp_error e)
+
+let check_parses msg src expected =
+  Alcotest.(check string) msg
+    (Format.asprintf "%a" Ast.pp expected)
+    (Format.asprintf "%a" Ast.pp (parse_expr src))
+
+let expect_error src =
+  match P.expr src with
+  | Error _ -> ()
+  | Ok e ->
+      Alcotest.fail
+        (Format.asprintf "%s: expected a parse error, got %a" src Ast.pp e)
+
+open Ast
+
+let test_literals () =
+  check_parses "int" "42" (Int 42L);
+  check_parses "negative" "-7" (Int (-7L));
+  check_parses "string" {|"hi there"|} (Str "hi there");
+  check_parses "escapes" {|"a\"b\nc"|} (Str "a\"b\nc");
+  check_parses "bool" "true" (Bool true);
+  check_parses "unit" "()" Unit;
+  check_parses "list" "[1, 2]" (List_lit [ Int 1L; Int 2L ]);
+  check_parses "empty list" "[]" (List_lit []);
+  check_parses "record" "{a: 1, b: \"x\"}"
+    (Record_lit [ ("a", Int 1L); ("b", Str "x") ])
+
+let test_precedence () =
+  check_parses "mul binds tighter" "1 + 2 * 3"
+    (Binop (Add, Int 1L, Binop (Mul, Int 2L, Int 3L)));
+  check_parses "parens override" "(1 + 2) * 3"
+    (Binop (Mul, Binop (Add, Int 1L, Int 2L), Int 3L));
+  check_parses "comparison above arith" "1 + 2 < 4"
+    (Binop (Lt, Binop (Add, Int 1L, Int 2L), Int 4L));
+  check_parses "and above comparison" "1 < 2 && 3 < 4"
+    (Binop (And, Binop (Lt, Int 1L, Int 2L), Binop (Lt, Int 3L, Int 4L)));
+  check_parses "concat chains" {|"a" ++ "b" ++ "c"|}
+    (Concat [ Str "a"; Str "b"; Str "c" ]);
+  check_parses "not" "!true" (Not (Bool true))
+
+let test_postfix () =
+  check_parses "field" "x.name" (Field (Var "x", "name"));
+  check_parses "field chain" "x.a.b" (Field (Field (Var "x", "a"), "b"));
+  check_parses "index" "xs[0]" (Nth (Var "xs", Int 0L));
+  check_parses "field then index" "x.items[1]"
+    (Nth (Field (Var "x", "items"), Int 1L))
+
+let test_builtins () =
+  check_parses "read" {|read("k:" ++ u)|} (Read (Concat [ Str "k:"; Var "u" ]));
+  check_parses "write" {|write("k", 1)|} (Write (Str "k", Int 1L));
+  check_parses "setf" "setf(r, score, 1)"
+    (Set_field (Var "r", "score", Int 1L));
+  check_parses "external" {|external("stripe", cart)|}
+    (External ("stripe", Var "cart"));
+  check_parses "str/len/take" "take(xs, len(xs))"
+    (Take (Var "xs", Length (Var "xs")));
+  check_parses "time_now" "time_now()" Time_now;
+  check_parses "random_int" "random_int(5)" (Random_int 5)
+
+let test_blocks_and_control () =
+  check_parses "seq" "{ 1; 2; 3 }" (Seq [ Int 1L; Int 2L; Int 3L ]);
+  check_parses "let" "{ let x = 1; x + 1 }"
+    (Let ("x", Int 1L, Binop (Add, Var "x", Int 1L)));
+  check_parses "if else" "if x { 1 } else { 2 }"
+    (If (Var "x", Int 1L, Int 2L));
+  check_parses "if without else" "if x { 1 }" (If (Var "x", Int 1L, Unit));
+  check_parses "foreach" "foreach i in xs { i * 2 }"
+    (Foreach ("i", Var "xs", Binop (Mul, Var "i", Int 2L)));
+  check_parses "compute" "compute 16.0 { 1 }" (Compute (16.0, Int 1L));
+  check_parses "compute int ms" "compute 16 { 1 }" (Compute (16.0, Int 1L));
+  check_parses "empty block" "{ }" Unit
+
+let test_comments_and_layout () =
+  check_parses "comments skipped" "1 + # trailing\n 2"
+    (Binop (Add, Int 1L, Int 2L))
+
+let test_full_function () =
+  let src =
+    {|
+      # Upvote a post, strongly consistent.
+      fn upvote(post) {
+        compute 16.0 {
+          let p = read("post:" ++ post);
+          write("post:" ++ post, setf(p, score, p.score + 1));
+          p.score + 1
+        }
+      }
+    |}
+  in
+  match P.func src with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" P.pp_error e)
+  | Ok f ->
+      Alcotest.(check string) "name" "upvote" f.fn_name;
+      Alcotest.(check (list string)) "params" [ "post" ] f.params;
+      (* The parsed handler goes through the whole toolchain. *)
+      let reg = Radical.Registry.create () in
+      (match Radical.Registry.register reg f with
+      | Ok entry ->
+          Alcotest.(check bool) "analyzable" true (entry.derived <> None)
+      | Error e -> Alcotest.fail e);
+      (* And evaluates correctly. *)
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.replace tbl "post:42" (Dval.Record [ ("score", Dval.int 9) ]);
+      let host =
+        Eval.host
+          ~read:(fun k -> Option.value ~default:Dval.Unit (Hashtbl.find_opt tbl k))
+          ~write:(fun k v -> Hashtbl.replace tbl k v)
+          ()
+      in
+      Alcotest.(check string) "result" "10"
+        (Dval.to_string (Eval.eval host f [ Dval.Str "42" ]))
+
+let test_program_parses_many () =
+  let src = "fn a() { 1 } fn b(x) { x }" in
+  match P.program src with
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "first" "a" a.fn_name;
+      Alcotest.(check string) "second" "b" b.fn_name
+  | Ok fns -> Alcotest.fail (Printf.sprintf "expected 2, got %d" (List.length fns))
+  | Error e -> Alcotest.fail (Format.asprintf "%a" P.pp_error e)
+
+let test_errors_have_positions () =
+  (match P.expr "1 +\n  *" with
+  | Error { line; col; _ } ->
+      Alcotest.(check int) "line" 2 line;
+      Alcotest.(check bool) "column sane" true (col >= 1)
+  | Ok _ -> Alcotest.fail "expected error");
+  expect_error {|"unterminated|};
+  expect_error "read(1, 2)" (* wrong arity *);
+  expect_error "frobnicate(1)" (* unknown builtin *);
+  expect_error "{ let x = 1 x }" (* missing semicolon *);
+  expect_error "random_int(x)" (* non-literal *);
+  expect_error "1 @ 2" (* bad character *)
+
+(* The parser flattens nested sequences ({a; {b; c}} and {a; b; c} are
+   the same program), so the roundtrip is up to Seq associativity. *)
+let rec normalize (e : Ast.expr) : Ast.expr =
+  match e with
+  | Seq es ->
+      let es =
+        List.concat_map
+          (fun e ->
+            match normalize e with Seq inner -> inner | other -> [ other ])
+          es
+      in
+      (match es with [ single ] -> single | es -> Seq es)
+  | Let (x, v, b) -> Let (x, normalize v, normalize b)
+  | If (a, b, c) -> If (normalize a, normalize b, normalize c)
+  | Binop (op, a, b) -> Binop (op, normalize a, normalize b)
+  | Not e -> Not (normalize e)
+  | Concat es -> Concat (List.map normalize es)
+  | List_lit es -> List_lit (List.map normalize es)
+  | Append (a, b) -> Append (normalize a, normalize b)
+  | Prepend (a, b) -> Prepend (normalize a, normalize b)
+  | Concat_list (a, b) -> Concat_list (normalize a, normalize b)
+  | Take (a, b) -> Take (normalize a, normalize b)
+  | Length e -> Length (normalize e)
+  | Nth (a, b) -> Nth (normalize a, normalize b)
+  | Record_lit fs -> Record_lit (List.map (fun (k, v) -> (k, normalize v)) fs)
+  | Field (e, n) -> Field (normalize e, n)
+  | Set_field (a, n, b) -> Set_field (normalize a, n, normalize b)
+  | Read k -> Read (normalize k)
+  | Write (k, v) -> Write (normalize k, normalize v)
+  | Foreach (x, l, b) -> Foreach (x, normalize l, normalize b)
+  | Compute (ms, e) -> Compute (ms, normalize e)
+  | Opaque e -> Opaque (normalize e)
+  | Str_of_int e -> Str_of_int (normalize e)
+  | Declare (d, k) -> Declare (d, normalize k)
+  | External (svc, p) -> External (svc, normalize p)
+  | Unit | Bool _ | Int _ | Str _ | Input _ | Var _ | Time_now | Random_int _
+    ->
+      e
+
+let test_to_source_roundtrip_samples () =
+  List.iter
+    (fun e ->
+      let src = P.to_source e in
+      match P.expr src with
+      | Ok e' ->
+          Alcotest.(check string) src
+            (Format.asprintf "%a" Ast.pp (normalize e))
+            (Format.asprintf "%a" Ast.pp (normalize e'))
+      | Error err ->
+          Alcotest.fail (Format.asprintf "%s: %a" src P.pp_error err))
+    [
+      Int (-3L);
+      Str "a\"b\\c";
+      Let ("x", Read (Str "k"), Seq [ Write (Str "k", Var "x"); Var "x" ]);
+      If (Binop (Lt, Int 1L, Int 2L), Compute (5.0, Unit), List_lit []);
+      Foreach ("i", List_lit [ Int 1L ], Set_field (Record_lit [ ("a", Int 0L) ], "a", Var "i"));
+      External ("svc", Record_lit [ ("x", Bool true) ]);
+      Nth (Concat [ Str "a"; Str "b" ], Int 0L);
+    ]
+
+(* Roundtrip property over the random typed programs from the compile
+   equivalence suite's generator shape: print, reparse, compare. *)
+let gen_roundtrip_expr =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun i -> Int (Int64.of_int i)) (int_range (-50) 50);
+                map (fun c -> Str (String.make 1 c)) (char_range 'a' 'e');
+                map (fun b -> Bool b) bool;
+                return (Var "p");
+              ]
+          else
+            frequency
+              [
+                ( 2,
+                  map3
+                    (fun op a b -> Binop (op, a, b))
+                    (oneofl [ Add; Sub; Mul; Eq; Lt; And; Or ])
+                    (self (n / 2)) (self (n / 2)) );
+                (1, map2 (fun a b -> Concat [ a; b ]) (self (n / 2)) (self (n / 2)));
+                (1, map3 (fun c a b -> If (c, a, b)) (self (n / 3)) (self (n / 3)) (self (n / 3)));
+                (1, map2 (fun v b -> Let ("v", v, b)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun k -> Read k) (self (n / 2)));
+                (1, map2 (fun k v -> Write (k, v)) (self (n / 2)) (self (n / 2)));
+                (1, map2 (fun a b -> Seq [ a; b ]) (self (n / 2)) (self (n / 2)));
+                (1, map (fun e -> Not e) (self (n / 2)));
+                (1, map2 (fun l x -> Append (l, x)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun e -> Field (e, "f")) (self (n / 2)));
+              ])
+        (min n 16))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_source/parse roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Ast.pp) gen_roundtrip_expr)
+    (fun e ->
+      match P.expr (P.to_source e) with
+      | Ok e' -> normalize e' = normalize e
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "postfix" `Quick test_postfix;
+          Alcotest.test_case "builtins" `Quick test_builtins;
+          Alcotest.test_case "blocks and control" `Quick test_blocks_and_control;
+          Alcotest.test_case "comments" `Quick test_comments_and_layout;
+          Alcotest.test_case "full function through toolchain" `Quick
+            test_full_function;
+          Alcotest.test_case "program of several fns" `Quick
+            test_program_parses_many;
+          Alcotest.test_case "errors carry positions" `Quick
+            test_errors_have_positions;
+          Alcotest.test_case "to_source samples" `Quick
+            test_to_source_roundtrip_samples;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_roundtrip ] );
+    ]

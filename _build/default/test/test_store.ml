@@ -1,0 +1,291 @@
+(* Tests for the versioned KV store, lock table, write intents and
+   idempotency keys. *)
+
+open Sim
+
+let run_sim ?(seed = 1) f =
+  let e = Engine.create ~seed () in
+  Engine.run e f
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Kv                                                                  *)
+
+let v s = Dval.Str s
+
+let test_kv_get_absent () =
+  run_sim (fun () ->
+      let kv = Store.Kv.create () in
+      Alcotest.(check bool) "absent" true (Store.Kv.get kv "x" = None);
+      Alcotest.(check int) "version 0" 0 (Store.Kv.version_of kv "x"))
+
+let test_kv_versions_increment () =
+  run_sim (fun () ->
+      let kv = Store.Kv.create () in
+      Alcotest.(check int) "v1" 1 (Store.Kv.put kv "x" (v "a"));
+      Alcotest.(check int) "v2" 2 (Store.Kv.put kv "x" (v "b"));
+      Alcotest.(check int) "v3" 3 (Store.Kv.put kv "x" (v "c"));
+      match Store.Kv.get kv "x" with
+      | Some { value; version } ->
+          Alcotest.(check bool) "latest value" true (Dval.equal value (v "c"));
+          Alcotest.(check int) "latest version" 3 version
+      | None -> Alcotest.fail "expected value")
+
+let test_kv_access_latency () =
+  run_sim (fun () ->
+      let kv = Store.Kv.create ~access_latency:6.0 () in
+      let t0 = Engine.now () in
+      ignore (Store.Kv.get kv "x");
+      check_float "get pays latency" 6.0 (Engine.now () -. t0);
+      let t1 = Engine.now () in
+      ignore (Store.Kv.get_many kv [ "a"; "b"; "c" ]);
+      check_float "batch pays once" 6.0 (Engine.now () -. t1))
+
+let test_kv_put_if_version () =
+  run_sim (fun () ->
+      let kv = Store.Kv.create () in
+      Alcotest.(check bool) "cond create ok" true
+        (Store.Kv.put_if_version kv "x" (v "a") ~expected:0);
+      Alcotest.(check bool) "stale expected fails" false
+        (Store.Kv.put_if_version kv "x" (v "b") ~expected:0);
+      Alcotest.(check bool) "correct expected ok" true
+        (Store.Kv.put_if_version kv "x" (v "b") ~expected:1);
+      Alcotest.(check int) "version advanced" 2 (Store.Kv.version_of kv "x"))
+
+let test_kv_load_and_counters () =
+  run_sim (fun () ->
+      let kv = Store.Kv.create () in
+      let t0 = Engine.now () in
+      Store.Kv.load kv [ ("a", v "1"); ("b", v "2") ];
+      check_float "load free" t0 (Engine.now ());
+      Alcotest.(check int) "size" 2 (Store.Kv.size kv);
+      ignore (Store.Kv.get kv "a");
+      ignore (Store.Kv.get_many kv [ "a"; "b" ]);
+      ignore (Store.Kv.put kv "c" (v "3"));
+      Alcotest.(check int) "reads" 3 (Store.Kv.reads kv);
+      Alcotest.(check int) "writes" 1 (Store.Kv.writes kv))
+
+let test_kv_versions_of () =
+  run_sim (fun () ->
+      let kv = Store.Kv.create () in
+      Store.Kv.load kv [ ("a", v "1") ];
+      Alcotest.(check (list (pair string int))) "batch versions"
+        [ ("a", 1); ("zz", 0) ]
+        (Store.Kv.versions_of kv [ "a"; "zz" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Locks                                                               *)
+
+let test_locks_read_shared () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"a" [ ("k", Store.Locks.Read) ];
+      Store.Locks.acquire lt ~owner:"b" [ ("k", Store.Locks.Read) ];
+      (match Store.Locks.holders lt "k" with
+      | Some (Store.Locks.Read, owners) ->
+          Alcotest.(check (list string)) "both readers" [ "a"; "b" ] owners
+      | _ -> Alcotest.fail "expected shared read");
+      Store.Locks.release lt ~owner:"a";
+      Store.Locks.release lt ~owner:"b";
+      Alcotest.(check bool) "free" true (Store.Locks.holders lt "k" = None))
+
+let test_locks_write_exclusive () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      let order = ref [] in
+      Store.Locks.acquire lt ~owner:"w1" [ ("k", Store.Locks.Write) ];
+      Engine.spawn (fun () ->
+          Store.Locks.acquire lt ~owner:"w2" [ ("k", Store.Locks.Write) ];
+          order := "w2" :: !order);
+      Engine.sleep 1.0;
+      Alcotest.(check (list string)) "w2 still waiting" [] !order;
+      Alcotest.(check int) "one waiter" 1 (Store.Locks.waiting lt "k");
+      Store.Locks.release lt ~owner:"w1";
+      Engine.sleep 1.0;
+      Alcotest.(check (list string)) "w2 granted" [ "w2" ] !order)
+
+let test_locks_fifo_no_overtake () =
+  (* Reader R2 arriving after writer W must queue behind W even though the
+     lock is currently held only by reader R1. *)
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      let order = ref [] in
+      Store.Locks.acquire lt ~owner:"r1" [ ("k", Store.Locks.Read) ];
+      Engine.spawn (fun () ->
+          Store.Locks.acquire lt ~owner:"w" [ ("k", Store.Locks.Write) ];
+          order := "w" :: !order);
+      Engine.sleep 1.0;
+      Engine.spawn (fun () ->
+          Store.Locks.acquire lt ~owner:"r2" [ ("k", Store.Locks.Read) ];
+          order := "r2" :: !order);
+      Engine.sleep 1.0;
+      Alcotest.(check (list string)) "both blocked" [] !order;
+      Store.Locks.release lt ~owner:"r1";
+      Engine.sleep 1.0;
+      Alcotest.(check (list string)) "writer first" [ "w" ] !order;
+      Store.Locks.release lt ~owner:"w";
+      Engine.sleep 1.0;
+      Alcotest.(check (list string)) "then reader" [ "w"; "r2" ]
+        (List.rev !order))
+
+let test_locks_batch_sorted () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"o"
+        [ ("z", Store.Locks.Write); ("a", Store.Locks.Read) ];
+      Alcotest.(check (list (pair string bool))) "acquired in sorted order"
+        [ ("a", false); ("z", true) ]
+        (List.map
+           (fun (k, m) -> (k, m = Store.Locks.Write))
+           (Store.Locks.held_by lt ~owner:"o")))
+
+let test_locks_duplicate_key_raises () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Alcotest.check_raises "duplicate"
+        (Invalid_argument "Locks.acquire: duplicate key k") (fun () ->
+          Store.Locks.acquire lt ~owner:"o"
+            [ ("k", Store.Locks.Read); ("k", Store.Locks.Write) ]))
+
+let test_locks_double_acquire_raises () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"o" [ ("k", Store.Locks.Read) ];
+      Alcotest.check_raises "double acquire"
+        (Invalid_argument "Locks.acquire: o already holds locks") (fun () ->
+          Store.Locks.acquire lt ~owner:"o" [ ("j", Store.Locks.Read) ]))
+
+let test_locks_contention_counter () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"a" [ ("k", Store.Locks.Write) ];
+      Engine.spawn (fun () ->
+          Store.Locks.acquire lt ~owner:"b" [ ("k", Store.Locks.Write) ]);
+      Engine.sleep 1.0;
+      Store.Locks.release lt ~owner:"a";
+      Engine.sleep 1.0;
+      Alcotest.(check int) "grants" 2 (Store.Locks.acquisitions lt);
+      Alcotest.(check int) "contended" 1 (Store.Locks.contended_acquisitions lt))
+
+(* Deadlock freedom: many fibers acquiring random overlapping lock sets in
+   sorted order all complete. *)
+let prop_locks_no_deadlock =
+  QCheck.Test.make ~name:"sorted acquisition is deadlock-free" ~count:30
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 8) (int_range 0 5)))
+    (fun (seed, _shape) ->
+      let e = Engine.create ~seed () in
+      let completed = ref 0 in
+      let n_fibers = 12 in
+      Engine.run e (fun () ->
+          let lt = Store.Locks.create () in
+          let rng = Engine.rng () in
+          for i = 1 to n_fibers do
+            Engine.spawn (fun () ->
+                let n_keys = 1 + Rng.int rng 4 in
+                let keys =
+                  List.sort_uniq String.compare
+                    (List.init n_keys (fun _ ->
+                         Printf.sprintf "k%d" (Rng.int rng 6)))
+                in
+                let locks =
+                  List.map
+                    (fun k ->
+                      ( k,
+                        if Rng.bool rng then Store.Locks.Write
+                        else Store.Locks.Read ))
+                    keys
+                in
+                Store.Locks.acquire lt ~owner:(Printf.sprintf "f%d" i) locks;
+                Engine.sleep (Rng.float rng 5.0);
+                Store.Locks.release lt ~owner:(Printf.sprintf "f%d" i);
+                incr completed)
+          done);
+      !completed = n_fibers && Engine.live_fibers e = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Intents                                                             *)
+
+let test_intents_lifecycle () =
+  run_sim (fun () ->
+      let it = Store.Intents.create () in
+      Store.Intents.put it ~exec_id:"e1";
+      Alcotest.(check bool) "pending" true
+        (Store.Intents.status it ~exec_id:"e1" = Some Store.Intents.Pending);
+      Alcotest.(check int) "pending count" 1 (Store.Intents.pending_count it);
+      Alcotest.(check bool) "first completion wins" true
+        (Store.Intents.try_complete it ~exec_id:"e1");
+      Alcotest.(check bool) "second completion loses" false
+        (Store.Intents.try_complete it ~exec_id:"e1");
+      Store.Intents.remove it ~exec_id:"e1";
+      Alcotest.(check bool) "removed" true
+        (Store.Intents.status it ~exec_id:"e1" = None))
+
+let test_intents_duplicate_raises () =
+  run_sim (fun () ->
+      let it = Store.Intents.create () in
+      Store.Intents.put it ~exec_id:"e1";
+      Alcotest.check_raises "duplicate"
+        (Invalid_argument "Intents.put: duplicate intent e1") (fun () ->
+          Store.Intents.put it ~exec_id:"e1"))
+
+let test_intents_unknown_complete () =
+  run_sim (fun () ->
+      let it = Store.Intents.create () in
+      Alcotest.(check bool) "unknown id" false
+        (Store.Intents.try_complete it ~exec_id:"nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Idempotency                                                         *)
+
+let test_idempotency () =
+  run_sim (fun () ->
+      let t = Store.Idempotency.create () in
+      let t0 = Engine.now () in
+      Alcotest.(check bool) "first claim" true
+        (Store.Idempotency.register t ~exec_id:"e1");
+      check_float "3 ms write" 3.0 (Engine.now () -. t0);
+      Alcotest.(check bool) "second claim rejected" false
+        (Store.Idempotency.register t ~exec_id:"e1");
+      Alcotest.(check bool) "seen" true (Store.Idempotency.seen t ~exec_id:"e1");
+      Alcotest.(check int) "count" 1 (Store.Idempotency.count t))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "kv",
+        [
+          Alcotest.test_case "get absent" `Quick test_kv_get_absent;
+          Alcotest.test_case "versions increment" `Quick
+            test_kv_versions_increment;
+          Alcotest.test_case "access latency" `Quick test_kv_access_latency;
+          Alcotest.test_case "put_if_version" `Quick test_kv_put_if_version;
+          Alcotest.test_case "load and counters" `Quick test_kv_load_and_counters;
+          Alcotest.test_case "versions_of" `Quick test_kv_versions_of;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "read shared" `Quick test_locks_read_shared;
+          Alcotest.test_case "write exclusive" `Quick test_locks_write_exclusive;
+          Alcotest.test_case "FIFO no overtake" `Quick test_locks_fifo_no_overtake;
+          Alcotest.test_case "batch sorted" `Quick test_locks_batch_sorted;
+          Alcotest.test_case "duplicate key raises" `Quick
+            test_locks_duplicate_key_raises;
+          Alcotest.test_case "double acquire raises" `Quick
+            test_locks_double_acquire_raises;
+          Alcotest.test_case "contention counter" `Quick
+            test_locks_contention_counter;
+        ]
+        @ qsuite [ prop_locks_no_deadlock ] );
+      ( "intents",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_intents_lifecycle;
+          Alcotest.test_case "duplicate raises" `Quick
+            test_intents_duplicate_raises;
+          Alcotest.test_case "unknown complete" `Quick
+            test_intents_unknown_complete;
+        ] );
+      ("idempotency", [ Alcotest.test_case "at-most-once" `Quick test_idempotency ]);
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the gradual typechecker: every application handler checks
+   against its storage schema, and real shape errors are rejected. *)
+
+open Fdsl
+open Ast
+module T = Types
+module Tc = Typecheck
+
+let infer_ok ?schema ?param_types f =
+  match Tc.check ?schema ?param_types f with
+  | Ok t -> t
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Tc.pp_error e)
+
+let expect_error ?schema ?param_types f =
+  match Tc.check ?schema ?param_types f with
+  | Error _ -> ()
+  | Ok t ->
+      Alcotest.fail
+        (Format.asprintf "expected a type error, inferred %a" T.pp t)
+
+let fn body = { fn_name = "t"; params = [ "x" ]; body }
+
+let check_ty msg expected got =
+  Alcotest.(check string) msg
+    (Format.asprintf "%a" T.pp expected)
+    (Format.asprintf "%a" T.pp got)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let test_consistency () =
+  Alcotest.(check bool) "any with anything" true (T.consistent T.TAny T.TInt);
+  Alcotest.(check bool) "int/str clash" false (T.consistent T.TInt T.TStr);
+  Alcotest.(check bool) "lists elementwise" false
+    (T.consistent (T.TList T.TInt) (T.TList T.TStr));
+  Alcotest.(check bool) "records on common fields" true
+    (T.consistent
+       (T.TRecord [ ("a", T.TInt) ])
+       (T.TRecord [ ("a", T.TInt); ("b", T.TStr) ]));
+  Alcotest.(check bool) "records clash on shared field" false
+    (T.consistent (T.TRecord [ ("a", T.TInt) ]) (T.TRecord [ ("a", T.TStr) ]))
+
+let test_join () =
+  check_ty "equal types" T.TInt (T.join T.TInt T.TInt);
+  check_ty "unit is benign" (T.TList T.TStr)
+    (T.join T.TUnit (T.TList T.TStr));
+  check_ty "mismatch goes any" T.TAny (T.join T.TInt T.TStr);
+  check_ty "records intersect" (T.TRecord [ ("a", T.TInt) ])
+    (T.join
+       (T.TRecord [ ("a", T.TInt); ("b", T.TStr) ])
+       (T.TRecord [ ("a", T.TInt) ]))
+
+let test_of_dval () =
+  check_ty "record"
+    (T.TRecord [ ("n", T.TInt) ])
+    (T.of_dval (Dval.Record [ ("n", Dval.int 3) ]));
+  check_ty "hetero list" (T.TList T.TAny)
+    (T.of_dval (Dval.List [ Dval.int 1; Dval.Str "x" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Inference                                                           *)
+
+let test_basic_inference () =
+  check_ty "arith" T.TInt (infer_ok (fn (Binop (Add, Int 1L, Int 2L))));
+  check_ty "concat" T.TStr (infer_ok (fn (Concat [ Str "a"; Str "b" ])));
+  check_ty "comparison" T.TBool (infer_ok (fn (Binop (Lt, Int 1L, Int 2L))));
+  check_ty "foreach maps" (T.TList T.TInt)
+    (infer_ok (fn (Foreach ("i", List_lit [ Int 1L ], Binop (Mul, Var "i", Int 2L)))))
+
+let test_param_types () =
+  check_ty "annotated param"
+    T.TInt
+    (infer_ok ~param_types:[ ("x", T.TInt) ] (fn (Binop (Add, Input "x", Int 1L))));
+  expect_error ~param_types:[ ("x", T.TStr) ]
+    (fn (Binop (Add, Input "x", Int 1L)))
+
+let test_shape_errors () =
+  expect_error (fn (Concat [ Str "n="; Int 3L ]));
+  expect_error (fn (Binop (Add, Str "1", Int 2L)));
+  expect_error (fn (Field (Str "oops", "name")));
+  expect_error (fn (Foreach ("i", Int 3L, Var "i")));
+  expect_error (fn (Field (Record_lit [ ("a", Int 1L) ], "missing")));
+  expect_error (fn (Str_of_int (Str "x")));
+  expect_error (fn (Take (Int 1L, Int 2L)))
+
+let test_gradual_any_passes () =
+  (* Unannotated inputs are any: plausible uses typecheck. *)
+  check_ty "any flows" T.TInt
+    (infer_ok (fn (Binop (Add, Input "x", Int 1L))));
+  check_ty "any field" T.TAny (infer_ok (fn (Field (Input "x", "whatever"))))
+
+let test_schema_reads_and_writes () =
+  let schema = [ ("count:", T.TInt); ("name:", T.TStr) ] in
+  check_ty "read type from schema" T.TInt
+    (infer_ok ~schema (fn (Binop (Add, Read (Concat [ Str "count:"; Input "x" ]), Int 1L))));
+  (* Writing a string where the schema declares int is an error. *)
+  expect_error ~schema (fn (Write (Concat [ Str "count:"; Input "x" ], Str "nope")));
+  (* Reading a string-typed key into arithmetic is an error. *)
+  expect_error ~schema
+    (fn (Binop (Add, Read (Concat [ Str "name:"; Input "x" ]), Int 1L)));
+  (* Unknown prefixes stay gradual. *)
+  check_ty "unknown key is any" T.TAny
+    (infer_ok ~schema (fn (Read (Concat [ Str "other:"; Input "x" ]))))
+
+let test_dynamic_key_is_any () =
+  let schema = [ ("count:", T.TInt) ] in
+  check_ty "fully dynamic key" T.TAny
+    (infer_ok ~schema (fn (Read (Input "x"))))
+
+(* ------------------------------------------------------------------ *)
+(* The real applications                                               *)
+
+let app_schemas =
+  [
+    ("social", Apps.Social.functions, Apps.Social.schema);
+    ("hotel", Apps.Hotel.functions, Apps.Hotel.schema);
+    ("forum", Apps.Forum.functions, Apps.Forum.schema);
+    ("imageboard", Apps.Imageboard.functions, Apps.Imageboard.schema);
+    ("projectmgmt", Apps.Projectmgmt.functions, Apps.Projectmgmt.schema);
+  ]
+
+let test_all_apps_typecheck () =
+  List.iter
+    (fun (name, funcs, schema) ->
+      match Tc.check_all ~schema funcs with
+      | Ok () -> ()
+      | Error errors ->
+          Alcotest.fail
+            (Format.asprintf "%s: %a" name
+               (Format.pp_print_list Tc.pp_error)
+               errors))
+    app_schemas
+
+let test_schema_catches_wrong_write () =
+  (* A buggy variant of forum-interact that writes a bare int over the
+     post record: rejected by the forum schema. *)
+  let buggy =
+    {
+      fn_name = "buggy-interact";
+      params = [ "p" ];
+      body = Write (Concat [ Str "fpost:"; Input "p" ], Int 1L);
+    }
+  in
+  expect_error ~schema:Apps.Forum.schema buggy
+
+let test_seed_data_matches_schema () =
+  (* Every seeded key's value type must be consistent with its schema
+     entry — the schema really describes the data. *)
+  let rng = Sim.Rng.create 4 in
+  List.iter
+    (fun (name, seed, schema) ->
+      List.iter
+        (fun (key, value) ->
+          let declared =
+            Tc.check ~schema
+              { fn_name = "probe"; params = []; body = Read (Str key) }
+          in
+          match declared with
+          | Ok t ->
+              if not (T.consistent (T.of_dval value) t) then
+                Alcotest.fail
+                  (Format.asprintf "%s: %s holds %a but schema says %a" name
+                     key T.pp (T.of_dval value) T.pp t)
+          | Error _ -> ())
+        (seed rng))
+    [
+      ("social", (fun r -> Apps.Social.seed ~n_users:20 r), Apps.Social.schema);
+      ("hotel", (fun r -> Apps.Hotel.seed r), Apps.Hotel.schema);
+      ("forum", (fun r -> Apps.Forum.seed ~n_posts:30 r), Apps.Forum.schema);
+      ("imageboard", (fun r -> Apps.Imageboard.seed r), Apps.Imageboard.schema);
+      ("projectmgmt", (fun r -> Apps.Projectmgmt.seed r), Apps.Projectmgmt.schema);
+    ]
+
+let () =
+  Alcotest.run "typecheck"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "consistency" `Quick test_consistency;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "of_dval" `Quick test_of_dval;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "basics" `Quick test_basic_inference;
+          Alcotest.test_case "param types" `Quick test_param_types;
+          Alcotest.test_case "shape errors" `Quick test_shape_errors;
+          Alcotest.test_case "gradual any" `Quick test_gradual_any_passes;
+          Alcotest.test_case "schema reads/writes" `Quick
+            test_schema_reads_and_writes;
+          Alcotest.test_case "dynamic key" `Quick test_dynamic_key_is_any;
+        ] );
+      ( "applications",
+        [
+          Alcotest.test_case "all 27 handlers typecheck" `Quick
+            test_all_apps_typecheck;
+          Alcotest.test_case "schema catches wrong write" `Quick
+            test_schema_catches_wrong_write;
+          Alcotest.test_case "seed data matches schema" `Quick
+            test_seed_data_matches_schema;
+        ] );
+    ]

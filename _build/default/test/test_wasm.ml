@@ -1,0 +1,668 @@
+(* Tests for the deterministic VM: interpreter semantics, traps, the
+   determinism validator, and compiled-vs-expected equivalence on random
+   arithmetic programs. *)
+
+open Wasm
+
+let all_imports = Host.storage_imports @ Host.pure_imports
+
+let mk_module ?(imports = all_imports) ?(n_params = 0) ?(n_locals = 0) body =
+  Wmodule.create
+    ~funcs:[ { Wmodule.fn_name = "main"; n_params; n_locals; body } ]
+    ~imports
+
+let run_main ?host ?fuel ?(args = []) m =
+  let host = Option.value ~default:(Host.pure ()) host in
+  Interp.run m ~host ?fuel ~entry:"main" args
+
+let check_ok msg expected result =
+  match result with
+  | Ok v ->
+      Alcotest.(check string) msg (Dval.to_string expected) (Dval.to_string v)
+  | Error e -> Alcotest.fail (msg ^ ": unexpected error " ^ e)
+
+let check_trap msg substring result =
+  match result with
+  | Ok v -> Alcotest.fail (msg ^ ": expected trap, got " ^ Dval.to_string v)
+  | Error e ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        n = 0 || go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" msg e substring)
+        true (contains e substring)
+
+open Instr
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic and locals                                               *)
+
+let test_arith () =
+  let m = mk_module [ I64_const 3L; I64_const 4L; I64_binop Add; I64_const 2L; I64_binop Mul ] in
+  check_ok "(3+4)*2" (Dval.Int 14L) (run_main m)
+
+let test_comparisons () =
+  let check op a b expect =
+    let m = mk_module [ I64_const a; I64_const b; I64_binop op ] in
+    check_ok "cmp" (Dval.Int expect) (run_main m)
+  in
+  check Lt_s 1L 2L 1L;
+  check Lt_s 2L 1L 0L;
+  check Ge_s 2L 2L 1L;
+  check Eq 5L 5L 1L;
+  check Ne 5L 5L 0L
+
+let test_div_by_zero_traps () =
+  let m = mk_module [ I64_const 1L; I64_const 0L; I64_binop Div_s ] in
+  check_trap "div" "division by zero" (run_main m)
+
+let test_locals () =
+  let m =
+    mk_module ~n_locals:2
+      [
+        I64_const 10L;
+        Local_set 0;
+        I64_const 32L;
+        Local_tee 1;
+        Local_get 0;
+        I64_binop Add;
+      ]
+  in
+  check_ok "locals" (Dval.Int 42L) (run_main m)
+
+let test_params () =
+  let m =
+    mk_module ~n_params:2
+      [
+        Local_get 0;
+        Call_host "dval.to_i64";
+        Local_get 1;
+        Call_host "dval.to_i64";
+        I64_binop Sub;
+      ]
+  in
+  check_ok "params" (Dval.Int 7L)
+    (run_main ~args:[ Dval.Int 10L; Dval.Int 3L ] m)
+
+(* ------------------------------------------------------------------ *)
+(* Control flow                                                        *)
+
+let test_if_else () =
+  let branchy cond =
+    mk_module [ I64_const cond; If ([ I64_const 1L ], [ I64_const 2L ]) ]
+  in
+  check_ok "then" (Dval.Int 1L) (run_main (branchy 5L));
+  check_ok "else" (Dval.Int 2L) (run_main (branchy 0L))
+
+let test_loop_sum () =
+  (* sum = 0; i = 0; loop { i += 1; sum += i; br_if (i < 10) } *)
+  let m =
+    mk_module ~n_locals:2
+      [
+        Loop
+          [
+            Local_get 0;
+            I64_const 1L;
+            I64_binop Add;
+            Local_set 0;
+            Local_get 1;
+            Local_get 0;
+            I64_binop Add;
+            Local_set 1;
+            Local_get 0;
+            I64_const 10L;
+            I64_binop Lt_s;
+            Br_if 0;
+          ];
+        Local_get 1;
+      ]
+  in
+  check_ok "sum 1..10" (Dval.Int 55L) (run_main m)
+
+let test_nested_br () =
+  (* A br 1 from inside two blocks skips both; the trailing const runs. *)
+  let m =
+    mk_module
+      [
+        Block [ Block [ Br 1; Unreachable ]; Unreachable ];
+        I64_const 9L;
+      ]
+  in
+  check_ok "br 1 exits both blocks" (Dval.Int 9L) (run_main m)
+
+let test_loop_exit_by_fallthrough () =
+  (* A loop body that does not branch runs exactly once. *)
+  let m = mk_module ~n_locals:1
+      [ Loop [ Local_get 0; I64_const 1L; I64_binop Add; Local_set 0 ]; Local_get 0 ]
+  in
+  check_ok "single iteration" (Dval.Int 1L) (run_main m)
+
+let test_return_early () =
+  let m = mk_module [ I64_const 5L; Return; Unreachable ] in
+  check_ok "return skips the rest" (Dval.Int 5L) (run_main m)
+
+let test_unreachable_traps () =
+  check_trap "unreachable" "unreachable" (run_main (mk_module [ Unreachable ]))
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                               *)
+
+let test_call_helper () =
+  let double =
+    { Wmodule.fn_name = "double"; n_params = 1; n_locals = 0;
+      body = [ Local_get 0; I64_const 2L; I64_binop Mul ] }
+  in
+  let main =
+    { Wmodule.fn_name = "main"; n_params = 0; n_locals = 0;
+      body = [ I64_const 21L; Call 1 ] }
+  in
+  let m = Wmodule.create ~funcs:[ main; double ] ~imports:[] in
+  check_ok "call helper" (Dval.Int 42L) (Interp.run m ~host:(Host.pure ()) ~entry:"main" [])
+
+let test_recursion () =
+  (* fact(n) = if n <= 1 then 1 else n * fact(n-1) *)
+  let fact =
+    { Wmodule.fn_name = "fact"; n_params = 1; n_locals = 0;
+      body =
+        [
+          Local_get 0;
+          I64_const 1L;
+          I64_binop Le_s;
+          If
+            ( [ I64_const 1L ],
+              [
+                Local_get 0;
+                Local_get 0;
+                I64_const 1L;
+                I64_binop Sub;
+                Call 1;
+                I64_binop Mul;
+              ] );
+        ] }
+  in
+  (* Entry arguments arrive as refs, so a wrapper unboxes before the
+     i64-recursive helper takes over. *)
+  let main =
+    { Wmodule.fn_name = "main"; n_params = 1; n_locals = 0;
+      body = [ Local_get 0; Call_host "dval.to_i64"; Call 1 ] }
+  in
+  let m = Wmodule.create ~funcs:[ main; fact ] ~imports:[ "dval.to_i64" ] in
+  match Interp.run m ~host:(Host.pure ()) ~entry:"main" [ Dval.Int 10L ] with
+  | Ok v -> Alcotest.(check string) "10!" "3628800" (Dval.to_string v)
+  | Error e -> Alcotest.fail e
+
+let test_arity_mismatch () =
+  let m = mk_module ~n_params:2 [ I64_const 0L ] in
+  check_trap "arity" "expects 2 arguments" (run_main ~args:[ Dval.Int 1L ] m)
+
+let test_missing_entry () =
+  let m = mk_module [ I64_const 0L ] in
+  match Interp.run m ~host:(Host.pure ()) ~entry:"nope" [] with
+  | Error e -> Alcotest.(check bool) "missing entry" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* ------------------------------------------------------------------ *)
+(* Host builtins                                                       *)
+
+let test_string_builtins () =
+  let m =
+    mk_module
+      [
+        Ref_const (Dval.Str "user:");
+        I64_const 42L;
+        Call_host "str.of_i64";
+        Call_host "str.concat";
+      ]
+  in
+  check_ok "str concat" (Dval.Str "user:42") (run_main m)
+
+let test_record_builtins () =
+  let m =
+    mk_module
+      [
+        Call_host "record.new";
+        Ref_const (Dval.Str "name");
+        Ref_const (Dval.Str "ada");
+        Call_host "record.set";
+        Ref_const (Dval.Str "name");
+        Call_host "record.get";
+      ]
+  in
+  check_ok "record roundtrip" (Dval.Str "ada") (run_main m)
+
+let test_list_builtins () =
+  let m =
+    mk_module
+      [
+        Call_host "list.empty";
+        Ref_const (Dval.Str "a");
+        Call_host "list.append";
+        Ref_const (Dval.Str "b");
+        Call_host "list.append";
+        Call_host "list.len";
+      ]
+  in
+  check_ok "list len" (Dval.Int 2L) (run_main m)
+
+let test_list_get_bounds () =
+  let m =
+    mk_module [ Call_host "list.empty"; I64_const 0L; Call_host "list.get" ]
+  in
+  check_trap "list.get" "out of bounds" (run_main m)
+
+let test_storage_host () =
+  let host, writes = Host.recording ~store:[ ("k", Dval.Str "v0") ] () in
+  (* write k2 := read(k) ^ "!" *)
+  let m =
+    mk_module
+      [
+        Ref_const (Dval.Str "k2");
+        Ref_const (Dval.Str "k");
+        Call_host "storage.read";
+        Ref_const (Dval.Str "!");
+        Call_host "str.concat";
+        Call_host "storage.write";
+      ]
+  in
+  check_ok "write returns unit" Dval.Unit (run_main ~host m);
+  Alcotest.(check (list (pair string string)))
+    "write recorded"
+    [ ("k2", "v0!") ]
+    (List.map (fun (k, v) -> (k, Dval.to_str v)) (writes ()))
+
+let test_type_confusion_traps () =
+  let m = mk_module [ I64_const 1L; Call_host "str.of_i64"; I64_const 2L; I64_binop Add ] in
+  check_trap "ref as i64" "expected an i64" (run_main m)
+
+let test_stack_underflow_traps () =
+  check_trap "underflow" "underflow" (run_main (mk_module [ Drop ]))
+
+let test_fuel_exhaustion () =
+  let m = mk_module [ Loop [ Br 0 ] ] in
+  check_trap "fuel" "fuel exhausted" (run_main ~fuel:1000 m)
+
+(* ------------------------------------------------------------------ *)
+(* Validator                                                           *)
+
+let test_validate_accepts_good () =
+  let m = mk_module [ I64_const 1L; Call_host "dval.of_i64" ] in
+  match Validate.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Validate.pp_error e)
+
+let test_validate_rejects_nondeterministic_import () =
+  let m =
+    mk_module ~imports:("wasi.random_get" :: all_imports) [ I64_const 1L ]
+  in
+  (match Validate.check m with
+  | Error e ->
+      Alcotest.(check string) "culprit" "(imports)" e.in_func
+  | Ok () -> Alcotest.fail "expected rejection");
+  Alcotest.(check bool) "deterministic is false" false (Validate.deterministic m)
+
+let test_validate_rejects_undeclared_host_call () =
+  let m = mk_module ~imports:[] [ Call_host "storage.read" ] in
+  match Validate.check m with
+  | Error e -> Alcotest.(check string) "in main" "main" e.in_func
+  | Ok () -> Alcotest.fail "expected rejection"
+
+let test_validate_rejects_bad_local () =
+  let m = mk_module ~n_locals:1 [ Local_get 5 ] in
+  match Validate.check m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected rejection"
+
+let test_validate_rejects_bad_branch_depth () =
+  let m = mk_module [ Block [ Br 3 ] ] in
+  match Validate.check m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected rejection"
+
+let test_validate_rejects_bad_call_index () =
+  let m = mk_module [ Call 7 ] in
+  match Validate.check m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected rejection"
+
+let test_interp_refuses_forbidden_at_runtime () =
+  (* Even if validation is skipped, the interpreter traps. *)
+  let m = mk_module ~imports:[ "wasi.random_get" ] [ Call_host "wasi.random_get" ] in
+  check_trap "runtime refusal" "nondeterministic import" (run_main m)
+
+(* ------------------------------------------------------------------ *)
+(* Binary codec                                                        *)
+
+let roundtrip m =
+  match Codec.decode (Codec.encode m) with
+  | Ok m' -> m'
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+
+let test_codec_roundtrip_samples () =
+  let samples =
+    [
+      mk_module [ I64_const 42L ];
+      mk_module ~n_params:2 ~n_locals:3
+        [
+          Ref_const
+            (Dval.Record
+               [ ("k", Dval.List [ Dval.Bool true; Dval.Str "s"; Dval.Unit ]) ]);
+          Block [ Loop [ Br_if 1 ]; If ([ Nop ], [ Unreachable ]) ];
+          Call_host "storage.read";
+          Local_tee 4;
+          Return;
+        ];
+      mk_module [ I64_const Int64.min_int; I64_const Int64.max_int; I64_binop Xor ];
+    ]
+  in
+  List.iter (fun m -> Alcotest.(check bool) "roundtrip" true (roundtrip m = m)) samples
+
+let test_codec_roundtrips_all_app_modules () =
+  List.iter
+    (fun f ->
+      let m = Fdsl.Compile.compile f in
+      Alcotest.(check bool) (f.Fdsl.Ast.fn_name ^ " roundtrips") true
+        (roundtrip m = m);
+      Alcotest.(check bool) "blob nonempty" true (Codec.blob_size m > 8))
+    Apps.Catalog.all_functions
+
+let test_codec_rejects_garbage () =
+  let reject msg data =
+    match Codec.decode data with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (msg ^ ": expected decode failure")
+  in
+  reject "empty" "";
+  reject "bad magic" "NOPE\x01\x00\x00";
+  let good = Codec.encode (mk_module [ I64_const 1L ]) in
+  reject "truncated" (String.sub good 0 (String.length good - 2));
+  reject "trailing" (good ^ "x");
+  (* Corrupt the opcode of the single instruction. *)
+  let corrupt = Bytes.of_string good in
+  Bytes.set corrupt (String.length good - 9) '\xee';
+  reject "bad opcode" (Bytes.to_string corrupt)
+
+let test_codec_decoded_module_runs () =
+  let m =
+    mk_module ~n_locals:2
+      [
+        Loop
+          [
+            Local_get 0; I64_const 1L; I64_binop Add; Local_set 0;
+            Local_get 1; Local_get 0; I64_binop Add; Local_set 1;
+            Local_get 0; I64_const 100L; I64_binop Lt_s; Br_if 0;
+          ];
+        Local_get 1;
+      ]
+  in
+  check_ok "decoded blob executes identically" (Dval.Int 5050L)
+    (run_main (roundtrip m))
+
+(* ------------------------------------------------------------------ *)
+(* Stack-discipline validation                                         *)
+
+let expect_stack_ok m =
+  match Validate.check_stack m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Validate.pp_error e)
+
+let expect_stack_bad msg m =
+  match Validate.check_stack m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail (msg ^ ": expected stack-validation failure")
+
+let test_stack_accepts_wellformed () =
+  expect_stack_ok (mk_module [ I64_const 3L; I64_const 4L; I64_binop Add ]);
+  expect_stack_ok
+    (mk_module ~n_locals:2
+       [
+         Loop
+           [
+             Local_get 0; I64_const 1L; I64_binop Add; Local_set 0;
+             Local_get 0; I64_const 10L; I64_binop Lt_s; Br_if 0;
+           ];
+         Local_get 1;
+       ]);
+  expect_stack_ok
+    (mk_module [ Block [ Block [ Br 1; Unreachable ]; Unreachable ]; I64_const 9L ]);
+  expect_stack_ok
+    (mk_module [ I64_const 1L; If ([ I64_const 2L ], [ I64_const 3L ]) ])
+
+let test_stack_rejects_underflow () =
+  expect_stack_bad "drop on empty" (mk_module [ Drop; I64_const 1L ]);
+  expect_stack_bad "binop with one operand"
+    (mk_module [ I64_const 1L; I64_binop Add ])
+
+let test_stack_rejects_bad_frame_shapes () =
+  expect_stack_bad "non-neutral block"
+    (mk_module [ Block [ I64_const 1L ]; I64_const 2L; I64_binop Add ]);
+  expect_stack_bad "if arm yields nothing"
+    (mk_module [ I64_const 1L; If ([ Nop ], [ I64_const 2L ]) ]);
+  expect_stack_bad "body ends with two values"
+    (mk_module [ I64_const 1L; I64_const 2L ]);
+  expect_stack_bad "body ends empty" (mk_module [ I64_const 1L; Drop ]);
+  expect_stack_bad "return without a value" (mk_module [ Return ]);
+  expect_stack_bad "frame cannot cross block for underflow"
+    (mk_module [ I64_const 1L; Block [ Drop ]; I64_const 2L ])
+
+let test_stack_host_arities () =
+  expect_stack_ok
+    (mk_module
+       [ Ref_const (Dval.Str "k"); Call_host "storage.read" ]);
+  expect_stack_bad "record.set needs three"
+    (mk_module [ Call_host "record.new"; Call_host "record.set" ])
+
+(* ------------------------------------------------------------------ *)
+(* Random-program equivalence and determinism                          *)
+
+type arith = Const of int64 | Bin of Instr.binop * arith * arith
+
+let arith_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then map (fun i -> Const (Int64.of_int i)) (int_range (-100) 100)
+          else
+            frequency
+              [
+                (1, map (fun i -> Const (Int64.of_int i)) (int_range (-100) 100));
+                ( 3,
+                  map3
+                    (fun op a b -> Bin (op, a, b))
+                    (oneofl [ Add; Sub; Mul; And; Or; Xor ])
+                    (self (n / 2)) (self (n / 2)) );
+              ])
+        (min n 20))
+
+let rec eval_arith = function
+  | Const i -> i
+  | Bin (op, a, b) ->
+      let x = eval_arith a and y = eval_arith b in
+      let open Int64 in
+      (match op with
+      | Add -> add x y
+      | Sub -> sub x y
+      | Mul -> mul x y
+      | And -> logand x y
+      | Or -> logor x y
+      | Xor -> logxor x y
+      | Div_s | Rem_s | Eq | Ne | Lt_s | Gt_s | Le_s | Ge_s -> assert false)
+
+let rec compile_arith = function
+  | Const i -> [ I64_const i ]
+  | Bin (op, a, b) -> compile_arith a @ compile_arith b @ [ I64_binop op ]
+
+let prop_compiled_programs_pass_full_validation =
+  QCheck.Test.make ~name:"compiled programs pass structural+stack validation"
+    ~count:300
+    (QCheck.make arith_gen) (fun prog ->
+      let m = mk_module (compile_arith prog) in
+      Validate.check_all m = Ok ())
+
+(* Deterministic re-execution (§3.4's foundation): running the same
+   module against identical stores yields identical results, observed
+   reads, and writes — checked through the full Execute harness in
+   test_features; here at VM level with randomized programs. *)
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrips compiled programs"
+    ~count:300 (QCheck.make arith_gen) (fun prog ->
+      let m = mk_module (compile_arith prog) in
+      Codec.decode (Codec.encode m) = Ok m)
+
+let prop_decode_never_raises =
+  QCheck.Test.make ~name:"decoder is total on arbitrary bytes" ~count:500
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun junk ->
+      match Codec.decode junk with Ok _ | Error _ -> true)
+
+let prop_decode_rejects_corruption =
+  QCheck.Test.make ~name:"flipping a byte is detected or decodes a module"
+    ~count:200
+    (QCheck.pair (QCheck.make arith_gen) QCheck.small_int)
+    (fun (prog, flip_at) ->
+      let good = Codec.encode (mk_module (compile_arith prog)) in
+      let i = 5 + (flip_at mod max 1 (String.length good - 5)) in
+      let corrupt = Bytes.of_string good in
+      Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0x55));
+      match Codec.decode (Bytes.to_string corrupt) with
+      | Ok _ | Error _ -> true (* must not raise *))
+
+let prop_replay_identity =
+  QCheck.Test.make ~name:"replay on an identical store is identical"
+    ~count:100 (QCheck.make arith_gen) (fun prog ->
+      let body =
+        compile_arith prog
+        @ [
+            Call_host "dval.of_i64";
+            Local_set 0;
+            Ref_const (Dval.Str "a");
+            Ref_const (Dval.Str "seed");
+            Call_host "storage.read";
+            Call_host "storage.write";
+            Drop;
+            Local_get 0;
+          ]
+      in
+      let m = mk_module ~n_locals:1 body in
+      let run () =
+        let host, writes = Host.recording ~store:[ ("seed", Dval.Int 7L) ] () in
+        (Interp.run m ~host ~entry:"main" [], writes ())
+      in
+      let r1 = run () and r2 = run () in
+      r1 = r2)
+
+
+let prop_vm_matches_reference =
+  QCheck.Test.make ~name:"VM agrees with reference evaluator" ~count:300
+    (QCheck.make arith_gen) (fun prog ->
+      let m = mk_module (compile_arith prog) in
+      match run_main m with
+      | Ok (Dval.Int got) -> Int64.equal got (eval_arith prog)
+      | _ -> false)
+
+let prop_vm_deterministic =
+  QCheck.Test.make ~name:"same module, same host state => same outcome"
+    ~count:100 (QCheck.make arith_gen) (fun prog ->
+      let body =
+        compile_arith prog
+        @ [
+            Call_host "dval.of_i64";
+            Local_set 0;
+            Ref_const (Dval.Str "out");
+            Local_get 0;
+            Call_host "storage.write";
+            Local_get 0;
+          ]
+      in
+      let m = mk_module ~n_locals:1 body in
+      let run () =
+        let host, writes = Host.recording ~store:[ ("seed", Dval.Int 1L) ] () in
+        (run_main ~host m, writes ())
+      in
+      run () = run ())
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "wasm"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "div by zero traps" `Quick test_div_by_zero_traps;
+          Alcotest.test_case "locals" `Quick test_locals;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "if/else" `Quick test_if_else;
+          Alcotest.test_case "loop sum" `Quick test_loop_sum;
+          Alcotest.test_case "nested br" `Quick test_nested_br;
+          Alcotest.test_case "loop fallthrough" `Quick
+            test_loop_exit_by_fallthrough;
+          Alcotest.test_case "early return" `Quick test_return_early;
+          Alcotest.test_case "unreachable traps" `Quick test_unreachable_traps;
+          Alcotest.test_case "call helper" `Quick test_call_helper;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+          Alcotest.test_case "missing entry" `Quick test_missing_entry;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "string builtins" `Quick test_string_builtins;
+          Alcotest.test_case "record builtins" `Quick test_record_builtins;
+          Alcotest.test_case "list builtins" `Quick test_list_builtins;
+          Alcotest.test_case "list.get bounds" `Quick test_list_get_bounds;
+          Alcotest.test_case "storage read/write" `Quick test_storage_host;
+          Alcotest.test_case "type confusion traps" `Quick
+            test_type_confusion_traps;
+          Alcotest.test_case "stack underflow traps" `Quick
+            test_stack_underflow_traps;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "accepts good module" `Quick test_validate_accepts_good;
+          Alcotest.test_case "rejects nondeterministic import" `Quick
+            test_validate_rejects_nondeterministic_import;
+          Alcotest.test_case "rejects undeclared host call" `Quick
+            test_validate_rejects_undeclared_host_call;
+          Alcotest.test_case "rejects bad local" `Quick test_validate_rejects_bad_local;
+          Alcotest.test_case "rejects bad branch depth" `Quick
+            test_validate_rejects_bad_branch_depth;
+          Alcotest.test_case "rejects bad call index" `Quick
+            test_validate_rejects_bad_call_index;
+          Alcotest.test_case "runtime refusal of forbidden import" `Quick
+            test_interp_refuses_forbidden_at_runtime;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip samples" `Quick test_codec_roundtrip_samples;
+          Alcotest.test_case "roundtrips all app modules" `Quick
+            test_codec_roundtrips_all_app_modules;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "decoded module runs" `Quick
+            test_codec_decoded_module_runs;
+        ] );
+      ( "stack-validation",
+        [
+          Alcotest.test_case "accepts well-formed" `Quick
+            test_stack_accepts_wellformed;
+          Alcotest.test_case "rejects underflow" `Quick
+            test_stack_rejects_underflow;
+          Alcotest.test_case "rejects bad frame shapes" `Quick
+            test_stack_rejects_bad_frame_shapes;
+          Alcotest.test_case "host arities" `Quick test_stack_host_arities;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_vm_matches_reference;
+            prop_vm_deterministic;
+            prop_compiled_programs_pass_full_validation;
+            prop_codec_roundtrip;
+            prop_decode_never_raises;
+            prop_decode_rejects_corruption;
+            prop_replay_identity;
+          ] );
+    ]
