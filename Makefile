@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick clean
+.PHONY: all build test bench examples quick check clean
 
 all: build
 
@@ -17,6 +17,13 @@ bench:
 # Quick 2k-request variant of the evaluation.
 quick:
 	dune exec bench/main.exe -- --scale 1
+
+# CI gate: full build, full test suite, and a small traced bench run
+# that exercises the per-phase JSON breakdown end to end.
+check:
+	dune build @all
+	dune runtest --force
+	dune exec bench/main.exe -- --scale 1 phases
 
 examples:
 	dune exec examples/quickstart.exe

@@ -66,6 +66,19 @@ let micro () =
         Test.make ~name:"vm-interp-sum1000"
           (Staged.stage (fun () ->
                ignore (Wasm.Interp.run sum_module ~host:pure_host ~entry:"sum" [])));
+        (* The same workload wrapped in disabled-tracer spans, exactly as
+           Runtime.invoke instruments it. Comparing against the plain run
+           above checks that tracing off costs nothing (≤2% target). *)
+        Test.make ~name:"vm-interp-sum1000-noop-trace"
+          (Staged.stage (fun () ->
+               let tracer = Metrics.Tracer.noop in
+               let root = Metrics.Tracer.root tracer "sum" in
+               let r =
+                 Metrics.Tracer.with_phase tracer ~parent:root "exec" (fun () ->
+                     Wasm.Interp.run sum_module ~host:pure_host ~entry:"sum" [])
+               in
+               Metrics.Tracer.stop root;
+               ignore r));
         Test.make ~name:"fdsl-compile-timeline"
           (Staged.stage (fun () -> ignore (Fdsl.Compile.compile timeline_fn)));
         Test.make ~name:"analyzer-derive-timeline"
@@ -124,7 +137,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe [--scale F] \
-     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|micro]";
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|phases|micro]";
   exit 1
 
 let () =
@@ -165,6 +178,7 @@ let () =
       | "bootstrap" -> ignore (Experiments.Figures.bootstrap ())
       | "cost" -> ignore (Experiments.Figures.cost ())
       | "ablation" -> ignore (Experiments.Figures.ablation ~scale ())
+      | "phases" -> ignore (Experiments.Figures.phases ~scale ())
       | "micro" -> micro ()
       | _ -> usage ())
     targets

@@ -38,7 +38,7 @@ let verbose_arg =
 
 
 let experiment_targets =
-  [ "all"; "fig1"; "table1"; "table2"; "fig4"; "fig5"; "fig6"; "repl"; "cost"; "sensitivity"; "skew"; "throughput"; "bootstrap"; "ablation" ]
+  [ "all"; "fig1"; "table1"; "table2"; "fig4"; "fig5"; "fig6"; "repl"; "cost"; "sensitivity"; "skew"; "throughput"; "bootstrap"; "ablation"; "phases" ]
 
 let experiments_cmd =
   let targets =
@@ -68,6 +68,7 @@ let experiments_cmd =
         | "bootstrap" -> ignore (Experiments.Figures.bootstrap ())
         | "cost" -> ignore (Experiments.Figures.cost ())
         | "ablation" -> ignore (Experiments.Figures.ablation ~scale ())
+        | "phases" -> ignore (Experiments.Figures.phases ~scale ())
         | _ -> ())
       targets
   in
@@ -309,6 +310,50 @@ let trace_replay_cmd =
        ~doc:"Replay a trace file against a deployment (open loop)")
     Term.(const run $ file $ app_arg $ system_arg $ seed)
 
+let trace_cmd =
+  let app_arg =
+    Arg.(value & opt (enum apps) Experiments.Bundle.social
+         & info [ "app" ] ~docv:"APP"
+             ~doc:"Application: social, hotel, forum, or simple.")
+  in
+  let system_arg =
+    Arg.(value & opt (enum systems) Experiments.Runner.Radical
+         & info [ "system" ] ~docv:"SYS"
+             ~doc:"Deployment; only radical produces request span trees.")
+  in
+  let requests =
+    Arg.(value & opt int 500 & info [ "requests" ] ~docv:"N"
+           ~doc:"Total request count across all clients.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
+           ~doc:"Print the K slowest request traces as span trees.")
+  in
+  let run verbose app system requests seed top =
+    setup_logs verbose;
+    let tracer = Metrics.Tracer.create () in
+    let requests_per_client = max 1 (requests / 50) in
+    let r = Experiments.Runner.run ~seed ~requests_per_client ~tracer system app in
+    Printf.printf "%d samples, %d errors, %d traces\n" (List.length r.samples)
+      r.errors
+      (Metrics.Tracer.trace_count tracer);
+    print_newline ();
+    print_endline (Metrics.Tracer.phases_json tracer);
+    (match Metrics.Tracer.slowest ~k:top tracer with
+    | [] -> ()
+    | spans ->
+        Printf.printf "\n--- %d slowest request(s) ---\n" (List.length spans);
+        List.iter
+          (fun sp -> Format.printf "@.%a@." Metrics.Span.pp sp)
+          spans)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a traced deployment: per-phase JSON breakdown plus the \
+             slowest request span trees")
+    Term.(const run $ verbose_arg $ app_arg $ system_arg $ requests $ seed $ top)
+
 let timeline_cmd =
   let app_arg =
     Arg.(value & opt (enum apps) Experiments.Bundle.social
@@ -356,5 +401,5 @@ let () =
        (Cmd.group (Cmd.info "radical_cli" ~doc)
           [
             experiments_cmd; run_cmd; inspect_cmd; check_cmd; timeline_cmd;
-            trace_gen_cmd; trace_replay_cmd;
+            trace_cmd; trace_gen_cmd; trace_replay_cmd;
           ]))

@@ -30,7 +30,8 @@ type t = {
   mutable ops : Lincheck.op list; (* newest first *)
 }
 
-let create ?(config = default_config) ?schema ~net ~funcs ~data () =
+let create ?(config = default_config) ?schema
+    ?(tracer = Metrics.Tracer.noop) ~net ~funcs ~data () =
   (match schema with
   | None -> ()
   | Some schema -> (
@@ -51,7 +52,8 @@ let create ?(config = default_config) ?schema ~net ~funcs ~data () =
   let kv = Store.Kv.create () in
   Store.Kv.load kv data;
   let extsvc = Extsvc.create () in
-  let srv = Server.create ~extsvc ~net ~registry:reg ~kv config.server in
+  if Metrics.Tracer.enabled tracer then Net.Transport.set_tracer net tracer;
+  let srv = Server.create ~extsvc ~tracer ~net ~registry:reg ~kv config.server in
   let sites =
     List.map
       (fun loc ->
@@ -67,7 +69,7 @@ let create ?(config = default_config) ?schema ~net ~funcs ~data () =
               Cache.update cache k v ~version)
             data;
         let rt =
-          Runtime.create ~extsvc ~net ~registry:reg ~cache ~server:srv
+          Runtime.create ~extsvc ~tracer ~net ~registry:reg ~cache ~server:srv
             (Runtime.config ~invoke_overhead:config.invoke_overhead
                ~frw_overhead:config.frw_overhead ~overlap:config.overlap loc)
         in

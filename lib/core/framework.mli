@@ -30,6 +30,7 @@ type t
 val create :
   ?config:config ->
   ?schema:Fdsl.Typecheck.schema ->
+  ?tracer:Metrics.Tracer.t ->
   net:Net.Transport.t ->
   funcs:Fdsl.Ast.func list ->
   data:(string * Dval.t) list ->
@@ -38,7 +39,13 @@ val create :
 (** Must run inside the engine. Raises [Invalid_argument] if any
     function fails determinism validation (unanalyzable functions are
     fine — they fall back to near-storage execution), or fails the
-    gradual typecheck when a storage [schema] is supplied. *)
+    gradual typecheck when a storage [schema] is supplied.
+
+    An enabled [tracer] (default noop) is shared by every runtime, the
+    LVI server and the transport: each invocation produces one span
+    tree with runtime phases, server phases attached by exec-id, wire
+    times per service label, and Raft submit latencies in replicated
+    mode. *)
 
 val invoke : t -> from:Net.Location.t -> string -> Dval.t list -> Runtime.outcome
 

@@ -4,3 +4,15 @@
    appear in interfaces (tests crash/restart nodes through it). *)
 
 include Raft.Consensus.Make (Raft.Kvsm)
+
+(* Shadow [submit] with a traced variant: when a tracer is enabled it
+   records the submit-to-commit latency of each lock record, feeding the
+   §5.6 "added latency per lock" attribution. *)
+let submit ?(tracer = Metrics.Tracer.noop) ?timeout cluster cmd =
+  if not (Metrics.Tracer.enabled tracer) then submit ?timeout cluster cmd
+  else begin
+    let t0 = Sim.Engine.now () in
+    let out = submit ?timeout cluster cmd in
+    Metrics.Tracer.record_raft tracer (Sim.Engine.now () -. t0);
+    out
+  end

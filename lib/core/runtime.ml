@@ -1,5 +1,6 @@
 open Sim
 module Transport = Net.Transport
+module Tracer = Metrics.Tracer
 
 let log_src = Logs.Src.create "radical.runtime" ~doc:"Near-user runtime events"
 
@@ -17,6 +18,11 @@ let config ?(invoke_overhead = 12.0) ?(frw_overhead = 1.0) ?(overlap = true) loc
 
 type path = Speculative | Backup | Fallback
 
+let path_label = function
+  | Speculative -> "Speculative"
+  | Backup -> "Backup"
+  | Fallback -> "Fallback"
+
 type outcome = { value : (Dval.t, string) result; latency : float; path : path }
 
 type stats = {
@@ -30,6 +36,7 @@ type stats = {
 type t = {
   cfg : config;
   net : Transport.t;
+  tracer : Tracer.t;
   registry : Registry.t;
   cache : Cache.t;
   extsvc : Extsvc.t;
@@ -45,10 +52,11 @@ type t = {
   mutable s_skipped : int;
 }
 
-let create ?extsvc ~net ~registry ~cache ~server cfg =
+let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
   {
     cfg;
     net;
+    tracer;
     registry;
     cache;
     extsvc = (match extsvc with Some e -> e | None -> Extsvc.create ());
@@ -91,7 +99,7 @@ let record t ~exec_id ~start ~finish (res : Proto.exec_result) =
    Writes are buffered — Radical delays cache updates until the LVI
    response arrives (§3.2) — and reads see the buffer first so the
    execution observes its own writes. *)
-let speculate t ~exec_id (entry : Registry.entry) args :
+let speculate t ~exec_id ?(span = Tracer.none) (entry : Registry.entry) args :
     Proto.exec_result Ivar.t =
   let iv = Ivar.create () in
   Engine.spawn ~name:"speculate" (fun () ->
@@ -120,6 +128,7 @@ let speculate t ~exec_id (entry : Registry.entry) args :
       let value =
         Wasm.Interp.run entry.modul ~host ~entry:entry.func.fn_name args
       in
+      Tracer.stop span;
       Ivar.fill iv
         {
           Proto.value;
@@ -128,11 +137,12 @@ let speculate t ~exec_id (entry : Registry.entry) args :
         });
   iv
 
-let direct_execute t ~start ~exec_id fn args =
+let direct_execute t ~start ~exec_id ~root fn args =
   t.s_fallback <- t.s_fallback + 1;
   let res =
-    Transport.call t.net ~from:t.cfg.loc t.exec_svc
-      { Proto.dx_exec_id = exec_id; dx_fn_name = fn; dx_args = args }
+    Tracer.with_phase t.tracer ~parent:root "direct_exec" (fun () ->
+        Transport.call t.net ~from:t.cfg.loc t.exec_svc
+          { Proto.dx_exec_id = exec_id; dx_fn_name = fn; dx_args = args })
   in
   let finish = Engine.now () in
   record t ~exec_id ~start ~finish res;
@@ -142,23 +152,37 @@ let invoke t fn args =
   t.s_invocations <- t.s_invocations + 1;
   let start = Engine.now () in
   let exec_id = fresh_exec_id t fn in
-  Engine.sleep t.cfg.invoke_overhead;
+  (* One trace per invocation: phase spans hang off this root, the LVI
+     server attaches its own phases via the exec-id registration, and
+     [finalize] folds the finished tree into the per-path histograms. *)
+  let root = Tracer.root t.tracer fn in
+  Tracer.annotate root "loc" t.cfg.loc;
+  Tracer.annotate root "exec_id" exec_id;
+  Tracer.register_exec t.tracer ~exec_id root;
+  let finalize (o : outcome) =
+    Tracer.release_exec t.tracer ~exec_id;
+    Tracer.finalize t.tracer ~fn ~path:(path_label o.path) root;
+    o
+  in
+  Tracer.with_phase t.tracer ~parent:root "invoke_overhead" (fun () ->
+      Engine.sleep t.cfg.invoke_overhead);
   let entry =
     match Registry.find t.registry fn with
     | Some e -> e
     | None -> invalid_arg ("Runtime.invoke: unknown function " ^ fn)
   in
   match entry.derived with
-  | None -> direct_execute t ~start ~exec_id fn args
+  | None -> finalize (direct_execute t ~start ~exec_id ~root fn args)
   | Some { classification = Analyzer.Derive.Expensive; _ } ->
       (* §3.3 "Failure case": an f^rw that must do the function's own
          expensive computation runs in series with f and would erase the
          benefit — such functions always run near storage. *)
-      direct_execute t ~start ~exec_id fn args
+      finalize (direct_execute t ~start ~exec_id ~root fn args)
   | Some derived -> (
       (* (1) Run f^rw to predict the read/write set. Dependent reads hit
          the cache (paying its latency); an analysis-time [Compute] kept
          in an expensive f^rw burns virtual CPU. *)
+      let sp_predict = Tracer.child t.tracer ~parent:root "frw_predict" in
       Engine.sleep t.cfg.frw_overhead;
       let cache_read k =
         match Cache.get t.cache k with
@@ -169,8 +193,11 @@ let invoke t fn args =
         Analyzer.Derive.predict derived ~read:cache_read ~compute:Engine.sleep
           args
       with
-      | exception Fdsl.Eval.Error _ -> direct_execute t ~start ~exec_id fn args
+      | exception Fdsl.Eval.Error _ ->
+          Tracer.stop sp_predict;
+          finalize (direct_execute t ~start ~exec_id ~root fn args)
       | rwset ->
+          Tracer.stop sp_predict;
           let reads =
             List.map (fun k -> (k, Cache.version_of t.cache k)) rwset.reads
           in
@@ -180,27 +207,31 @@ let invoke t fn args =
              until the LVI response arrives. *)
           let spec =
             if misses || not t.cfg.overlap then None
-            else Some (speculate t ~exec_id entry args)
+            else
+              let sp = Tracer.child t.tracer ~parent:root "speculate" in
+              Some (speculate t ~exec_id ~span:sp entry args)
           in
           if misses then t.s_skipped <- t.s_skipped + 1;
           (* (2b) The single LVI request, concurrent with speculation. *)
           let response =
-            Transport.call t.net ~from:t.cfg.loc t.lvi_svc
-              {
-                Proto.exec_id;
-                fn_name = fn;
-                args;
-                reads;
-                writes = rwset.writes;
-                from_loc = t.cfg.loc;
-              }
+            Tracer.with_phase t.tracer ~parent:root "lvi_rtt" (fun () ->
+                Transport.call t.net ~from:t.cfg.loc t.lvi_svc
+                  {
+                    Proto.exec_id;
+                    fn_name = fn;
+                    args;
+                    reads;
+                    writes = rwset.writes;
+                    from_loc = t.cfg.loc;
+                  })
           in
           let spec =
             match (response, spec) with
             | Proto.Validated _, None when (not t.cfg.overlap) && not misses ->
                 (* Ablation: execution starts only after validation, so
                    the LVI latency is fully exposed. *)
-                Some (speculate t ~exec_id entry args)
+                let sp = Tracer.child t.tracer ~parent:root "speculate" in
+                Some (speculate t ~exec_id ~span:sp entry args)
             | _ -> spec
           in
           (match (response, spec) with
@@ -219,18 +250,23 @@ let invoke t fn args =
                   path = Speculative;
                 }
               in
-              if spec_result.written <> [] then begin
-                List.iter
-                  (fun (k, v) ->
-                    let base =
-                      Option.value ~default:0 (List.assoc_opt k write_versions)
-                    in
-                    Cache.update t.cache k v ~version:(base + 1))
-                  spec_result.written;
-                Transport.post t.net ~from:t.cfg.loc t.fu_svc
-                  { Proto.fu_exec_id = exec_id; fu_updates = spec_result.written }
-              end;
-              outcome
+              if spec_result.written <> [] then
+                Tracer.with_phase t.tracer ~parent:root "followup_post"
+                  (fun () ->
+                    List.iter
+                      (fun (k, v) ->
+                        let base =
+                          Option.value ~default:0
+                            (List.assoc_opt k write_versions)
+                        in
+                        Cache.update t.cache k v ~version:(base + 1))
+                      spec_result.written;
+                    Transport.post t.net ~from:t.cfg.loc t.fu_svc
+                      {
+                        Proto.fu_exec_id = exec_id;
+                        fu_updates = spec_result.written;
+                      });
+              finalize outcome
           | Proto.Validated _, None ->
               (* Unreachable: a cache miss forces validation failure. *)
               assert false
@@ -240,13 +276,15 @@ let invoke t fn args =
                   m "%s mismatched; %d cache repairs" exec_id
                     (List.length updates));
               (* (8b) Install fresh values, return the backup result. *)
-              List.iter
-                (fun { Proto.up_key; up_value; up_version } ->
-                  Cache.update t.cache up_key up_value ~version:up_version)
-                updates;
+              Tracer.with_phase t.tracer ~parent:root "cache_repair" (fun () ->
+                  List.iter
+                    (fun { Proto.up_key; up_value; up_version } ->
+                      Cache.update t.cache up_key up_value ~version:up_version)
+                    updates);
               let finish = Engine.now () in
               record t ~exec_id ~start ~finish backup;
-              { value = backup.value; latency = finish -. start; path = Backup }))
+              finalize
+                { value = backup.value; latency = finish -. start; path = Backup }))
 
 let stats t =
   {

@@ -32,6 +32,10 @@ type path =
   | Backup (** Validation failed; the near-storage result was used. *)
   | Fallback (** No [f^rw]; ran near storage unconditionally. *)
 
+val path_label : path -> string
+(** ["Speculative"], ["Backup"] or ["Fallback"] — the path key used in
+    {!Metrics.Tracer} phase histograms and JSON breakdowns. *)
+
 type outcome = {
   value : (Dval.t, string) result;
   latency : float;
@@ -50,6 +54,7 @@ type stats = {
 
 val create :
   ?extsvc:Extsvc.t ->
+  ?tracer:Metrics.Tracer.t ->
   net:Net.Transport.t ->
   registry:Registry.t ->
   cache:Cache.t ->
@@ -57,7 +62,15 @@ val create :
   config ->
   t
 (** [extsvc] must be the same registry as the server's so speculation
-    and re-execution share idempotency records (§3.5). *)
+    and re-execution share idempotency records (§3.5).
+
+    With a [tracer] (default noop), every {!invoke} builds a span tree
+    rooted at the function name with phases [invoke_overhead],
+    [frw_predict], [speculate], [lvi_rtt], and one of [followup_post]
+    (Speculative), [cache_repair] (Backup) or [direct_exec] (Fallback);
+    the tree is registered under the invocation's exec-id while in
+    flight so the LVI server can attach its own phases, then folded
+    into per-[(fn, phase, path)] histograms on completion. *)
 
 val invoke : t -> string -> Dval.t list -> outcome
 (** Blocking; must run inside a fiber. Raises [Invalid_argument] for an

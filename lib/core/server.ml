@@ -4,6 +4,7 @@ module Kv = Store.Kv
 module Locks = Store.Locks
 module Intents = Store.Intents
 module RaftLocks = Raft_locks
+module Tracer = Metrics.Tracer
 
 let log_src = Logs.Src.create "radical.server" ~doc:"LVI server events"
 
@@ -50,6 +51,7 @@ type pending = {
 type t = {
   config : config;
   net : Transport.t;
+  tracer : Tracer.t;
   registry : Registry.t;
   kv : Kv.t;
   extsvc : Extsvc.t;
@@ -92,7 +94,8 @@ let persist_locks t ~exec_id keys =
       List.iter
         (fun key ->
           ignore
-            (RaftLocks.submit cluster (Raft.Kvsm.Set ("lock:" ^ key, exec_id))))
+            (RaftLocks.submit ~tracer:t.tracer cluster
+               (Raft.Kvsm.Set ("lock:" ^ key, exec_id))))
         keys
 
 let persist_unlocks t keys =
@@ -103,7 +106,9 @@ let persist_unlocks t keys =
       Engine.spawn ~name:"unlock-persist" (fun () ->
           List.iter
             (fun key ->
-              ignore (RaftLocks.submit cluster (Raft.Kvsm.Del ("lock:" ^ key))))
+              ignore
+                (RaftLocks.submit ~tracer:t.tracer cluster
+                   (Raft.Kvsm.Del ("lock:" ^ key))))
             keys)
 
 (* Returns false if the execution was already claimed: at-most-once near
@@ -132,15 +137,31 @@ let release t ~owner keys =
   t.owners <- t.owners - 1;
   persist_unlocks t keys
 
-let acquire t ~owner lock_list =
-  Locks.acquire t.locks ~owner lock_list;
+let acquire ?(span = Tracer.none) t ~owner lock_list =
+  Tracer.with_phase t.tracer ~parent:span "lock_wait" (fun () ->
+      Locks.acquire t.locks ~owner lock_list);
   t.owners <- t.owners + 1;
-  persist_locks t ~exec_id:owner (List.map fst lock_list)
+  match t.repl with
+  | None -> ()
+  | Some _ ->
+      Tracer.with_phase t.tracer ~parent:span "raft_persist" (fun () ->
+          persist_locks t ~exec_id:owner (List.map fst lock_list))
 
 let lock_list_of rwset =
   List.map
     (fun (k, m) -> (k, match m with `R -> Locks.Read | `W -> Locks.Write))
     (Analyzer.Rwset.lock_modes rwset)
+
+(* The keys [handle_lvi] actually locked for a request: its writes plus
+   the reads that are not also written (the write lock dominates). Both
+   release sites must use this — naively concatenating reads and writes
+   passes a key that is read *and* written twice to [persist_unlocks],
+   appending a redundant [Del] to the replicated lock log. *)
+let locked_keys_of (req : Proto.lvi_request) =
+  req.writes
+  @ List.filter_map
+      (fun (k, _) -> if List.mem k req.writes then None else Some k)
+      req.reads
 
 (* Backup execution for a function whose validation failed. Static
    functions have an exact predicted set, so they run under the locks
@@ -148,8 +169,8 @@ let lock_list_of rwset =
    cache: re-predict against the primary (now coherent), re-lock the
    corrected set, and confirm the prediction is stable under those locks
    before executing. *)
-let backup_execute t (entry : Registry.entry) (req : Proto.lvi_request)
-    ~held_keys =
+let backup_execute ?(span = Tracer.none) t (entry : Registry.entry)
+    (req : Proto.lvi_request) ~held_keys =
   let exec_id = req.exec_id in
   match entry.derived with
   | Some d
@@ -175,7 +196,7 @@ let backup_execute t (entry : Registry.entry) (req : Proto.lvi_request)
             execute_on_primary t ~exec_id entry req.args
         | rwset ->
             let owner = Printf.sprintf "%s#%d" exec_id attempt in
-            acquire t ~owner (lock_list_of rwset);
+            acquire ~span t ~owner (lock_list_of rwset);
             let stable =
               match predict_with free_read with
               | rwset' -> Analyzer.Rwset.equal rwset rwset'
@@ -228,7 +249,7 @@ let resolve_orphaned_intent t (req : Proto.lvi_request) =
   end;
   Intents.remove t.intents ~exec_id;
   Hashtbl.remove t.durable_reqs exec_id;
-  release t ~owner:exec_id (List.map fst req.reads @ req.writes)
+  release t ~owner:exec_id (locked_keys_of req)
 
 (* Exponentially-weighted expected followup delay for a function; the
    timer fires at 4x the expectation (bounded below by 200 ms and above
@@ -266,6 +287,9 @@ let start_intent_timer t (req : Proto.lvi_request) =
 let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
   t.s_requests <- t.s_requests + 1;
   let exec_id = req.exec_id in
+  (* The near-user runtime registered this request's root span under its
+     execution id; server-side phases attach to the same tree. *)
+  let root = Tracer.exec_span t.tracer ~exec_id in
   register_invocation t ~exec_id;
   (* Write locks dominate for keys that are both read and written; the
      read is still validated below. *)
@@ -276,8 +300,9 @@ let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
           if List.mem k req.writes then None else Some (k, Locks.Read))
         req.reads
   in
-  acquire t ~owner:exec_id lock_list;
+  acquire ~span:root t ~owner:exec_id lock_list;
   let all_keys = List.map fst lock_list in
+  let sp_validate = Tracer.child t.tracer ~parent:root "validate" in
   let versions = Kv.versions_of t.kv all_keys in
   let version_of k = Option.value ~default:0 (List.assoc_opt k versions) in
   let stale =
@@ -285,6 +310,7 @@ let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
       (fun (k, cached) -> if version_of k <> cached then Some k else None)
       req.reads
   in
+  Tracer.stop sp_validate;
   Log.debug (fun m ->
       m "LVI %s: %d reads, %d writes, stale=[%s]" exec_id
         (List.length req.reads) (List.length req.writes)
@@ -319,7 +345,10 @@ let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
             updates = [];
           }
     | Some entry ->
-        let backup = backup_execute t entry req ~held_keys:all_keys in
+        (* The backup's own re-lock attempts nest under this span. *)
+        let sp_backup = Tracer.child t.tracer ~parent:root "backup_exec" in
+        let backup = backup_execute ~span:sp_backup t entry req ~held_keys:all_keys in
+        Tracer.stop sp_backup;
         let refresh_keys =
           List.sort_uniq String.compare
             (stale @ List.map fst backup.written)
@@ -350,7 +379,7 @@ let handle_followup t (fu : Proto.followup) =
       end;
       Intents.remove t.intents ~exec_id;
       Hashtbl.remove t.durable_reqs exec_id;
-      release t ~owner:exec_id (List.map fst p_req.reads @ p_req.writes)
+      release t ~owner:exec_id (locked_keys_of p_req)
 
 let handle_exec t (req : Proto.exec_request) : Proto.exec_result =
   t.s_direct <- t.s_direct + 1;
@@ -365,7 +394,7 @@ let handle_exec t (req : Proto.exec_request) : Proto.exec_result =
 
 (* --- Construction --------------------------------------------------- *)
 
-let create ?extsvc ~net ~registry ~kv config =
+let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
   let extsvc = match extsvc with Some e -> e | None -> Extsvc.create () in
   let repl =
     match config.mode with
@@ -375,7 +404,7 @@ let create ?extsvc ~net ~registry ~kv config =
         let raft_net =
           Transport.create
             ~rtt:(fun a b -> if String.equal a b then 0.3 else az_rtt)
-            ~jitter_sigma:0.02
+            ~jitter_sigma:0.02 ~tracer
             ~rng:(Rng.split (Engine.rng ()))
             ()
         in
@@ -392,6 +421,7 @@ let create ?extsvc ~net ~registry ~kv config =
     {
       config;
       net;
+      tracer;
       registry;
       kv;
       extsvc;

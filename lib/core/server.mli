@@ -45,9 +45,14 @@ type stats = {
 
 val create :
   ?extsvc:Extsvc.t ->
+  ?tracer:Metrics.Tracer.t ->
   net:Net.Transport.t -> registry:Registry.t -> kv:Store.Kv.t -> config -> t
 (** [extsvc] is the external-service registry used by backup execution
-    and deterministic re-execution (§3.5); defaults to an empty one. *)
+    and deterministic re-execution (§3.5); defaults to an empty one.
+    With a [tracer] (default noop), [handle_lvi] attaches [lock_wait],
+    [validate], [backup_exec] and [raft_persist] phase spans to the
+    request's trace, and replicated-mode lock records report their Raft
+    submit-to-commit latency. *)
 
 val lvi_service : t -> (Proto.lvi_request, Proto.lvi_response) Net.Transport.service
 

@@ -696,6 +696,79 @@ let throughput ?(seed = 42) () =
      bottleneck at this load)\n";
   [ ("throughput.ratio", ratio) ]
 
+(* --- Per-phase latency breakdown (tracing) ------------------------------- *)
+
+let phases ?(scale = 1.0) ?(seed = 42) () =
+  heading
+    "Per-phase latency breakdown — the social app under Radical with\n\
+     request tracing enabled: where each request path spends its time";
+  let tracer = Metrics.Tracer.create () in
+  let rpc = scaled scale 25 in
+  let r =
+    Runner.run ~seed ~requests_per_client:rpc ~tracer Runner.Radical
+      Bundle.social
+  in
+  let per_path =
+    List.fold_left
+      (fun acc ((_, phase, path), s) ->
+        let key = (path, phase) in
+        let merged =
+          match List.assoc_opt key acc with
+          | Some prev -> Stats.merge prev s
+          | None -> s
+        in
+        (key, merged) :: List.remove_assoc key acc)
+      []
+      (Metrics.Tracer.phase_stats tracer)
+  in
+  let paths = [ "Speculative"; "Backup"; "Fallback" ] in
+  let rows, ms =
+    List.fold_left
+      (fun (rows, ms) path ->
+        let here =
+          List.filter_map
+            (fun ((p, phase), s) -> if p = path then Some (phase, s) else None)
+            per_path
+        in
+        let total = List.assoc_opt "total" here in
+        List.fold_left
+          (fun (rows, ms) (phase, s) ->
+            ( rows
+              @ [
+                  [
+                    path;
+                    phase;
+                    string_of_int (Stats.count s);
+                    Table.ms (Stats.mean s);
+                    Table.ms (Stats.median s);
+                    Table.ms (Stats.p99 s);
+                    (match total with
+                    | Some t when phase <> "total" && Stats.mean t > 0.0 ->
+                        Table.pct (Stats.mean s /. Stats.mean t)
+                    | _ -> "-");
+                  ];
+                ],
+              ms
+              @ [
+                  ( Printf.sprintf "phases.%s.%s.mean_ms" path phase,
+                    Stats.mean s );
+                ] ))
+          (rows, ms)
+          (List.sort (fun (a, _) (b, _) -> compare a b) here))
+      ([], []) paths
+  in
+  Table.print
+    ~header:[ "path"; "phase"; "count"; "mean"; "median"; "p99"; "of total" ]
+    ~rows;
+  Printf.printf "\n%s\n" (Metrics.Tracer.phases_json tracer);
+  Printf.printf
+    "\n(the Speculative path's lvi_rtt dominates but overlaps the\n\
+     speculate phase; Backup requests additionally pay backup_exec and\n\
+     cache_repair; %d traces collected, %d samples)\n"
+    (Metrics.Tracer.trace_count tracer)
+    (List.length r.samples);
+  ("phases.traces", float_of_int (Metrics.Tracer.trace_count tracer)) :: ms
+
 (* --- Ablations ----------------------------------------------------------- *)
 
 let ablation ?(scale = 1.0) ?(seed = 42) () =
@@ -748,4 +821,5 @@ let all ?(scale = 1.0) () =
   ignore (skew ());
   ignore (throughput ());
   ignore (bootstrap ());
-  ignore (ablation ~scale ())
+  ignore (ablation ~scale ());
+  ignore (phases ~scale ())

@@ -69,5 +69,11 @@ val ablation : ?scale:float -> ?seed:int -> unit -> measurement list
 (** Design ablations: speculation overlap on/off, the single LVI request
     vs per-access coordination (naive edge), vs baseline and ideal. *)
 
+val phases : ?scale:float -> ?seed:int -> unit -> measurement list
+(** Per-phase latency breakdown: the social app under Radical with a
+    request tracer enabled — a table of phase histograms per request
+    path (Speculative / Backup / Fallback) plus the raw JSON document
+    from {!Metrics.Tracer.phases_json}. *)
+
 val all : ?scale:float -> unit -> unit
 (** Run everything in paper order. *)

@@ -31,7 +31,8 @@ type result = {
 
 let run ?(seed = 42) ?(locations = Location.user_locations)
     ?(clients_per_loc = 10) ?(requests_per_client = 40) ?(jitter = 0.05)
-    ?(think_time = 500.0) system (app : Bundle.app) =
+    ?(think_time = 500.0) ?(tracer = Metrics.Tracer.noop) system
+    (app : Bundle.app) =
   let engine = Engine.create ~seed () in
   let samples = ref [] in
   let errors = ref 0 in
@@ -39,7 +40,9 @@ let run ?(seed = 42) ?(locations = Location.user_locations)
   let spec_rate = ref None in
   Engine.run engine (fun () ->
       let rng = Engine.rng () in
-      let net = Transport.create ~jitter_sigma:jitter ~rng:(Rng.split rng) () in
+      let net =
+        Transport.create ~jitter_sigma:jitter ~tracer ~rng:(Rng.split rng) ()
+      in
       let data = app.seed (Rng.split rng) in
       let invoke, finish =
         match system with
@@ -50,7 +53,7 @@ let run ?(seed = 42) ?(locations = Location.user_locations)
               | _ -> Some { Framework.default_config with locations }
             in
             let fw =
-              Framework.create ?config ~schema:app.schema ~net
+              Framework.create ?config ~schema:app.schema ~tracer ~net
                 ~funcs:app.funcs ~data ()
             in
             ( (fun ~from fn args ->

@@ -33,6 +33,7 @@ val run :
   ?requests_per_client:int ->
   ?jitter:float ->
   ?think_time:float ->
+  ?tracer:Metrics.Tracer.t ->
   system ->
   Bundle.app ->
   result
@@ -40,7 +41,13 @@ val run :
     client (2,000 requests total), 5%% latency jitter, 500 ms client
     think time (paced load — the paper measures latency, not saturated
     throughput). Each sample is one invocation's end-to-end latency at
-    its client's location. *)
+    its client's location.
+
+    An enabled [tracer] (default noop) is threaded through the transport
+    and — for the Radical systems — the framework, collecting one span
+    tree and per-phase histograms per request; inspect it after [run]
+    returns (e.g. {!Metrics.Tracer.phases_json}). Baseline systems only
+    record wire times. *)
 
 (* Aggregations. *)
 

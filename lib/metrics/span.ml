@@ -1,0 +1,67 @@
+type t = {
+  id : int;
+  parent : int option;
+  label : string;
+  start : float;
+  mutable finish : float; (* nan while still open *)
+  mutable children_rev : t list;
+  mutable notes : (string * string) list; (* newest first *)
+}
+
+let make ~id ?parent ~label ~start () =
+  let t =
+    {
+      id;
+      parent = (match parent with Some p -> Some p.id | None -> None);
+      label;
+      start;
+      finish = Float.nan;
+      children_rev = [];
+      notes = [];
+    }
+  in
+  (match parent with
+  | Some p -> p.children_rev <- t :: p.children_rev
+  | None -> ());
+  t
+
+let close t ~now = if Float.is_nan t.finish then t.finish <- now
+
+let closed t = not (Float.is_nan t.finish)
+
+let duration t = t.finish -. t.start
+
+let children t =
+  List.sort
+    (fun a b -> Float.compare a.start b.start)
+    (List.rev t.children_rev)
+
+let annotate t key value = t.notes <- (key, value) :: t.notes
+
+let note t key = List.assoc_opt key t.notes
+
+(* Pre-order traversal, children in start order. *)
+let rec iter f t =
+  f t;
+  List.iter (iter f) (children t)
+
+let pp fmt t =
+  let rec go depth t =
+    Format.fprintf fmt "%s%-20s" (String.make (2 * depth) ' ') t.label;
+    if closed t then Format.fprintf fmt " %8.1f ms" (duration t)
+    else Format.fprintf fmt "     (open)";
+    Format.fprintf fmt "  [@%.1f]" t.start;
+    (match t.notes with
+    | [] -> ()
+    | notes ->
+        Format.fprintf fmt "  %s"
+          (String.concat " "
+             (List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k v) notes)));
+    List.iter
+      (fun c ->
+        Format.pp_print_newline fmt ();
+        go (depth + 1) c)
+      (children t)
+  in
+  go 0 t
+

@@ -1,0 +1,42 @@
+(** One node of a request-scoped trace tree.
+
+    A span covers one phase of a request on the virtual clock: it opens
+    at [start], closes at [finish], and nests under a parent (the
+    request's root span covers the whole invocation). Spans are built by
+    {!Tracer}; this module is the passive tree structure plus printers.
+    Timestamps are virtual milliseconds from {!Sim.Engine.now}. *)
+
+type t = private {
+  id : int;
+  parent : int option; (** Parent span id, [None] for a request root. *)
+  label : string; (** Phase name, or the function name for a root. *)
+  start : float;
+  mutable finish : float; (** [nan] while the span is still open. *)
+  mutable children_rev : t list;
+  mutable notes : (string * string) list;
+}
+
+val make : id:int -> ?parent:t -> label:string -> start:float -> unit -> t
+(** Create a span and link it into [parent]'s children. *)
+
+val close : t -> now:float -> unit
+(** Idempotent: only the first close sets [finish]. *)
+
+val closed : t -> bool
+
+val duration : t -> float
+(** [finish - start]; [nan] while open. *)
+
+val children : t -> t list
+(** Direct children ordered by start time. *)
+
+val annotate : t -> string -> string -> unit
+(** Attach a key/value note (e.g. [path=Speculative]). *)
+
+val note : t -> string -> string option
+
+val iter : (t -> unit) -> t -> unit
+(** Pre-order traversal of the subtree. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree with per-span durations, start offsets and notes. *)

@@ -17,13 +17,21 @@ let ensure_sorted t =
     t.sorted <- true
   end
 
+(* Linear interpolation between order statistics (type-7 estimator, the
+   R/NumPy default). Truncating the fractional rank would bias every
+   reported percentile low — e.g. p99 over 50 samples landing on index
+   48 ≈ p97.9. *)
 let percentile t p =
   if count t = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: rank out of range";
   ensure_sorted t;
   let n = count t in
-  let idx = Stdlib.min (n - 1) (int_of_float (p *. float_of_int (n - 1))) in
-  Sim.Vec.get t.samples idx
+  let rank = p *. float_of_int (n - 1) in
+  let lo = Stdlib.min (n - 1) (int_of_float (Float.floor rank)) in
+  let hi = Stdlib.min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  let a = Sim.Vec.get t.samples lo and b = Sim.Vec.get t.samples hi in
+  a +. (frac *. (b -. a))
 
 let median t = percentile t 0.5
 

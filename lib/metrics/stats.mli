@@ -13,9 +13,11 @@ val add : t -> float -> unit
 val count : t -> int
 
 val percentile : t -> float -> float
-(** [percentile t 0.5] is the median. Uses nearest-rank on the sorted
-    sample. Raises [Invalid_argument] on an empty collector or a rank
-    outside [0, 1]. *)
+(** [percentile t 0.5] is the median. Linearly interpolates between
+    adjacent order statistics (the R/NumPy type-7 estimator), so
+    [percentile t 0.0] and [percentile t 1.0] are the exact min and max
+    and intermediate ranks are unbiased. Raises [Invalid_argument] on an
+    empty collector or a rank outside [0, 1]. *)
 
 val median : t -> float
 

@@ -1,0 +1,283 @@
+open Sim
+
+type span = Span.t option
+
+type state = {
+  mutable next_id : int;
+  mutable completed : Span.t list; (* finalized request roots, newest first *)
+  mutable n_completed : int;
+  by_exec : (string, Span.t) Hashtbl.t;
+  phases : (string * string * string, Stats.t) Hashtbl.t;
+      (* (fn, phase, path) -> duration samples *)
+  wire : (string, Stats.t) Hashtbl.t; (* message label -> one-way delay *)
+  faults : (string * string, int) Hashtbl.t; (* (label, outcome) -> count *)
+  raft : Stats.t; (* lock-record submit -> commit latency *)
+}
+
+type t = Off | On of state
+
+let noop = Off
+
+let create () =
+  On
+    {
+      next_id = 0;
+      completed = [];
+      n_completed = 0;
+      by_exec = Hashtbl.create 64;
+      phases = Hashtbl.create 64;
+      wire = Hashtbl.create 16;
+      faults = Hashtbl.create 16;
+      raft = Stats.create ();
+    }
+
+let enabled = function Off -> false | On _ -> true
+
+let none : span = None
+
+let fresh_id st =
+  st.next_id <- st.next_id + 1;
+  st.next_id
+
+let root t label : span =
+  match t with
+  | Off -> None
+  | On st ->
+      Some (Span.make ~id:(fresh_id st) ~label ~start:(Engine.now ()) ())
+
+let child t ~parent label : span =
+  match (t, parent) with
+  | Off, _ | _, None -> None
+  | On st, Some p ->
+      Some (Span.make ~id:(fresh_id st) ~parent:p ~label ~start:(Engine.now ()) ())
+
+let stop (sp : span) =
+  match sp with None -> () | Some s -> Span.close s ~now:(Engine.now ())
+
+let annotate (sp : span) key value =
+  match sp with None -> () | Some s -> Span.annotate s key value
+
+let with_phase t ~parent label f =
+  match parent with
+  | None -> f ()
+  | Some _ ->
+      let sp = child t ~parent label in
+      Fun.protect ~finally:(fun () -> stop sp) f
+
+(* --- Cross-component span lookup ----------------------------------- *)
+
+let register_exec t ~exec_id (sp : span) =
+  match (t, sp) with
+  | Off, _ | _, None -> ()
+  | On st, Some s -> Hashtbl.replace st.by_exec exec_id s
+
+let exec_span t ~exec_id : span =
+  match t with Off -> None | On st -> Hashtbl.find_opt st.by_exec exec_id
+
+let release_exec t ~exec_id =
+  match t with Off -> () | On st -> Hashtbl.remove st.by_exec exec_id
+
+(* --- Aggregation ----------------------------------------------------- *)
+
+let phase_add st ~fn ~phase ~path d =
+  let key = (fn, phase, path) in
+  let s =
+    match Hashtbl.find_opt st.phases key with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.add st.phases key s;
+        s
+  in
+  Stats.add s d
+
+let finalize t ~fn ~path (sp : span) =
+  match (t, sp) with
+  | Off, _ | _, None -> ()
+  | On st, Some s ->
+      Span.close s ~now:(Engine.now ());
+      Span.annotate s "path" path;
+      phase_add st ~fn ~phase:"total" ~path (Span.duration s);
+      Span.iter
+        (fun child ->
+          if child != s && Span.closed child then
+            phase_add st ~fn ~phase:child.Span.label ~path
+              (Span.duration child))
+        s;
+      st.completed <- s :: st.completed;
+      st.n_completed <- st.n_completed + 1
+
+let record_wire t ~label d =
+  match t with
+  | Off -> ()
+  | On st ->
+      let s =
+        match Hashtbl.find_opt st.wire label with
+        | Some s -> s
+        | None ->
+            let s = Stats.create () in
+            Hashtbl.add st.wire label s;
+            s
+      in
+      Stats.add s d
+
+let record_fault t ~label ~outcome =
+  match t with
+  | Off -> ()
+  | On st ->
+      let key = (label, outcome) in
+      let n = Option.value ~default:0 (Hashtbl.find_opt st.faults key) in
+      Hashtbl.replace st.faults key (n + 1)
+
+let record_raft t d = match t with Off -> () | On st -> Stats.add st.raft d
+
+(* --- Readout --------------------------------------------------------- *)
+
+let trace_count t = match t with Off -> 0 | On st -> st.n_completed
+
+let sorted_bindings tbl cmp =
+  List.sort (fun (a, _) (b, _) -> cmp a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let phase_stats t =
+  match t with
+  | Off -> []
+  | On st -> sorted_bindings st.phases compare
+
+let wire_stats t =
+  match t with
+  | Off -> []
+  | On st -> sorted_bindings st.wire String.compare
+
+let fault_counts t =
+  match t with
+  | Off -> []
+  | On st -> sorted_bindings st.faults compare
+
+let raft_stats t =
+  match t with
+  | Off -> None
+  | On st -> if Stats.count st.raft = 0 then None else Some st.raft
+
+let slowest ?(k = 10) t =
+  match t with
+  | Off -> []
+  | On st ->
+      let sorted =
+        List.sort
+          (fun a b -> Float.compare (Span.duration b) (Span.duration a))
+          st.completed
+      in
+      List.filteri (fun i _ -> i < k) sorted
+
+(* --- JSON emission --------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let stats_json s =
+  Printf.sprintf
+    "{\"count\":%d,\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,\"max\":%.3f}"
+    (Stats.count s) (Stats.mean s)
+    (Stats.percentile s 0.5)
+    (Stats.percentile s 0.9)
+    (Stats.p99 s) (Stats.max s)
+
+let paths = [ "Speculative"; "Backup"; "Fallback" ]
+
+let phases_json t =
+  match t with
+  | Off -> "{}"
+  | On st ->
+      let buf = Buffer.create 1024 in
+      let bindings = sorted_bindings st.phases compare in
+      (* Aggregate (fn, phase, path) across fn for the per-path view. *)
+      let per_path path =
+        let by_phase = Hashtbl.create 16 in
+        List.iter
+          (fun ((_, phase, p), s) ->
+            if String.equal p path then
+              let merged =
+                match Hashtbl.find_opt by_phase phase with
+                | Some prev -> Stats.merge prev s
+                | None -> s
+              in
+              Hashtbl.replace by_phase phase merged)
+          bindings;
+        sorted_bindings by_phase String.compare
+      in
+      Buffer.add_string buf "{\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  \"traces\": %d,\n" st.n_completed);
+      Buffer.add_string buf "  \"paths\": {\n";
+      let first_path = ref true in
+      List.iter
+        (fun path ->
+          match per_path path with
+          | [] -> ()
+          | phases ->
+              if not !first_path then Buffer.add_string buf ",\n";
+              first_path := false;
+              let requests =
+                match List.assoc_opt "total" phases with
+                | Some s -> Stats.count s
+                | None -> 0
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "    \"%s\": {\"requests\": %d, \"phases\": {"
+                   (json_escape path) requests);
+              Buffer.add_string buf
+                (String.concat ", "
+                   (List.map
+                      (fun (phase, s) ->
+                        Printf.sprintf "\"%s\": %s" (json_escape phase)
+                          (stats_json s))
+                      phases));
+              Buffer.add_string buf "}}")
+        paths;
+      Buffer.add_string buf "\n  },\n";
+      Buffer.add_string buf "  \"breakdown\": [\n";
+      Buffer.add_string buf
+        (String.concat ",\n"
+           (List.map
+              (fun ((fn, phase, path), s) ->
+                Printf.sprintf
+                  "    {\"fn\": \"%s\", \"phase\": \"%s\", \"path\": \"%s\", \
+                   \"stats\": %s}"
+                  (json_escape fn) (json_escape phase) (json_escape path)
+                  (stats_json s))
+              bindings));
+      Buffer.add_string buf "\n  ],\n";
+      Buffer.add_string buf "  \"wire_ms\": {";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map
+              (fun (label, s) ->
+                Printf.sprintf "\"%s\": %s" (json_escape label) (stats_json s))
+              (sorted_bindings st.wire String.compare)));
+      Buffer.add_string buf "},\n";
+      Buffer.add_string buf "  \"faults\": [";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map
+              (fun ((label, outcome), n) ->
+                Printf.sprintf
+                  "{\"label\": \"%s\", \"outcome\": \"%s\", \"count\": %d}"
+                  (json_escape label) (json_escape outcome) n)
+              (sorted_bindings st.faults compare)));
+      Buffer.add_string buf "],\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  \"raft_submit_ms\": %s\n"
+           (if Stats.count st.raft = 0 then "null" else stats_json st.raft));
+      Buffer.add_string buf "}";
+      Buffer.contents buf

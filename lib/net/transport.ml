@@ -7,8 +7,11 @@ type t = {
   jitter_sigma : float;
   rng : Rng.t;
   mutable fault_hook : src:Location.t -> dst:Location.t -> label:string -> fault;
+  mutable tracer : Metrics.Tracer.t;
   mutable sent : int;
   mutable dropped : int;
+  mutable timed_out : int;
+  mutable late : int;
 }
 
 type ('req, 'resp) service = {
@@ -19,8 +22,21 @@ type ('req, 'resp) service = {
 
 let no_fault ~src:_ ~dst:_ ~label:_ = Deliver
 
-let create ?(rtt = Location.rtt) ?(jitter_sigma = 0.05) ~rng () =
-  { rtt; jitter_sigma; rng; fault_hook = no_fault; sent = 0; dropped = 0 }
+let create ?(rtt = Location.rtt) ?(jitter_sigma = 0.05)
+    ?(tracer = Metrics.Tracer.noop) ~rng () =
+  {
+    rtt;
+    jitter_sigma;
+    rng;
+    fault_hook = no_fault;
+    tracer;
+    sent = 0;
+    dropped = 0;
+    timed_out = 0;
+    late = 0;
+  }
+
+let set_tracer t tracer = t.tracer <- tracer
 
 let one_way t src dst =
   let base = t.rtt src dst /. 2.0 in
@@ -43,11 +59,18 @@ let service_location svc = svc.svc_loc
 let transmit t ~src ~dst ~label k =
   t.sent <- t.sent + 1;
   match t.fault_hook ~src ~dst ~label with
-  | Drop -> t.dropped <- t.dropped + 1
+  | Drop ->
+      t.dropped <- t.dropped + 1;
+      Metrics.Tracer.record_fault t.tracer ~label ~outcome:"drop"
   | Deliver ->
-      Engine.schedule ~at:(Engine.now () +. one_way t src dst) k
+      let d = one_way t src dst in
+      Metrics.Tracer.record_wire t.tracer ~label d;
+      Engine.schedule ~at:(Engine.now () +. d) k
   | Delay extra ->
-      Engine.schedule ~at:(Engine.now () +. one_way t src dst +. extra) k
+      let d = one_way t src dst +. extra in
+      Metrics.Tracer.record_fault t.tracer ~label ~outcome:"delay";
+      Metrics.Tracer.record_wire t.tracer ~label d;
+      Engine.schedule ~at:(Engine.now () +. d) k
 
 let dispatch t ~from svc req ~on_reply =
   transmit t ~src:from ~dst:svc.svc_loc ~label:svc.svc_name (fun () ->
@@ -64,10 +87,21 @@ let call t ~from svc req =
 
 let call_timeout t ~from ~timeout svc req =
   let iv = Ivar.create () in
+  (* The timer is cancelled the moment the reply wins the race, so a
+     completed call leaves no live timeout behind; a reply that loses the
+     race is counted as late instead of silently vanishing. *)
+  let timer = ref None in
   dispatch t ~from svc req ~on_reply:(fun resp ->
-      Ivar.try_fill iv (Some resp) |> ignore);
-  Engine.schedule ~at:(Engine.now () +. timeout) (fun () ->
-      Ivar.try_fill iv None |> ignore);
+      if Ivar.try_fill iv (Some resp) then Option.iter Timer.cancel !timer
+      else begin
+        t.late <- t.late + 1;
+        Metrics.Tracer.record_fault t.tracer ~label:svc.svc_name
+          ~outcome:"late_reply"
+      end);
+  timer :=
+    Some
+      (Timer.after timeout (fun () ->
+           if Ivar.try_fill iv None then t.timed_out <- t.timed_out + 1));
   Ivar.read iv
 
 let post t ~from svc req =
@@ -76,3 +110,7 @@ let post t ~from svc req =
 let messages_sent t = t.sent
 
 let messages_dropped t = t.dropped
+
+let calls_timed_out t = t.timed_out
+
+let late_replies t = t.late

@@ -17,11 +17,17 @@ type fault = Deliver | Drop | Delay of float
 val create :
   ?rtt:(Location.t -> Location.t -> float) ->
   ?jitter_sigma:float ->
+  ?tracer:Metrics.Tracer.t ->
   rng:Sim.Rng.t ->
   unit ->
   t
 (** [create ~rng ()] uses [Location.rtt] and a log-normal jitter with the
-    given sigma (default 0.05; 0.0 disables jitter). *)
+    given sigma (default 0.05; 0.0 disables jitter). With a [tracer]
+    (default {!Metrics.Tracer.noop}), every delivered message records its
+    one-way delay under the service label, and every fault-hook outcome
+    is counted. *)
+
+val set_tracer : t -> Metrics.Tracer.t -> unit
 
 val one_way : t -> Location.t -> Location.t -> float
 (** Sample a one-way delay (RTT/2 × jitter). *)
@@ -50,7 +56,11 @@ val call : t -> from:Location.t -> ('req, 'resp) service -> 'req -> 'resp
 val call_timeout :
   t -> from:Location.t -> timeout:float -> ('req, 'resp) service -> 'req ->
   'resp option
-(** Like [call] but returns [None] if no response arrived in [timeout]. *)
+(** Like [call] but returns [None] if no response arrived in [timeout].
+    The timeout runs through {!Sim.Timer} and is cancelled as soon as
+    the reply arrives; a reply that arrives after the timeout already
+    fired is counted in {!late_replies} (and as a ["late_reply"] fault
+    when tracing) rather than silently dropped. *)
 
 val post : t -> from:Location.t -> ('req, 'resp) service -> 'req -> unit
 (** One-way, fire-and-forget message; the response is discarded. Returns
@@ -59,3 +69,9 @@ val post : t -> from:Location.t -> ('req, 'resp) service -> 'req -> unit
 val messages_sent : t -> int
 
 val messages_dropped : t -> int
+
+val calls_timed_out : t -> int
+(** [call_timeout] invocations that returned [None]. *)
+
+val late_replies : t -> int
+(** Replies that arrived after their call had already timed out. *)

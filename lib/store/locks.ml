@@ -31,15 +31,18 @@ let free_now ks mode =
   | Read -> ks.writer = None && Queue.is_empty ks.queue
   | Write -> ks.writer = None && ks.readers = [] && Queue.is_empty ks.queue
 
+(* Holder lists are built newest-first ([::], O(1) per grant) and
+   reversed at the few read-out points; appending with [@] would make a
+   hot key's read storm quadratic in its reader count. *)
 let grant t ks owner mode =
   (match mode with
-  | Read -> ks.readers <- ks.readers @ [ owner ]
+  | Read -> ks.readers <- owner :: ks.readers
   | Write -> ks.writer <- Some owner);
   t.granted <- t.granted + 1
 
 let record_held t owner key mode =
   let prev = Option.value ~default:[] (Hashtbl.find_opt t.held owner) in
-  Hashtbl.replace t.held owner (prev @ [ (key, mode) ])
+  Hashtbl.replace t.held owner ((key, mode) :: prev)
 
 let acquire_one t ~owner key mode =
   let ks = kstate t key in
@@ -105,7 +108,9 @@ let release t ~owner =
   | None -> ()
   | Some locks ->
       Hashtbl.remove t.held owner;
-      List.iter (fun (key, mode) -> release_one t ~owner key mode) locks
+      List.iter
+        (fun (key, mode) -> release_one t ~owner key mode)
+        (List.rev locks)
 
 let holders t key =
   match Hashtbl.find_opt t.keys key with
@@ -114,9 +119,10 @@ let holders t key =
       match (ks.writer, ks.readers) with
       | Some o, _ -> Some (Write, [ o ])
       | None, [] -> None
-      | None, readers -> Some (Read, readers))
+      | None, readers -> Some (Read, List.rev readers))
 
-let held_by t ~owner = Option.value ~default:[] (Hashtbl.find_opt t.held owner)
+let held_by t ~owner =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.held owner))
 
 let waiting t key =
   match Hashtbl.find_opt t.keys key with

@@ -119,6 +119,47 @@ let test_call_timeout_drop () =
       check_float "waited full timeout" 200.0 (Engine.now () -. t0);
       Alcotest.(check int) "one drop recorded" 1 (Transport.messages_dropped net))
 
+let test_call_timeout_cancels_timer () =
+  (* A reply must cancel the pending timer: advancing the clock past the
+     timeout after a successful call records no spurious timeout. *)
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      let r = Transport.call_timeout net ~from:Location.ca ~timeout:1000.0 svc 7 in
+      Alcotest.(check (option int)) "delivered" (Some 7) r;
+      Engine.sleep 2000.0;
+      Alcotest.(check int) "no timeout recorded" 0 (Transport.calls_timed_out net);
+      Alcotest.(check int) "no late replies" 0 (Transport.late_replies net))
+
+let test_call_timeout_stats () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      Transport.set_fault net (fun ~src ~dst:_ ~label:_ ->
+          if src = Location.ca then Transport.Drop else Transport.Deliver);
+      ignore (Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 7);
+      ignore (Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 8);
+      Alcotest.(check int) "two timeouts" 2 (Transport.calls_timed_out net))
+
+let test_call_timeout_late_reply () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let tracer = Metrics.Tracer.create () in
+      Transport.set_tracer net tracer;
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      (* 300 ms extra per leg pushes the reply far past the 200 ms
+         timeout: the caller gets None, and when the reply eventually
+         lands it is counted as late instead of re-filling the ivar. *)
+      Transport.set_fault net (fun ~src:_ ~dst:_ ~label:_ -> Transport.Delay 300.0);
+      let r = Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 7 in
+      Alcotest.(check (option int)) "timed out" None r;
+      Alcotest.(check int) "timeout counted" 1 (Transport.calls_timed_out net);
+      Alcotest.(check int) "reply not yet late" 0 (Transport.late_replies net);
+      Engine.sleep 1000.0;
+      Alcotest.(check int) "late reply counted" 1 (Transport.late_replies net);
+      Alcotest.(check bool) "late reply in tracer" true
+        (List.mem_assoc ("echo", "late_reply") (Metrics.Tracer.fault_counts tracer)))
+
 let test_response_drop () =
   run_sim (fun () ->
       let net = mknet () in
@@ -187,6 +228,11 @@ let () =
           Alcotest.test_case "call_timeout success" `Quick
             test_call_timeout_success;
           Alcotest.test_case "call_timeout drop" `Quick test_call_timeout_drop;
+          Alcotest.test_case "call_timeout cancels timer" `Quick
+            test_call_timeout_cancels_timer;
+          Alcotest.test_case "call_timeout stats" `Quick test_call_timeout_stats;
+          Alcotest.test_case "call_timeout late reply" `Quick
+            test_call_timeout_late_reply;
           Alcotest.test_case "response drop" `Quick test_response_drop;
           Alcotest.test_case "delay fault" `Quick test_delay_fault;
           Alcotest.test_case "post delivers" `Quick test_post_delivers;

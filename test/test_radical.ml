@@ -431,6 +431,48 @@ let test_replicated_server () =
           Alcotest.(check int) "exactly once" 3 version
       | None -> Alcotest.fail "x missing")
 
+(* Regression: a key that is both read and written (incr reads "ctr"
+   and writes it back) was passed twice to [persist_unlocks] — once from
+   the writes, once from the reads — appending a redundant [Del] to the
+   replicated lock log on every release. Both release sites (followup
+   and orphaned-intent re-execution) must emit exactly one [Del] per
+   persisted [Set]. *)
+let test_replicated_unlock_dedupe () =
+  let config =
+    {
+      Framework.default_config with
+      server =
+        { Server.default_config with mode = Server.Replicated { az_rtt = 1.5 } };
+    }
+  in
+  with_radical ~config (fun net fw ->
+      Engine.sleep 500.0 (* leader election *);
+      (* Release via the followup path. *)
+      let o = Framework.invoke fw ~from:Location.ca "incr" [ Dval.Str "ctr" ] in
+      check_path "raft-backed incr" Runtime.Speculative o;
+      Engine.sleep 1000.0;
+      (* Release via the orphaned-intent path: drop the followup and let
+         the intent timer trigger deterministic re-execution. *)
+      drop_nth_followup net 1;
+      let _ = Framework.invoke fw ~from:Location.ca "incr" [ Dval.Str "ctr" ] in
+      Engine.sleep 4000.0;
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "re-execution ran" 1 st.reexecutions;
+      let cluster = Option.get (Server.raft_cluster (Framework.server fw)) in
+      let node = Option.get (Radical.Raft_locks.leader cluster) in
+      let sets, dels =
+        List.fold_left
+          (fun (s, d) cmd ->
+            match cmd with
+            | Raft.Kvsm.Set (k, _) when k = "lock:ctr" -> (s + 1, d)
+            | Raft.Kvsm.Del k when k = "lock:ctr" -> (s, d + 1)
+            | _ -> (s, d))
+          (0, 0)
+          (Radical.Raft_locks.applied cluster node)
+      in
+      Alcotest.(check bool) "both acquisitions persisted" true (sets >= 2);
+      Alcotest.(check int) "exactly one Del per Set" sets dels)
+
 let test_prediction_failure_falls_back () =
   let broken =
     {
@@ -493,5 +535,9 @@ let () =
         ]
         @ qsuite [ prop_linearizable_history ] );
       ( "replication",
-        [ Alcotest.test_case "raft-backed server" `Quick test_replicated_server ] );
+        [
+          Alcotest.test_case "raft-backed server" `Quick test_replicated_server;
+          Alcotest.test_case "unlock persistence deduped" `Quick
+            test_replicated_unlock_dedupe;
+        ] );
     ]

@@ -140,6 +140,39 @@ let test_locks_batch_sorted () =
            (fun (k, m) -> (k, m = Store.Locks.Write))
            (Store.Locks.held_by lt ~owner:"o")))
 
+(* Regression for the O(1) holder bookkeeping (grant/record_held build
+   their lists newest-first and reverse on read-out): observable order
+   must stay arrival order for readers and sorted-acquisition order for
+   a batch, including after releases from the middle. *)
+let test_locks_holder_order_many () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      let owners = List.init 6 (fun i -> Printf.sprintf "r%d" i) in
+      List.iter
+        (fun o -> Store.Locks.acquire lt ~owner:o [ ("k", Store.Locks.Read) ])
+        owners;
+      (match Store.Locks.holders lt "k" with
+      | Some (Store.Locks.Read, got) ->
+          Alcotest.(check (list string)) "arrival order preserved" owners got
+      | _ -> Alcotest.fail "expected shared read");
+      Store.Locks.release lt ~owner:"r2";
+      (match Store.Locks.holders lt "k" with
+      | Some (Store.Locks.Read, got) ->
+          Alcotest.(check (list string)) "order kept after mid release"
+            [ "r0"; "r1"; "r3"; "r4"; "r5" ] got
+      | _ -> Alcotest.fail "expected shared read");
+      List.iter
+        (fun o -> Store.Locks.release lt ~owner:o)
+        [ "r0"; "r1"; "r3"; "r4"; "r5" ];
+      Alcotest.(check bool) "free" true (Store.Locks.holders lt "k" = None);
+      let keys =
+        List.init 8 (fun i -> (Printf.sprintf "b%d" (7 - i), Store.Locks.Read))
+      in
+      Store.Locks.acquire lt ~owner:"batch" keys;
+      Alcotest.(check (list string)) "held_by in sorted order"
+        (List.init 8 (fun i -> Printf.sprintf "b%d" i))
+        (List.map fst (Store.Locks.held_by lt ~owner:"batch")))
+
 let test_locks_duplicate_key_raises () =
   run_sim (fun () ->
       let lt = Store.Locks.create () in
@@ -271,6 +304,8 @@ let () =
           Alcotest.test_case "write exclusive" `Quick test_locks_write_exclusive;
           Alcotest.test_case "FIFO no overtake" `Quick test_locks_fifo_no_overtake;
           Alcotest.test_case "batch sorted" `Quick test_locks_batch_sorted;
+          Alcotest.test_case "holder order many" `Quick
+            test_locks_holder_order_many;
           Alcotest.test_case "duplicate key raises" `Quick
             test_locks_duplicate_key_raises;
           Alcotest.test_case "double acquire raises" `Quick
