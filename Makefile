@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick check clean
+.PHONY: all build test bench examples quick check chaos clean
 
 all: build
 
@@ -18,12 +18,20 @@ bench:
 quick:
 	dune exec bench/main.exe -- --scale 1
 
-# CI gate: full build, full test suite, and a small traced bench run
-# that exercises the per-phase JSON breakdown end to end.
+# CI gate: full build, full test suite, a small traced bench run that
+# exercises the per-phase JSON breakdown end to end, and a 20-seed
+# chaos smoke campaign (fault templates x apps x deployment modes; see
+# `bench/main.exe chaos --help` for the knobs).
 check:
 	dune build @all
 	dune runtest --force
 	dune exec bench/main.exe -- --scale 1 phases
+	dune exec bench/main.exe -- chaos --seeds 20
+
+# Full 50-seeds-per-cell chaos campaign (~200 sweep runs) plus the
+# protocol-mutation demo; the acceptance run behind EXPERIMENTS.md.
+chaos:
+	dune exec bench/main.exe -- chaos
 
 examples:
 	dune exec examples/quickstart.exe

@@ -136,19 +136,39 @@ let micro () =
 
 let usage () =
   print_endline
-    "usage: main.exe [--scale F] \
-     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|phases|micro]";
+    "usage: main.exe [--scale F] [--seeds N] \
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|phases|chaos|micro]";
+  print_endline
+    "  chaos: fault-plan campaign over {social,forum} x \
+     {singleton,replicated};";
+  print_endline
+    "    --seeds N   seeds per grid cell (default 50 = 200 sweeps total;";
+  print_endline
+    "                'make check' smoke-tests with --seeds 20); each seed";
+  print_endline
+    "    runs every default template (followup-storm, message-chaos,";
+  print_endline
+    "    cache-loss, server-restart, partition-heal, raft-churn,";
+  print_endline
+    "    everything), then a protocol mutation is injected to prove the";
+  print_endline "    invariant oracle catches and shrinks real bugs.";
   exit 1
 
 let () =
   (* Default 5.0 reproduces the paper's 10,000 requests per deployment. *)
   let scale = ref 5.0 in
+  let seeds = ref 50 in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
         (match float_of_string_opt v with
         | Some f when f > 0.0 -> scale := f
+        | _ -> usage ());
+        parse rest
+    | "--seeds" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> seeds := n
         | _ -> usage ());
         parse rest
     | arg :: rest ->
@@ -179,6 +199,9 @@ let () =
       | "cost" -> ignore (Experiments.Figures.cost ())
       | "ablation" -> ignore (Experiments.Figures.ablation ~scale ())
       | "phases" -> ignore (Experiments.Figures.phases ~scale ())
+      | "chaos" ->
+          let violations = Experiments.Chaos_exp.run ~seeds:!seeds () in
+          if violations > 0 then exit 2
       | "micro" -> micro ()
       | _ -> usage ())
     targets

@@ -394,6 +394,78 @@ let timeline_cmd =
        ~doc:"Narrate one request's protocol events with virtual timestamps")
     Term.(const run $ app_arg $ from_arg $ seed)
 
+let chaos_cmd =
+  let seeds =
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Seeds to sweep (per app/mode cell when no --app is given).")
+  in
+  let app_arg =
+    Arg.(value & opt (some (enum apps)) None & info [ "app" ] ~docv:"APP"
+           ~doc:"Sweep one application only (default: the full social/forum \
+                 grid plus the protocol-mutation demonstration).")
+  in
+  let replicated =
+    Arg.(value & flag & info [ "replicated" ]
+           ~doc:"Raft-replicated LVI server (with --app).")
+  in
+  let template_names =
+    List.map
+      (fun (t : Chaos.Plan.template) -> (t.t_name, t))
+      Chaos.Plan.default_templates
+  in
+  let template_arg =
+    Arg.(value & opt (some (enum template_names)) None
+         & info [ "template" ] ~docv:"NAME"
+             ~doc:(Printf.sprintf "Sweep a single plan template (%s)."
+                     (String.concat ", " (List.map fst template_names))))
+  in
+  let mutate =
+    Arg.(value & flag & info [ "mutate" ]
+           ~doc:"Inject the Skip_reexecution protocol mutation: the oracle \
+                 must catch it and the failing plan is shrunk to a minimal \
+                 reproduction.")
+  in
+  let run verbose seeds app replicated template mutate =
+    setup_logs verbose;
+    match app with
+    | None -> if Experiments.Chaos_exp.run ~seeds () > 0 then exit 2
+    | Some bundle ->
+        let config =
+          {
+            Chaos.Campaign.default_config with
+            replicated;
+            mutation =
+              (if mutate then Some Radical.Server.Skip_reexecution else None);
+          }
+        in
+        let templates =
+          match template with
+          | None -> Chaos.Plan.default_templates
+          | Some t -> [ t ]
+        in
+        let capp = Experiments.Chaos_exp.of_bundle bundle in
+        let summary =
+          Chaos.Campaign.sweep ~config ~templates ~seeds capp
+        in
+        Format.printf "%a@." Chaos.Campaign.pp_summary summary;
+        (match summary.failures with
+        | [] -> ()
+        | c :: _ ->
+            let shrunk =
+              Chaos.Campaign.shrink ~config ~seed:c.Chaos.Campaign.c_seed capp
+                c.Chaos.Campaign.c_plan
+            in
+            Format.printf "minimal reproduction (seed %d):@.%a@."
+              c.Chaos.Campaign.c_seed Chaos.Plan.pp shrunk;
+            if not mutate then exit 2)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Sweep fault plans against live deployments and judge the \
+             survivors with the invariant oracle")
+    Term.(const run $ verbose_arg $ seeds $ app_arg $ replicated
+          $ template_arg $ mutate)
+
 let () =
   let doc = "Radical (SOSP '25) reproduction: run experiments and deployments" in
   exit
@@ -401,5 +473,5 @@ let () =
        (Cmd.group (Cmd.info "radical_cli" ~doc)
           [
             experiments_cmd; run_cmd; inspect_cmd; check_cmd; timeline_cmd;
-            trace_cmd; trace_gen_cmd; trace_replay_cmd;
+            trace_cmd; trace_gen_cmd; trace_replay_cmd; chaos_cmd;
           ]))

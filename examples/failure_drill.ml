@@ -1,7 +1,12 @@
 (* Failure drill: exercises Radical's fault-tolerance story end to end —
    lost write followups trigger deterministic re-execution, late
-   followups are discarded (at-most-once), and wiped caches rebuild
-   themselves through normal protocol traffic.
+   followups are discarded (at-most-once), wiped caches rebuild
+   themselves through normal protocol traffic, and a replicated LVI
+   server survives a Raft leader crash.
+
+   The faults are declared as chaos fault plans (lib/chaos) and applied
+   by the nemesis on the virtual clock; test/test_chaos.ml runs the same
+   scenarios with their assertions as a regression suite.
 
      dune exec examples/failure_drill.exe *)
 
@@ -9,6 +14,8 @@ open Sim
 module Location = Net.Location
 module Transport = Net.Transport
 module Framework = Radical.Framework
+module Plan = Chaos.Plan
+module Nemesis = Chaos.Nemesis
 
 let banner s = Printf.printf "\n--- %s ---\n" s
 
@@ -26,6 +33,7 @@ let () =
       let fw =
         Framework.create ~config ~net ~funcs:Apps.Forum.functions ~data ()
       in
+      let env = { Nemesis.net; fw } in
       let version_of k =
         match Store.Kv.peek (Framework.primary fw) k with
         | Some { version; _ } -> version
@@ -34,15 +42,21 @@ let () =
 
       banner "1. Losing a write followup";
       Printf.printf "fpost:p3 score version before: %d\n" (version_of "fpost:p3");
-      (* Drop the next followup from DE. *)
-      let armed = ref true in
-      Transport.set_fault net (fun ~src ~dst:_ ~label ->
-          if !armed && label = "followup" && src = Location.de then begin
-            armed := false;
-            print_endline "   (network eats the followup)";
-            Transport.Drop
-          end
-          else Transport.Deliver);
+      (* A short followup blackout out of DE, long enough to eat the
+         upvote's followup. *)
+      let blackout =
+        [
+          Plan.event ~at:0.0
+            (Plan.Drop_messages
+               {
+                 filter = Plan.followups ~src:Location.de ();
+                 prob = 1.0;
+                 duration = 600.0;
+               });
+        ]
+      in
+      ignore (Nemesis.launch env blackout);
+      print_endline (Plan.to_string blackout);
       let o =
         Framework.invoke fw ~from:Location.de "forum-interact"
           [ Dval.Str "f1"; Dval.Str "p3" ]
@@ -59,15 +73,25 @@ let () =
       banner "2. A followup that arrives after re-execution";
       (* DE's cache was repaired by its own write, so this upvote takes
          the speculative path again — and its followup crawls. *)
-      Transport.set_fault net (fun ~src ~dst:_ ~label ->
-          if label = "followup" && src = Location.de then Transport.Delay 3000.0
-          else Transport.Deliver);
+      let crawl =
+        [
+          Plan.event ~at:0.0
+            (Plan.Delay_messages
+               {
+                 filter = Plan.followups ~src:Location.de ();
+                 extra = 3000.0;
+                 prob = 1.0;
+                 duration = 600.0;
+               });
+        ]
+      in
+      ignore (Nemesis.launch env crawl);
+      print_endline (Plan.to_string crawl);
       let _ =
         Framework.invoke fw ~from:Location.de "forum-interact"
           [ Dval.Str "f2"; Dval.Str "p3" ]
       in
       Engine.sleep 5000.0;
-      Transport.clear_fault net;
       let st = Radical.Server.stats (Framework.server fw) in
       Printf.printf
         "late followup discarded (%d discarded); version %d — no double apply\n"
@@ -76,11 +100,11 @@ let () =
       assert (version_of "fpost:p3" = 3);
 
       banner "3. Losing an entire near-user cache";
-      let rt = Framework.runtime fw Location.jp in
       let o1 = Framework.invoke fw ~from:Location.jp "forum-view" [ Dval.Str "f1"; Dval.Str "p9" ] in
       Printf.printf "warm read from JP: %.1f ms (%s)\n" o1.latency
         (match o1.path with Radical.Runtime.Speculative -> "speculative" | _ -> "backup");
-      Cache.wipe (Radical.Runtime.cache rt);
+      ignore (Nemesis.launch env [ Plan.event ~at:0.0 (Plan.Wipe_cache Location.jp) ]);
+      Engine.sleep 1.0;
       print_endline "JP cache wiped!";
       let o2 = Framework.invoke fw ~from:Location.jp "forum-view" [ Dval.Str "f1"; Dval.Str "p9" ] in
       Printf.printf "first read after wipe: %.1f ms (%s — repairs the cache)\n"
@@ -107,12 +131,23 @@ let () =
         Framework.create ~config ~net ~funcs:Apps.Forum.functions ~data ()
       in
       Engine.sleep 1000.0;
+      let crash =
+        [ Plan.event ~at:0.0 (Plan.Crash_raft_node { victim = `Leader; downtime = 1500.0 }) ]
+      in
+      let nem = Nemesis.launch { Nemesis.net; fw = fw2 } crash in
+      print_endline (Plan.to_string crash);
+      Engine.sleep 100.0;
       let o =
         Framework.invoke fw2 ~from:Location.ca "forum-interact"
           [ Dval.Str "f3"; Dval.Str "p5" ]
       in
-      Printf.printf "upvote through raft-persisted locks: %.1f ms\n" o.latency;
+      Printf.printf "upvote despite a crashed leader: %.1f ms\n" o.latency;
+      assert (Result.is_ok o.value);
       Engine.sleep 2000.0;
-      Printf.printf "lock state is consensus-replicated across 3 AZs.\n";
+      let s = Nemesis.stats nem in
+      Printf.printf
+        "lock state is consensus-replicated across 3 AZs (%d fault applied).\n"
+        s.applied;
+      assert (s.applied = 1);
       Framework.stop fw2;
       print_endline "\nAll drills passed.")

@@ -58,6 +58,8 @@ let version_of t key =
   | Some { version; _ } -> version
   | None -> -1
 
+let peek t key = Hashtbl.find_opt t.items key
+
 (* Evict the least recently used entry. O(n); fine at cache sizes the
    simulation uses, and only runs when a capacity is configured. *)
 let evict_one t =

@@ -29,6 +29,11 @@ val version_of : t -> string -> int
 (** Latency-free version probe; [-1] on miss, matching the protocol's
     miss marker. *)
 
+val peek : t -> string -> entry option
+(** Latency-free read that touches no hit/miss counter or LRU stamp.
+    Used to capture the (value, version) snapshot that a speculation
+    executes against — see [Runtime.invoke]. *)
+
 val update : t -> string -> Dval.t -> version:int -> unit
 (** Install a (value, version) pair if newer than what is cached.
     Latency-free: updates ride on protocol responses. *)

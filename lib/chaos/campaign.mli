@@ -1,0 +1,109 @@
+(** The campaign runner: seed-driven chaos sweeps with shrinking.
+
+    A single {!run_one} is fully deterministic in (seed, plan): it
+    builds a fresh engine and deployment, launches the nemesis with the
+    plan, drives a multi-site workload, waits out the fault horizon plus
+    a drain window, and judges the quiescent state with the invariant
+    {!Oracle}. {!sweep} fans that out over seeds × plan templates and
+    {!shrink} reduces a failing plan to a 1-minimal event list that
+    still reproduces a violation. *)
+
+type app = {
+  ca_name : string;
+  ca_funcs : Fdsl.Ast.func list;
+  ca_seed : Sim.Rng.t -> (string * Dval.t) list;
+  ca_gen : unit -> Sim.Rng.t -> string * Dval.t list;
+      (** Fresh workload generator (same contract as the experiment
+          bundles): called once per run, then per request. *)
+}
+
+type config = {
+  locations : Net.Location.t list;
+  clients_per_loc : int;
+  requests_per_client : int;
+  think_time : float;
+  horizon : float;
+      (** Window (virtual ms) within which template events start and
+          finish. *)
+  drain : float;
+      (** Extra quiet time after the horizon and the last request, long
+          enough for intent timers to fire and re-executions to settle. *)
+  jitter : float;
+  replicated : bool;  (** Raft-replicated LVI server (§5.6). *)
+  intent_timeout : float;
+  mutation : Radical.Server.protocol_mutation option;
+      (** Deliberate protocol bug, injected into the server — the
+          oracle-has-teeth demonstration. *)
+  charge_every : int;
+      (** Every Nth request calls a synthetic external-payment function
+          with a fresh idempotency scope, feeding the exactly-once
+          oracle; 0 disables. *)
+}
+
+val default_config : config
+(** 5 user sites × 2 clients × 3 requests, 5 s horizon + 4 s drain,
+    singleton server with an 800 ms intent-timeout ceiling, a charge
+    every 6th request, no mutation. *)
+
+type outcome = {
+  violations : Oracle.violation list;
+  fingerprint : string;
+      (** Digest of the recorded history — equal across replays of the
+          same (seed, plan) iff the run is deterministic. *)
+  requests : int;
+  client_errors : int;
+      (** Requests whose client-visible result was an error (allowed
+          under faults; they still participate in the history). *)
+  faults_applied : int;
+  faults_skipped : int;
+}
+
+val run_one : ?config:config -> seed:int -> app -> Plan.t -> outcome
+(** One deterministic chaos run. A crash anywhere in the run (engine
+    fiber error) is reported as a ["no-crash"] violation rather than an
+    exception; a run that never completes — a deadlocked workload or a
+    teardown that cannot quiesce — is cut off at a virtual-time cap and
+    reported as a ["stuck"] violation. *)
+
+val shrink : ?config:config -> seed:int -> app -> Plan.t -> Plan.t
+(** Greedy delta-debugging: repeatedly drop events while the plan still
+    produces at least one violation under [seed]; the result is
+    1-minimal (removing any single remaining event makes the run pass).
+    Per-event seeds make survivors' probabilistic decisions independent
+    of removed events. Returns the plan unchanged if it never fails. *)
+
+type case = {
+  c_seed : int;
+  c_template : string;
+  c_plan : Plan.t;
+  c_outcome : outcome;
+}
+
+type summary = {
+  runs : int;
+  total_requests : int;
+  total_client_errors : int;
+  total_faults_applied : int;
+  total_faults_skipped : int;
+  failures : case list;  (** Runs with at least one violation. *)
+  replay_checks : int;
+  replay_mismatches : case list;
+      (** Runs whose replay produced a different history digest. *)
+}
+
+val sweep :
+  ?config:config ->
+  ?templates:Plan.template list ->
+  ?replay_every:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
+  seeds:int ->
+  app ->
+  summary
+(** Run seeds 1..[seeds] against every template (skipping
+    replicated-only templates on a singleton config). Every
+    [replay_every]th run (default 25) is re-executed and its history
+    digest compared. [progress] is called after each run. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable report: totals, then each failing case's seed,
+    template, plan and violations. *)

@@ -1,0 +1,89 @@
+module Framework = Radical.Framework
+module Server = Radical.Server
+
+type violation = { inv : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.inv v.detail
+
+type effect_spec = { e_service : string; e_issued : int; e_completed : int }
+
+let v inv fmt = Format.kasprintf (fun detail -> { inv; detail }) fmt
+
+(* Generous but bounded: ~2 s in the worst case. An exhausted search is
+   inconclusive, not a violation — only a proven absence of a legal
+   order counts. *)
+let lincheck_budget = 1_000_000
+
+let linearizable ?(init = []) fw =
+  let history = Framework.history fw in
+  match Lincheck.decide ~init ~budget:lincheck_budget history with
+  | Lincheck.Linearizable _ | Lincheck.Inconclusive -> []
+  | Lincheck.Not_linearizable ->
+      [
+        v "linearizable" "%d-op history admits no legal total order"
+          (List.length history);
+      ]
+
+let drained fw =
+  let server = Framework.server fw in
+  let pending = Server.pending_intents server in
+  let held = Server.locks_held server in
+  (if pending = 0 then []
+   else [ v "drained" "%d write intent(s) still pending at quiescence" pending ])
+  @
+  if held = 0 then []
+  else [ v "drained" "%d lock owner(s) still holding at quiescence" held ]
+
+let caches_coherent fw =
+  let primary = Framework.primary fw in
+  List.concat_map
+    (fun loc ->
+      let cache = Radical.Runtime.cache (Framework.runtime fw loc) in
+      List.filter_map
+        (fun (key, value, version) ->
+          match Store.Kv.peek primary key with
+          | None ->
+              Some
+                (v "cache-coherent" "%s: %S v%d cached but absent from primary"
+                   loc key version)
+          | Some { Store.Kv.value = pv; version = pver } ->
+              if version > pver then
+                Some
+                  (v "cache-coherent"
+                     "%s: %S cached at v%d ahead of primary v%d" loc key
+                     version pver)
+              else if version = pver && not (Dval.equal value pv) then
+                Some
+                  (v "cache-coherent"
+                     "%s: %S v%d cached as %s but primary has %s" loc key
+                     version (Dval.to_string value) (Dval.to_string pv))
+              else None)
+        (Cache.snapshot cache))
+    (Framework.locations fw)
+
+let effects_exactly_once fw specs =
+  let ext = Framework.external_services fw in
+  List.concat_map
+    (fun { e_service; e_issued; e_completed } ->
+      let runs = Radical.Extsvc.handler_runs ext e_service in
+      (if runs > e_issued then
+         [
+           v "effects-exactly-once"
+             "%s handler ran %d times for only %d issued invocation(s)"
+             e_service runs e_issued;
+         ]
+       else [])
+      @
+      if runs < e_completed then
+        [
+          v "effects-exactly-once"
+            "%s handler ran %d times but %d invocation(s) completed"
+            e_service runs e_completed;
+        ]
+      else [])
+    specs
+
+let check ?init ?(effects = []) fw =
+  drained fw @ caches_coherent fw
+  @ effects_exactly_once fw effects
+  @ linearizable ?init fw

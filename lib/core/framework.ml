@@ -78,6 +78,8 @@ let create ?(config = default_config) ?schema
   in
   { cfg = config; net; reg; kv; extsvc; srv; sites; ops = [] }
 
+let locations t = List.map fst t.sites
+
 let runtime t loc =
   match List.assoc_opt loc t.sites with
   | Some rt -> rt

@@ -51,6 +51,9 @@ val invoke : t -> from:Net.Location.t -> string -> Dval.t list -> Runtime.outcom
 
 val runtime : t -> Net.Location.t -> Runtime.t
 
+val locations : t -> Net.Location.t list
+(** The near-user sites of this deployment, in configuration order. *)
+
 val server : t -> Server.t
 
 val primary : t -> Store.Kv.t

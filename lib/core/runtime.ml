@@ -99,8 +99,8 @@ let record t ~exec_id ~start ~finish (res : Proto.exec_result) =
    Writes are buffered — Radical delays cache updates until the LVI
    response arrives (§3.2) — and reads see the buffer first so the
    execution observes its own writes. *)
-let speculate t ~exec_id ?(span = Tracer.none) (entry : Registry.entry) args :
-    Proto.exec_result Ivar.t =
+let speculate t ~exec_id ?(span = Tracer.none) ?(snapshot = [])
+    (entry : Registry.entry) args : Proto.exec_result Ivar.t =
   let iv = Ivar.create () in
   Engine.spawn ~name:"speculate" (fun () ->
       let observed = ref [] in
@@ -113,10 +113,19 @@ let speculate t ~exec_id ?(span = Tracer.none) (entry : Registry.entry) args :
               match List.assoc_opt k !buffer with
               | Some v -> v
               | None ->
+                  (* Pay the cache access, but serve predicted reads
+                     from the snapshot the LVI request validates: the
+                     live cache can change mid-speculation (concurrent
+                     followups, a fault-injected wipe) and those values
+                     were never validated. *)
+                  let live = Cache.get t.cache k in
                   let v =
-                    match Cache.get t.cache k with
-                    | Some { value; _ } -> value
-                    | None -> Dval.Unit
+                    match List.assoc_opt k snapshot with
+                    | Some v -> v
+                    | None -> (
+                        match live with
+                        | Some { Cache.value; _ } -> value
+                        | None -> Dval.Unit)
                   in
                   if not (List.mem_assoc k !observed) then
                     observed := (k, v) :: !observed;
@@ -198,8 +207,23 @@ let invoke t fn args =
           finalize (direct_execute t ~start ~exec_id ~root fn args)
       | rwset ->
           Tracer.stop sp_predict;
+          (* Versions for validation and values for speculation come
+             from one latency-free sweep — a single virtual instant —
+             so the execution cannot observe state the LVI request does
+             not validate. *)
+          let snap =
+            List.map (fun k -> (k, Cache.peek t.cache k)) rwset.reads
+          in
           let reads =
-            List.map (fun k -> (k, Cache.version_of t.cache k)) rwset.reads
+            List.map
+              (fun (k, e) ->
+                (k, match e with Some e -> e.Cache.version | None -> -1))
+              snap
+          in
+          let snapshot =
+            List.filter_map
+              (fun (k, e) -> Option.map (fun e -> (k, e.Cache.value)) e)
+              snap
           in
           let misses = List.exists (fun (_, v) -> v = -1) reads in
           (* (2a) Speculate unless a miss makes failure certain (§3.2).
@@ -209,7 +233,7 @@ let invoke t fn args =
             if misses || not t.cfg.overlap then None
             else
               let sp = Tracer.child t.tracer ~parent:root "speculate" in
-              Some (speculate t ~exec_id ~span:sp entry args)
+              Some (speculate t ~exec_id ~span:sp ~snapshot entry args)
           in
           if misses then t.s_skipped <- t.s_skipped + 1;
           (* (2b) The single LVI request, concurrent with speculation. *)
@@ -231,7 +255,7 @@ let invoke t fn args =
                 (* Ablation: execution starts only after validation, so
                    the LVI latency is fully exposed. *)
                 let sp = Tracer.child t.tracer ~parent:root "speculate" in
-                Some (speculate t ~exec_id ~span:sp entry args)
+                Some (speculate t ~exec_id ~span:sp ~snapshot entry args)
             | _ -> spec
           in
           (match (response, spec) with

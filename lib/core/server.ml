@@ -12,6 +12,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type mode = Singleton | Replicated of { az_rtt : float }
 
+type protocol_mutation = Skip_reexecution
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
@@ -68,6 +70,10 @@ type t = {
   followup_delay : (string, float) Hashtbl.t;
   repl : repl option;
   pending : (string, pending) Hashtbl.t; (* volatile: timers, lost on crash *)
+  (* Deliberate protocol sabotage for chaos testing: when set, the named
+     protocol step is skipped so the invariant oracle can prove it has
+     teeth. Never set in production paths. *)
+  mutable mutation : protocol_mutation option;
   mutable owners : int;
   mutable s_requests : int;
   mutable s_validated : int;
@@ -238,6 +244,13 @@ let fresh_updates t keys =
    writes. Shared by the intent timer and by post-restart recovery. *)
 let resolve_orphaned_intent t (req : Proto.lvi_request) =
   let exec_id = req.exec_id in
+  match t.mutation with
+  | Some Skip_reexecution ->
+      (* Sabotaged server: the orphaned intent is simply forgotten — its
+         write is lost, the intent stays pending and its locks stay held.
+         The chaos oracle must catch all three. *)
+      Log.info (fun m -> m "intent %s orphaned; MUTATION skips re-execution" exec_id)
+  | None ->
   Log.info (fun m -> m "intent %s orphaned; deterministic re-execution" exec_id);
   if Intents.try_complete t.intents ~exec_id then begin
     if claim_execution t ~exec_id:("ns:" ^ exec_id) then begin
@@ -431,6 +444,7 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
       followup_delay = Hashtbl.create 16;
       repl;
       pending = Hashtbl.create 64;
+      mutation = None;
       owners = 0;
       s_requests = 0;
       s_validated = 0;
@@ -473,12 +487,18 @@ let locks_held t = t.owners
 
 let pending_intents t = Intents.pending_count t.intents
 
-(* Simulate a restart of the LVI server process at a quiescent instant:
-   volatile state (intent timers and the pending table) is lost; the
-   intent records, their request payloads, and the lock table (persisted
-   to disk, §4) survive. Recovery resolves every orphaned pending intent
-   by deterministic re-execution, releasing its locks. Followups that
-   arrive afterwards find their intent completed and are discarded. *)
+let inject_mutation t m = t.mutation <- m
+
+(* Simulate a restart of the LVI server process: volatile state (intent
+   timers and the pending table) is lost; the intent records, their
+   request payloads, and the lock table (persisted to disk, §4) survive.
+   Recovery resolves every orphaned pending intent by deterministic
+   re-execution, releasing its locks. The instant need not be quiescent:
+   a followup still in flight at restart time finds its intent already
+   completed on arrival and is discarded (its write was produced by the
+   re-execution, exactly once), and an in-flight LVI request that has
+   not yet installed an intent is untouched — its handler fiber still
+   owns its locks and releases them normally. *)
 let restart_recover t =
   Log.info (fun m ->
       m "server restart: recovering %d pending intent(s)"

@@ -15,6 +15,14 @@
 
 type mode = Singleton | Replicated of { az_rtt : float }
 
+type protocol_mutation = Skip_reexecution
+    (** Deliberate protocol sabotage for chaos testing ({!inject_mutation}):
+        [Skip_reexecution] makes the server forget an orphaned intent
+        instead of deterministically re-executing it — the speculated
+        write is lost, the intent stays pending and its locks stay held.
+        Used to prove the chaos invariant oracle catches real protocol
+        bugs; never set in production paths. *)
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
@@ -68,12 +76,22 @@ val locks_held : t -> int
 val pending_intents : t -> int
 
 val restart_recover : t -> unit
-(** Simulate an LVI-server restart at a quiescent instant: in-memory
-    intent timers are gone, but the intent records (with the function
-    and inputs needed for re-execution) and the disk-persisted lock
-    table survive (§3.4, §4). Every orphaned pending intent is resolved
-    by deterministic re-execution and its locks released; followups
-    arriving later are discarded as duplicates. *)
+(** Simulate an LVI-server restart: in-memory intent timers are gone,
+    but the intent records (with the function and inputs needed for
+    re-execution) and the disk-persisted lock table survive (§3.4, §4).
+    Every orphaned pending intent is resolved by deterministic
+    re-execution and its locks released; followups arriving later are
+    discarded as duplicates.
+
+    The instant need not be quiescent. A followup in flight at restart
+    time finds its intent completed on arrival and is discarded — the
+    write was applied exactly once, by the re-execution. An in-flight
+    LVI request that has not yet installed an intent is untouched: its
+    handler fiber still owns its locks and releases them normally.
+    Covered by the [test_chaos] restart suite. *)
+
+val inject_mutation : t -> protocol_mutation option -> unit
+(** Enable/disable a deliberate protocol bug (chaos testing only). *)
 
 val raft_cluster : t -> Raft_locks.cluster option
 (** The replicated server's lock cluster ([None] for a singleton) —

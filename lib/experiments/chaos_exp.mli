@@ -1,0 +1,27 @@
+(** Chaos campaign bundle: the experiment-suite entry point for
+    [lib/chaos] ([bench/main.exe chaos]).
+
+    Sweeps the default fault-plan templates over the social and forum
+    applications, each in singleton and Raft-replicated deployments,
+    expecting zero invariant violations; then demonstrates that the
+    oracle has teeth by injecting a deliberate protocol mutation
+    (skipped intent re-execution), catching it, and shrinking the
+    failing plan to a minimal reproduction. *)
+
+type report = { r_label : string; r_summary : Chaos.Campaign.summary }
+
+val of_bundle : Bundle.app -> Chaos.Campaign.app
+
+val campaign : ?seeds:int -> ?progress:bool -> unit -> report list
+(** [seeds] per (app × mode) cell, default 50 — 200 seeded sweeps in
+    total over the 4-cell grid. *)
+
+val demo_mutation : ?seed:int -> unit -> Chaos.Plan.t * Chaos.Plan.t
+(** Inject [Skip_reexecution], run a deliberately noisy plan, and
+    return [(original, shrunk)] — the shrunk plan still reproduces a
+    violation and is 1-minimal. *)
+
+val run : ?seeds:int -> unit -> int
+(** Print campaign reports and the mutation demonstration; returns the
+    number of genuine violations (0 expected — mutation-demo failures
+    are intentional and not counted). *)

@@ -23,25 +23,34 @@ let applicable state op =
 let apply state op =
   List.fold_left (fun st (k, v) -> Smap.add k v st) state op.writes
 
+type verdict = Linearizable of string list | Not_linearizable | Inconclusive
+
+exception Out_of_budget
+
 (* Depth-first search over linearization prefixes. A pending op is a
    candidate when no other pending op finished before it started. *)
-let witness ?(init = []) ops =
+let decide ?(init = []) ?(budget = max_int) ops =
   let init_state =
     List.fold_left (fun st (k, v) -> Smap.add k v st) Smap.empty init
   in
   let ops = Array.of_list ops in
   let n = Array.length ops in
   let taken = Array.make n false in
+  let nodes = ref 0 in
   let rec search state acc remaining =
+    incr nodes;
+    if !nodes > budget then raise Out_of_budget;
     if remaining = 0 then Some (List.rev acc)
     else begin
       let minimal i =
         (not taken.(i))
-        && not
-             (Array.exists Fun.id
-                (Array.mapi
-                   (fun j t -> (not t) && j <> i && ops.(j).finish < ops.(i).start)
-                   taken))
+        &&
+        let ok = ref true in
+        for j = 0 to n - 1 do
+          if (not taken.(j)) && j <> i && ops.(j).finish < ops.(i).start then
+            ok := false
+        done;
+        !ok
       in
       let rec try_from i =
         if i >= n then None
@@ -61,6 +70,15 @@ let witness ?(init = []) ops =
       try_from 0
     end
   in
-  search init_state [] n
+  match search init_state [] n with
+  | Some order -> Linearizable order
+  | None -> Not_linearizable
+  | exception Out_of_budget -> Inconclusive
+
+let witness ?init ops =
+  match decide ?init ops with
+  | Linearizable order -> Some order
+  | Not_linearizable -> None
+  | Inconclusive -> assert false (* unreachable: unbounded budget *)
 
 let check ?init ops = witness ?init ops <> None

@@ -22,6 +22,17 @@ type op = {
   writes : (string * Dval.t) list;
 }
 
+type verdict = Linearizable of string list | Not_linearizable | Inconclusive
+
+val decide :
+  ?init:(string * Dval.t) list -> ?budget:int -> op list -> verdict
+(** Budgeted check: the search gives up with [Inconclusive] after
+    visiting [budget] nodes (default unbounded). Long histories of
+    highly contended concurrent operations can otherwise take the
+    exponential worst case — the chaos campaign treats [Inconclusive]
+    as a pass, never as a violation. [Linearizable] carries the op ids
+    in a valid linearization order. *)
+
 val check : ?init:(string * Dval.t) list -> op list -> bool
 (** [check history] is true iff the history is linearizable starting
     from [init] (absent keys read as [Dval.Unit]). *)

@@ -2,11 +2,22 @@ open Sim
 
 type fault = Deliver | Drop | Delay of float
 
+type hook_fn = src:Location.t -> dst:Location.t -> label:string -> fault
+
+type handle = int
+
 type t = {
   rtt : Location.t -> Location.t -> float;
   jitter_sigma : float;
   rng : Rng.t;
-  mutable fault_hook : src:Location.t -> dst:Location.t -> label:string -> fault;
+  fault_rng : Rng.t;
+  (* Legacy single-slot hook ([set_fault]/[clear_fault]) plus a stack of
+     independently installed hooks ([add_fault]/[remove_fault]). The slot
+     keeps the historical replace-on-set semantics for tests while letting
+     a nemesis driver coexist with test-local hooks. *)
+  mutable base_hook : hook_fn option;
+  mutable hooks : (handle * hook_fn) list; (* oldest first *)
+  mutable next_handle : int;
   mutable tracer : Metrics.Tracer.t;
   mutable sent : int;
   mutable dropped : int;
@@ -20,15 +31,22 @@ type ('req, 'resp) service = {
   handler : 'req -> 'resp;
 }
 
-let no_fault ~src:_ ~dst:_ ~label:_ = Deliver
-
 let create ?(rtt = Location.rtt) ?(jitter_sigma = 0.05)
-    ?(tracer = Metrics.Tracer.noop) ~rng () =
+    ?(tracer = Metrics.Tracer.noop) ?fault_rng ~rng () =
   {
     rtt;
     jitter_sigma;
     rng;
-    fault_hook = no_fault;
+    (* Fault decisions draw from their own stream so that installing a
+       probabilistic hook never shifts the jitter multipliers sampled for
+       unaffected messages. The default is a fixed-seed generator rather
+       than [Rng.split rng] so that creating a transport does not perturb
+       the jitter stream of pre-existing seeded runs either. *)
+    fault_rng =
+      (match fault_rng with Some r -> r | None -> Rng.create 0x6661756c74);
+    base_hook = None;
+    hooks = [];
+    next_handle = 0;
     tracer;
     sent = 0;
     dropped = 0;
@@ -37,6 +55,8 @@ let create ?(rtt = Location.rtt) ?(jitter_sigma = 0.05)
   }
 
 let set_tracer t tracer = t.tracer <- tracer
+
+let fault_rng t = t.fault_rng
 
 let one_way t src dst =
   let base = t.rtt src dst /. 2.0 in
@@ -47,18 +67,48 @@ let one_way t src dst =
     let s = t.jitter_sigma in
     base *. Rng.lognormal t.rng ~mu:(-.s *. s /. 2.0) ~sigma:s
 
-let set_fault t hook = t.fault_hook <- hook
+let set_fault t hook = t.base_hook <- Some hook
 
-let clear_fault t = t.fault_hook <- no_fault
+let clear_fault t = t.base_hook <- None
+
+let add_fault t hook =
+  let h = t.next_handle in
+  t.next_handle <- t.next_handle + 1;
+  t.hooks <- t.hooks @ [ (h, hook) ];
+  h
+
+let remove_fault t handle = t.hooks <- List.remove_assoc handle t.hooks
+
+let active_faults t =
+  List.length t.hooks + match t.base_hook with Some _ -> 1 | None -> 0
+
+let partition t group =
+  let inside loc = List.mem loc group in
+  add_fault t (fun ~src ~dst ~label:_ ->
+      if inside src <> inside dst then Drop else Deliver)
+
+(* The legacy slot is consulted first, then added hooks in installation
+   order; the first non-[Deliver] verdict decides the message's fate. *)
+let fault_verdict t ~src ~dst ~label =
+  let rec first = function
+    | [] -> Deliver
+    | hook :: rest -> (
+        match hook ~src ~dst ~label with
+        | Deliver -> first rest
+        | verdict -> verdict)
+  in
+  first
+    ((match t.base_hook with Some h -> [ h ] | None -> [])
+    @ List.map snd t.hooks)
 
 let serve _t ~loc ~name handler = { svc_loc = loc; svc_name = name; handler }
 
 let service_location svc = svc.svc_loc
 
-(* Deliver [k] at [dst] after sampled latency, subject to the fault hook. *)
+(* Deliver [k] at [dst] after sampled latency, subject to the fault hooks. *)
 let transmit t ~src ~dst ~label k =
   t.sent <- t.sent + 1;
-  match t.fault_hook ~src ~dst ~label with
+  match fault_verdict t ~src ~dst ~label with
   | Drop ->
       t.dropped <- t.dropped + 1;
       Metrics.Tracer.record_fault t.tracer ~label ~outcome:"drop"

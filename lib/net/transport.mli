@@ -7,8 +7,11 @@
     handler does not serialize the service.
 
     Fault injection hooks decide per message whether it is delivered,
-    dropped, or delayed — used by the tests to exercise lost followups and
-    late messages in the LVI protocol. *)
+    dropped, or delayed — used by the tests and by the chaos nemesis to
+    exercise lost followups, late messages and partitions in the LVI
+    protocol. Hooks compose: the legacy [set_fault] slot coexists with any
+    number of [add_fault] hooks, so a nemesis campaign and a test-local
+    hook can be active at once. *)
 
 type t
 
@@ -18,6 +21,7 @@ val create :
   ?rtt:(Location.t -> Location.t -> float) ->
   ?jitter_sigma:float ->
   ?tracer:Metrics.Tracer.t ->
+  ?fault_rng:Sim.Rng.t ->
   rng:Sim.Rng.t ->
   unit ->
   t
@@ -25,21 +29,52 @@ val create :
     given sigma (default 0.05; 0.0 disables jitter). With a [tracer]
     (default {!Metrics.Tracer.noop}), every delivered message records its
     one-way delay under the service label, and every fault-hook outcome
-    is counted. *)
+    is counted.
+
+    [fault_rng] seeds the stream returned by {!fault_rng} (default: a
+    fixed-seed generator). Jitter draws only from [rng]; fault decisions
+    should only draw from the fault stream — this separation guarantees
+    that enabling probabilistic faults does not shift the delivery jitter
+    sampled for unaffected messages. *)
 
 val set_tracer : t -> Metrics.Tracer.t -> unit
+
+val fault_rng : t -> Sim.Rng.t
+(** The transport's dedicated fault-decision stream. Probabilistic fault
+    hooks must sample from this (or a private generator), never from the
+    jitter stream. *)
 
 val one_way : t -> Location.t -> Location.t -> float
 (** Sample a one-way delay (RTT/2 × jitter). *)
 
 val set_fault :
   t -> (src:Location.t -> dst:Location.t -> label:string -> fault) -> unit
-(** Install a fault hook consulted once per message (requests, responses
-    and one-way posts independently). [label] is the target service's
-    name for requests and ["<name>:reply"] for responses, letting tests
-    drop, say, only followup messages. *)
+(** Install the single-slot fault hook consulted once per message
+    (requests, responses and one-way posts independently). [label] is the
+    target service's name for requests and ["<name>:reply"] for
+    responses, letting tests drop, say, only followup messages.
+    Re-invoking replaces only this slot; hooks installed with
+    {!add_fault} are unaffected. *)
 
 val clear_fault : t -> unit
+(** Remove the {!set_fault} slot hook (leaves {!add_fault} hooks alone). *)
+
+val add_fault :
+  t -> (src:Location.t -> dst:Location.t -> label:string -> fault) -> int
+(** Install an additional fault hook and return a handle for
+    {!remove_fault}. Hooks are consulted in installation order after the
+    {!set_fault} slot; the first non-[Deliver] verdict decides. *)
+
+val remove_fault : t -> int -> unit
+(** Uninstall a hook by handle. Idempotent. *)
+
+val active_faults : t -> int
+(** Number of installed hooks (slot + stack). *)
+
+val partition : t -> Location.t list -> int
+(** [partition t group] installs a hook dropping every message that
+    crosses the boundary between [group] and its complement — a network
+    partition. Heal it with {!remove_fault}. *)
 
 type ('req, 'resp) service
 

@@ -183,6 +183,89 @@ let test_delay_fault () =
       ignore (Transport.call net ~from:Location.ca svc 1);
       check_float "back to rtt" 68.0 (Engine.now () -. t1))
 
+(* --- Composable fault hooks ---------------------------------------- *)
+
+let test_fault_hooks_compose () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      (* Two stacked hooks: the first non-Deliver verdict wins, in
+         registration order. *)
+      let h1 =
+        Transport.add_fault net (fun ~src:_ ~dst:_ ~label:_ ->
+            Transport.Delay 100.0)
+      in
+      let h2 =
+        Transport.add_fault net (fun ~src ~dst:_ ~label:_ ->
+            if src = Location.ca then Transport.Drop else Transport.Deliver)
+      in
+      Alcotest.(check int) "two active hooks" 2 (Transport.active_faults net);
+      let t0 = Engine.now () in
+      ignore (Transport.call net ~from:Location.ca svc 1);
+      (* h1's delay wins on both legs even though h2 would drop. *)
+      check_float "delays, not drops" (68.0 +. 200.0) (Engine.now () -. t0);
+      Transport.remove_fault net h1;
+      let r = Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 2 in
+      Alcotest.(check (option int)) "h2 now drops" None r;
+      Transport.remove_fault net h2;
+      Alcotest.(check int) "no active hooks" 0 (Transport.active_faults net);
+      let t1 = Engine.now () in
+      ignore (Transport.call net ~from:Location.ca svc 3);
+      check_float "clean again" 68.0 (Engine.now () -. t1))
+
+let test_set_fault_slot_and_stack_independent () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      let h =
+        Transport.add_fault net (fun ~src:_ ~dst:_ ~label:_ ->
+            Transport.Delay 50.0)
+      in
+      (* The legacy slot is consulted before the stack and replaces only
+         itself; clearing it leaves the stacked hook in place. *)
+      Transport.set_fault net (fun ~src:_ ~dst:_ ~label:_ -> Transport.Delay 10.0);
+      Transport.set_fault net (fun ~src:_ ~dst:_ ~label:_ -> Transport.Delay 20.0);
+      Alcotest.(check int) "slot + stacked hook" 2 (Transport.active_faults net);
+      let t0 = Engine.now () in
+      ignore (Transport.call net ~from:Location.ca svc 1);
+      check_float "replacement slot wins over stack" (68.0 +. 40.0)
+        (Engine.now () -. t0);
+      Transport.clear_fault net;
+      Alcotest.(check int) "stacked hook survives clear_fault" 1
+        (Transport.active_faults net);
+      let t1 = Engine.now () in
+      ignore (Transport.call net ~from:Location.ca svc 2);
+      check_float "stacked delay applies" (68.0 +. 100.0) (Engine.now () -. t1);
+      Transport.remove_fault net h)
+
+let test_partition_and_heal () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let echo_va = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      let echo_jp = Transport.serve net ~loc:Location.jp ~name:"echo-jp" Fun.id in
+      let h = Transport.partition net [ Location.ca; Location.jp ] in
+      let r = Transport.call_timeout net ~from:Location.ca ~timeout:300.0 echo_va 1 in
+      Alcotest.(check (option int)) "cross-partition dropped" None r;
+      let r2 = Transport.call_timeout net ~from:Location.ca ~timeout:300.0 echo_jp 2 in
+      Alcotest.(check (option int)) "same-side delivered" (Some 2) r2;
+      Transport.remove_fault net h;
+      let r3 = Transport.call_timeout net ~from:Location.ca ~timeout:300.0 echo_va 3 in
+      Alcotest.(check (option int)) "healed" (Some 3) r3)
+
+let test_fault_rng_independent_of_jitter () =
+  (* Fault decisions draw from a dedicated stream: consuming it must not
+     shift the jitter samples of an identically-seeded transport. *)
+  let samples net =
+    List.init 50 (fun _ -> Transport.one_way net Location.jp Location.va)
+  in
+  let net1 = Transport.create ~jitter_sigma:0.1 ~rng:(Rng.create 7) () in
+  let net2 = Transport.create ~jitter_sigma:0.1 ~rng:(Rng.create 7) () in
+  for _ = 1 to 100 do
+    ignore (Rng.float (Transport.fault_rng net2) 1.0)
+  done;
+  List.iter2 (check_float "jitter stream unperturbed") (samples net1)
+    (samples net2)
+
 let test_post_delivers () =
   run_sim (fun () ->
       let net = mknet () in
@@ -235,6 +318,14 @@ let () =
             test_call_timeout_late_reply;
           Alcotest.test_case "response drop" `Quick test_response_drop;
           Alcotest.test_case "delay fault" `Quick test_delay_fault;
+          Alcotest.test_case "fault hooks compose" `Quick
+            test_fault_hooks_compose;
+          Alcotest.test_case "set_fault slot vs stack" `Quick
+            test_set_fault_slot_and_stack_independent;
+          Alcotest.test_case "partition and heal" `Quick
+            test_partition_and_heal;
+          Alcotest.test_case "fault rng independent of jitter" `Quick
+            test_fault_rng_independent_of_jitter;
           Alcotest.test_case "post delivers" `Quick test_post_delivers;
           Alcotest.test_case "message counts" `Quick test_message_counts;
         ] );
