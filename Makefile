@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick check chaos clean
+.PHONY: all build test bench examples quick check chaos analyze clean
 
 all: build
 
@@ -18,13 +18,23 @@ bench:
 quick:
 	dune exec bench/main.exe -- --scale 1
 
-# CI gate: full build, full test suite, a small traced bench run that
-# exercises the per-phase JSON breakdown end to end, and a 20-seed
-# chaos smoke campaign (fault templates x apps x deployment modes; see
-# `bench/main.exe chaos --help` for the knobs).
+# Whole-catalog static analysis: golden-file check of `radical_cli
+# analyze` (classifications, conflict matrices, lock-order hazards,
+# manual f^rw checks), then the analyzer evaluation bench (predict-cost
+# raw vs. optimized, read-only fast-path latency ablation).
+analyze:
+	dune build @analyze
+	dune exec bench/main.exe -- --scale 1 analyze
+
+# CI gate: full build, full test suite, the analyzer golden + bench
+# run, a small traced bench run that exercises the per-phase JSON
+# breakdown end to end, and a 20-seed chaos smoke campaign (fault
+# templates x apps x deployment modes; see `bench/main.exe chaos
+# --help` for the knobs).
 check:
 	dune build @all
 	dune runtest --force
+	$(MAKE) analyze
 	dune exec bench/main.exe -- --scale 1 phases
 	dune exec bench/main.exe -- chaos --seeds 20
 

@@ -137,7 +137,12 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe [--scale F] [--seeds N] \
-     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|phases|chaos|micro]";
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|chaos|micro]";
+  print_endline
+    "  analyze: f^rw predict cost raw vs. residual-optimized, and the";
+  print_endline
+    "    read-only LVI fast-path latency ablation (on/off, singleton and";
+  print_endline "    replicated).";
   print_endline
     "  chaos: fault-plan campaign over {social,forum} x \
      {singleton,replicated};";
@@ -198,6 +203,7 @@ let () =
       | "bootstrap" -> ignore (Experiments.Figures.bootstrap ())
       | "cost" -> ignore (Experiments.Figures.cost ())
       | "ablation" -> ignore (Experiments.Figures.ablation ~scale ())
+      | "analyze" -> Experiments.Analyze_exp.run ~scale ()
       | "phases" -> ignore (Experiments.Figures.phases ~scale ())
       | "chaos" ->
           let violations = Experiments.Chaos_exp.run ~seeds:!seeds () in

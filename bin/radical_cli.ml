@@ -466,12 +466,22 @@ let chaos_cmd =
     Term.(const run $ verbose_arg $ seeds $ app_arg $ replicated
           $ template_arg $ mutate)
 
+let analyze_cmd =
+  let run () = print_string (Apps.Report.render ()) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Print the whole-catalog key-shape report: per-function \
+             classifications (raw vs. residual-optimized), conflict \
+             matrices, lock-order hazards, and manual f^rw checks")
+    Term.(const run $ const ())
+
 let () =
   let doc = "Radical (SOSP '25) reproduction: run experiments and deployments" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "radical_cli" ~doc)
           [
-            experiments_cmd; run_cmd; inspect_cmd; check_cmd; timeline_cmd;
-            trace_cmd; trace_gen_cmd; trace_replay_cmd; chaos_cmd;
+            experiments_cmd; run_cmd; inspect_cmd; check_cmd; analyze_cmd;
+            timeline_cmd; trace_cmd; trace_gen_cmd; trace_replay_cmd;
+            chaos_cmd;
           ]))

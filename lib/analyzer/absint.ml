@@ -1,0 +1,433 @@
+open Fdsl
+
+type origin = Const_only | Input_only | Store_dep | Opaque_dep
+
+type frag = Lit of string | Hole of { src : origin; label : string }
+
+type shape = frag list
+
+let origin_rank = function
+  | Const_only -> 0
+  | Input_only -> 1
+  | Store_dep -> 2
+  | Opaque_dep -> 3
+
+let origin_join a b = if origin_rank a >= origin_rank b then a else b
+
+(* No empty literals, merge adjacent literals, collapse adjacent holes
+   (Σ*·Σ* = Σ*; the merged hole keeps the stronger origin and the first
+   label — labels are cosmetic). *)
+let normalize frags =
+  let rec go = function
+    | [] -> []
+    | Lit "" :: rest -> go rest
+    | Lit a :: Lit b :: rest -> go (Lit (a ^ b) :: rest)
+    | Hole a :: Hole b :: rest ->
+        go (Hole { src = origin_join a.src b.src; label = a.label } :: rest)
+    | f :: rest -> f :: go rest
+  in
+  (* A single pass can re-expose adjacency (Lit a; Lit ""; Lit b), so
+     iterate to a fixpoint; shapes are tiny. *)
+  let rec fix s =
+    let s' = go s in
+    if s' = s then s else fix s'
+  in
+  fix frags
+
+let top = [ Hole { src = Opaque_dep; label = "?" } ]
+
+let is_top s = not (List.exists (function Lit _ -> true | Hole _ -> false) s)
+
+let exact s =
+  if List.exists (function Hole _ -> true | Lit _ -> false) s then None
+  else Some (String.concat "" (List.map (function Lit l -> l | Hole _ -> "") s))
+
+let origin_of_shape s =
+  List.fold_left
+    (fun acc -> function Lit _ -> acc | Hole h -> origin_join acc h.src)
+    Const_only s
+
+(* Longest literal run anchored at the front / back of the pattern. *)
+let lit_prefix s = match s with Lit l :: _ -> l | _ -> ""
+
+let lit_suffix s =
+  match List.rev s with Lit l :: _ -> l | _ -> ""
+
+let common_prefix a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  String.sub a 0 (go 0)
+
+let common_suffix a b =
+  let la = String.length a and lb = String.length b in
+  let n = min la lb in
+  let rec go i =
+    if i < n && a.[la - 1 - i] = b.[lb - 1 - i] then go (i + 1) else i
+  in
+  let k = go 0 in
+  String.sub a (la - k) k
+
+let is_prefix p s =
+  String.length p <= String.length s && String.sub s 0 (String.length p) = p
+
+let is_suffix q s =
+  let lq = String.length q and ls = String.length s in
+  lq <= ls && String.sub s (ls - lq) lq = q
+
+(* Glob match: holes are Σ*. Shapes are short, so the backtracking
+   matcher is fine. *)
+let matches shape key =
+  let n = String.length key in
+  let rec go i = function
+    | [] -> i = n
+    | Lit l :: rest ->
+        let ll = String.length l in
+        i + ll <= n && String.sub key i ll = l && go (i + ll) rest
+    | Hole _ :: rest ->
+        let rec try_at j = j <= n && (go j rest || try_at (j + 1)) in
+        try_at i
+  in
+  go 0 (normalize shape)
+
+(* Strip a known literal prefix [p] (must be a prefix of the shape's
+   leading literal) from the front of a normalized shape. *)
+let strip_prefix p s =
+  if p = "" then s
+  else
+    match s with
+    | Lit l :: rest when is_prefix p l ->
+        normalize (Lit (String.sub l (String.length p) (String.length l - String.length p)) :: rest)
+    | _ -> s
+
+let strip_suffix q s =
+  if q = "" then s
+  else
+    match List.rev s with
+    | Lit l :: rest when is_suffix q l ->
+        normalize
+          (List.rev
+             (Lit (String.sub l 0 (String.length l - String.length q)) :: rest))
+    | _ -> s
+
+let overlap a b =
+  let a = normalize a and b = normalize b in
+  match (exact a, exact b) with
+  | Some ka, Some kb -> String.equal ka kb
+  | Some k, None -> matches b k
+  | None, Some k -> matches a k
+  | None, None ->
+      (* Both contain holes. They can share a key only if their anchored
+         literal prefixes are compatible (one a prefix of the other) and
+         likewise their suffixes; middle literals are ignored, which is
+         sound (over-approximates). *)
+      let pa = lit_prefix a and pb = lit_prefix b in
+      let qa = lit_suffix a and qb = lit_suffix b in
+      (is_prefix pa pb || is_prefix pb pa)
+      && (is_suffix qa qb || is_suffix qb qa)
+
+(* Anti-unification: keep the common anchored literal prefix, strip it,
+   then keep the common anchored literal suffix of what remains, and
+   generalize the differing middles to a single hole. Stripping the
+   prefix before computing the suffix prevents double-counting overlap
+   (join "aa" "aaa" must not become "aa"·⟨⟩·"aa"). *)
+let join a b =
+  let a = normalize a and b = normalize b in
+  if a = b then a
+  else
+    let p = common_prefix (lit_prefix a) (lit_prefix b) in
+    let a' = strip_prefix p a and b' = strip_prefix p b in
+    let q = common_suffix (lit_suffix a') (lit_suffix b') in
+    let a'' = strip_suffix q a' and b'' = strip_suffix q b' in
+    let src =
+      origin_join
+        (origin_join (origin_of_shape a'') (origin_of_shape b''))
+        (* Even a hole-free middle varies between the two branches. *)
+        Const_only
+    in
+    let middle =
+      if a'' = [] && b'' = [] then [] else [ Hole { src; label = "…" } ]
+    in
+    normalize ((Lit p :: middle) @ [ Lit q ])
+
+let ordered_before a b =
+  (* If the two literal prefixes differ within their common length, the
+     first differing character orders every concretization. *)
+  let pa = lit_prefix a and pb = lit_prefix b in
+  let n = min (String.length pa) (String.length pb) in
+  let rec go i =
+    if i >= n then None
+    else if pa.[i] < pb.[i] then Some true
+    else if pa.[i] > pb.[i] then Some false
+    else go (i + 1)
+  in
+  match (exact a, exact b) with
+  | Some ka, Some kb ->
+      let c = String.compare ka kb in
+      if c < 0 then Some true else if c > 0 then Some false else None
+  | _ -> go 0
+
+let compare_shape (a : shape) (b : shape) = Stdlib.compare a b
+
+let pp_frag fmt = function
+  | Lit l -> Format.fprintf fmt "%S" l
+  | Hole { label; _ } -> Format.fprintf fmt "<%s>" label
+
+let pp_shape fmt = function
+  | [] -> Format.pp_print_string fmt "\"\""
+  | s ->
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.pp_print_string f " ^ ")
+        pp_frag fmt s
+
+let shape_to_string s = Format.asprintf "%a" pp_shape s
+
+type summary = {
+  sm_fn : string;
+  sm_params : string list;
+  sm_reads : shape list;
+  sm_writes : shape list;
+  sm_multi : shape list;
+  sm_top : bool;
+  sm_external : bool;
+}
+
+(* --- Abstract values ------------------------------------------------ *)
+
+type aval =
+  | Known of Dval.t  (* exact constant *)
+  | Str_shape of shape  (* a string with known concatenation structure *)
+  | Abs of origin * string  (* anything else: origin + display label *)
+
+let origin_of = function
+  | Known _ -> Const_only
+  | Str_shape s -> origin_of_shape s
+  | Abs (o, _) -> o
+
+let shape_of = function
+  | Known (Dval.Str s) -> [ Lit s ]
+  | Known _ ->
+      (* A non-string key faults at runtime; any shape is sound. *)
+      [ Hole { src = Const_only; label = "const" } ]
+  | Str_shape s -> s
+  | Abs (o, label) -> [ Hole { src = o; label } ]
+
+let truthy = function
+  | Dval.Bool b -> b
+  | Dval.Int i -> i <> 0L
+  | Dval.Unit -> false
+  | Dval.Str s -> s <> ""
+  | Dval.List l -> l <> []
+  | Dval.Record _ -> true
+
+let join_aval ~cond a b =
+  match (a, b) with
+  | Known x, Known y when Dval.equal x y -> Known x
+  | (Known (Dval.Str _) | Str_shape _), (Known (Dval.Str _) | Str_shape _) ->
+      let s = join (shape_of a) (shape_of b) in
+      (* The branch choice itself determines the value. *)
+      let s =
+        List.map
+          (function
+            | Hole h -> Hole { h with src = origin_join h.src cond }
+            | f -> f)
+          s
+      in
+      Str_shape s
+  | _ ->
+      Abs (origin_join cond (origin_join (origin_of a) (origin_of b)), "phi")
+
+let summarize (f : Ast.func) =
+  let reads = ref [] and writes = ref [] and multi = ref [] in
+  let ext = ref false in
+  let depth = ref 0 in
+  let record acc s =
+    let s = normalize s in
+    acc := s :: !acc;
+    if !depth > 0 then multi := s :: !multi
+  in
+  let add_read s = record reads s in
+  let add_write s = record writes s in
+  let rec go env (e : Ast.expr) : aval =
+    match e with
+    | Unit -> Known Dval.Unit
+    | Bool b -> Known (Dval.Bool b)
+    | Int i -> Known (Dval.Int i)
+    | Str s -> Known (Dval.Str s)
+    | Input x -> Abs (Input_only, x)
+    | Var x -> (
+        match List.assoc_opt x env with
+        | Some v -> v
+        | None -> Abs (Opaque_dep, x))
+    | Let (x, v, b) ->
+        let vv = go env v in
+        go ((x, vv) :: env) b
+    | Seq es -> List.fold_left (fun _ e -> go env e) (Known Dval.Unit) es
+    | If (c, t, e) -> (
+        let vc = go env c in
+        (* Evaluate both arms: accesses of either may happen. When the
+           condition is a known constant only the taken arm's accesses
+           are real, so skip the other. *)
+        match vc with
+        | Known cv -> if truthy cv then go env t else go env e
+        | _ ->
+            let vt = go env t in
+            let ve = go env e in
+            join_aval ~cond:(origin_of vc) vt ve)
+    | Binop (op, a, b) -> (
+        let va = go env a in
+        let vb = go env b in
+        match (va, vb, op) with
+        | Known x, Known y, Eq -> Known (Dval.Bool (Dval.equal x y))
+        | Known x, Known y, Ne -> Known (Dval.Bool (not (Dval.equal x y)))
+        | Known x, Known y, And -> Known (Dval.Bool (truthy x && truthy y))
+        | Known x, Known y, Or -> Known (Dval.Bool (truthy x || truthy y))
+        | Known (Dval.Int x), Known (Dval.Int y), op -> (
+            let open Int64 in
+            match op with
+            | Add -> Known (Dval.Int (add x y))
+            | Sub -> Known (Dval.Int (sub x y))
+            | Mul -> Known (Dval.Int (mul x y))
+            | Div when y <> 0L -> Known (Dval.Int (div x y))
+            | Mod when y <> 0L -> Known (Dval.Int (rem x y))
+            | Lt -> Known (Dval.Bool (compare x y < 0))
+            | Gt -> Known (Dval.Bool (compare x y > 0))
+            | Le -> Known (Dval.Bool (compare x y <= 0))
+            | Ge -> Known (Dval.Bool (compare x y >= 0))
+            | _ -> Abs (Const_only, Ast.binop_name op))
+        | _ ->
+            Abs (origin_join (origin_of va) (origin_of vb), Ast.binop_name op))
+    | Not e ->
+        let v = go env e in
+        (match v with
+        | Known x -> Known (Dval.Bool (not (truthy x)))
+        | _ -> Abs (origin_of v, "not"))
+    | Str_of_int e -> (
+        let v = go env e in
+        match v with
+        | Known (Dval.Int i) -> Known (Dval.Str (Int64.to_string i))
+        | _ -> Abs (origin_of v, "str(..)"))
+    | Concat es ->
+        let vs = List.map (go env) es in
+        let all_known =
+          List.filter_map
+            (function Known (Dval.Str s) -> Some s | _ -> None)
+            vs
+        in
+        if List.length all_known = List.length vs then
+          Known (Dval.Str (String.concat "" all_known))
+        else Str_shape (normalize (List.concat_map shape_of vs))
+    | List_lit es ->
+        let vs = List.map (go env) es in
+        let known =
+          List.filter_map (function Known v -> Some v | _ -> None) vs
+        in
+        if List.length known = List.length vs then Known (Dval.List known)
+        else
+          Abs
+            ( List.fold_left
+                (fun acc v -> origin_join acc (origin_of v))
+                Const_only vs,
+              "list" )
+    | Append (a, b) | Prepend (a, b) | Concat_list (a, b) | Take (a, b) ->
+        let va = go env a in
+        let vb = go env b in
+        Abs (origin_join (origin_of va) (origin_of vb), "list")
+    | Length e -> Abs (origin_of (go env e), "len")
+    | Nth (a, b) ->
+        let va = go env a in
+        let vb = go env b in
+        Abs (origin_join (origin_of va) (origin_of vb), "nth")
+    | Record_lit fs ->
+        let vs = List.map (fun (k, e) -> (k, go env e)) fs in
+        if List.for_all (fun (_, v) -> match v with Known _ -> true | _ -> false) vs
+        then
+          Known
+            (Dval.Record
+               (List.map
+                  (fun (k, v) ->
+                    match v with Known d -> (k, d) | _ -> assert false)
+                  vs))
+        else
+          Abs
+            ( List.fold_left
+                (fun acc (_, v) -> origin_join acc (origin_of v))
+                Const_only vs,
+              "record" )
+    | Field (e, n) -> (
+        let v = go env e in
+        match v with
+        | Known (Dval.Record fs) -> (
+            match List.assoc_opt n fs with
+            | Some d -> Known d
+            | None -> Abs (Const_only, n))
+        | _ -> Abs (origin_of v, "." ^ n))
+    | Set_field (a, n, b) ->
+        let va = go env a in
+        let vb = go env b in
+        Abs (origin_join (origin_of va) (origin_of vb), "." ^ n ^ "<-")
+    | Read k ->
+        let vk = go env k in
+        add_read (shape_of vk);
+        Abs (Store_dep, "read")
+    | Write (k, v) ->
+        let vk = go env k in
+        add_write (shape_of vk);
+        let _ = go env v in
+        Known Dval.Unit
+    | Declare (Decl_read, k) ->
+        let vk = go env k in
+        add_read (shape_of vk);
+        Known Dval.Unit
+    | Declare (Decl_write, k) ->
+        let vk = go env k in
+        add_write (shape_of vk);
+        Known Dval.Unit
+    | Foreach (x, l, body) ->
+        let vl = go env l in
+        (* The element varies per iteration even over a constant list. *)
+        let elem =
+          Abs (origin_join (origin_of vl) Const_only, x)
+        in
+        incr depth;
+        let _ = go ((x, elem) :: env) body in
+        decr depth;
+        Abs (origin_of vl, "map")
+    | Compute (_, e) -> go env e
+    | Opaque e ->
+        let _ = go env e in
+        Abs (Opaque_dep, "opaque")
+    | Time_now -> Abs (Opaque_dep, "time")
+    | Random_int _ -> Abs (Opaque_dep, "rand")
+    | External (svc, payload) ->
+        ext := true;
+        let _ = go env payload in
+        Abs (Opaque_dep, svc)
+  in
+  let env = List.map (fun p -> (p, Abs (Input_only, p))) f.params in
+  let _ = go env f.body in
+  let dedup l = List.sort_uniq compare_shape l in
+  let sm_reads = dedup !reads and sm_writes = dedup !writes in
+  {
+    sm_fn = f.fn_name;
+    sm_params = f.params;
+    sm_reads;
+    sm_writes;
+    sm_multi = dedup !multi;
+    sm_top = List.exists is_top (sm_reads @ sm_writes);
+    sm_external = !ext;
+  }
+
+let reads_shape sm s = List.exists (fun r -> overlap r s) sm.sm_reads
+
+let writes_shape sm s = List.exists (fun w -> overlap w s) sm.sm_writes
+
+let pp_summary fmt sm =
+  let pp_shapes fmt shapes =
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+      pp_shape fmt shapes
+  in
+  Format.fprintf fmt "@[<v2>%s(%s):@ reads:  [@[%a@]]@ writes: [@[%a@]]@]"
+    sm.sm_fn
+    (String.concat ", " sm.sm_params)
+    pp_shapes sm.sm_reads pp_shapes sm.sm_writes

@@ -1,0 +1,96 @@
+(** Key-shape abstract interpretation (whole-program conflict analysis,
+    first stage).
+
+    [Derive] predicts the {e concrete} read/write set of one invocation,
+    given its inputs. This module answers the complementary static
+    question: over {e all} possible invocations, which keys {e can} a
+    function touch? Each Read/Write/Declare key is abstracted to a
+    {!shape} — a concatenation pattern of string literals and holes,
+    e.g. ["post:" ^ ⟨u⟩ ^ ":likes"] — where a hole stands for any string
+    (any element of Sigma-star) and is tagged with the strongest
+    {!origin} that determines it.
+    A key the interpretation cannot structure at all becomes the pure
+    wildcard [⟨?⟩] (a sound ⊤ that overlaps everything).
+
+    The domain is deliberately coarse: shapes are anchored glob
+    patterns, so emptiness of an intersection is decidable by literal
+    prefix/suffix/infix compatibility, and joins are computed by
+    anti-unification (common literal prefix and suffix kept, the
+    differing middle generalized to one hole). Everything here
+    over-approximates — [overlap] never returns [false] for two shapes
+    that share a concrete key. *)
+
+type origin =
+  | Const_only  (** fixed by the program text (e.g. a literal list's
+                    elements: varies per iteration over a known set) *)
+  | Input_only  (** determined by invocation inputs *)
+  | Store_dep  (** depends on values read from storage *)
+  | Opaque_dep  (** depends on an opaque/nondeterministic source *)
+
+type frag = Lit of string | Hole of { src : origin; label : string }
+
+type shape = frag list
+(** Normalized: no empty literals, no adjacent literals, no adjacent
+    holes. The empty list is the empty string. *)
+
+val top : shape
+(** The pure wildcard [⟨?⟩]: matches any key. *)
+
+val is_top : shape -> bool
+(** No literal fragment at all — the shape constrains nothing. *)
+
+val exact : shape -> string option
+(** [Some s] iff the shape contains no hole (it denotes exactly [s]). *)
+
+val origin_of_shape : shape -> origin
+(** Join of the shape's hole origins ([Const_only] if hole-free). *)
+
+val matches : shape -> string -> bool
+(** Glob-match a concrete key against the pattern (holes match any string). *)
+
+val overlap : shape -> shape -> bool
+(** May the two patterns share a concrete key? Sound over-approximation:
+    [false] is a proof of disjointness; [true] may be spurious. *)
+
+val join : shape -> shape -> shape
+(** Anti-unification: the least pattern (in this restricted domain)
+    covering both. Used at control-flow joins. *)
+
+val ordered_before : shape -> shape -> bool option
+(** [Some true] if every concretization of the first shape sorts
+    strictly before every concretization of the second (lexicographic
+    key order — the lock-acquisition order of §3.6); [Some false] for
+    the converse; [None] when the order depends on hole contents. *)
+
+val compare_shape : shape -> shape -> int
+(** Total order for sorting/dedup (structural, not semantic). *)
+
+val pp_shape : Format.formatter -> shape -> unit
+
+val shape_to_string : shape -> string
+(** E.g. ["post:" ^ ⟨u⟩ ^ ":likes"]; [ε] for the empty shape. *)
+
+type summary = {
+  sm_fn : string;
+  sm_params : string list;
+  sm_reads : shape list;  (** deduped, sorted *)
+  sm_writes : shape list;  (** deduped, sorted *)
+  sm_multi : shape list;
+      (** shapes accessed inside a [Foreach] body: one invocation may
+          lock several concrete keys of the shape (deadlock-relevant) *)
+  sm_top : bool;  (** some access key is the pure wildcard *)
+  sm_external : bool;  (** the body may invoke an external service *)
+}
+
+val summarize : Fdsl.Ast.func -> summary
+(** Abstractly interpret the {e source} body, collecting the shape of
+    every Read/Write/Declare key. Total: unanalyzable keys degrade to
+    {!top} rather than failing, so a summary exists even for functions
+    [Derive] rejects (manual f^rw, opaque control). *)
+
+val reads_shape : summary -> shape -> bool
+(** Does any read shape of the summary overlap the given shape? *)
+
+val writes_shape : summary -> shape -> bool
+
+val pp_summary : Format.formatter -> summary -> unit

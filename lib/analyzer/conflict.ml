@@ -1,0 +1,241 @@
+type verdict = Disjoint | Read_share | May_conflict
+
+type pair = {
+  p_a : string;
+  p_b : string;
+  p_verdict : verdict;
+  p_witness : (Absint.shape * Absint.shape) option;
+}
+
+type report = {
+  r_summaries : Absint.summary list;
+  r_pairs : pair list;
+  r_rmw : (string * Absint.shape list) list;
+  r_order_hazards : (string * string * Absint.shape * Absint.shape) list;
+}
+
+let first_overlap xs ys =
+  List.find_map
+    (fun x ->
+      List.find_map
+        (fun y -> if Absint.overlap x y then Some (x, y) else None)
+        ys)
+    xs
+
+let verdict_of (a : Absint.summary) (b : Absint.summary) =
+  (* Write/write, write/read and read/write overlaps all conflict: a
+     write invalidates the other function's validation or races its
+     write locks. *)
+  match first_overlap a.sm_writes (b.sm_writes @ b.sm_reads) with
+  | Some w -> (May_conflict, Some w)
+  | None -> (
+      match first_overlap b.sm_writes a.sm_reads with
+      | Some (bw, ar) -> (May_conflict, Some (bw, ar))
+      | None -> (
+          match first_overlap a.sm_reads b.sm_reads with
+          | Some w -> (Read_share, Some w)
+          | None -> (Disjoint, None)))
+
+let rmw_shapes (sm : Absint.summary) =
+  List.filter (fun w -> Absint.reads_shape sm w) sm.sm_writes
+
+(* All shapes a function may lock (reads and writes merged). *)
+let lock_shapes (sm : Absint.summary) =
+  List.sort_uniq Absint.compare_shape (sm.sm_reads @ sm.sm_writes)
+
+let order_hazards_of (a : Absint.summary) (b : Absint.summary) =
+  (* A deadlock needs hold-and-wait on two lock records with opposite
+     acquisition orders. Two flavours are flagged — both made safe by
+     the globally sorted acquisition in Store.Locks (§3.6); the report
+     records that the discipline is what makes them safe.
+
+     1. Distinct shapes s <> s' both functions may lock, with a write
+        involved, whose concrete key order is not statically fixed
+        (neither literal prefix decides the comparison).
+     2. One non-exact shape both functions may lock, with a write
+        involved, that at least one of them locks under a Foreach: one
+        invocation then holds several concrete keys of the shape, and
+        two invocations iterating in different orders would deadlock. *)
+  let locks_of sm = lock_shapes sm in
+  let writes sm s = Absint.writes_shape sm s in
+  let may_lock sm s = List.exists (fun x -> Absint.overlap x s) (locks_of sm) in
+  let multi sm s = List.exists (fun x -> Absint.overlap x s) sm.Absint.sm_multi in
+  let candidates =
+    List.filter
+      (fun s -> may_lock a s && may_lock b s)
+      (List.sort_uniq Absint.compare_shape (locks_of a @ locks_of b))
+  in
+  let rec pairs = function
+    | [] -> []
+    | s :: rest ->
+        List.filter_map
+          (fun s' ->
+            let write_involved =
+              writes a s || writes b s || writes a s' || writes b s'
+            in
+            if
+              write_involved
+              && (not (Absint.overlap s s'))
+              && Absint.ordered_before s s' = None
+            then Some (a.sm_fn, b.sm_fn, s, s')
+            else None)
+          rest
+        @ pairs rest
+  in
+  let self_hazards =
+    List.filter_map
+      (fun s ->
+        if
+          Absint.exact s = None
+          && (writes a s || writes b s)
+          && (multi a s || multi b s)
+        then Some (a.sm_fn, b.sm_fn, s, s)
+        else None)
+      candidates
+  in
+  pairs candidates @ self_hazards
+
+let build summaries =
+  let rec upper = function
+    | [] -> []
+    | a :: rest ->
+        List.map
+          (fun b ->
+            let v, w = verdict_of a b in
+            {
+              p_a = a.Absint.sm_fn;
+              p_b = b.Absint.sm_fn;
+              p_verdict = v;
+              p_witness = w;
+            })
+          rest
+        @ upper rest
+  in
+  let rec hazards = function
+    | [] -> []
+    | a :: rest ->
+        (* Include the self pair: two concurrent invocations of the same
+           function can deadlock with each other too. *)
+        order_hazards_of a a
+        @ List.concat_map (order_hazards_of a) rest
+        @ hazards rest
+  in
+  (* Shapes that differ only in hole origin (say, a store-dependent
+     <i> vs. an input-derived <i>) render identically and describe the
+     same lock-record hazard; keep one. *)
+  let dedup_hazards hs =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (a, b, s1, s2) ->
+        let k =
+          (a, b, Absint.shape_to_string s1, Absint.shape_to_string s2)
+        in
+        if Hashtbl.mem seen k then false
+        else (
+          Hashtbl.add seen k ();
+          true))
+      hs
+  in
+  {
+    r_summaries = summaries;
+    r_pairs = upper summaries;
+    r_rmw =
+      List.filter_map
+        (fun sm ->
+          match rmw_shapes sm with
+          | [] -> None
+          | ws -> Some (sm.Absint.sm_fn, ws))
+        summaries;
+    r_order_hazards = dedup_hazards (hazards summaries);
+  }
+
+let find_pair r a b =
+  if String.equal a b then
+    match List.find_opt (fun sm -> sm.Absint.sm_fn = a) r.r_summaries with
+    | None -> None
+    | Some sm ->
+        Some
+          (if rmw_shapes sm <> [] then May_conflict
+           else if sm.sm_reads <> [] then Read_share
+           else Disjoint)
+  else
+    List.find_map
+      (fun p ->
+        if (p.p_a = a && p.p_b = b) || (p.p_a = b && p.p_b = a) then
+          Some p.p_verdict
+        else None)
+      r.r_pairs
+
+let degree r fn =
+  List.fold_left
+    (fun acc p ->
+      if (p.p_a = fn || p.p_b = fn) && p.p_verdict = May_conflict then acc + 1
+      else acc)
+    0 r.r_pairs
+
+let cell_char = function
+  | Disjoint -> '.'
+  | Read_share -> 'r'
+  | May_conflict -> 'C'
+
+let pp_matrix fmt r =
+  let fns = List.map (fun sm -> sm.Absint.sm_fn) r.r_summaries in
+  let n = List.length fns in
+  let width =
+    List.fold_left (fun acc f -> max acc (String.length f)) 0 fns
+  in
+  let rmw_fns = List.map fst r.r_rmw in
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "%*s  %s@," (width + 3) ""
+    (String.concat " "
+       (List.mapi (fun i _ -> Printf.sprintf "%2d" (i + 1)) fns));
+  List.iteri
+    (fun i a ->
+      let cells =
+        List.mapi
+          (fun j b ->
+            if i = j then
+              if List.mem a rmw_fns then " W" else " -"
+            else
+              match find_pair r a b with
+              | Some v -> Printf.sprintf " %c" (cell_char v)
+              | None -> " ?")
+          fns
+      in
+      Format.fprintf fmt "%2d %-*s %s@," (i + 1) width a
+        (String.concat " " cells))
+    fns;
+  ignore n;
+  Format.fprintf fmt "@]"
+
+let pp_report fmt r =
+  (* Everything lives in one vertical box so the @, cuts always break
+     lines (outside a box they can render as spaces). *)
+  Format.fprintf fmt "@[<v>";
+  pp_matrix fmt r;
+  Format.fprintf fmt "@,legend: . disjoint | r read-share | C may-conflict | \
+                      diagonal W = read-modify-write@,";
+  (match r.r_rmw with
+  | [] -> ()
+  | rmw ->
+      Format.fprintf fmt "write-after-read (rmw) shapes:@,";
+      List.iter
+        (fun (fn, ws) ->
+          Format.fprintf fmt "  %-18s %s@," fn
+            (String.concat ", " (List.map Absint.shape_to_string ws)))
+        rmw);
+  (match r.r_order_hazards with
+  | [] ->
+      Format.fprintf fmt
+        "lock-order hazards: none (all multi-key lock sets have \
+         statically ordered keys)@,"
+  | hs ->
+      Format.fprintf fmt
+        "lock-order hazards (safe only under sorted acquisition, \
+         \xc2\xa73.6):@,";
+      List.iter
+        (fun (a, b, s1, s2) ->
+          Format.fprintf fmt "  %s vs %s: %s <> %s@," a b
+            (Absint.shape_to_string s1) (Absint.shape_to_string s2))
+        hs);
+  Format.fprintf fmt "@]"

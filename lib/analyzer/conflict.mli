@@ -1,0 +1,61 @@
+(** Whole-program pairwise conflict analysis over key shapes.
+
+    Consumes the per-function {!Absint.summary} of every registered
+    function and decides, for each unordered pair, whether their
+    footprints are provably disjoint, overlap only on reads, or may
+    conflict (some write shape of one overlaps some shape of the other).
+    Because {!Absint.overlap} over-approximates, [Disjoint] is a proof;
+    [May_conflict] may be spurious.
+
+    The report also flags:
+    - {e read-modify-write} functions (a write shape overlapping one of
+      the same function's read shapes — the pattern that makes the LVI
+      write-lock dominance and intent machinery load-bearing), and
+    - {e order-ambiguous lock pairs}: two shapes that a pair of
+      functions may both lock (with at least one write) whose concrete
+      lexicographic order is not statically fixed. These are exactly
+      the pairs that would deadlock if lock acquisition were not
+      globally sorted (§3.6); the report documents that the sorted
+      discipline is required, it does not indicate a bug. *)
+
+type verdict = Disjoint | Read_share | May_conflict
+
+type pair = {
+  p_a : string;
+  p_b : string;
+  p_verdict : verdict;
+  p_witness : (Absint.shape * Absint.shape) option;
+      (** For [May_conflict], a (write, other) shape pair that overlaps;
+          for [Read_share], an overlapping read pair. *)
+}
+
+type report = {
+  r_summaries : Absint.summary list;  (** in input order *)
+  r_pairs : pair list;  (** strict upper triangle, input order *)
+  r_rmw : (string * Absint.shape list) list;
+      (** function -> write shapes that overlap its own reads *)
+  r_order_hazards : (string * string * Absint.shape * Absint.shape) list;
+      (** (fn_a, fn_b, shape1, shape2): both functions may lock both
+          shapes, at least one lock is a write, and shape1/shape2 have
+          no statically fixed key order. *)
+}
+
+val verdict_of : Absint.summary -> Absint.summary -> verdict * (Absint.shape * Absint.shape) option
+
+val build : Absint.summary list -> report
+
+val find_pair : report -> string -> string -> verdict option
+(** Order-insensitive lookup; [Some May_conflict] for a self-pair with
+    an rmw shape, [Some Read_share]/[Some Disjoint] accordingly. *)
+
+val degree : report -> string -> int
+(** Number of {e other} functions this one may conflict with. *)
+
+val pp_matrix : Format.formatter -> report -> unit
+(** Table-1-style grid: one row per function, cells ['.'] (disjoint),
+    ['r'] (read-read sharing) or ['C'] (may-conflict); the diagonal
+    shows ['W'] when the function is a read-modify-write on some shape,
+    ['-'] otherwise. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Matrix plus the rmw and order-hazard sections. *)

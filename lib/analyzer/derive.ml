@@ -361,6 +361,16 @@ let derive (f : Ast.func) =
         classification;
       }
 
+type relevance = { rel_reads : int list; rel_compute : bool; rel_opaque : bool }
+
+let relevance (f : Ast.func) =
+  let r = analyze f in
+  {
+    rel_reads = Ints.elements r.reads;
+    rel_compute = r.compute;
+    rel_opaque = r.opaque;
+  }
+
 let predict t ~read ?(compute = fun _ -> ()) args =
   let reads = ref [] in
   let writes = ref [] in
@@ -382,3 +392,64 @@ let predict t ~read ?(compute = fun _ -> ()) args =
   in
   let _ = Eval.eval host t.rw_func args in
   Rwset.make ~reads:!reads ~writes:!writes
+
+(* One-shot differential check of a (typically hand-written) f^rw
+   against its source: on each sample input, the keys the source
+   actually touches must be exactly the keys the residual predicts.
+   The source runs against [read] with a write buffer, mirroring the
+   speculative execution: reads served from the function's own writes
+   are not storage reads. Nondeterministic sources are pinned to
+   constants and external services stubbed out, so the check covers the
+   control paths those pinned values select — a registration-time smoke
+   test, not a proof. *)
+let check_manual t ~read ~samples =
+  let actual_accesses args =
+    let reads = ref [] and writes = ref [] in
+    let buffer = ref [] in
+    let host =
+      Eval.host
+        ~read:(fun k ->
+          match List.assoc_opt k !buffer with
+          | Some v -> v
+          | None ->
+              if not (List.mem k !reads) then reads := k :: !reads;
+              read k)
+        ~write:(fun k v ->
+          writes := k :: !writes;
+          buffer := (k, v) :: List.remove_assoc k !buffer)
+        ~declare:(fun _ _ -> ())
+        ~time_now:(fun () -> 0L)
+        ~random_int:(fun _ -> 0L)
+        ~external_call:(fun _ _ -> Dval.Unit)
+        ()
+    in
+    let _ = Eval.eval host t.source args in
+    Rwset.make ~reads:!reads ~writes:!writes
+  in
+  let check_one i args =
+    match actual_accesses args with
+    | exception Eval.Error m ->
+        Error
+          (Printf.sprintf "%s: sample %d: source execution faulted: %s"
+             t.source.Ast.fn_name i m)
+    | actual -> (
+        match predict t ~read args with
+        | exception Eval.Error m ->
+            Error
+              (Printf.sprintf "%s: sample %d: f^rw faulted: %s"
+                 t.source.Ast.fn_name i m)
+        | predicted ->
+            if Rwset.equal actual predicted then Ok ()
+            else
+              Error
+                (Format.asprintf
+                   "%s: sample %d: f^rw predicts %a but the source accesses \
+                    %a"
+                   t.source.Ast.fn_name i Rwset.pp predicted Rwset.pp actual))
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | args :: rest -> (
+        match check_one i args with Ok () -> go (i + 1) rest | e -> e)
+  in
+  go 0 samples

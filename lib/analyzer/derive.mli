@@ -56,6 +56,29 @@ val manual : source:Fdsl.Ast.func -> rw_func:Fdsl.Ast.func -> t
     uncovered locks, not corruption, since validation still checks every
     declared read). Raises [Invalid_argument] on a parameter mismatch. *)
 
+type relevance = {
+  rel_reads : int list;
+      (** Ids (left-to-right traversal order) of the Reads whose values
+          feed a storage key or a control decision. *)
+  rel_compute : bool;  (** Some key/control expression needs a [Compute]. *)
+  rel_opaque : bool;  (** Some key/control expression is opaque. *)
+}
+
+val relevance : Fdsl.Ast.func -> relevance
+(** The dependency analysis behind {!derive}, exposed so the residual
+    optimizer ({!Optimize}) can re-run it on a simplified residual and
+    demote reads that stopped influencing keys or control flow. *)
+
+val check_manual :
+  t -> read:(string -> Dval.t) -> samples:Dval.t list list -> (unit, string) result
+(** One-shot differential check of a developer-supplied [f^rw] (§7):
+    run the *source* function on each sample input vector against
+    [read] (own writes are buffered and shadow storage, mirroring
+    speculation), collect the keys it actually touches, and compare
+    with what {!predict} returns on the same inputs. [Error] carries
+    the first diverging sample and both access sets. Meant to run at
+    registration time in tests/CI — it samples, it does not prove. *)
+
 val predict :
   t ->
   read:(string -> Dval.t) ->

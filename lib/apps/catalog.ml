@@ -42,4 +42,44 @@ let all_functions =
   Social.functions @ Hotel.functions @ Forum.functions @ Imageboard.functions
   @ Projectmgmt.functions
 
+let all_apps =
+  [
+    ("social", Social.functions);
+    ("hotel", Hotel.functions);
+    ("forum", Forum.functions);
+    ("imageboard", Imageboard.functions);
+    ("projectmgmt", Projectmgmt.functions);
+  ]
+
 let find name = List.find_opt (fun i -> String.equal i.fn_name name) table1
+
+(* Developer-supplied residuals (§7) for catalog functions the analyzer
+   rejects, with sample input vectors for the registration-time
+   differential check. *)
+let manual_overrides =
+  [
+    ( Imageboard.flag_fn,
+      Imageboard.flag_rw,
+      [
+        [ Dval.Str "b0"; Dval.Str "i0" ];
+        [ Dval.Str "b1"; Dval.Str "i7" ];
+        [ Dval.Str "b2"; Dval.Str "i0" ];
+      ] );
+  ]
+
+let manual_rw_of name =
+  List.find_map
+    (fun (src, rw, _) ->
+      if String.equal src.Fdsl.Ast.fn_name name then Some rw else None)
+    manual_overrides
+
+let check_manuals ?(read = fun _ -> Dval.Unit) () =
+  List.map
+    (fun (src, rw, samples) ->
+      let result =
+        match Analyzer.Derive.manual ~source:src ~rw_func:rw with
+        | exception Invalid_argument m -> Error m
+        | d -> Analyzer.Derive.check_manual d ~read ~samples
+      in
+      (src.Fdsl.Ast.fn_name, result))
+    manual_overrides

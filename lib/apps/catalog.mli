@@ -22,6 +22,27 @@ val evaluated_apps : (string * Fdsl.Ast.func list) list
 (** [("social", ...); ("hotel", ...); ("forum", ...)]. *)
 
 val all_functions : Fdsl.Ast.func list
-(** All 27 handlers across the five applications. *)
+(** All 29 handlers across the five applications. *)
+
+val all_apps : (string * Fdsl.Ast.func list) list
+(** All five applications with their handlers, in catalog order. *)
 
 val find : string -> info option
+
+val manual_overrides :
+  (Fdsl.Ast.func * Fdsl.Ast.func * Dval.t list list) list
+(** Catalog functions whose [f^rw] is developer-written (§7) because
+    automatic derivation fails — currently [ib-flag], whose control flow
+    goes through an opaque moderation policy. Each entry carries sample
+    input vectors for {!check_manuals}. *)
+
+val manual_rw_of : string -> Fdsl.Ast.func option
+(** The manual residual for a function name, if it has one. *)
+
+val check_manuals :
+  ?read:(string -> Dval.t) -> unit -> (string * (unit, string) result) list
+(** Run {!Analyzer.Derive.check_manual} on every manual override: the
+    source executes on each sample against [read] (default: empty
+    store), and its actual access set is compared with the residual's
+    prediction. Intended for registration-time CI; the test suite calls
+    it against representative seed data. *)

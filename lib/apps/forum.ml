@@ -63,7 +63,36 @@ let login_fn =
          Read (fuser (Input "u")),
          Compute (206.0, Field (Var "acct", "pwhash") ==: Input "pw") ))
 
-let functions = [ homepage_fn; post_fn; interact_fn; view_fn; login_fn ]
+(* A personalized digest whose rendering mode comes from a site-wide
+   config key. The branch decides presentation only: both arms read the
+   front page and the user record. The syntax-directed analyzer keeps
+   the control-relevant config read in f^rw (Dependent 1); the residual
+   optimizer proves the arms access-equivalent, collapses the branch and
+   demotes the read (Static) — the per-invocation cache fetch is gone. *)
+let digest_fn =
+  fn "forum-digest" [ "u" ]
+    (Compute
+       ( 25.0,
+         Let
+           ( "cfg",
+             Read (Str "fhome_layout"),
+             If
+               ( Var "cfg" ==: str "classic",
+                 fields
+                   [
+                     ("layout", str "classic");
+                     ("items", Take (Read home, int 10));
+                     ("me", Read (fuser (Input "u")));
+                   ],
+                 fields
+                   [
+                     ("layout", str "cards");
+                     ("items", Take (Read home, int 5));
+                     ("me", Read (fuser (Input "u")));
+                   ] ) ) ))
+
+let functions =
+  [ homepage_fn; post_fn; interact_fn; view_fn; login_fn; digest_fn ]
 
 let pid i = Printf.sprintf "p%d" i
 
@@ -105,7 +134,9 @@ let seed ?(n_users = 500) ?(n_posts = 500) rng =
           Dval.Record [ ("name", Dval.Str u); ("pwhash", Dval.Str ("hash-" ^ u)) ]
         ))
   in
-  (front :: posts) @ users
+  (* Appended last: adding the constant config entry must not perturb
+     the RNG stream the post/user seeds consume. *)
+  (front :: posts) @ users @ [ ("fhome_layout", Dval.Str "classic") ]
 
 type gen = {
   n_users : int;
@@ -160,4 +191,5 @@ let schema : Fdsl.Typecheck.schema =
         [ ("title", TStr); ("body", TStr); ("by", TStr); ("score", TInt) ] );
     ("fcomments:", TList TAny);
     ("fuser:", TRecord [ ("name", TStr); ("pwhash", TStr) ]);
+    ("fhome_layout", TStr);
   ]

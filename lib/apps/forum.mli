@@ -4,12 +4,21 @@
     one hot key, like lobste.rs' front page), post (18 ms, writes the
     post and the front page), interact (16 ms, read-modify-write of a
     post's score), view (123 ms), login (212 ms). Posts are selected
-    with zipf 0.99 (§5.3).
+    with zipf 0.99 (§5.3). A sixth handler, {!digest_fn}, exercises the
+    residual optimizer and is not part of the Table 1 mix.
 
     Data model: [fhome] front-page digest (single hot key),
-    [fpost:{p}] post record with score, [fcomments:{p}], [fuser:{u}]. *)
+    [fpost:{p}] post record with score, [fcomments:{p}], [fuser:{u}],
+    [fhome_layout] site-wide rendering config. *)
 
 val functions : Fdsl.Ast.func list
+
+val digest_fn : Fdsl.Ast.func
+(** Reads the [fhome_layout] config key and branches on it, but both
+    arms access the same keys. Naive derivation classifies it
+    Dependent 1 (control-relevant read); {!Analyzer.Optimize} collapses
+    the access-equivalent branch and upgrades it to Static — the
+    regression test pins that upgrade. *)
 
 val seed : ?n_users:int -> ?n_posts:int -> Sim.Rng.t -> (string * Dval.t) list
 

@@ -83,8 +83,36 @@ let login_fn =
          Read (iuser (Input "u")),
          Compute (213.0, Field (Var "acct", "pwhash") ==: Input "pw") ))
 
+let iflags i = key "iflags:" i
+
+(* Moderation: bump an image's flag count if an opaque policy model says
+   the report is credible. The [Opaque] barrier models a native
+   classifier the symbolic analysis cannot see through — and it sits in
+   control position, so automatic derivation fails. Both arms touch the
+   same key the same way, which is what makes the hand-written residual
+   below exact. *)
+let flag_fn =
+  fn "ib-flag" [ "u"; "i" ]
+    (Compute
+       ( 9.0,
+         If
+           ( Opaque (Input "u"),
+             rmw ~key:(iflags (Input "i")) (fun c -> If (c, c, int 0) +: int 1),
+             rmw ~key:(iflags (Input "i")) (fun c -> If (c, c, int 0)) ) ))
+
+(* The developer-supplied f^rw (§7): whatever the opaque policy decides,
+   the function reads and writes exactly [iflags:{i}]. Checked against
+   the source by [Derive.check_manual] in the test suite. *)
+let flag_rw =
+  fn "ib-flag" [ "u"; "i" ]
+    (Seq
+       [
+         Declare (Decl_read, iflags (Input "i"));
+         Declare (Decl_write, iflags (Input "i"));
+       ])
+
 let functions =
-  [ search_fn; upload_fn; view_fn; comment_fn; favorite_fn; login_fn ]
+  [ search_fn; upload_fn; view_fn; comment_fn; favorite_fn; login_fn; flag_fn ]
 
 let iid i = Printf.sprintf "i%d" i
 
@@ -103,6 +131,7 @@ let seed ?(n_users = 300) ?(n_images = 400) ?(n_tags = 40) rng =
                    ("id", Dval.Str (iid i)) ] );
              ("icomments:" ^ iid i, Dval.List []);
              ("ifavs:" ^ iid i, Dval.int (Sim.Rng.int rng 50));
+             ("iflags:" ^ iid i, Dval.int 0);
            ]))
   in
   let tags =
@@ -179,6 +208,7 @@ let schema : Fdsl.Typecheck.schema =
     ("tag:", TList TStr);
     ("icomments:", TList TAny);
     ("ifavs:", TInt);
+    ("iflags:", TInt);
     ("ufavs:", TList TStr);
     ("iuser:", TRecord [ ("name", TStr); ("pwhash", TStr) ]);
   ]

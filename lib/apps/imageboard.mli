@@ -1,15 +1,26 @@
 (** The image-board application (Danbooru-style, §5.1).
 
-    One of the five ported applications (27 functions total); not part
-    of the detailed Table 1 evaluation, but registered and exercised by
-    tests and examples. Six handlers: search by tag (dependent reads
-    through the tag index), upload, view, comment, favorite, login.
+    One of the five ported applications; not part of the detailed
+    Table 1 evaluation, but registered and exercised by tests and
+    examples. Seven handlers: search by tag (dependent reads through
+    the tag index), upload, view, comment, favorite, login, and flag —
+    whose control flow goes through an [Opaque] policy model, making it
+    the catalog's example of the manual-[f^rw] escape hatch (§7).
 
     Data model: [img:{i}] record, [tag:{t}] image ids per tag,
-    [icomments:{i}], [ifavs:{i}] favorite count, [ufavs:{u}] a user's
-    favorites, [iuser:{u}]. *)
+    [icomments:{i}], [ifavs:{i}] favorite count, [iflags:{i}] moderation
+    flag count, [ufavs:{u}] a user's favorites, [iuser:{u}]. *)
 
 val functions : Fdsl.Ast.func list
+
+val flag_fn : Fdsl.Ast.func
+(** Branches on an opaque moderation policy; automatic derivation
+    fails. *)
+
+val flag_rw : Fdsl.Ast.func
+(** The developer-written residual for {!flag_fn}: read + write of
+    [iflags:{i}] regardless of the policy's verdict. Its exactness is
+    checked differentially by [Analyzer.Derive.check_manual]. *)
 
 val seed : ?n_users:int -> ?n_images:int -> ?n_tags:int -> Sim.Rng.t -> (string * Dval.t) list
 

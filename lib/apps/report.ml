@@ -1,0 +1,105 @@
+module Derive = Analyzer.Derive
+module Optimize = Analyzer.Optimize
+module Absint = Analyzer.Absint
+module Conflict = Analyzer.Conflict
+
+(* Minimal left-aligned table renderer; kept local so the apps library
+   does not grow a metrics dependency just for padding. *)
+let render_table ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  (* pad every column except the last, so lines carry no trailing blanks *)
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = ncols - 1 then cell
+           else cell ^ String.make (w - String.length cell) ' ')
+         row)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let classification_to_string = function
+  | Derive.Static -> "static"
+  | Derive.Dependent n -> Printf.sprintf "dependent(%d)" n
+  | Derive.Expensive -> "expensive"
+  | Derive.Manual -> "manual"
+
+let shapes_to_string = function
+  | [] -> "-"
+  | shapes -> String.concat " " (List.map Absint.shape_to_string shapes)
+
+(* raw classification, optimized classification, upgrade marker *)
+let classify (f : Fdsl.Ast.func) =
+  match Catalog.manual_rw_of f.Fdsl.Ast.fn_name with
+  | Some rw ->
+      let d = Derive.manual ~source:f ~rw_func:rw in
+      ("unanalyzable", classification_to_string d.classification, "")
+  | None -> (
+      match Derive.derive f with
+      | Error e -> ("unanalyzable: " ^ e.Derive.reason, "-", "")
+      | Ok d ->
+          let d' = Optimize.optimize d in
+          let marker =
+            if Optimize.upgraded ~before:d ~after:d' then " ^" else ""
+          in
+          ( classification_to_string d.classification,
+            classification_to_string d'.classification,
+            marker ))
+
+let app_section buf (app, funcs) =
+  Buffer.add_string buf
+    (Printf.sprintf "== %s (%d functions) ==\n\n" app (List.length funcs));
+  let rows =
+    List.map
+      (fun (f : Fdsl.Ast.func) ->
+        let raw, opt, marker = classify f in
+        let sm = Absint.summarize f in
+        [
+          f.Fdsl.Ast.fn_name;
+          raw;
+          opt ^ marker;
+          shapes_to_string sm.Absint.sm_reads;
+          shapes_to_string sm.Absint.sm_writes;
+        ])
+      funcs
+  in
+  Buffer.add_string buf
+    (render_table
+       ~header:[ "function"; "raw"; "optimized"; "reads"; "writes" ]
+       rows);
+  Buffer.add_string buf "\n\n";
+  let report = Conflict.build (List.map Absint.summarize funcs) in
+  Buffer.add_string buf (Format.asprintf "%a" Conflict.pp_report report);
+  Buffer.add_string buf "\n"
+
+let manual_section buf =
+  Buffer.add_string buf "== manual f^rw overrides ==\n\n";
+  match Catalog.manual_overrides with
+  | [] -> Buffer.add_string buf "(none)\n"
+  | overrides ->
+      List.iter2
+        (fun (_, _, samples) (name, result) ->
+          let status =
+            match result with
+            | Ok () -> Printf.sprintf "ok (%d samples)" (List.length samples)
+            | Error m -> "FAIL: " ^ m
+          in
+          Buffer.add_string buf (Printf.sprintf "%s: %s\n" name status))
+        overrides
+        (Catalog.check_manuals ())
+
+let render () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "radical analyze: key-shape and conflict report\n\n";
+  List.iter (app_section buf) Catalog.all_apps;
+  manual_section buf;
+  Buffer.contents buf

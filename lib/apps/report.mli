@@ -1,0 +1,20 @@
+(** Deterministic, whole-catalog analysis report.
+
+    Renders, for every application in {!Catalog.all_apps}:
+
+    - a per-function classification table — raw [Derive] result next to
+      the {!Analyzer.Optimize} result, with a [^] marker on functions
+      the residual optimizer upgraded, plus each function's read/write
+      key shapes from {!Analyzer.Absint.summarize};
+    - the application's pairwise conflict report
+      ({!Analyzer.Conflict.pp_report}): Table-1-style matrix,
+      read-modify-write functions, and lock-order hazards;
+
+    followed by the differential check of every manual [f^rw] override
+    ({!Catalog.check_manuals}).
+
+    The output is byte-deterministic (no timestamps, no hash-order
+    iteration), so it is checked against a golden file in the test
+    suite and printed by [radical_cli analyze]. *)
+
+val render : unit -> string

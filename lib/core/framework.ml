@@ -4,6 +4,7 @@ type config = {
   invoke_overhead : float;
   frw_overhead : float;
   overlap : bool;
+  ro_fast : bool;
   warm_caches : bool;
   cache_latency : float;
 }
@@ -15,6 +16,7 @@ let default_config =
     invoke_overhead = 12.0;
     frw_overhead = 1.0;
     overlap = true;
+    ro_fast = true;
     warm_caches = true;
     cache_latency = 6.0;
   }
@@ -30,7 +32,7 @@ type t = {
   mutable ops : Lincheck.op list; (* newest first *)
 }
 
-let create ?(config = default_config) ?schema
+let create ?(config = default_config) ?schema ?(manual = [])
     ?(tracer = Metrics.Tracer.noop) ~net ~funcs ~data () =
   (match schema with
   | None -> ()
@@ -43,9 +45,18 @@ let create ?(config = default_config) ?schema
                Fdsl.Typecheck.pp_error e)
       | Error [] -> ()));
   let reg = Registry.create () in
+  let manual_rw f =
+    List.assoc_opt f.Fdsl.Ast.fn_name
+      (List.map (fun (src, rw) -> (src.Fdsl.Ast.fn_name, rw)) manual)
+  in
   List.iter
     (fun f ->
-      match Registry.register reg f with
+      let result =
+        match manual_rw f with
+        | Some rw_func -> Registry.register_manual reg f ~rw_func
+        | None -> Registry.register reg f
+      in
+      match result with
       | Ok _ -> ()
       | Error e -> invalid_arg ("Framework.create: " ^ e))
     funcs;
@@ -71,7 +82,8 @@ let create ?(config = default_config) ?schema
         let rt =
           Runtime.create ~extsvc ~tracer ~net ~registry:reg ~cache ~server:srv
             (Runtime.config ~invoke_overhead:config.invoke_overhead
-               ~frw_overhead:config.frw_overhead ~overlap:config.overlap loc)
+               ~frw_overhead:config.frw_overhead ~overlap:config.overlap
+               ~ro_fast:config.ro_fast loc)
         in
         (loc, rt))
       config.locations

@@ -12,6 +12,10 @@ type config = {
   invoke_overhead : float;
   frw_overhead : float;
   overlap : bool; (** Disable to ablate speculation/LVI overlap. *)
+  ro_fast : bool;
+      (** Enable the read-only LVI fast path for functions the static
+          analysis proves write-free (default). Disable as an ablation:
+          every request then takes the full locked path. *)
   warm_caches : bool;
       (** Pre-populate near-user caches with the seed data (the paper's
           persistent caches); [false] exercises gradual bootstrap. *)
@@ -30,6 +34,7 @@ type t
 val create :
   ?config:config ->
   ?schema:Fdsl.Typecheck.schema ->
+  ?manual:(Fdsl.Ast.func * Fdsl.Ast.func) list ->
   ?tracer:Metrics.Tracer.t ->
   net:Net.Transport.t ->
   funcs:Fdsl.Ast.func list ->
@@ -40,6 +45,11 @@ val create :
     function fails determinism validation (unanalyzable functions are
     fine — they fall back to near-storage execution), or fails the
     gradual typecheck when a storage [schema] is supplied.
+
+    [manual] pairs a function (which must also appear in [funcs]) with a
+    developer-written [f^rw]; those functions are registered through
+    {!Registry.register_manual} instead of the automatic analyzer —
+    the §7 escape hatch for sources the symbolic execution rejects.
 
     An enabled [tracer] (default noop) is shared by every runtime, the
     LVI server and the transport: each invocation produces one span

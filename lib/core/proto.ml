@@ -6,6 +6,11 @@ type lvi_request = {
   args : Dval.t list;
   reads : (string * int) list;
   writes : string list;
+  ro_hint : bool;
+      (* Client-side claim that static analysis proved the function
+         read-only (no writes, no external calls). The server treats it
+         as a hint only: it re-derives eligibility from its own registry
+         before taking the validate-only fast path. *)
   from_loc : Net.Location.t;
 }
 

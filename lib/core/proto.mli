@@ -19,6 +19,11 @@ type lvi_request = {
       (** Read-set keys with the near-user cache's version; [-1] marks a
           cache miss, which guarantees validation failure (§3.2). *)
   writes : string list; (** Write-set keys. *)
+  ro_hint : bool;
+      (** The client's static analysis proved the function read-only (no
+          writes, no external calls), making the request eligible for the
+          server's validate-only fast path. A hint, not a capability: the
+          server re-derives eligibility from its own registry. *)
   from_loc : Net.Location.t;
 }
 

@@ -1,15 +1,35 @@
 type entry = {
   func : Fdsl.Ast.func;
   modul : Wasm.Wmodule.t;
+  raw_derived : Analyzer.Derive.t option;
   derived : Analyzer.Derive.t option;
+  summary : Analyzer.Absint.summary;
+  read_only : bool;
 }
 
-type t = (string, entry) Hashtbl.t
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable conflicts : Analyzer.Conflict.report option;
+      (* Memoized whole-program conflict report; invalidated whenever
+         the set of registered functions changes. *)
+  degrees : (string, int) Hashtbl.t;
+      (* Per-function conflict degree, memoized alongside [conflicts]
+         because the runtime asks on every invocation. *)
+}
 
-let create () = Hashtbl.create 32
+let create () =
+  { entries = Hashtbl.create 32; conflicts = None; degrees = Hashtbl.create 32 }
+
+(* A function is statically read-only when the abstract interpretation
+   of its *source* proves it writes no key and calls no external
+   service. The summary is total (unanalyzable keys degrade to the
+   wildcard, which would land in sm_writes if written), so this is sound
+   even for functions the residual derivation rejects. *)
+let is_read_only (sm : Analyzer.Absint.summary) =
+  sm.sm_writes = [] && not sm.sm_external
 
 let register t (f : Fdsl.Ast.func) =
-  if Hashtbl.mem t f.fn_name then
+  if Hashtbl.mem t.entries f.fn_name then
     Error (Printf.sprintf "%s: already registered" f.fn_name)
   else
     match Fdsl.Compile.compile f with
@@ -22,17 +42,24 @@ let register t (f : Fdsl.Ast.func) =
               (Format.asprintf "%s: determinism validation failed: %a"
                  f.fn_name Wasm.Validate.pp_error e)
         | Ok () ->
-            let derived =
+            let raw_derived =
               match Analyzer.Derive.derive f with
               | Ok d -> Some d
               | Error _ -> None
             in
-            let entry = { func = f; modul; derived } in
-            Hashtbl.replace t f.fn_name entry;
+            let derived = Option.map Analyzer.Optimize.optimize raw_derived in
+            let summary = Analyzer.Absint.summarize f in
+            let entry =
+              { func = f; modul; raw_derived; derived; summary;
+                read_only = is_read_only summary }
+            in
+            Hashtbl.replace t.entries f.fn_name entry;
+            t.conflicts <- None;
+            Hashtbl.reset t.degrees;
             Ok entry)
 
 let register_manual t (f : Fdsl.Ast.func) ~rw_func =
-  if Hashtbl.mem t f.fn_name then
+  if Hashtbl.mem t.entries f.fn_name then
     Error (Printf.sprintf "%s: already registered" f.fn_name)
   else
     match Fdsl.Compile.compile f with
@@ -48,14 +75,50 @@ let register_manual t (f : Fdsl.Ast.func) ~rw_func =
             match Analyzer.Derive.manual ~source:f ~rw_func with
             | exception Invalid_argument m -> Error m
             | derived ->
-                let entry = { func = f; modul; derived = Some derived } in
-                Hashtbl.replace t f.fn_name entry;
+                let summary = Analyzer.Absint.summarize f in
+                let entry =
+                  {
+                    func = f;
+                    modul;
+                    raw_derived = Some derived;
+                    derived = Some derived;
+                    summary;
+                    read_only = is_read_only summary;
+                  }
+                in
+                Hashtbl.replace t.entries f.fn_name entry;
+                t.conflicts <- None;
+                Hashtbl.reset t.degrees;
                 Ok entry))
 
-let find t name = Hashtbl.find_opt t name
+let find t name = Hashtbl.find_opt t.entries name
 
 let names t =
-  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [])
 
 let analyzable_count t =
-  Hashtbl.fold (fun _ e acc -> if e.derived <> None then acc + 1 else acc) t 0
+  Hashtbl.fold
+    (fun _ e acc -> if e.derived <> None then acc + 1 else acc)
+    t.entries 0
+
+let conflicts t =
+  match t.conflicts with
+  | Some r -> r
+  | None ->
+      let summaries =
+        List.filter_map
+          (fun n -> Option.map (fun e -> e.summary) (find t n))
+          (names t)
+      in
+      let r = Analyzer.Conflict.build summaries in
+      t.conflicts <- Some r;
+      r
+
+let conflict_degree t name =
+  match Hashtbl.find_opt t.degrees name with
+  | Some d -> d
+  | None ->
+      let d = Analyzer.Conflict.degree (conflicts t) name in
+      Hashtbl.replace t.degrees name d;
+      d

@@ -11,7 +11,21 @@
 type entry = {
   func : Fdsl.Ast.func;
   modul : Wasm.Wmodule.t; (** Compiled, validated module. *)
-  derived : Analyzer.Derive.t option; (** [None]: unanalyzable. *)
+  raw_derived : Analyzer.Derive.t option;
+      (** [f^rw] exactly as the analyzer produced it. [None]:
+          unanalyzable. *)
+  derived : Analyzer.Derive.t option;
+      (** [raw_derived] after {!Analyzer.Optimize.optimize} — the
+          residual the runtime actually predicts with. Possibly upgraded
+          (e.g. Dependent → Static). Manual residuals pass through
+          unchanged. *)
+  summary : Analyzer.Absint.summary;
+      (** Key-shape abstraction of the {e source} — total, present even
+          when derivation failed. *)
+  read_only : bool;
+      (** The source provably writes no key and calls no external
+          service; such invocations are eligible for the server's
+          validate-only LVI fast path. *)
 }
 
 type t
@@ -33,3 +47,13 @@ val names : t -> string list
 (** Registered function names, sorted. *)
 
 val analyzable_count : t -> int
+
+val conflicts : t -> Analyzer.Conflict.report
+(** Whole-program pairwise conflict report over every registered
+    function's key-shape summary (Table-1-style matrix). Memoized;
+    recomputed after the next registration. *)
+
+val conflict_degree : t -> string -> int
+(** Number of {e other} registered functions this one may conflict with
+    (shared shape with a write involved). Exported to metrics/traces so
+    operators can see how contended a function is by construction. *)

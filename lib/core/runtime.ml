@@ -11,10 +11,12 @@ type config = {
   invoke_overhead : float;
   frw_overhead : float;
   overlap : bool;
+  ro_fast : bool;
 }
 
-let config ?(invoke_overhead = 12.0) ?(frw_overhead = 1.0) ?(overlap = true) loc =
-  { loc; invoke_overhead; frw_overhead; overlap }
+let config ?(invoke_overhead = 12.0) ?(frw_overhead = 1.0) ?(overlap = true)
+    ?(ro_fast = true) loc =
+  { loc; invoke_overhead; frw_overhead; overlap; ro_fast }
 
 type path = Speculative | Backup | Fallback
 
@@ -31,6 +33,10 @@ type stats = {
   backup : int;
   fallback : int;
   skipped_speculations : int;
+  ro_hints : int;
+      (* LVI requests sent with the read-only hint set: the analysis
+         proved the function write-free, so the server may answer on its
+         validate-only fast path. *)
 }
 
 type t = {
@@ -50,6 +56,7 @@ type t = {
   mutable s_backup : int;
   mutable s_fallback : int;
   mutable s_skipped : int;
+  mutable s_ro_hints : int;
 }
 
 let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
@@ -70,6 +77,7 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
     s_backup = 0;
     s_fallback = 0;
     s_skipped = 0;
+    s_ro_hints = 0;
   }
 
 let set_recorder t r = t.recorder <- Some r
@@ -167,6 +175,15 @@ let invoke t fn args =
   let root = Tracer.root t.tracer fn in
   Tracer.annotate root "loc" t.cfg.loc;
   Tracer.annotate root "exec_id" exec_id;
+  (* Analysis-derived metadata: whether the function is statically
+     read-only, and with how many other registered functions it may
+     conflict (shared key shape with a write involved). *)
+  (match Registry.find t.registry fn with
+  | Some e ->
+      Tracer.annotate root "read_only" (if e.read_only then "true" else "false");
+      Tracer.annotate root "conflict_degree"
+        (string_of_int (Registry.conflict_degree t.registry fn))
+  | None -> ());
   Tracer.register_exec t.tracer ~exec_id root;
   let finalize (o : outcome) =
     Tracer.release_exec t.tracer ~exec_id;
@@ -237,6 +254,10 @@ let invoke t fn args =
           in
           if misses then t.s_skipped <- t.s_skipped + 1;
           (* (2b) The single LVI request, concurrent with speculation. *)
+          let ro_hint =
+            t.cfg.ro_fast && entry.read_only && rwset.writes = []
+          in
+          if ro_hint then t.s_ro_hints <- t.s_ro_hints + 1;
           let response =
             Tracer.with_phase t.tracer ~parent:root "lvi_rtt" (fun () ->
                 Transport.call t.net ~from:t.cfg.loc t.lvi_svc
@@ -246,6 +267,7 @@ let invoke t fn args =
                     args;
                     reads;
                     writes = rwset.writes;
+                    ro_hint;
                     from_loc = t.cfg.loc;
                   })
           in
@@ -317,4 +339,5 @@ let stats t =
     backup = t.s_backup;
     fallback = t.s_fallback;
     skipped_speculations = t.s_skipped;
+    ro_hints = t.s_ro_hints;
   }

@@ -21,11 +21,17 @@ type config = {
   overlap : bool;
       (** Overlap speculation with the LVI request (the paper's design).
           [false] serializes them — the speculation-ablation bench. *)
+  ro_fast : bool;
+      (** Set the read-only hint on LVI requests for functions the
+          static analysis proved write-free, letting the server answer
+          on its validate-only fast path (no locks, no intent, no
+          idempotency record). [false] is the ablation: every request
+          takes the full locked path. Default [true]. *)
 }
 
 val config :
   ?invoke_overhead:float -> ?frw_overhead:float -> ?overlap:bool ->
-  Net.Location.t -> config
+  ?ro_fast:bool -> Net.Location.t -> config
 
 type path =
   | Speculative (** Validation succeeded; the speculative result was used. *)
@@ -50,6 +56,8 @@ type stats = {
   backup : int;
   fallback : int;
   skipped_speculations : int; (** Cache misses suppressed speculation. *)
+  ro_hints : int;
+      (** LVI requests sent with the read-only fast-path hint set. *)
 }
 
 val create :

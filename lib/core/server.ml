@@ -37,6 +37,10 @@ type stats = {
   followups_discarded : int;
   reexecutions : int;
   direct_executions : int;
+  ro_fast : int;
+      (* Requests answered by the read-only validate-only fast path
+         (subset of [validated]): no locks, no intent, no idempotency
+         record. *)
 }
 
 type repl = {
@@ -82,6 +86,7 @@ type t = {
   mutable s_fu_discarded : int;
   mutable s_reexec : int;
   mutable s_direct : int;
+  mutable s_ro_fast : int;
   mutable lvi_svc :
     (Proto.lvi_request, Proto.lvi_response) Transport.service option;
   mutable fu_svc : (Proto.followup, unit) Transport.service option;
@@ -297,12 +302,67 @@ let start_intent_timer t (req : Proto.lvi_request) =
   Hashtbl.replace t.pending exec_id
     { p_req = req; p_timer = timer; p_created = Engine.now () }
 
-let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
+(* Validate-only fast path for invocations the static analysis proved
+   read-only (no writes, no external calls). No locks are taken, no
+   intent or idempotency record is written: the request just samples the
+   versions of its read set and probes the lock table.
+
+   Soundness of the linearization point: [Kv.versions_of] charges its
+   latency first and reads at the return instant, so the versions — and
+   the lock probe right after — describe one storage state S. If no read
+   key is stale and none is write-locked at that instant, replying
+   Validated linearizes the invocation at S: a writer that finished
+   before S bumped a version (caught by staleness); a writer holding a
+   write lock at S may already have been acked to its client without its
+   write being applied (intent pending), so reading around it would be a
+   read of the past — the probe forces those onto the locked path. A
+   writer merely *queued* at S has not validated yet, so S precedes its
+   linearization point and reading S is legal. Skipping the idempotency
+   record is safe because a re-executed read-only function writes
+   nothing: at-most-once only matters for effects. *)
+let ro_fast_eligible t (req : Proto.lvi_request) =
+  (* The hint is client-provided; re-derive eligibility from this
+     server's own registry before trusting it. *)
+  req.ro_hint && req.writes = []
+  && (match Registry.find t.registry req.fn_name with
+     | Some entry -> entry.read_only
+     | None -> false)
+
+let rec handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
   t.s_requests <- t.s_requests + 1;
   let exec_id = req.exec_id in
   (* The near-user runtime registered this request's root span under its
      execution id; server-side phases attach to the same tree. *)
   let root = Tracer.exec_span t.tracer ~exec_id in
+  if ro_fast_eligible t req then begin
+    let sp = Tracer.child t.tracer ~parent:root "ro_validate" in
+    let keys = List.map fst req.reads in
+    let versions = Kv.versions_of t.kv keys in
+    let fresh =
+      List.for_all
+        (fun (k, cached) ->
+          Option.value ~default:0 (List.assoc_opt k versions) = cached)
+        req.reads
+    in
+    let unlocked = not (List.exists (Locks.write_locked t.locks) keys) in
+    Tracer.stop sp;
+    if fresh && unlocked then begin
+      t.s_validated <- t.s_validated + 1;
+      t.s_ro_fast <- t.s_ro_fast + 1;
+      Log.debug (fun m ->
+          m "LVI %s: read-only fast path, %d reads validated" exec_id
+            (List.length req.reads));
+      Proto.Validated { write_versions = [] }
+    end
+    else
+      (* Stale or racing a writer: fall through to the full locked
+         protocol (paying a second version sample under locks). *)
+      handle_lvi_slow t req ~root
+  end
+  else handle_lvi_slow t req ~root
+
+and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
+  let exec_id = req.exec_id in
   register_invocation t ~exec_id;
   (* Write locks dominate for keys that are both read and written; the
      read is still validated below. *)
@@ -453,6 +513,7 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
       s_fu_discarded = 0;
       s_reexec = 0;
       s_direct = 0;
+      s_ro_fast = 0;
       lvi_svc = None;
       fu_svc = None;
       exec_svc = None;
@@ -481,6 +542,7 @@ let stats t =
     followups_discarded = t.s_fu_discarded;
     reexecutions = t.s_reexec;
     direct_executions = t.s_direct;
+    ro_fast = t.s_ro_fast;
   }
 
 let locks_held t = t.owners

@@ -49,6 +49,12 @@ type stats = {
   followups_discarded : int; (** Late followups (§3.6 case 3). *)
   reexecutions : int; (** Intent timers that fired and replayed. *)
   direct_executions : int;
+  ro_fast : int;
+      (** Requests answered by the read-only validate-only fast path
+          (subset of [validated]): the client's analysis hint checked out
+          against the server's own registry, every read key was fresh and
+          write-unlocked at one sampling instant, so the reply carries no
+          locks, no write intent and no idempotency record. *)
 }
 
 val create :

@@ -77,6 +77,8 @@ type expr =
 
 type func = { fn_name : string; params : string list; body : expr }
 
+val binop_name : binop -> string
+
 val pp : Format.formatter -> expr -> unit
 
 val pp_func : Format.formatter -> func -> unit

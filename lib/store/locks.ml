@@ -112,6 +112,11 @@ let release t ~owner =
         (fun (key, mode) -> release_one t ~owner key mode)
         (List.rev locks)
 
+let write_locked t key =
+  match Hashtbl.find_opt t.keys key with
+  | None -> false
+  | Some ks -> ks.writer <> None
+
 let holders t key =
   match Hashtbl.find_opt t.keys key with
   | None -> None

@@ -23,6 +23,14 @@ val release : t -> owner:string -> unit
 (** Release every lock held by [owner]; wakes eligible waiters FIFO.
     No-op for an unknown owner. *)
 
+val write_locked : t -> string -> bool
+(** Is some owner currently {e holding} the key's write lock? Queued
+    waiters do not count: the read-only LVI fast path probes this to
+    detect an in-flight write that may already be client-acked but not
+    yet applied — reading the current value would then violate
+    linearizability, so the probe forces such requests onto the full
+    locked path. *)
+
 val holders : t -> string -> (mode * string list) option
 (** Current holders of a key's lock: [(Write, [o])] or [(Read, owners)];
     [None] if free. *)

@@ -329,6 +329,325 @@ let test_fanout_writes_predicted () =
     s.Rwset.writes;
   Alcotest.(check (list string)) "followers read" [ "followers:u" ] s.Rwset.reads
 
+(* ------------------------------------------------------------------ *)
+(* Key shapes (Absint)                                                 *)
+
+module Absint = Analyzer.Absint
+
+let shape_str sm = List.map Absint.shape_to_string sm
+
+let test_summarize_shapes () =
+  let sm = Absint.summarize profile_fn in
+  Alcotest.(check (list string)) "profile read shapes"
+    [ {|"posts:" ^ <user>|}; {|"user:" ^ <user>|} ]
+    (shape_str sm.Absint.sm_reads);
+  Alcotest.(check (list string)) "no writes" [] (shape_str sm.Absint.sm_writes);
+  Alcotest.(check bool) "not top" false sm.Absint.sm_top;
+  let tm = Absint.summarize timeline_fn in
+  (* The per-post read runs under Foreach: one invocation may lock many
+     posts:* keys. *)
+  Alcotest.(check bool) "timeline posts shape is multi" true
+    (List.exists
+       (fun s -> Absint.shape_to_string s = {|"posts:" ^ <id>|})
+       tm.Absint.sm_multi)
+
+let test_shape_join_sound () =
+  (* The "aa" vs "aaa" trap: stripping a common prefix AND suffix from
+     overlapping occurrences would yield "aa" ^ hole ^ "a", which fails
+     to match "aa". The join must still cover both inputs. *)
+  let a = [ Absint.Lit "aa" ] and b = [ Absint.Lit "aaa" ] in
+  let j = Absint.join a b in
+  Alcotest.(check bool) "join covers aa" true (Absint.matches j "aa");
+  Alcotest.(check bool) "join covers aaa" true (Absint.matches j "aaa")
+
+let test_shape_overlap_and_order () =
+  let hole label = Absint.Hole { src = Absint.Input_only; label } in
+  let timeline l = [ Absint.Lit "timeline:"; hole l ] in
+  let posts = [ Absint.Lit "posts:"; hole "a" ] in
+  Alcotest.(check bool) "same prefix overlaps" true
+    (Absint.overlap (timeline "a") (timeline "b"));
+  Alcotest.(check bool) "distinct prefixes disjoint" false
+    (Absint.overlap posts (timeline "a"));
+  Alcotest.(check bool) "top overlaps everything" true
+    (Absint.overlap Absint.top posts);
+  (* Lock order (lexicographic keys, §3.6). *)
+  Alcotest.(check bool) "posts:* sorts before timeline:*" true
+    (Absint.ordered_before posts (timeline "a") = Some true);
+  Alcotest.(check bool) "same-prefix order undecided" true
+    (Absint.ordered_before (timeline "a") (timeline "b") = None)
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis                                                   *)
+
+module Conflict = Analyzer.Conflict
+
+let mk_fn name body = { fn_name = name; params = [ "x" ]; body }
+
+let conflict_corpus =
+  [
+    mk_fn "reader" (Read (Str "home"));
+    mk_fn "other-reader" (Read (Str "home"));
+    mk_fn "writer" (Write (Str "home", Input "x"));
+    mk_fn "elsewhere" (Write (Concat [ Str "log:"; Input "x" ], Int 1L));
+    mk_fn "bumper"
+      (Write (Str "counter", Binop (Add, Read (Str "counter"), Int 1L)));
+  ]
+
+let conflict_report =
+  lazy (Conflict.build (List.map Absint.summarize conflict_corpus))
+
+let test_conflict_verdicts () =
+  let r = Lazy.force conflict_report in
+  let check_pair a b v =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s vs %s" a b)
+      true
+      (Conflict.find_pair r a b = Some v)
+  in
+  check_pair "reader" "other-reader" Conflict.Read_share;
+  check_pair "reader" "writer" Conflict.May_conflict;
+  check_pair "reader" "elsewhere" Conflict.Disjoint;
+  check_pair "writer" "elsewhere" Conflict.Disjoint;
+  Alcotest.(check bool) "bumper is rmw" true
+    (List.mem_assoc "bumper" r.Conflict.r_rmw);
+  Alcotest.(check bool) "plain writer is not rmw" false
+    (List.mem_assoc "writer" r.Conflict.r_rmw);
+  Alcotest.(check int) "reader degree" 1 (Conflict.degree r "reader");
+  Alcotest.(check int) "elsewhere degree" 0 (Conflict.degree r "elsewhere")
+
+let test_conflict_order_hazards () =
+  (* Two functions that each write several timeline:* keys under a
+     Foreach: without sorted acquisition they could deadlock, so the
+     hazard must be reported. A single-key writer must not trigger it. *)
+  let fanout name =
+    mk_fn name
+      (Foreach
+         ( "f",
+           Read (Concat [ Str "followers:"; Input "x" ]),
+           Write (Concat [ Str "timeline:"; Var "f" ], Int 1L) ))
+  in
+  let r =
+    Conflict.build
+      (List.map Absint.summarize [ fanout "post-a"; fanout "post-b" ])
+  in
+  Alcotest.(check bool) "fan-out pair has order hazard" true
+    (r.Conflict.r_order_hazards <> []);
+  let single =
+    Conflict.build
+      (List.map Absint.summarize
+         [
+           mk_fn "w1" (Write (Concat [ Str "t:"; Input "x" ], Int 1L));
+           mk_fn "w2" (Write (Concat [ Str "t:"; Input "x" ], Int 2L));
+         ])
+  in
+  Alcotest.(check (list string)) "single-key writers: no hazard" []
+    (List.map
+       (fun (a, b, _, _) -> a ^ "/" ^ b)
+       single.Conflict.r_order_hazards)
+
+(* ------------------------------------------------------------------ *)
+(* Residual optimizer                                                  *)
+
+module Optimize = Analyzer.Optimize
+
+let test_simplify_folds_constants () =
+  let e =
+    If
+      ( Binop (Eq, Int 1L, Int 1L),
+        Concat [ Str "a:"; Input "x" ],
+        Read (Str "never") )
+  in
+  (match Optimize.simplify e with
+  | Concat [ Str "a:"; Input "x" ] -> ()
+  | e' -> Alcotest.fail (Format.asprintf "unexpected residual %a" Ast.pp e'));
+  (* Short-circuit folding must preserve the conditional evaluation the
+     interpreter performs: a truthy Or left arm decides the value. *)
+  match Optimize.simplify (Binop (Or, Bool true, Read (Str "x"))) with
+  | Bool true -> ()
+  | e' -> Alcotest.fail (Format.asprintf "or not folded: %a" Ast.pp e')
+
+let test_optimize_collapses_equivalent_arms () =
+  (* forum-digest in miniature: both arms of a config-dependent branch
+     touch the same keys, so the residual branch collapses and the
+     config read stops being control-relevant -> Static upgrade. *)
+  let f =
+    mk_fn "digestish"
+      (Let
+         ( "cfg",
+           Read (Str "cfg"),
+           If
+             ( Var "cfg",
+               Record_lit
+                 [
+                   ("layout", Str "classic");
+                   ("home", Read (Str "home"));
+                   ("me", Read (Concat [ Str "user:"; Input "x" ]));
+                 ],
+               Record_lit
+                 [
+                   ("layout", Str "cards");
+                   ("home", Read (Str "home"));
+                   ("me", Read (Concat [ Str "user:"; Input "x" ]));
+                 ] ) ))
+  in
+  let d = derive_ok f in
+  (match classification d with
+  | Derive.Dependent 1 -> ()
+  | c ->
+      Alcotest.fail
+        (Format.asprintf "raw should be dependent(1), got %a"
+           Derive.pp_classification c));
+  let d' = Optimize.optimize d in
+  (match classification d' with
+  | Derive.Static -> ()
+  | c ->
+      Alcotest.fail
+        (Format.asprintf "optimized should be static, got %a"
+           Derive.pp_classification c));
+  Alcotest.(check bool) "counts as upgrade" true
+    (Optimize.upgraded ~before:d ~after:d');
+  (* The optimized residual needs no cache and still predicts the exact
+     access set of the real execution, whatever the config value. *)
+  List.iter
+    (fun cfg ->
+      let store =
+        [ ("cfg", cfg); ("home", Dval.Str "h"); ("user:u", Dval.Str "u") ]
+      in
+      let args = [ Dval.Str "u" ] in
+      let fetches = ref 0 in
+      let s =
+        Derive.predict d'
+          ~read:(fun k ->
+            incr fetches;
+            store_read store k)
+          args
+      in
+      Alcotest.(check int) "no cache fetches" 0 !fetches;
+      Alcotest.check rwset "exact prediction" (actual_accesses f store args) s)
+    [ Dval.Bool true; Dval.Bool false ]
+
+let test_optimize_demotes_dead_dependent_read () =
+  (* After the statically-false branch is pruned, the cfg read no longer
+     feeds any key: it must be demoted to a declared (validated but not
+     cache-fetched) read, upgrading Dependent -> Static. *)
+  let f =
+    mk_fn "deadcfg"
+      (Let
+         ( "v",
+           Read (Str "cfg"),
+           If
+             ( Binop (Eq, Int 1L, Int 2L),
+               Read (Concat [ Str "k:"; Var "v" ]),
+               Read (Str "fixed") ) ))
+  in
+  let d = derive_ok f in
+  (match classification d with
+  | Derive.Dependent 1 -> ()
+  | c -> Alcotest.fail (Format.asprintf "%a" Derive.pp_classification c));
+  let d' = Optimize.optimize d in
+  (match classification d' with
+  | Derive.Static -> ()
+  | c -> Alcotest.fail (Format.asprintf "%a" Derive.pp_classification c));
+  let store = [ ("cfg", Dval.Str "c"); ("fixed", Dval.Int 7L) ] in
+  let args = [ Dval.Str "u" ] in
+  let fetches = ref 0 in
+  let s =
+    Derive.predict d'
+      ~read:(fun k ->
+        incr fetches;
+        store_read store k)
+      args
+  in
+  Alcotest.(check int) "no cache fetches" 0 !fetches;
+  Alcotest.check rwset "cfg still validated" (actual_accesses f store args) s
+
+let test_optimize_never_downgrades () =
+  (* A genuinely dependent function must come through unchanged in
+     class, and the optimized residual must agree with the raw one. *)
+  let d = derive_ok timeline_fn in
+  let d' = Optimize.optimize d in
+  (match classification d' with
+  | Derive.Dependent 1 -> ()
+  | c -> Alcotest.fail (Format.asprintf "%a" Derive.pp_classification c));
+  Alcotest.(check bool) "not an upgrade" false
+    (Optimize.upgraded ~before:d ~after:d');
+  let args = [ Dval.Str "u1" ] in
+  Alcotest.check rwset "optimized == raw on coherent cache"
+    (predict ~cache:follows_cache d args)
+    (predict ~cache:follows_cache d' args)
+
+let test_optimize_foreach_over_read_list () =
+  (* Foreach over a store-read list: the optimizer must keep the list
+     read as the single cache fetch and keep per-element reads aligned
+     with iteration. *)
+  let d = Optimize.optimize (derive_ok timeline_fn) in
+  let fetches = ref 0 in
+  let s =
+    Derive.predict d
+      ~read:(fun k ->
+        incr fetches;
+        store_read follows_cache k)
+      [ Dval.Str "u1" ]
+  in
+  Alcotest.(check int) "single cache fetch" 1 !fetches;
+  Alcotest.(check (list string)) "all reads, iteration order preserved"
+    [ "follows:u1"; "posts:a"; "posts:b"; "posts:c" ]
+    s.Rwset.reads
+
+let test_optimize_nested_if_read_alignment () =
+  (* Regression: [Optimize.demote] re-runs the relevance analysis on the
+     SIMPLIFIED body. If Read ids were taken from the original body, the
+     pruned outer branch would shift every id and the cfg read (still
+     control-relevant for the inner If) could be demoted by mistake. *)
+  let f =
+    mk_fn "nested"
+      (If
+         ( Binop (Eq, Int 1L, Int 1L),
+           Let
+             ( "c",
+               Read (Str "cfg"),
+               If
+                 ( Var "c",
+                   Read (Concat [ Str "a:"; Input "x" ]),
+                   Read (Str "b") ) ),
+           Read (Str "dead") ))
+  in
+  let d = Optimize.optimize (derive_ok f) in
+  (match classification d with
+  | Derive.Dependent 1 -> ()
+  | c ->
+      Alcotest.fail
+        (Format.asprintf "cfg must stay a fetched read, got %a"
+           Derive.pp_classification c));
+  List.iter
+    (fun (cfg, expected_reads) ->
+      let store =
+        [ ("cfg", cfg); ("a:u", Dval.Int 1L); ("b", Dval.Int 2L) ]
+      in
+      let s = predict ~cache:store d [ Dval.Str "u" ] in
+      Alcotest.(check (list string)) "reads follow the inner branch"
+        expected_reads s.Rwset.reads;
+      Alcotest.check rwset "exact vs execution"
+        (actual_accesses f store [ Dval.Str "u" ])
+        s)
+    [
+      (Dval.Bool true, [ "a:u"; "cfg" ]);
+      (Dval.Bool false, [ "b"; "cfg" ]);
+    ]
+
+let test_specialize_binds_inputs () =
+  let f =
+    mk_fn "branchy"
+      (If
+         ( Binop (Gt, Input "x", Int 10L),
+           Read (Str "big"),
+           Read (Str "small") ))
+  in
+  let g = Optimize.specialize f [ ("x", Dval.Int 20L) ] in
+  match g.body with
+  | Read (Str "big") -> ()
+  | e -> Alcotest.fail (Format.asprintf "not specialized: %a" Ast.pp e)
+
 (* The soundness property: on a coherent cache, prediction equals the
    accesses of the real execution, for randomized inputs over a fixed
    corpus of analyzable functions. *)
@@ -397,4 +716,32 @@ let () =
             test_fanout_writes_predicted;
         ]
         @ qsuite [ prop_prediction_sound ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "summarize" `Quick test_summarize_shapes;
+          Alcotest.test_case "join is sound" `Quick test_shape_join_sound;
+          Alcotest.test_case "overlap and order" `Quick
+            test_shape_overlap_and_order;
+        ] );
+      ( "conflict",
+        [
+          Alcotest.test_case "pairwise verdicts" `Quick test_conflict_verdicts;
+          Alcotest.test_case "order hazards" `Quick test_conflict_order_hazards;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "constant folding" `Quick
+            test_simplify_folds_constants;
+          Alcotest.test_case "equivalent arms collapse" `Quick
+            test_optimize_collapses_equivalent_arms;
+          Alcotest.test_case "dead dependent read demoted" `Quick
+            test_optimize_demotes_dead_dependent_read;
+          Alcotest.test_case "never downgrades" `Quick
+            test_optimize_never_downgrades;
+          Alcotest.test_case "foreach over read list" `Quick
+            test_optimize_foreach_over_read_list;
+          Alcotest.test_case "nested-if read alignment" `Quick
+            test_optimize_nested_if_read_alignment;
+          Alcotest.test_case "specialize" `Quick test_specialize_binds_inputs;
+        ] );
     ]

@@ -32,10 +32,12 @@ let find_fn name =
 let check_dval msg expected got =
   Alcotest.(check string) msg (Dval.to_string expected) (Dval.to_string got)
 
+let rwset_testable = Alcotest.testable Rwset.pp Rwset.equal
+
 (* ------------------------------------------------------------------ *)
 (* Registration and classification                                     *)
 
-let test_all_27_register () =
+let test_all_29_register () =
   let reg = Radical.Registry.create () in
   List.iter
     (fun f ->
@@ -43,9 +45,11 @@ let test_all_27_register () =
       | Ok _ -> ()
       | Error e -> Alcotest.fail e)
     Apps.Catalog.all_functions;
-  Alcotest.(check int) "27 functions" 27
+  Alcotest.(check int) "29 functions" 29
     (List.length (Radical.Registry.names reg));
-  Alcotest.(check int) "all analyzable" 27
+  (* ib-flag branches on an Opaque policy, so automatic derivation is
+     expected to fail for it; it is the manual-f^rw example (§7). *)
+  Alcotest.(check int) "all but ib-flag analyzable" 28
     (Radical.Registry.analyzable_count reg)
 
 let classification_of name =
@@ -76,6 +80,184 @@ let test_dependent_functions_match_table1 () =
               (Format.asprintf "%s should be static, got %a" info.fn_name
                  Derive.pp_classification c))
     Apps.Catalog.table1
+
+(* ------------------------------------------------------------------ *)
+(* Residual optimizer and manual overrides over the real catalog       *)
+
+let test_forum_digest_upgraded () =
+  (* Pin the optimizer's showcase: forum-digest branches on a config
+     read, but both layouts touch the same keys, so the residual
+     optimizer collapses the branch and demotes the config read.
+     Dependent(1) -> Static must not regress. *)
+  let d =
+    match Derive.derive Apps.Forum.digest_fn with
+    | Ok d -> d
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Derive.pp_error e)
+  in
+  (match d.classification with
+  | Derive.Dependent 1 -> ()
+  | c ->
+      Alcotest.fail
+        (Format.asprintf "raw digest should be dependent(1), got %a"
+           Derive.pp_classification c));
+  let d' = Analyzer.Optimize.optimize d in
+  (match d'.classification with
+  | Derive.Static -> ()
+  | c ->
+      Alcotest.fail
+        (Format.asprintf "optimized digest should be static, got %a"
+           Derive.pp_classification c));
+  Alcotest.(check bool) "counts as an upgrade" true
+    (Analyzer.Optimize.upgraded ~before:d ~after:d');
+  (* And the registry serves the optimized classification: the function
+     becomes eligible for the read-only fast path with zero fetches. *)
+  let reg = Radical.Registry.create () in
+  (match Radical.Registry.register reg Apps.Forum.digest_fn with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Radical.Registry.find reg "forum-digest" with
+  | Some entry ->
+      Alcotest.(check bool) "read-only" true entry.read_only;
+      (match entry.derived with
+      | Some d -> (
+          match d.Derive.classification with
+          | Derive.Static -> ()
+          | c ->
+              Alcotest.fail
+                (Format.asprintf "registry serves %a" Derive.pp_classification
+                   c))
+      | None -> Alcotest.fail "no derived entry")
+  | None -> Alcotest.fail "not registered"
+
+let test_manual_overrides_check_out () =
+  (* The differential check of every developer-written f^rw, against
+     representative seed data. *)
+  let tbl = store_tbl (Apps.Imageboard.seed (rng ())) in
+  let read k = Option.value ~default:Dval.Unit (Hashtbl.find_opt tbl k) in
+  List.iter
+    (fun (name, result) ->
+      match result with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" name m))
+    (Apps.Catalog.check_manuals ~read ())
+
+let test_check_manual_catches_wrong_residual () =
+  (* A residual that forgets the write must be rejected. *)
+  let open Fdsl.Ast in
+  let wrong =
+    {
+      fn_name = "ib-flag";
+      params = [ "u"; "i" ];
+      body = Declare (Decl_read, Concat [ Str "iflags:"; Input "i" ]);
+    }
+  in
+  let d = Derive.manual ~source:Apps.Imageboard.flag_fn ~rw_func:wrong in
+  match
+    Derive.check_manual d
+      ~read:(fun _ -> Dval.Unit)
+      ~samples:[ [ Dval.Str "u"; Dval.Str "i0" ] ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing write went undetected"
+
+(* The central differential property of the residual optimizer: for
+   EVERY catalog function, on ~200 seeded random inputs each, the
+   optimized residual predicts exactly what the raw residual predicts,
+   and both are exactly the real execution's accesses. Inputs come from
+   the app workload generators (drawing until each function's quota is
+   met); forum-digest and ib-flag are not in any generator mix, so their
+   inputs are synthesized. *)
+let test_optimized_residuals_differential () =
+  let per_fn = 200 in
+  let residual_cache = Hashtbl.create 32 in
+  let residuals_of fn_name =
+    match Hashtbl.find_opt residual_cache fn_name with
+    | Some r -> r
+    | None ->
+        let r =
+          match Apps.Catalog.manual_rw_of fn_name with
+          | Some rw -> (
+              match Derive.manual ~source:(find_fn fn_name) ~rw_func:rw with
+              | d -> (d, d))
+          | None -> (
+              match Derive.derive (find_fn fn_name) with
+              | Error e ->
+                  Alcotest.fail (Format.asprintf "%a" Derive.pp_error e)
+              | Ok d -> (d, Analyzer.Optimize.optimize d))
+        in
+        Hashtbl.add residual_cache fn_name r;
+        r
+  in
+  let r = Sim.Rng.create 2025 in
+  let streams =
+    [
+      ( "social",
+        Apps.Social.seed ~n_users:50 r,
+        Apps.Social.next (Apps.Social.gen ~n_users:50 ()),
+        [] );
+      ("hotel", Apps.Hotel.seed r, Apps.Hotel.next (Apps.Hotel.gen ()), []);
+      ( "forum",
+        Apps.Forum.seed r,
+        Apps.Forum.next (Apps.Forum.gen ()),
+        [
+          (fun rng ->
+            ( "forum-digest",
+              [ Dval.Str (Printf.sprintf "f%d" (Sim.Rng.int rng 200)) ] ));
+        ] );
+      ( "imageboard",
+        Apps.Imageboard.seed r,
+        Apps.Imageboard.next (Apps.Imageboard.gen ()),
+        [
+          (fun rng ->
+            ( "ib-flag",
+              [
+                Dval.Str (Printf.sprintf "b%d" (Sim.Rng.int rng 300));
+                Dval.Str (Printf.sprintf "i%d" (Sim.Rng.int rng 400));
+              ] ));
+        ] );
+      ( "projectmgmt",
+        Apps.Projectmgmt.seed r,
+        Apps.Projectmgmt.next (Apps.Projectmgmt.gen ()),
+        [] );
+    ]
+  in
+  List.iter
+    (fun (app, seed_data, draw, extras) ->
+      let master = store_tbl seed_data in
+      let counts = Hashtbl.create 16 in
+      let check_one (fn_name, args) =
+        let seen = Option.value ~default:0 (Hashtbl.find_opt counts fn_name) in
+        if seen < per_fn then begin
+          Hashtbl.replace counts fn_name (seen + 1);
+          let d_raw, d_opt = residuals_of fn_name in
+          (* Executions mutate a copy; predictions read the untouched
+             pre-execution snapshot, like the near-user cache would. *)
+          let _, actual = eval_against (Hashtbl.copy master) (find_fn fn_name) args in
+          let read k =
+            Option.value ~default:Dval.Unit (Hashtbl.find_opt master k)
+          in
+          let p_raw = Derive.predict d_raw ~read args in
+          let p_opt = Derive.predict d_opt ~read args in
+          let label msg = Printf.sprintf "%s/%s: %s" app fn_name msg in
+          Alcotest.check rwset_testable (label "raw == actual") actual p_raw;
+          Alcotest.check rwset_testable (label "optimized == raw") p_raw p_opt
+        end
+      in
+      for _ = 1 to 60_000 do
+        check_one (draw r)
+      done;
+      List.iter
+        (fun mk -> for _ = 1 to per_fn do check_one (mk r) done)
+        extras;
+      (* Every handler of the app must have been exercised. *)
+      List.iter
+        (fun (f : Fdsl.Ast.func) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s exercised" app f.fn_name)
+            true
+            (Hashtbl.mem counts f.fn_name))
+        (List.assoc app Apps.Catalog.all_apps))
+    streams
 
 (* ------------------------------------------------------------------ *)
 (* Application behaviour                                               *)
@@ -425,9 +607,20 @@ let () =
     [
       ( "registration",
         [
-          Alcotest.test_case "all 27 register" `Quick test_all_27_register;
+          Alcotest.test_case "all 29 register" `Quick test_all_29_register;
           Alcotest.test_case "classification matches Table 1" `Quick
             test_dependent_functions_match_table1;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "forum-digest upgraded to static" `Quick
+            test_forum_digest_upgraded;
+          Alcotest.test_case "manual overrides check out" `Quick
+            test_manual_overrides_check_out;
+          Alcotest.test_case "wrong manual residual rejected" `Quick
+            test_check_manual_catches_wrong_residual;
+          Alcotest.test_case "optimized == raw == actual (200/fn)" `Slow
+            test_optimized_residuals_differential;
         ] );
       ( "behaviour",
         [

@@ -189,9 +189,13 @@ let test_trace_end_to_end () =
       ("get", "frw_predict", "Speculative");
       ("get", "speculate", "Speculative");
       ("get", "lvi_rtt", "Speculative");
-      ("get", "lock_wait", "Speculative");
-      ("get", "validate", "Speculative");
+      (* Read-only function: the server answers on the validate-only
+         fast path, so there is no lock_wait phase. *)
+      ("get", "ro_validate", "Speculative");
       ("get", "total", "Speculative");
+      (* The writing put takes the full locked path. *)
+      ("put", "lock_wait", "Speculative");
+      ("put", "validate", "Speculative");
       ("put", "total", "Speculative");
       ("deref", "backup_exec", "Backup");
       ("deref", "cache_repair", "Backup");

@@ -107,6 +107,70 @@ let test_speculative_read () =
       Alcotest.(check int) "no locks held after read-only" 0
         (Server.locks_held (Framework.server fw)))
 
+(* --- Read-only LVI fast path ----------------------------------------- *)
+
+let test_ro_fast_path_taken () =
+  with_radical (fun _ fw ->
+      let o = Framework.invoke fw ~from:Location.ca "get" [ Dval.Str "x" ] in
+      check_path "validated speculation" Runtime.Speculative o;
+      (* Same latency as the locked path: versions are checked at the
+         same storage instant either way (test_speculative_read pins
+         119.0); the fast path saves lock state, not simulated time. *)
+      Alcotest.(check (float 0.2)) "latency unchanged" 119.0 o.latency;
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "read-only fast path taken" 1 st.ro_fast;
+      Alcotest.(check int) "still counts as validated" 1 st.validated;
+      let rt = Framework.runtime fw Location.ca in
+      Alcotest.(check int) "runtime sent the hint" 1
+        (Runtime.stats rt).ro_hints;
+      (* A write must never take it, hint or not. *)
+      let _ =
+        Framework.invoke fw ~from:Location.ca "put"
+          [ Dval.Str "x"; Dval.Str "v2" ]
+      in
+      Engine.sleep 200.0;
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "write stayed on the locked path" 1 st.ro_fast;
+      (* And a read-modify-write neither. *)
+      let _ = Framework.invoke fw ~from:Location.ca "incr" [ Dval.Str "ctr" ] in
+      Engine.sleep 200.0;
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "rmw stayed on the locked path" 1 st.ro_fast)
+
+let test_ro_fast_disabled_ablation () =
+  let config = { Framework.default_config with ro_fast = false } in
+  with_radical ~config (fun _ fw ->
+      let o = Framework.invoke fw ~from:Location.ca "get" [ Dval.Str "x" ] in
+      check_path "still speculative" Runtime.Speculative o;
+      Alcotest.(check (float 0.2)) "same latency on the locked path" 119.0
+        o.latency;
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "fast path never taken" 0 st.ro_fast;
+      Alcotest.(check int) "validated the locked way" 1 st.validated;
+      let rt = Framework.runtime fw Location.ca in
+      Alcotest.(check int) "no hints sent" 0 (Runtime.stats rt).ro_hints)
+
+let test_ro_fast_stale_cache_falls_through () =
+  with_radical (fun _ fw ->
+      (* Write from one site, then read from a site whose cache is still
+         stale: the fast path's version check must fail and the locked
+         path must repair the cache, exactly like the slow path does. *)
+      let _ =
+        Framework.invoke fw ~from:Location.va "put"
+          [ Dval.Str "x"; Dval.Str "new" ]
+      in
+      Engine.sleep 200.0;
+      let o = Framework.invoke fw ~from:Location.de "get" [ Dval.Str "x" ] in
+      check_path "stale read takes backup" Runtime.Backup o;
+      check_dval "fresh value" (Dval.Str "new") (ok_value o);
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "fast path refused the stale read" 0 st.ro_fast;
+      (* Cache repaired: the next read takes the fast path. *)
+      let o2 = Framework.invoke fw ~from:Location.de "get" [ Dval.Str "x" ] in
+      check_path "repaired cache validates" Runtime.Speculative o2;
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "now fast-pathed" 1 st.ro_fast)
+
 let test_speculative_write_and_followup () =
   with_radical (fun _ fw ->
       let o =
@@ -503,6 +567,12 @@ let () =
       ( "protocol",
         [
           Alcotest.test_case "speculative read" `Quick test_speculative_read;
+          Alcotest.test_case "read-only fast path taken" `Quick
+            test_ro_fast_path_taken;
+          Alcotest.test_case "read-only fast path ablation" `Quick
+            test_ro_fast_disabled_ablation;
+          Alcotest.test_case "fast path refuses stale cache" `Quick
+            test_ro_fast_stale_cache_falls_through;
           Alcotest.test_case "speculative write + followup" `Quick
             test_speculative_write_and_followup;
           Alcotest.test_case "cross-site read-after-write" `Quick
