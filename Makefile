@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick check chaos analyze clean
+.PHONY: all build test bench examples quick check chaos analyze batch clean
 
 all: build
 
@@ -26,9 +26,18 @@ analyze:
 	dune build @analyze
 	dune exec bench/main.exe -- --scale 1 analyze
 
+# Batching load sweep: open-loop load against the replicated LVI
+# server with group commit / lock-record flush / conflict-aware
+# admission / followup coalescing toggled per variant; prints the
+# batched-vs-unbatched acceptance verdict. Full volume; `make check`
+# smoke-tests the same sweep at --scale 1.
+batch:
+	dune exec bench/main.exe -- batch
+
 # CI gate: full build, full test suite, the analyzer golden + bench
 # run, a small traced bench run that exercises the per-phase JSON
-# breakdown end to end, and a 20-seed chaos smoke campaign (fault
+# breakdown end to end, the batching load sweep at smoke scale, and a
+# 20-seed chaos smoke campaign with every batching knob on (fault
 # templates x apps x deployment modes; see `bench/main.exe chaos
 # --help` for the knobs).
 check:
@@ -36,7 +45,8 @@ check:
 	dune runtest --force
 	$(MAKE) analyze
 	dune exec bench/main.exe -- --scale 1 phases
-	dune exec bench/main.exe -- chaos --seeds 20
+	dune exec bench/main.exe -- --scale 1 batch
+	dune exec bench/main.exe -- chaos --seeds 20 --batching
 
 # Full 50-seeds-per-cell chaos campaign (~200 sweep runs) plus the
 # protocol-mutation demo; the acceptance run behind EXPERIMENTS.md.

@@ -137,7 +137,16 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe [--scale F] [--seeds N] \
-     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|chaos|micro]";
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|batch|chaos|micro]";
+  print_endline
+    "  batch: batching load sweep — open-loop Poisson load against the";
+  print_endline
+    "    replicated LVI server with group commit / lock-record flush /";
+  print_endline
+    "    admission / followup coalescing toggled per variant; prints";
+  print_endline
+    "    median+p99+achieved throughput per offered rate and the";
+  print_endline "    batched-vs-unbatched acceptance verdict.";
   print_endline
     "  analyze: f^rw predict cost raw vs. residual-optimized, and the";
   print_endline
@@ -157,15 +166,23 @@ let usage () =
   print_endline
     "    everything), then a protocol mutation is injected to prove the";
   print_endline "    invariant oracle catches and shrinks real bugs.";
+  print_endline
+    "    --batching  run every cell with all batching knobs on (group";
+  print_endline
+    "                commit, lock flush, admission, followup coalescing).";
   exit 1
 
 let () =
   (* Default 5.0 reproduces the paper's 10,000 requests per deployment. *)
   let scale = ref 5.0 in
   let seeds = ref 50 in
+  let batching = ref false in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
+    | "--batching" :: rest ->
+        batching := true;
+        parse rest
     | "--scale" :: v :: rest ->
         (match float_of_string_opt v with
         | Some f when f > 0.0 -> scale := f
@@ -205,8 +222,11 @@ let () =
       | "ablation" -> ignore (Experiments.Figures.ablation ~scale ())
       | "analyze" -> Experiments.Analyze_exp.run ~scale ()
       | "phases" -> ignore (Experiments.Figures.phases ~scale ())
+      | "batch" -> ignore (Experiments.Batch_exp.run ~scale ())
       | "chaos" ->
-          let violations = Experiments.Chaos_exp.run ~seeds:!seeds () in
+          let violations =
+            Experiments.Chaos_exp.run ~seeds:!seeds ~batching:!batching ()
+          in
           if violations > 0 then exit 2
       | "micro" -> micro ()
       | _ -> usage ())

@@ -330,16 +330,66 @@ let trace_cmd =
     Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
            ~doc:"Print the K slowest request traces as span trees.")
   in
-  let run verbose app system requests seed top =
+  let batching_arg =
+    Arg.(value & flag
+         & info [ "batching" ]
+             ~doc:"Deploy the Raft-replicated server with every batching \
+                   knob on (group commit, lock-record flush, \
+                   conflict-aware admission, followup coalescing) so the \
+                   batch-size and queue-delay histograms fill up.")
+  in
+  let run verbose app system requests seed top batching =
     setup_logs verbose;
     let tracer = Metrics.Tracer.create () in
     let requests_per_client = max 1 (requests / 50) in
+    let system =
+      if batching then
+        Experiments.Runner.Radical_with
+          {
+            Radical.Framework.default_config with
+            server =
+              {
+                Radical.Server.default_config with
+                mode = Radical.Server.Replicated { az_rtt = 1.5 };
+                batching = Radical.Server.full_batching;
+              };
+            fu_window = 2.0;
+            fu_piggyback = true;
+          }
+      else system
+    in
     let r = Experiments.Runner.run ~seed ~requests_per_client ~tracer system app in
     Printf.printf "%d samples, %d errors, %d traces\n" (List.length r.samples)
       r.errors
       (Metrics.Tracer.trace_count tracer);
     print_newline ();
     print_endline (Metrics.Tracer.phases_json tracer);
+    let stat_rows stats =
+      List.map
+        (fun (label, s) ->
+          [
+            label;
+            string_of_int (Metrics.Stats.count s);
+            Printf.sprintf "%.2f" (Metrics.Stats.mean s);
+            Printf.sprintf "%.2f" (Metrics.Stats.median s);
+            Printf.sprintf "%.2f" (Metrics.Stats.p99 s);
+          ])
+        stats
+    in
+    (match stat_rows (Metrics.Tracer.batch_stats tracer) with
+    | [] -> ()
+    | rows ->
+        print_endline "\n--- batch sizes (commands per flush) ---";
+        Metrics.Table.print
+          ~header:[ "label"; "batches"; "mean"; "median"; "p99" ]
+          ~rows);
+    (match stat_rows (Metrics.Tracer.queue_stats tracer) with
+    | [] -> ()
+    | rows ->
+        print_endline "\n--- queueing delay (ms before flush) ---";
+        Metrics.Table.print
+          ~header:[ "label"; "waits"; "mean"; "median"; "p99" ]
+          ~rows);
     (match Metrics.Tracer.slowest ~k:top tracer with
     | [] -> ()
     | spans ->
@@ -350,9 +400,10 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run a traced deployment: per-phase JSON breakdown plus the \
-             slowest request span trees")
-    Term.(const run $ verbose_arg $ app_arg $ system_arg $ requests $ seed $ top)
+       ~doc:"Run a traced deployment: per-phase JSON breakdown, batching \
+             histograms, plus the slowest request span trees")
+    Term.(const run $ verbose_arg $ app_arg $ system_arg $ requests $ seed
+          $ top $ batching_arg)
 
 let timeline_cmd =
   let app_arg =

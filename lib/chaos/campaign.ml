@@ -21,6 +21,7 @@ type config = {
   drain : float;
   jitter : float;
   replicated : bool;
+  batching : bool;
   intent_timeout : float;
   mutation : Server.protocol_mutation option;
   charge_every : int;
@@ -36,6 +37,7 @@ let default_config =
     drain = 4000.0;
     jitter = 0.05;
     replicated = false;
+    batching = false;
     intent_timeout = 800.0;
     mutation = None;
     charge_every = 6;
@@ -120,6 +122,10 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
            if config.replicated then Server.Replicated { az_rtt = 1.5 }
            else Server.Singleton
          in
+         let batching =
+           if config.batching then Server.full_batching
+           else Server.no_batching
+         in
          let fw_config =
            {
              Framework.default_config with
@@ -129,7 +135,10 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
                  Server.default_config with
                  mode;
                  intent_timeout = config.intent_timeout;
+                 batching;
                };
+             fu_window = (if config.batching then 2.0 else 0.0);
+             fu_piggyback = config.batching;
            }
          in
          let funcs =

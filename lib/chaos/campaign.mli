@@ -30,6 +30,11 @@ type config = {
           enough for intent timers to fire and re-executions to settle. *)
   jitter : float;
   replicated : bool;  (** Raft-replicated LVI server (§5.6). *)
+  batching : bool;
+      (** Every batching knob on: Raft group commit, per-request lock
+          flush + 2 ms persist window, conflict-aware admission, and
+          followup coalescing/piggybacking on the near-user side. The
+          fault campaign must find zero violations with or without. *)
   intent_timeout : float;
   mutation : Radical.Server.protocol_mutation option;
       (** Deliberate protocol bug, injected into the server — the

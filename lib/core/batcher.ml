@@ -1,0 +1,79 @@
+open Sim
+
+type 'a t = {
+  window : float;
+  max_batch : int;
+  flush : 'a list -> unit;
+  on_flush : size:int -> queue_delay:float -> unit;
+  mutable buf : 'a list list; (* newest submission first *)
+  mutable count : int;
+  mutable oldest : float; (* enqueue time of the round's first element *)
+  mutable round : unit Ivar.t; (* completion of the currently-filling round *)
+  mutable timer : Timer.t option;
+  mutable flushing : bool;
+  mutable flushes : int;
+}
+
+let create ~window ?(max_batch = 64)
+    ?(on_flush = fun ~size:_ ~queue_delay:_ -> ()) flush =
+  if window < 0.0 then invalid_arg "Batcher.create: negative window";
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
+  {
+    window;
+    max_batch;
+    flush;
+    on_flush;
+    buf = [];
+    count = 0;
+    oldest = 0.0;
+    round = Ivar.create ();
+    timer = None;
+    flushes = 0;
+    flushing = false;
+  }
+
+let pending t = t.count
+
+let flushes t = t.flushes
+
+let rec do_flush t =
+  (match t.timer with Some tm -> Timer.cancel tm | None -> ());
+  t.timer <- None;
+  if t.count > 0 && not t.flushing then begin
+    t.flushing <- true;
+    let items = List.concat (List.rev t.buf) in
+    let round = t.round in
+    let delay = Engine.now () -. t.oldest in
+    t.buf <- [];
+    t.count <- 0;
+    t.round <- Ivar.create ();
+    t.flush items;
+    t.flushes <- t.flushes + 1;
+    t.on_flush ~size:(List.length items) ~queue_delay:delay;
+    Ivar.fill round ();
+    t.flushing <- false;
+    (* Elements that arrived during the flush could not arm a timer
+       (arming is suppressed while flushing); give them their own round. *)
+    if t.count > 0 then
+      if t.count >= t.max_batch then do_flush t else arm t
+  end
+
+and arm t =
+  if t.timer = None && not t.flushing then
+    t.timer <-
+      Some
+        (Timer.after t.window (fun () ->
+             t.timer <- None;
+             do_flush t))
+
+let submit_all t items =
+  if items <> [] then begin
+    if t.count = 0 then t.oldest <- Engine.now ();
+    t.buf <- items :: t.buf;
+    t.count <- t.count + List.length items;
+    let round = t.round in
+    if t.count >= t.max_batch && not t.flushing then do_flush t else arm t;
+    Ivar.read round
+  end
+
+let submit t item = submit_all t [ item ]

@@ -1,0 +1,39 @@
+(** Nagle-style coalescing of blocking flushes on the virtual clock.
+
+    Submissions buffer until either the window elapses (counted from the
+    round's first element) or the buffer reaches [max_batch]; the flush
+    callback then runs once over everything buffered, and every
+    submitter of that round unblocks together when it returns. Elements
+    arriving while a flush is in flight form the next round, so under
+    load the batcher pipelines: one flush in flight, the next batch
+    filling behind it. The LVI server uses one of these per replicated
+    deployment to fold the lock records of concurrent requests into a
+    single Raft proposal. *)
+
+type 'a t
+
+val create :
+  window:float ->
+  ?max_batch:int ->
+  ?on_flush:(size:int -> queue_delay:float -> unit) ->
+  ('a list -> unit) ->
+  'a t
+(** [create ~window flush] batches with the given window in virtual ms
+    (0 coalesces only same-instant submissions). [flush] may block (it
+    typically submits to Raft); it runs in the fiber of whichever
+    submitter triggered the flush, or in a timer fiber on window expiry.
+    [max_batch] (default 64) bounds a round; [on_flush] fires after each
+    flush with the batch size and the queueing delay of the round's
+    oldest element. *)
+
+val submit_all : 'a t -> 'a list -> unit
+(** Add elements to the current round and block until the round's flush
+    has completed. Keeps list order within the round; no-op on []. *)
+
+val submit : 'a t -> 'a -> unit
+
+val pending : 'a t -> int
+(** Elements buffered in the currently-filling round. *)
+
+val flushes : 'a t -> int
+(** Completed flush rounds since creation. *)

@@ -5,6 +5,8 @@ type config = {
   frw_overhead : float;
   overlap : bool;
   ro_fast : bool;
+  fu_window : float;
+  fu_piggyback : bool;
   warm_caches : bool;
   cache_latency : float;
 }
@@ -17,6 +19,8 @@ let default_config =
     frw_overhead = 1.0;
     overlap = true;
     ro_fast = true;
+    fu_window = 0.0;
+    fu_piggyback = false;
     warm_caches = true;
     cache_latency = 6.0;
   }
@@ -83,7 +87,8 @@ let create ?(config = default_config) ?schema ?(manual = [])
           Runtime.create ~extsvc ~tracer ~net ~registry:reg ~cache ~server:srv
             (Runtime.config ~invoke_overhead:config.invoke_overhead
                ~frw_overhead:config.frw_overhead ~overlap:config.overlap
-               ~ro_fast:config.ro_fast loc)
+               ~ro_fast:config.ro_fast ~fu_window:config.fu_window
+               ~fu_piggyback:config.fu_piggyback loc)
         in
         (loc, rt))
       config.locations

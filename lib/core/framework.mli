@@ -16,6 +16,12 @@ type config = {
       (** Enable the read-only LVI fast path for functions the static
           analysis proves write-free (default). Disable as an ablation:
           every request then takes the full locked path. *)
+  fu_window : float;
+      (** Followup-coalescing window per runtime in virtual ms
+          ({!Runtime.config.fu_window}); 0 (default) disables. *)
+  fu_piggyback : bool;
+      (** Piggyback buffered followups on the next outgoing LVI request
+          ({!Runtime.config.fu_piggyback}); off by default. *)
   warm_caches : bool;
       (** Pre-populate near-user caches with the seed data (the paper's
           persistent caches); [false] exercises gradual bootstrap. *)

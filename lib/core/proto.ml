@@ -1,5 +1,7 @@
 type exec_id = string
 
+type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
+
 type lvi_request = {
   exec_id : exec_id;
   fn_name : string;
@@ -12,6 +14,11 @@ type lvi_request = {
          as a hint only: it re-derives eligibility from its own registry
          before taking the validate-only fast path. *)
   from_loc : Net.Location.t;
+  piggyback : followup list;
+      (* Followups of *earlier* invocations from this site, still
+         sitting in its coalescing buffer when this request departed:
+         the request carries them for free, and the server applies them
+         before processing the request itself. *)
 }
 
 type update = { up_key : string; up_value : Dval.t; up_version : int }
@@ -25,8 +32,6 @@ type exec_result = {
 type lvi_response =
   | Validated of { write_versions : (string * int) list }
   | Mismatch of { backup : exec_result; updates : update list }
-
-type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
 
 type exec_request = {
   dx_exec_id : exec_id;

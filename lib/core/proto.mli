@@ -5,9 +5,13 @@
     either blesses the speculation ([Validated]) or carries the result
     of the near-storage backup execution plus fresh cache material
     ([Mismatch]). The {!followup} ships the speculative writes after the
-    client reply. *)
+    client reply — either on its own (possibly coalesced with other
+    followups to the same destination) or piggybacked on the next
+    outgoing LVI request. *)
 
 type exec_id = string
+
+type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
 
 type lvi_request = {
   exec_id : exec_id;
@@ -25,6 +29,13 @@ type lvi_request = {
           server's validate-only fast path. A hint, not a capability: the
           server re-derives eligibility from its own registry. *)
   from_loc : Net.Location.t;
+  piggyback : followup list;
+      (** Followups of earlier invocations from this site still in its
+          coalescing buffer when the request departed; the server
+          applies them before processing the request, so a delayed
+          followup can never stall a later request from the same site
+          behind the locks it would release. Empty unless followup
+          coalescing is on. *)
 }
 
 type update = { up_key : string; up_value : Dval.t; up_version : int }
@@ -51,8 +62,6 @@ type lvi_response =
           the keys the backup wrote — the near-user location installs
           these in its cache (8b). *)
     }
-
-type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
 
 type exec_request = {
   dx_exec_id : exec_id;

@@ -16,3 +16,14 @@ let submit ?(tracer = Metrics.Tracer.noop) ?timeout cluster cmd =
     Metrics.Tracer.record_raft tracer (Sim.Engine.now () -. t0);
     out
   end
+
+(* Same for batched flushes: one record per submit_batch call — the
+   whole batch pays a single submit-to-commit round, which is the point. *)
+let submit_batch ?(tracer = Metrics.Tracer.noop) ?timeout cluster cmds =
+  if not (Metrics.Tracer.enabled tracer) then submit_batch ?timeout cluster cmds
+  else begin
+    let t0 = Sim.Engine.now () in
+    let out = submit_batch ?timeout cluster cmds in
+    Metrics.Tracer.record_raft tracer (Sim.Engine.now () -. t0);
+    out
+  end

@@ -12,11 +12,24 @@ type config = {
   frw_overhead : float;
   overlap : bool;
   ro_fast : bool;
+  fu_window : float;
+  fu_piggyback : bool;
+  rpc_timeout : float;
 }
 
 let config ?(invoke_overhead = 12.0) ?(frw_overhead = 1.0) ?(overlap = true)
-    ?(ro_fast = true) loc =
-  { loc; invoke_overhead; frw_overhead; overlap; ro_fast }
+    ?(ro_fast = true) ?(fu_window = 0.0) ?(fu_piggyback = false)
+    ?(rpc_timeout = 60_000.0) loc =
+  {
+    loc;
+    invoke_overhead;
+    frw_overhead;
+    overlap;
+    ro_fast;
+    fu_window;
+    fu_piggyback;
+    rpc_timeout;
+  }
 
 type path = Speculative | Backup | Fallback
 
@@ -37,6 +50,15 @@ type stats = {
       (* LVI requests sent with the read-only hint set: the analysis
          proved the function write-free, so the server may answer on its
          validate-only fast path. *)
+  fu_batches : int;
+      (* Coalesced followup messages posted (each carrying >= 1
+         followups); 0 when the coalescing window is off. *)
+  fu_piggybacked : int;
+      (* Followups that rode an outgoing LVI request instead of their
+         own message. *)
+  rpc_timeouts : int;
+      (* LVI or direct-execution calls that hit the RPC timeout and
+         returned an error outcome instead of blocking forever. *)
 }
 
 type t = {
@@ -47,16 +69,25 @@ type t = {
   cache : Cache.t;
   extsvc : Extsvc.t;
   lvi_svc : (Proto.lvi_request, Proto.lvi_response) Transport.service;
-  fu_svc : (Proto.followup, unit) Transport.service;
+  fu_svc : (Proto.followup list, unit) Transport.service;
   exec_svc : (Proto.exec_request, Proto.exec_result) Transport.service;
   mutable next_id : int;
   mutable recorder : (Lincheck.op -> unit) option;
+  (* Followup coalescing buffer (fu_window / fu_piggyback): followups
+     wait here until the window timer flushes them in one message, or
+     an outgoing LVI request picks them up as piggyback. *)
+  mutable fu_buf : Proto.followup list; (* newest first *)
+  mutable fu_since : float; (* enqueue time of the oldest buffered one *)
+  mutable fu_timer : Timer.t option;
   mutable s_invocations : int;
   mutable s_spec : int;
   mutable s_backup : int;
   mutable s_fallback : int;
   mutable s_skipped : int;
   mutable s_ro_hints : int;
+  mutable s_fu_batches : int;
+  mutable s_fu_piggybacked : int;
+  mutable s_rpc_timeouts : int;
 }
 
 let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
@@ -72,12 +103,18 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
     exec_svc = Server.exec_service server;
     next_id = 0;
     recorder = None;
+    fu_buf = [];
+    fu_since = 0.0;
+    fu_timer = None;
     s_invocations = 0;
     s_spec = 0;
     s_backup = 0;
     s_fallback = 0;
     s_skipped = 0;
     s_ro_hints = 0;
+    s_fu_batches = 0;
+    s_fu_piggybacked = 0;
+    s_rpc_timeouts = 0;
   }
 
 let set_recorder t r = t.recorder <- Some r
@@ -154,16 +191,73 @@ let speculate t ~exec_id ?(span = Tracer.none) ?(snapshot = [])
         });
   iv
 
+(* --- Followup coalescing (Nagle window + piggyback) ----------------- *)
+
+let flush_followups t =
+  (match t.fu_timer with Some tm -> Timer.cancel tm | None -> ());
+  t.fu_timer <- None;
+  match List.rev t.fu_buf with
+  | [] -> ()
+  | fus ->
+      t.fu_buf <- [];
+      t.s_fu_batches <- t.s_fu_batches + 1;
+      Tracer.record_batch t.tracer ~label:"followup" (List.length fus);
+      Tracer.record_queue t.tracer ~label:"followup"
+        (Engine.now () -. t.fu_since);
+      Transport.post t.net ~from:t.cfg.loc t.fu_svc fus
+
+let send_followup t fu =
+  if t.cfg.fu_window <= 0.0 && not t.cfg.fu_piggyback then
+    (* Coalescing off: one message per followup, immediately. *)
+    Transport.post t.net ~from:t.cfg.loc t.fu_svc [ fu ]
+  else begin
+    if t.fu_buf = [] then t.fu_since <- Engine.now ();
+    t.fu_buf <- fu :: t.fu_buf;
+    if t.fu_timer = None then
+      t.fu_timer <-
+        Some
+          (Timer.after
+             (Float.max 0.0 t.cfg.fu_window)
+             (fun () ->
+               t.fu_timer <- None;
+               flush_followups t))
+  end
+
+(* Drain the buffer into an outgoing LVI request. The window must stay
+   well under the server's 200 ms intent-timer floor: a buffered
+   followup delays the release of its server-side locks by at most one
+   window (less if a request piggybacks it out sooner). *)
+let take_piggyback t =
+  if (not t.cfg.fu_piggyback) || t.fu_buf = [] then []
+  else begin
+    (match t.fu_timer with Some tm -> Timer.cancel tm | None -> ());
+    t.fu_timer <- None;
+    let fus = List.rev t.fu_buf in
+    t.fu_buf <- [];
+    t.s_fu_piggybacked <- t.s_fu_piggybacked + List.length fus;
+    fus
+  end
+
 let direct_execute t ~start ~exec_id ~root fn args =
   t.s_fallback <- t.s_fallback + 1;
   let res =
     Tracer.with_phase t.tracer ~parent:root "direct_exec" (fun () ->
-        Transport.call t.net ~from:t.cfg.loc t.exec_svc
+        Transport.call_timeout t.net ~from:t.cfg.loc
+          ~timeout:t.cfg.rpc_timeout t.exec_svc
           { Proto.dx_exec_id = exec_id; dx_fn_name = fn; dx_args = args })
   in
   let finish = Engine.now () in
-  record t ~exec_id ~start ~finish res;
-  { value = res.value; latency = finish -. start; path = Fallback }
+  match res with
+  | Some res ->
+      record t ~exec_id ~start ~finish res;
+      { value = res.value; latency = finish -. start; path = Fallback }
+  | None ->
+      t.s_rpc_timeouts <- t.s_rpc_timeouts + 1;
+      {
+        value = Error "direct execution timed out";
+        latency = finish -. start;
+        path = Fallback;
+      }
 
 let invoke t fn args =
   t.s_invocations <- t.s_invocations + 1;
@@ -258,9 +352,10 @@ let invoke t fn args =
             t.cfg.ro_fast && entry.read_only && rwset.writes = []
           in
           if ro_hint then t.s_ro_hints <- t.s_ro_hints + 1;
-          let response =
+          match
             Tracer.with_phase t.tracer ~parent:root "lvi_rtt" (fun () ->
-                Transport.call t.net ~from:t.cfg.loc t.lvi_svc
+                Transport.call_timeout t.net ~from:t.cfg.loc
+                  ~timeout:t.cfg.rpc_timeout t.lvi_svc
                   {
                     Proto.exec_id;
                     fn_name = fn;
@@ -269,8 +364,24 @@ let invoke t fn args =
                     writes = rwset.writes;
                     ro_hint;
                     from_loc = t.cfg.loc;
+                    piggyback = take_piggyback t;
                   })
-          in
+          with
+          | None ->
+              (* Request or reply lost past the timeout: surface an error
+                 instead of blocking this fiber forever. Never fall back
+                 to direct execution here — the server may have installed
+                 the write intent, and its timer would re-execute the
+                 write alongside ours. *)
+              t.s_rpc_timeouts <- t.s_rpc_timeouts + 1;
+              t.s_fallback <- t.s_fallback + 1;
+              finalize
+                {
+                  value = Error "LVI request timed out";
+                  latency = Engine.now () -. start;
+                  path = Fallback;
+                }
+          | Some response ->
           let spec =
             match (response, spec) with
             | Proto.Validated _, None when (not t.cfg.overlap) && not misses ->
@@ -307,7 +418,7 @@ let invoke t fn args =
                         in
                         Cache.update t.cache k v ~version:(base + 1))
                       spec_result.written;
-                    Transport.post t.net ~from:t.cfg.loc t.fu_svc
+                    send_followup t
                       {
                         Proto.fu_exec_id = exec_id;
                         fu_updates = spec_result.written;
@@ -340,4 +451,7 @@ let stats t =
     fallback = t.s_fallback;
     skipped_speculations = t.s_skipped;
     ro_hints = t.s_ro_hints;
+    fu_batches = t.s_fu_batches;
+    fu_piggybacked = t.s_fu_piggybacked;
+    rpc_timeouts = t.s_rpc_timeouts;
   }

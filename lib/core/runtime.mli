@@ -27,11 +27,31 @@ type config = {
           on its validate-only fast path (no locks, no intent, no
           idempotency record). [false] is the ablation: every request
           takes the full locked path. Default [true]. *)
+  fu_window : float;
+      (** > 0: Nagle-style followup coalescing — followups buffer for up
+          to this many virtual ms and leave as one message. Must stay
+          well under the server's 200 ms intent-timer floor, since a
+          buffered followup delays the release of its server-side locks
+          by up to one window. 0 (default) posts each followup
+          immediately. *)
+  fu_piggyback : bool;
+      (** Drain the followup buffer into the next outgoing LVI request
+          ([Proto.lvi_request.piggyback]) instead of waiting for the
+          window timer — the request carries them for free and the
+          server applies them first. Default [false]. *)
+  rpc_timeout : float;
+      (** Timeout (virtual ms) for the LVI and direct-execution calls;
+          on expiry the invocation returns an [Error] outcome instead of
+          blocking its fiber forever on a lost message. Deliberately
+          generous (default 60 s): the runtime never re-sends, because
+          the server may have installed the write intent — its timer
+          re-executes the write deterministically. *)
 }
 
 val config :
   ?invoke_overhead:float -> ?frw_overhead:float -> ?overlap:bool ->
-  ?ro_fast:bool -> Net.Location.t -> config
+  ?ro_fast:bool -> ?fu_window:float -> ?fu_piggyback:bool ->
+  ?rpc_timeout:float -> Net.Location.t -> config
 
 type path =
   | Speculative (** Validation succeeded; the speculative result was used. *)
@@ -58,6 +78,13 @@ type stats = {
   skipped_speculations : int; (** Cache misses suppressed speculation. *)
   ro_hints : int;
       (** LVI requests sent with the read-only fast-path hint set. *)
+  fu_batches : int;
+      (** Coalesced followup messages posted, each carrying ≥ 1
+          followups (0 with the window off). *)
+  fu_piggybacked : int;
+      (** Followups that rode an outgoing LVI request. *)
+  rpc_timeouts : int;
+      (** Calls that hit [rpc_timeout] and returned an error outcome. *)
 }
 
 val create :

@@ -14,11 +14,38 @@ type mode = Singleton | Replicated of { az_rtt : float }
 
 type protocol_mutation = Skip_reexecution
 
+type batching = {
+  group_commit : bool;
+  request_flush : bool;
+  persist_window : float;
+  admission : bool;
+  append_cost : float;
+}
+
+let no_batching =
+  {
+    group_commit = false;
+    request_flush = false;
+    persist_window = 0.0;
+    admission = false;
+    append_cost = 0.0;
+  }
+
+let full_batching =
+  {
+    group_commit = true;
+    request_flush = true;
+    persist_window = 2.0;
+    admission = true;
+    append_cost = 0.0;
+  }
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
   adaptive_timeout : bool;
   mode : mode;
+  batching : batching;
 }
 
 let default_config =
@@ -27,6 +54,7 @@ let default_config =
     intent_timeout = 1500.0;
     adaptive_timeout = true;
     mode = Singleton;
+    batching = no_batching;
   }
 
 type stats = {
@@ -41,11 +69,21 @@ type stats = {
       (* Requests answered by the read-only validate-only fast path
          (subset of [validated]): no locks, no intent, no idempotency
          record. *)
+  admission_waits : int;
+      (* Requests that queued in conflict-aware admission before their
+         lock-and-persist section (0 unless batching.admission). *)
+  persist_flushes : int;
+      (* Batched lock-persist rounds flushed to Raft (0 unless
+         batching.persist_window > 0). *)
 }
 
 type repl = {
   cluster : RaftLocks.cluster;
   idempotency : Store.Idempotency.t;
+  flusher : Raft.Kvsm.cmd Batcher.t option;
+      (* Cross-request Nagle flusher folding the lock records of
+         concurrent requests into one Raft proposal
+         (batching.persist_window > 0). *)
 }
 
 type pending = {
@@ -73,6 +111,7 @@ type t = {
      execution latency of the function"). *)
   followup_delay : (string, float) Hashtbl.t;
   repl : repl option;
+  admission : Admission.t option; (* Some when batching.admission *)
   pending : (string, pending) Hashtbl.t; (* volatile: timers, lost on crash *)
   (* Deliberate protocol sabotage for chaos testing: when set, the named
      protocol step is skipped so the invariant oracle can prove it has
@@ -89,38 +128,48 @@ type t = {
   mutable s_ro_fast : int;
   mutable lvi_svc :
     (Proto.lvi_request, Proto.lvi_response) Transport.service option;
-  mutable fu_svc : (Proto.followup, unit) Transport.service option;
+  mutable fu_svc : (Proto.followup list, unit) Transport.service option;
   mutable exec_svc :
     (Proto.exec_request, Proto.exec_result) Transport.service option;
 }
 
 (* --- Replicated-mode persistence (§5.6) ---------------------------- *)
 
-(* Lock records travel through Raft one by one ("our implementation of
-   the replicated server acquires all locks in series"). *)
-let persist_locks t ~exec_id keys =
+(* How a request's lock records reach the replicated log, most to least
+   batched: through the cross-request Nagle flusher (persist_window);
+   as one submit_batch proposal per request (request_flush); or one
+   submit per record — the seed behaviour, "our implementation of the
+   replicated server acquires all locks in series". *)
+let persist_records t cmds =
   match t.repl with
   | None -> ()
-  | Some { cluster; _ } ->
-      List.iter
-        (fun key ->
-          ignore
-            (RaftLocks.submit ~tracer:t.tracer cluster
-               (Raft.Kvsm.Set ("lock:" ^ key, exec_id))))
-        keys
+  | Some { cluster; flusher; _ } -> (
+      match flusher with
+      | Some b -> Batcher.submit_all b cmds
+      | None ->
+          if t.config.batching.request_flush then begin
+            Tracer.record_batch t.tracer ~label:"lock_persist"
+              (List.length cmds);
+            ignore (RaftLocks.submit_batch ~tracer:t.tracer cluster cmds)
+          end
+          else
+            List.iter
+              (fun cmd ->
+                ignore (RaftLocks.submit ~tracer:t.tracer cluster cmd))
+              cmds)
+
+let persist_locks t ~exec_id keys =
+  persist_records t
+    (List.map (fun key -> Raft.Kvsm.Set ("lock:" ^ key, exec_id)) keys)
 
 let persist_unlocks t keys =
   match t.repl with
   | None -> ()
-  | Some { cluster; _ } ->
+  | Some _ ->
       (* Off the critical path: the response does not wait for these. *)
       Engine.spawn ~name:"unlock-persist" (fun () ->
-          List.iter
-            (fun key ->
-              ignore
-                (RaftLocks.submit ~tracer:t.tracer cluster
-                   (Raft.Kvsm.Del ("lock:" ^ key))))
-            keys)
+          persist_records t
+            (List.map (fun key -> Raft.Kvsm.Del ("lock:" ^ key)) keys))
 
 (* Returns false if the execution was already claimed: at-most-once near
    storage. Singleton mode always allows. *)
@@ -328,7 +377,36 @@ let ro_fast_eligible t (req : Proto.lvi_request) =
      | Some entry -> entry.read_only
      | None -> false)
 
+(* Figure 3 steps 8a-10: apply the speculative writes carried by the
+   followup, unless re-execution already handled the intent. *)
+let handle_followup t (fu : Proto.followup) =
+  let exec_id = fu.fu_exec_id in
+  match Hashtbl.find_opt t.pending exec_id with
+  | None -> t.s_fu_discarded <- t.s_fu_discarded + 1
+  | Some { p_req; p_timer; p_created } ->
+      Hashtbl.remove t.pending exec_id;
+      Timer.cancel p_timer;
+      observe_followup_delay t p_req.fn_name (Engine.now () -. p_created);
+      if Intents.try_complete t.intents ~exec_id then begin
+        t.s_fu_applied <- t.s_fu_applied + 1;
+        Log.debug (fun m ->
+            m "followup %s: applying %d writes" exec_id
+              (List.length fu.fu_updates));
+        apply_updates t fu.fu_updates
+      end
+      else begin
+        t.s_fu_discarded <- t.s_fu_discarded + 1;
+        Log.info (fun m -> m "followup %s discarded (already handled)" exec_id)
+      end;
+      Intents.remove t.intents ~exec_id;
+      Hashtbl.remove t.durable_reqs exec_id;
+      release t ~owner:exec_id (locked_keys_of p_req)
+
 let rec handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
+  (* Piggybacked followups of earlier invocations from the same site
+     apply first: they release locks this request might otherwise queue
+     behind. *)
+  List.iter (handle_followup t) req.piggyback;
   t.s_requests <- t.s_requests + 1;
   let exec_id = req.exec_id in
   (* The near-user runtime registered this request's root span under its
@@ -373,7 +451,29 @@ and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
           if List.mem k req.writes then None else Some (k, Locks.Read))
         req.reads
   in
+  (* Conflict-aware admission brackets the lock-and-persist section:
+     statically non-conflicting requests pass straight through and get
+     their lock records batched together; actually-conflicting ones
+     wait here in arrival order. The backup path's re-lock attempts
+     run outside admission — they are rare, bounded, and still
+     serialized by the lock table itself. *)
+  let ticket =
+    match t.admission with
+    | None -> None
+    | Some adm ->
+        Some
+          (Tracer.with_phase t.tracer ~parent:root "admission" (fun () ->
+               Admission.enter adm ~fn:req.fn_name
+                 ~reads:
+                   (List.filter_map
+                      (fun (k, m) -> if m = Locks.Read then Some k else None)
+                      lock_list)
+                 ~writes:req.writes))
+  in
   acquire ~span:root t ~owner:exec_id lock_list;
+  (match (t.admission, ticket) with
+  | Some adm, Some tk -> Admission.leave adm tk
+  | _ -> ());
   let all_keys = List.map fst lock_list in
   let sp_validate = Tracer.child t.tracer ~parent:root "validate" in
   let versions = Kv.versions_of t.kv all_keys in
@@ -429,30 +529,9 @@ and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
         Proto.Mismatch { backup; updates = fresh_updates t refresh_keys }
   end
 
-(* Figure 3 steps 8a-10: apply the speculative writes carried by the
-   followup, unless re-execution already handled the intent. *)
-let handle_followup t (fu : Proto.followup) =
-  let exec_id = fu.fu_exec_id in
-  match Hashtbl.find_opt t.pending exec_id with
-  | None -> t.s_fu_discarded <- t.s_fu_discarded + 1
-  | Some { p_req; p_timer; p_created } ->
-      Hashtbl.remove t.pending exec_id;
-      Timer.cancel p_timer;
-      observe_followup_delay t p_req.fn_name (Engine.now () -. p_created);
-      if Intents.try_complete t.intents ~exec_id then begin
-        t.s_fu_applied <- t.s_fu_applied + 1;
-        Log.debug (fun m ->
-            m "followup %s: applying %d writes" exec_id
-              (List.length fu.fu_updates));
-        apply_updates t fu.fu_updates
-      end
-      else begin
-        t.s_fu_discarded <- t.s_fu_discarded + 1;
-        Log.info (fun m -> m "followup %s discarded (already handled)" exec_id)
-      end;
-      Intents.remove t.intents ~exec_id;
-      Hashtbl.remove t.durable_reqs exec_id;
-      release t ~owner:exec_id (locked_keys_of p_req)
+(* Followups travel as a list: a coalescing runtime flushes one message
+   per window carrying every followup buffered for this destination. *)
+let handle_followups t fus = List.iter (handle_followup t) fus
 
 let handle_exec t (req : Proto.exec_request) : Proto.exec_result =
   t.s_direct <- t.s_direct + 1;
@@ -486,9 +565,41 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
              entry, so long runs would otherwise grow it unboundedly. *)
           RaftLocks.create ~net:raft_net ~locs:azs ~sm:Raft.Kvsm.create
             ~election_timeout:(50.0, 100.0) ~heartbeat_interval:15.0
-            ~rpc_timeout:20.0 ~compaction_threshold:256 ()
+            ~rpc_timeout:20.0 ~compaction_threshold:256
+            ~group_commit:config.batching.group_commit
+            ~append_latency:config.batching.append_cost
+            ~on_batch:(fun ~size ~queue_delay ->
+              Tracer.record_batch tracer ~label:"raft_entry" size;
+              Tracer.record_queue tracer ~label:"raft_entry" queue_delay)
+            ()
         in
-        Some { cluster; idempotency = Store.Idempotency.create () }
+        let flusher =
+          if config.batching.persist_window > 0.0 then
+            Some
+              (Batcher.create ~window:config.batching.persist_window
+                 ~on_flush:(fun ~size ~queue_delay ->
+                   Tracer.record_batch tracer ~label:"lock_persist" size;
+                   Tracer.record_queue tracer ~label:"lock_persist" queue_delay)
+                 (fun cmds ->
+                   ignore (RaftLocks.submit_batch ~tracer cluster cmds)))
+          else None
+        in
+        Some { cluster; idempotency = Store.Idempotency.create (); flusher }
+  in
+  let admission =
+    if config.batching.admission then
+      let may_conflict a b =
+        match Analyzer.Conflict.find_pair (Registry.conflicts registry) a b with
+        | Some Analyzer.Conflict.Disjoint | Some Analyzer.Conflict.Read_share ->
+            false
+        | Some Analyzer.Conflict.May_conflict | None -> true
+      in
+      Some
+        (Admission.create ~may_conflict
+           ~on_admit:(fun ~waited ->
+             Tracer.record_queue tracer ~label:"admission" waited)
+           ())
+    else None
   in
   let t =
     {
@@ -503,6 +614,7 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
       durable_reqs = Hashtbl.create 64;
       followup_delay = Hashtbl.create 16;
       repl;
+      admission;
       pending = Hashtbl.create 64;
       mutation = None;
       owners = 0;
@@ -522,7 +634,7 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
   t.lvi_svc <-
     Some (Transport.serve net ~loc:config.loc ~name:"lvi" (handle_lvi t));
   t.fu_svc <-
-    Some (Transport.serve net ~loc:config.loc ~name:"followup" (handle_followup t));
+    Some (Transport.serve net ~loc:config.loc ~name:"followup" (handle_followups t));
   t.exec_svc <-
     Some (Transport.serve net ~loc:config.loc ~name:"exec" (handle_exec t));
   t
@@ -543,6 +655,12 @@ let stats t =
     reexecutions = t.s_reexec;
     direct_executions = t.s_direct;
     ro_fast = t.s_ro_fast;
+    admission_waits =
+      (match t.admission with Some adm -> Admission.waited adm | None -> 0);
+    persist_flushes =
+      (match t.repl with
+      | Some { flusher = Some b; _ } -> Batcher.flushes b
+      | Some { flusher = None; _ } | None -> 0);
   }
 
 let locks_held t = t.owners

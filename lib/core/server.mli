@@ -23,6 +23,39 @@ type protocol_mutation = Skip_reexecution
         Used to prove the chaos invariant oracle catches real protocol
         bugs; never set in production paths. *)
 
+type batching = {
+  group_commit : bool;
+      (** Replicated mode: the Raft leader folds proposals queued while
+          an append is in flight into one log entry. *)
+  request_flush : bool;
+      (** Persist all lock records of one request as a single
+          [submit_batch] proposal instead of one submit per record. *)
+  persist_window : float;
+      (** > 0: a Nagle flusher additionally coalesces the lock records
+          of *concurrent* requests arriving within this many virtual ms
+          into one proposal. 0 disables the flusher. *)
+  admission : bool;
+      (** Conflict-aware admission before the lock-and-persist section:
+          statically non-conflicting requests ([Analyzer.Conflict]
+          Disjoint/Read_share, or May_conflict with disjoint concrete
+          key sets) are admitted concurrently; actual conflicts wait in
+          arrival order. *)
+  append_cost : float;
+      (** Replicated mode: modeled durable-append cost (virtual ms) per
+          Raft log {e entry} on the lock cluster — the serialized fsync
+          group commit amortizes across coalesced commands. 0 (default,
+          also in {!full_batching}) keeps the seed timing where log
+          appends are free; the batching load-sweep benchmark turns it
+          on so the batched-vs-unbatched comparison has a real resource
+          to contend for. *)
+}
+
+val no_batching : batching
+(** All knobs off — the unbatched seed behaviour. *)
+
+val full_batching : batching
+(** Every knob on, 2 ms persist window. *)
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
@@ -34,10 +67,12 @@ type config = {
           longer than the expected execution latency of the function".
           Until a function has history, the ceiling applies. *)
   mode : mode;
+  batching : batching;
 }
 
 val default_config : config
-(** VA, 1500 ms ceiling with adaptive per-function timers, singleton. *)
+(** VA, 1500 ms ceiling with adaptive per-function timers, singleton,
+    no batching. *)
 
 type t
 
@@ -55,6 +90,12 @@ type stats = {
           against the server's own registry, every read key was fresh and
           write-unlocked at one sampling instant, so the reply carries no
           locks, no write intent and no idempotency record. *)
+  admission_waits : int;
+      (** Requests that queued in conflict-aware admission (0 unless
+          [batching.admission]). *)
+  persist_flushes : int;
+      (** Batched lock-persist rounds flushed to Raft (0 unless
+          [batching.persist_window] > 0). *)
 }
 
 val create :
@@ -70,7 +111,9 @@ val create :
 
 val lvi_service : t -> (Proto.lvi_request, Proto.lvi_response) Net.Transport.service
 
-val followup_service : t -> (Proto.followup, unit) Net.Transport.service
+val followup_service : t -> (Proto.followup list, unit) Net.Transport.service
+(** Followups arrive as a list: one message per coalescing window from
+    each runtime, singleton lists when coalescing is off. *)
 
 val exec_service : t -> (Proto.exec_request, Proto.exec_result) Net.Transport.service
 

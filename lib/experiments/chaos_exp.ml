@@ -13,16 +13,17 @@ let of_bundle (b : Bundle.app) =
 
 let grid = [ Bundle.social; Bundle.forum ]
 
-let campaign ?(seeds = 50) ?(progress = true) () =
+let campaign ?(seeds = 50) ?(progress = true) ?(batching = false) () =
   List.concat_map
     (fun bundle ->
       List.map
         (fun replicated ->
           let label =
-            Printf.sprintf "%s/%s" bundle.Bundle.name
+            Printf.sprintf "%s/%s%s" bundle.Bundle.name
               (if replicated then "replicated" else "singleton")
+              (if batching then "+batching" else "")
           in
-          let config = { Campaign.default_config with replicated } in
+          let config = { Campaign.default_config with replicated; batching } in
           let last = ref 0 in
           let on_progress ~done_ ~total =
             if progress && (done_ - !last >= 20 || done_ = total) then begin
@@ -85,7 +86,7 @@ let demo_mutation ?(seed = 7) () =
     shrunk;
   (original, shrunk)
 
-let run ?(seeds = 50) () =
+let run ?(seeds = 50) ?(batching = false) () =
   print_newline ();
   print_endline
     "================================================================";
@@ -93,12 +94,13 @@ let run ?(seeds = 50) () =
   print_endline
     "================================================================";
   Printf.printf
-    "grid: {social, forum} x {singleton, replicated}, %d seeds each,\n\
+    "grid: {social, forum} x {singleton, replicated}%s, %d seeds each,\n\
      templates: %s\n"
+    (if batching then " with all batching knobs on" else "")
     seeds
     (String.concat ", "
        (List.map (fun (t : Plan.template) -> t.t_name) Plan.default_templates));
-  let reports = campaign ~seeds () in
+  let reports = campaign ~seeds ~batching () in
   let violations = ref 0 in
   List.iter
     (fun r ->

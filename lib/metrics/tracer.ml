@@ -12,6 +12,8 @@ type state = {
   wire : (string, Stats.t) Hashtbl.t; (* message label -> one-way delay *)
   faults : (string * string, int) Hashtbl.t; (* (label, outcome) -> count *)
   raft : Stats.t; (* lock-record submit -> commit latency *)
+  batches : (string, Stats.t) Hashtbl.t; (* batch label -> batch size *)
+  queues : (string, Stats.t) Hashtbl.t; (* queue label -> queueing delay *)
 }
 
 type t = Off | On of state
@@ -29,6 +31,8 @@ let create () =
       wire = Hashtbl.create 16;
       faults = Hashtbl.create 16;
       raft = Stats.create ();
+      batches = Hashtbl.create 16;
+      queues = Hashtbl.create 16;
     }
 
 let enabled = function Off -> false | On _ -> true
@@ -131,6 +135,25 @@ let record_fault t ~label ~outcome =
 
 let record_raft t d = match t with Off -> () | On st -> Stats.add st.raft d
 
+let tbl_add tbl label v =
+  let s =
+    match Hashtbl.find_opt tbl label with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.add tbl label s;
+        s
+  in
+  Stats.add s v
+
+let record_batch t ~label size =
+  match t with
+  | Off -> ()
+  | On st -> tbl_add st.batches label (float_of_int size)
+
+let record_queue t ~label d =
+  match t with Off -> () | On st -> tbl_add st.queues label d
+
 (* --- Readout --------------------------------------------------------- *)
 
 let trace_count t = match t with Off -> 0 | On st -> st.n_completed
@@ -157,6 +180,16 @@ let raft_stats t =
   match t with
   | Off -> None
   | On st -> if Stats.count st.raft = 0 then None else Some st.raft
+
+let batch_stats t =
+  match t with
+  | Off -> []
+  | On st -> sorted_bindings st.batches String.compare
+
+let queue_stats t =
+  match t with
+  | Off -> []
+  | On st -> sorted_bindings st.queues String.compare
 
 let slowest ?(k = 10) t =
   match t with
@@ -276,6 +309,19 @@ let phases_json t =
                   (json_escape label) (json_escape outcome) n)
               (sorted_bindings st.faults compare)));
       Buffer.add_string buf "],\n";
+      let labeled_section name tbl =
+        Buffer.add_string buf (Printf.sprintf "  \"%s\": {" name);
+        Buffer.add_string buf
+          (String.concat ", "
+             (List.map
+                (fun (label, s) ->
+                  Printf.sprintf "\"%s\": %s" (json_escape label)
+                    (stats_json s))
+                (sorted_bindings tbl String.compare)));
+        Buffer.add_string buf "},\n"
+      in
+      labeled_section "batch_sizes" st.batches;
+      labeled_section "queue_delay_ms" st.queues;
       Buffer.add_string buf
         (Printf.sprintf "  \"raft_submit_ms\": %s\n"
            (if Stats.count st.raft = 0 then "null" else stats_json st.raft));

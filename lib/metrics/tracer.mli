@@ -82,6 +82,14 @@ val record_fault : t -> label:string -> outcome:string -> unit
 val record_raft : t -> float -> unit
 (** Submit-to-commit latency of one replicated lock record. *)
 
+val record_batch : t -> label:string -> int -> unit
+(** Size of one flushed batch, keyed by batching site (["raft_entry"],
+    ["lock_persist"], ["followup"], …). *)
+
+val record_queue : t -> label:string -> float -> unit
+(** Queueing delay paid by a batched element before its batch flushed
+    (or by a request waiting in the admission queue), keyed by site. *)
+
 (** {1 Readout} *)
 
 val trace_count : t -> int
@@ -95,6 +103,12 @@ val fault_counts : t -> ((string * string) * int) list
 
 val raft_stats : t -> Stats.t option
 
+val batch_stats : t -> (string * Stats.t) list
+(** Batch-size histograms per batching site, sorted by label. *)
+
+val queue_stats : t -> (string * Stats.t) list
+(** Queue-delay histograms per batching/admission site, sorted. *)
+
 val slowest : ?k:int -> t -> Span.t list
 (** The [k] slowest finalized request trees, slowest first. *)
 
@@ -102,4 +116,5 @@ val phases_json : t -> string
 (** The per-phase breakdown as a JSON document: per-path phase
     histograms (aggregated over functions), the full
     [(fn, phase, path)] breakdown, wire-time histograms per label,
-    fault counts, and Raft submit latency. ["{}"] when disabled. *)
+    fault counts, batch-size and queue-delay histograms per batching
+    site, and Raft submit latency. ["{}"] when disabled. *)

@@ -20,7 +20,11 @@ end
 module Make (Sm : State_machine) = struct
   type node_id = int
 
-  type entry = { e_term : int; e_cmd : Sm.cmd }
+  (* One log entry carries a *batch* of commands: the group-commit
+     proposer folds every command queued while an append was in flight
+     into a single entry, so the whole batch pays one replication round.
+     Unbatched submissions are just singleton batches. *)
+  type entry = { e_term : int; e_cmds : Sm.cmd list }
 
   type role = Follower | Candidate | Leader
 
@@ -53,9 +57,20 @@ module Make (Sm : State_machine) = struct
     | Down
 
   type client_reply =
-    | Applied of Sm.output
+    | Applied of Sm.output list
     | Redirect of node_id option
     | Unavailable
+
+  (* One client submission inside a (possibly coalesced) entry: its
+     [w_count] consecutive commands resolve [w_iv] with their outputs. *)
+  type waiter = { w_count : int; w_iv : Sm.output list option Ivar.t }
+
+  (* A submission waiting for the proposer to fold it into an entry. *)
+  type proposal = {
+    p_cmds : Sm.cmd list;
+    p_enqueued : float;
+    p_iv : Sm.output list option Ivar.t;
+  }
 
   type node = {
     id : node_id;
@@ -80,20 +95,29 @@ module Make (Sm : State_machine) = struct
     compaction_threshold : int option;
     mutable sm : Sm.t;
     mutable applied_cmds : Sm.cmd list; (* newest first *)
-    pending : (int, int * Sm.output option Ivar.t) Hashtbl.t;
-        (* log index -> (term when proposed, client wakeup) *)
+    pending : (int, int * waiter list) Hashtbl.t;
+        (* log index -> (term when proposed, client wakeups in batch order) *)
+    mutable prop_queue : proposal list; (* newest first; group commit only *)
+    mutable proposer_running : bool;
+    (* The durable-append device (one per node): log writes serialize
+       through it when [append_latency] > 0. *)
+    mutable app_lock : bool;
+    app_waiters : (unit -> unit) Queue.t;
   }
 
   type cluster = {
     net : Transport.t;
     nodes : node array;
     node_svcs : (msg, reply) Transport.service array;
-    client_svcs : (Sm.cmd, client_reply) Transport.service array;
+    client_svcs : (Sm.cmd list, client_reply) Transport.service array;
     sm_factory : unit -> Sm.t;
     election_lo : float;
     election_hi : float;
     heartbeat : float;
     rpc_timeout : float;
+    group_commit : bool;
+    append_latency : float;
+    on_batch : size:int -> queue_delay:float -> unit;
     leader_history : (int, node_id list) Hashtbl.t;
   }
 
@@ -117,8 +141,15 @@ module Make (Sm : State_machine) = struct
       | Some _ | None -> (entry_at n idx).e_term
 
   let fail_pending n =
-    Hashtbl.iter (fun _ (_, iv) -> ignore (Ivar.try_fill iv None)) n.pending;
-    Hashtbl.reset n.pending
+    Hashtbl.iter
+      (fun _ (_, ws) ->
+        List.iter (fun w -> ignore (Ivar.try_fill w.w_iv None)) ws)
+      n.pending;
+    Hashtbl.reset n.pending;
+    (* Queued-but-unproposed submissions fail with the in-flight ones:
+       their clients retry through [submit] against the next leader. *)
+    List.iter (fun p -> ignore (Ivar.try_fill p.p_iv None)) n.prop_queue;
+    n.prop_queue <- []
 
   let become_follower n term =
     if term > n.current_term then begin
@@ -139,16 +170,41 @@ module Make (Sm : State_machine) = struct
         n.snap <- Some (n.last_applied, snap_term, data)
     | Some _ | None -> ()
 
+  (* Split [outs] into a [w.w_count]-sized slice per waiter, in order. *)
+  let resolve_waiters waiters outs ok =
+    ignore
+      (List.fold_left
+         (fun rest w ->
+           let rec take k acc rest =
+             if k = 0 then (List.rev acc, rest)
+             else
+               match rest with
+               | [] -> (List.rev acc, [])
+               | o :: tl -> take (k - 1) (o :: acc) tl
+           in
+           let mine, rest = take w.w_count [] rest in
+           ignore (Ivar.try_fill w.w_iv (if ok then Some mine else None));
+           rest)
+         outs waiters)
+
   let apply_committed n =
     while n.last_applied < n.commit_index do
       n.last_applied <- n.last_applied + 1;
       let e = entry_at n n.last_applied in
-      let out = Sm.apply n.sm e.e_cmd in
-      n.applied_cmds <- e.e_cmd :: n.applied_cmds;
+      (* The whole batch applies back-to-back with nothing interleaved:
+         commands of one entry are atomic with respect to other entries. *)
+      let outs =
+        List.map
+          (fun cmd ->
+            let out = Sm.apply n.sm cmd in
+            n.applied_cmds <- cmd :: n.applied_cmds;
+            out)
+          e.e_cmds
+      in
       (match Hashtbl.find_opt n.pending n.last_applied with
-      | Some (term, iv) ->
+      | Some (term, waiters) ->
           Hashtbl.remove n.pending n.last_applied;
-          ignore (Ivar.try_fill iv (if term = e.e_term then Some out else None))
+          resolve_waiters waiters outs (term = e.e_term)
       | None -> ())
     done;
     maybe_compact n
@@ -396,18 +452,98 @@ module Make (Sm : State_machine) = struct
           handle_install_snapshot n ~is_term ~is_leader ~snap_index ~snap_term
             ~snap_data
 
-  let handle_client c n cmd =
+  (* The modeled durable log append (fsync): one device per node, so
+     concurrent appends serialize; the lock hands over directly to the
+     next waiter so arrivals cannot overtake queued appends. *)
+  let append_acquire n =
+    if n.app_lock then
+      Engine.suspend (fun resume ->
+          Queue.push (fun () -> resume ()) n.app_waiters)
+    else n.app_lock <- true
+
+  let append_release n =
+    match Queue.take_opt n.app_waiters with
+    | Some resume -> resume () (* lock ownership transfers *)
+    | None -> n.app_lock <- false
+
+  let propose_entry_now c n props =
+    let cmds = List.concat_map (fun p -> p.p_cmds) props in
+    Vec.push n.log { e_term = n.current_term; e_cmds = cmds };
+    let idx = last_index n in
+    let waiters =
+      List.map (fun p -> { w_count = List.length p.p_cmds; w_iv = p.p_iv }) props
+    in
+    Hashtbl.replace n.pending idx (n.current_term, waiters);
+    let now = Engine.now () in
+    let oldest =
+      List.fold_left (fun acc p -> Float.min acc p.p_enqueued) now props
+    in
+    c.on_batch ~size:(List.length cmds) ~queue_delay:(now -. oldest);
+    if c.append_latency > 0.0 then append_release n;
+    replicate_all c n;
+    advance_commit c n
+
+  (* Append one entry holding every command of [props] (arrival order)
+     and start replicating it. Returns after kicking off replication;
+     completion is signalled through each proposal's ivar. With a
+     nonzero [append_latency] the entry first pays one serialized
+     durable-append — per ENTRY, not per command, which is exactly the
+     cost group commit amortizes. The device releases before the network
+     leg, so appends pipeline with replication. *)
+  let propose_entry c n props =
+    if c.append_latency > 0.0 then begin
+      append_acquire n;
+      Engine.sleep c.append_latency;
+      if not (n.alive && n.role = Leader) then begin
+        (* Lost leadership (or crashed) while the append was in flight:
+           fail the batch so its clients retry via [submit]'s redirect
+           loop, and pass the device on. *)
+        List.iter (fun p -> ignore (Ivar.try_fill p.p_iv None)) props;
+        append_release n
+      end
+      else propose_entry_now c n props
+    end
+    else propose_entry_now c n props
+
+  (* Group-commit proposer: one fiber per leader drains the whole queue
+     into a single entry, waits for that entry to resolve (commit+apply,
+     or leadership loss), then repeats. Commands arriving while an entry
+     is in flight pile up and form the next batch — classic group commit
+     with no artificial delay window. *)
+  let rec proposer_loop c n =
+    match List.rev n.prop_queue with
+    | [] -> n.proposer_running <- false
+    | props when n.alive && n.role = Leader ->
+        n.prop_queue <- [];
+        propose_entry c n props;
+        (match props with
+        | p :: _ -> ignore (Ivar.read p.p_iv)
+        | [] -> ());
+        proposer_loop c n
+    | props ->
+        (* Lost leadership with submissions still queued: fail them so
+           their clients retry against the new leader. *)
+        List.iter (fun p -> ignore (Ivar.try_fill p.p_iv None)) props;
+        n.prop_queue <- [];
+        n.proposer_running <- false
+
+  let handle_client c n cmds =
     if not n.alive then Unavailable
     else if n.role <> Leader then Redirect n.known_leader
+    else if cmds = [] then Applied []
     else begin
-      Vec.push n.log { e_term = n.current_term; e_cmd = cmd };
-      let idx = last_index n in
       let iv = Ivar.create () in
-      Hashtbl.replace n.pending idx (n.current_term, iv);
-      replicate_all c n;
-      advance_commit c n;
+      let p = { p_cmds = cmds; p_enqueued = Engine.now (); p_iv = iv } in
+      if c.group_commit then begin
+        n.prop_queue <- p :: n.prop_queue;
+        if not n.proposer_running then begin
+          n.proposer_running <- true;
+          Engine.spawn ~name:"raft-proposer" (fun () -> proposer_loop c n)
+        end
+      end
+      else propose_entry c n [ p ];
       match Ivar.read iv with
-      | Some out -> Applied out
+      | Some outs -> Applied outs
       | None -> Redirect n.known_leader
     end
 
@@ -415,7 +551,8 @@ module Make (Sm : State_machine) = struct
 
   let create ~net ~locs ~sm ?(election_timeout = (150.0, 300.0))
       ?(heartbeat_interval = 40.0) ?(rpc_timeout = 50.0)
-      ?compaction_threshold () =
+      ?compaction_threshold ?(group_commit = false) ?(append_latency = 0.0)
+      ?(on_batch = fun ~size:_ ~queue_delay:_ -> ()) () =
     let n_nodes = List.length locs in
     if n_nodes = 0 then invalid_arg "Consensus.create: empty cluster";
     let root = Engine.rng () in
@@ -444,6 +581,10 @@ module Make (Sm : State_machine) = struct
                sm = sm ();
                applied_cmds = [];
                pending = Hashtbl.create 16;
+               prop_queue = [];
+               proposer_running = false;
+               app_lock = false;
+               app_waiters = Queue.create ();
              })
            locs)
     in
@@ -479,6 +620,9 @@ module Make (Sm : State_machine) = struct
         election_hi = hi;
         heartbeat = heartbeat_interval;
         rpc_timeout;
+        group_commit;
+        append_latency;
+        on_batch;
         leader_history = Hashtbl.create 16;
       }
     in
@@ -495,36 +639,44 @@ module Make (Sm : State_machine) = struct
       c.nodes;
     !found
 
-  let submit ?(timeout = 1000.0) c cmd =
-    let deadline = Engine.now () +. timeout in
-    let from = c.nodes.(0).loc in
-    let rec go hint rr =
-      if Engine.now () >= deadline then None
-      else begin
-        let target =
-          match hint with
-          | Some id when c.nodes.(id).alive -> id
-          | _ -> (
-              match leader c with
-              | Some id -> id
-              | None -> rr mod size c)
-        in
-        let remaining = deadline -. Engine.now () in
-        match
-          Transport.call_timeout c.net ~from
-            ~timeout:(Float.min remaining (4.0 *. c.rpc_timeout))
-            c.client_svcs.(target) cmd
-        with
-        | Some (Applied out) -> Some out
-        | Some (Redirect h) ->
-            Engine.sleep (c.heartbeat /. 2.0);
-            go h (rr + 1)
-        | Some Unavailable | None ->
-            Engine.sleep c.heartbeat;
-            go None (rr + 1)
-      end
-    in
-    go (leader c) 0
+  let submit_batch ?(timeout = 1000.0) c cmds =
+    if cmds = [] then Some []
+    else begin
+      let deadline = Engine.now () +. timeout in
+      let from = c.nodes.(0).loc in
+      let rec go hint rr =
+        if Engine.now () >= deadline then None
+        else begin
+          let target =
+            match hint with
+            | Some id when c.nodes.(id).alive -> id
+            | _ -> (
+                match leader c with
+                | Some id -> id
+                | None -> rr mod size c)
+          in
+          let remaining = deadline -. Engine.now () in
+          match
+            Transport.call_timeout c.net ~from
+              ~timeout:(Float.min remaining (4.0 *. c.rpc_timeout))
+              c.client_svcs.(target) cmds
+          with
+          | Some (Applied outs) -> Some outs
+          | Some (Redirect h) ->
+              Engine.sleep (c.heartbeat /. 2.0);
+              go h (rr + 1)
+          | Some Unavailable | None ->
+              Engine.sleep c.heartbeat;
+              go None (rr + 1)
+        end
+      in
+      go (leader c) 0
+    end
+
+  let submit ?timeout c cmd =
+    match submit_batch ?timeout c [ cmd ] with
+    | Some [ out ] -> Some out
+    | Some _ | None -> None
 
   let crash c id =
     let n = c.nodes.(id) in

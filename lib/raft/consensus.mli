@@ -45,6 +45,9 @@ module Make (Sm : State_machine) : sig
     ?heartbeat_interval:float ->
     ?rpc_timeout:float ->
     ?compaction_threshold:int ->
+    ?group_commit:bool ->
+    ?append_latency:float ->
+    ?on_batch:(size:int -> queue_delay:float -> unit) ->
     unit ->
     cluster
   (** One node per element of [locs] (normally three availability zones).
@@ -55,7 +58,26 @@ module Make (Sm : State_machine) : sig
       a leader on their own. With [compaction_threshold] set, a node
       whose applied-but-uncompacted log reaches that many entries folds
       the prefix into a state-machine snapshot; followers that lag
-      behind a compacted prefix catch up via snapshot installation. *)
+      behind a compacted prefix catch up via snapshot installation.
+
+      With [group_commit] the leader coalesces proposals: while an
+      append is in flight, newly submitted commands queue up and are
+      folded into the {e next} single log entry, so a burst of
+      concurrent submissions pays one replication round instead of one
+      per submission. Off by default — each submission then gets its own
+      entry and replication round, exactly the unbatched behaviour.
+      [on_batch] fires once per proposed entry on the leader with the
+      entry's command count and the queueing delay of its oldest
+      submission (0 for unqueued proposals) — hook it to a histogram.
+
+      [append_latency] (virtual ms, default 0 = free) models the
+      durable log append: each proposed {e entry} pays it once, on a
+      per-node device that serializes concurrent appends (the fsync
+      queue). It is the resource group commit amortizes — [k] coalesced
+      commands pay one append where unbatched submission pays [k] —
+      and what makes the batching benchmark's load sweep meaningful;
+      leave it 0 for protocol tests, where timing should come from the
+      network alone. *)
 
   val size : cluster -> int
 
@@ -68,6 +90,16 @@ module Make (Sm : State_machine) : sig
       needing exactly-once must make commands idempotent, as the LVI
       server's lock records are. Snapshots and log compaction are
       supported; membership change is not. *)
+
+  val submit_batch :
+    ?timeout:float -> cluster -> Sm.cmd list -> Sm.output list option
+  (** Like {!submit} for a whole command list: the batch lands in one log
+      entry (one replication round), applies back-to-back with nothing
+      interleaved between its commands, and returns the outputs in
+      submission order. [Some []] for the empty batch without touching
+      the cluster. Same retry/at-least-once semantics as {!submit} — a
+      retried batch re-applies wholesale, so batches must be idempotent
+      as a unit. *)
 
   val leader : cluster -> node_id option
   (** The live node that currently believes itself leader, if any. *)

@@ -77,12 +77,25 @@ let drain t ks =
   in
   loop ()
 
+(* Remove exactly one occurrence: one release undoes one grant. The
+   public [acquire] rejects duplicate keys and re-entrant owners, so
+   holder lists are duplicate-free today and this matches [List.filter];
+   but filtering would silently drop *every* entry for an owner if
+   re-entrant read acquisition ever appeared, turning a double-acquire
+   into a premature full release. Pin the one-for-one semantics now. *)
+let remove_first_reader readers owner =
+  let rec go = function
+    | [] -> []
+    | o :: rest -> if String.equal o owner then rest else o :: go rest
+  in
+  go readers
+
 let release_one t ~owner key mode =
   match Hashtbl.find_opt t.keys key with
   | None -> ()
   | Some ks ->
       (match mode with
-      | Read -> ks.readers <- List.filter (fun o -> o <> owner) ks.readers
+      | Read -> ks.readers <- remove_first_reader ks.readers owner
       | Write -> if ks.writer = Some owner then ks.writer <- None);
       drain t ks
 

@@ -160,6 +160,47 @@ let test_call_timeout_late_reply () =
       Alcotest.(check bool) "late reply in tracer" true
         (List.mem_assoc ("echo", "late_reply") (Metrics.Tracer.fault_counts tracer)))
 
+(* The fault-prone call sites (LVI request, direct execution, Raft
+   client submit) all go through [call_timeout]; under a chaos-style
+   probabilistic drop hook — same shape the nemesis installs, drawing
+   from the transport's dedicated fault stream — every caller must come
+   back with Some or None within its timeout, never hang, and the
+   successes + timeouts must account for every call. *)
+let test_call_timeout_under_chaos_hook () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let svc = Transport.serve net ~loc:Location.va ~name:"echo" Fun.id in
+      let frng = Transport.fault_rng net in
+      let handle =
+        Transport.add_fault net (fun ~src:_ ~dst:_ ~label ->
+            if label = "echo" && Rng.float frng 1.0 < 0.5 then Transport.Drop
+            else Transport.Deliver)
+      in
+      let n = 40 in
+      let ok = ref 0 and timed_out = ref 0 and finished = ref 0 in
+      for i = 1 to n do
+        Engine.spawn (fun () ->
+            (match
+               Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc i
+             with
+            | Some v ->
+                Alcotest.(check int) "echoed its own argument" i v;
+                incr ok
+            | None -> incr timed_out);
+            incr finished)
+      done;
+      Engine.sleep 1000.0;
+      Alcotest.(check int) "every caller returned" n !finished;
+      Alcotest.(check int) "successes + timeouts cover all" n (!ok + !timed_out);
+      Alcotest.(check bool) "chaos actually dropped some" true (!timed_out > 0);
+      Alcotest.(check bool) "and delivered some" true (!ok > 0);
+      Alcotest.(check int) "timeouts counted by transport" !timed_out
+        (Transport.calls_timed_out net);
+      Transport.remove_fault net handle;
+      (* Healed: calls succeed again and the hook stack is clean. *)
+      Alcotest.(check (option int)) "healed" (Some 7)
+        (Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 7))
+
 let test_response_drop () =
   run_sim (fun () ->
       let net = mknet () in
@@ -316,6 +357,8 @@ let () =
           Alcotest.test_case "call_timeout stats" `Quick test_call_timeout_stats;
           Alcotest.test_case "call_timeout late reply" `Quick
             test_call_timeout_late_reply;
+          Alcotest.test_case "call_timeout under chaos hook" `Quick
+            test_call_timeout_under_chaos_hook;
           Alcotest.test_case "response drop" `Quick test_response_drop;
           Alcotest.test_case "delay fault" `Quick test_delay_fault;
           Alcotest.test_case "fault hooks compose" `Quick

@@ -537,6 +537,181 @@ let test_replicated_unlock_dedupe () =
       Alcotest.(check bool) "both acquisitions persisted" true (sets >= 2);
       Alcotest.(check int) "exactly one Del per Set" sets dels)
 
+(* --- Batching (group commit, admission, followup coalescing) --------- *)
+
+(* Every batching knob on at once against a replicated server: group
+   commit on the lock log, windowed lock persistence, conflict-aware
+   admission, followup window + piggyback. The protocol must stay
+   correct (linearizable, locks drained) and the batching machinery must
+   actually engage. *)
+let test_batching_full_stack () =
+  let config =
+    {
+      Framework.default_config with
+      server =
+        {
+          Server.default_config with
+          mode = Server.Replicated { az_rtt = 1.5 };
+          batching = Server.full_batching;
+        };
+      fu_window = 2.0;
+      fu_piggyback = true;
+    }
+  in
+  with_radical ~config (fun _ fw ->
+      Engine.sleep 800.0 (* leader election *);
+      Framework.record_history fw;
+      let sites = [ Location.ca; Location.de; Location.jp ] in
+      let pending = ref 0 in
+      List.iteri
+        (fun i from ->
+          incr pending;
+          Engine.spawn (fun () ->
+              let _ =
+                Framework.invoke fw ~from "put"
+                  [ Dval.Str (Printf.sprintf "site%d" i); Dval.Str "v" ]
+              in
+              let _ = Framework.invoke fw ~from "incr" [ Dval.Str "ctr" ] in
+              let _ = Framework.invoke fw ~from "get" [ Dval.Str "x" ] in
+              decr pending))
+        sites;
+      Engine.sleep 20_000.0;
+      Alcotest.(check int) "all invocations completed" 0 !pending;
+      (match Kv.peek (Framework.primary fw) "ctr" with
+      | Some { value; _ } -> check_dval "all increments survive" (Dval.int 3) value
+      | None -> Alcotest.fail "ctr missing");
+      List.iteri
+        (fun i _ ->
+          match Kv.peek (Framework.primary fw) (Printf.sprintf "site%d" i) with
+          | Some _ -> ()
+          | None -> Alcotest.fail (Printf.sprintf "site%d write lost" i))
+        sites;
+      Alcotest.(check bool) "history is linearizable" true
+        (Lincheck.check ~init:data (Framework.history fw));
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check int) "locks drained" 0
+        (Server.locks_held (Framework.server fw));
+      Alcotest.(check int) "no orphaned intents" 0
+        (Server.pending_intents (Framework.server fw));
+      Alcotest.(check bool) "windowed persistence engaged" true
+        (st.persist_flushes > 0);
+      let rt_piggy =
+        List.fold_left
+          (fun acc loc -> acc + (Runtime.stats (Framework.runtime fw loc)).fu_piggybacked)
+          0 sites
+      in
+      let rt_batches =
+        List.fold_left
+          (fun acc loc -> acc + (Runtime.stats (Framework.runtime fw loc)).fu_batches)
+          0 sites
+      in
+      Alcotest.(check bool) "followups coalesced or piggybacked" true
+        (rt_piggy + rt_batches > 0))
+
+(* Conflict-aware admission alone (singleton server): concurrent
+   same-key increments must wait on each other (and stay correct), while
+   writes to disjoint keys pass the dynamic overlap check without
+   queueing behind them. *)
+let test_admission_gates_conflicts () =
+  let config =
+    {
+      Framework.default_config with
+      server =
+        {
+          Server.default_config with
+          batching = { Server.no_batching with admission = true };
+        };
+    }
+  in
+  with_radical ~config (fun _ fw ->
+      Framework.record_history fw;
+      let outs = ref [] in
+      let spawn_invoke from fn args =
+        Engine.spawn (fun () ->
+            let o = Framework.invoke fw ~from fn args in
+            outs := o :: !outs)
+      in
+      (* Three same-key increments: the second blocks on the lock table
+         while still inside admission, so the third — arriving during
+         that window — must wait in the admission queue (the first
+         enters and leaves admission before the others even arrive).
+         The disjoint put passes the dynamic overlap check. *)
+      spawn_invoke Location.ca "incr" [ Dval.Str "ctr" ];
+      spawn_invoke Location.de "incr" [ Dval.Str "ctr" ];
+      spawn_invoke Location.jp "incr" [ Dval.Str "ctr" ];
+      spawn_invoke Location.va "put" [ Dval.Str "w"; Dval.Str "2" ];
+      Engine.sleep 5000.0;
+      Alcotest.(check int) "all four done" 4 (List.length !outs);
+      List.iter (fun o -> ignore (ok_value o)) !outs;
+      (match Kv.peek (Framework.primary fw) "ctr" with
+      | Some { value; _ } -> check_dval "increments serialized" (Dval.int 3) value
+      | None -> Alcotest.fail "ctr missing");
+      Alcotest.(check bool) "history is linearizable" true
+        (Lincheck.check ~init:data (Framework.history fw));
+      let st = Server.stats (Framework.server fw) in
+      Alcotest.(check bool) "conflicting incr waited" true
+        (st.admission_waits >= 1);
+      Alcotest.(check bool) "disjoint writes did not all wait" true
+        (st.admission_waits < 4);
+      Alcotest.(check int) "admission queue drained" 0
+        (Server.locks_held (Framework.server fw)))
+
+(* The followup Nagle window: two speculative writes completing within
+   one window leave the site as a single coalesced followup message, and
+   the buffered writes still reach the primary. *)
+let test_followup_window_coalesces () =
+  let config = { Framework.default_config with fu_window = 5.0 } in
+  with_radical ~config (fun _ fw ->
+      let pending = ref 2 in
+      Engine.spawn (fun () ->
+          let _ =
+            Framework.invoke fw ~from:Location.ca "put"
+              [ Dval.Str "x"; Dval.Str "a" ]
+          in
+          decr pending);
+      Engine.spawn (fun () ->
+          let _ =
+            Framework.invoke fw ~from:Location.ca "put"
+              [ Dval.Str "y"; Dval.Str "b" ]
+          in
+          decr pending);
+      Engine.sleep 2000.0;
+      Alcotest.(check int) "both done" 0 !pending;
+      let st = Runtime.stats (Framework.runtime fw Location.ca) in
+      Alcotest.(check int) "one coalesced followup message" 1 st.fu_batches;
+      (match Kv.peek (Framework.primary fw) "x" with
+      | Some { value; _ } -> check_dval "x landed" (Dval.Str "a") value
+      | None -> Alcotest.fail "x missing");
+      match Kv.peek (Framework.primary fw) "y" with
+      | Some { value; _ } -> check_dval "y landed" (Dval.Str "b") value
+      | None -> Alcotest.fail "y missing")
+
+(* Piggybacking: with a window far wider than the inter-request gap, a
+   buffered followup rides the next outgoing LVI request instead of
+   waiting for the timer — the primary sees the write well before the
+   window expires, carried for free. *)
+let test_followup_piggyback () =
+  let config =
+    { Framework.default_config with fu_window = 5000.0; fu_piggyback = true }
+  in
+  with_radical ~config (fun _ fw ->
+      let t0 = Engine.now () in
+      let o =
+        Framework.invoke fw ~from:Location.ca "put"
+          [ Dval.Str "x"; Dval.Str "rode" ]
+      in
+      check_path "speculative put" Runtime.Speculative o;
+      (* The followup is buffered; this next request carries it. *)
+      let _ = Framework.invoke fw ~from:Location.ca "incr" [ Dval.Str "ctr" ] in
+      Alcotest.(check bool) "well before the window timer" true
+        (Engine.now () -. t0 < 1000.0);
+      let st = Runtime.stats (Framework.runtime fw Location.ca) in
+      Alcotest.(check int) "followup piggybacked" 1 st.fu_piggybacked;
+      match Kv.peek (Framework.primary fw) "x" with
+      | Some { value; _ } ->
+          check_dval "carried write applied first" (Dval.Str "rode") value
+      | None -> Alcotest.fail "x missing")
+
 let test_prediction_failure_falls_back () =
   let broken =
     {
@@ -609,5 +784,16 @@ let () =
           Alcotest.test_case "raft-backed server" `Quick test_replicated_server;
           Alcotest.test_case "unlock persistence deduped" `Quick
             test_replicated_unlock_dedupe;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "full stack replicated" `Quick
+            test_batching_full_stack;
+          Alcotest.test_case "admission gates conflicts" `Quick
+            test_admission_gates_conflicts;
+          Alcotest.test_case "followup window coalesces" `Quick
+            test_followup_window_coalesces;
+          Alcotest.test_case "followup piggyback" `Quick
+            test_followup_piggyback;
         ] );
     ]

@@ -302,6 +302,198 @@ let test_restart_recovers_from_snapshot () =
 
 (* Log-matching safety under random minority crashes: all live nodes end
    with the same committed data. *)
+(* --- Group commit and batched submission --------------------------- *)
+
+let with_gc_cluster ?(seed = 7) ?(locs = azs) ?(jitter_sigma = 0.02) ?on_batch f =
+  let e = Engine.create ~seed () in
+  Engine.run e (fun () ->
+      let net =
+        Transport.create ~rtt:az_rtt ~jitter_sigma
+          ~rng:(Rng.split (Engine.rng ())) ()
+      in
+      let c =
+        R.create ~net ~locs ~sm:Raft.Kvsm.create ~group_commit:true ?on_batch ()
+      in
+      f c;
+      R.stop c)
+
+(* submit_batch lands the whole list in ONE log entry, applies the
+   commands back to back, and returns the outputs in submission order. *)
+let test_submit_batch_atomic () =
+  with_cluster (fun c ->
+      let _ = await_leader c in
+      let len0 = R.log_length c 0 in
+      (match
+         R.submit_batch c
+           [
+             Raft.Kvsm.Set ("a", "1");
+             Raft.Kvsm.Set ("b", "2");
+             Raft.Kvsm.Get "a";
+           ]
+       with
+      | Some [ Raft.Kvsm.Done; Raft.Kvsm.Done; Raft.Kvsm.Value v ] ->
+          Alcotest.(check (option string)) "batch reads its own write"
+            (Some "1") v
+      | Some _ -> Alcotest.fail "wrong output shape"
+      | None -> Alcotest.fail "batch timed out");
+      Alcotest.(check int) "one entry for three commands" (len0 + 1)
+        (R.log_length c 0);
+      Alcotest.(check (option string)) "b visible" (Some "2") (get c "b");
+      Alcotest.(check (option int)) "empty batch is a no-op" (Some 0)
+        (Option.map List.length (R.submit_batch c [])))
+
+(* With group commit on, submissions issued at the same instant coalesce
+   into a single log entry (the proposer drains the whole queue), every
+   submitter still gets its own output, and the on_batch hook reports
+   the coalesced size. *)
+let test_group_commit_coalesces () =
+  let sizes = ref [] in
+  let on_batch ~size ~queue_delay =
+    Alcotest.(check bool) "queue delay non-negative" true (queue_delay >= 0.0);
+    sizes := size :: !sizes
+  in
+  (* Jitter-free net: all eight requests reach the node at the same
+     virtual instant, so they all enqueue before the proposer fiber
+     drains the queue — the purest coalescing case. *)
+  with_gc_cluster ~locs:[ "AZ1" ] ~jitter_sigma:0.0 ~on_batch (fun c ->
+      let _ = await_leader c in
+      let len0 = R.log_length c 0 in
+      let n = 8 in
+      let done_ = ref 0 in
+      for i = 1 to n do
+        Engine.spawn (fun () ->
+            match R.submit c (Raft.Kvsm.Set (Printf.sprintf "k%d" i, "v")) with
+            | Some Raft.Kvsm.Done -> incr done_
+            | _ -> Alcotest.fail "submit failed")
+      done;
+      Engine.sleep 500.0;
+      Alcotest.(check int) "all submitters replied" n !done_;
+      Alcotest.(check int) "one coalesced entry" (len0 + 1) (R.log_length c 0);
+      Alcotest.(check int) "hook saw the whole batch" n
+        (List.fold_left ( + ) 0 !sizes);
+      Alcotest.(check bool) "coalescing actually happened" true
+        (List.exists (fun s -> s >= 2) !sizes);
+      for i = 1 to n do
+        Alcotest.(check (option string))
+          (Printf.sprintf "k%d applied" i)
+          (Some "v")
+          (get c (Printf.sprintf "k%d" i))
+      done)
+
+(* Group commit on a replicated cluster preserves per-replica apply
+   order: staggered concurrent submitters coalesce into fewer entries
+   than submissions, and every node applies the identical command
+   sequence. *)
+let test_group_commit_replicated_order () =
+  with_gc_cluster (fun c ->
+      let _ = await_leader c in
+      let len0 = R.log_length c 0 in
+      let n = 12 in
+      let done_ = ref 0 in
+      for i = 1 to n do
+        Engine.spawn (fun () ->
+            (* Stagger inside one replication round-trip (~4 ms AZ RTT)
+               so later submits queue behind the in-flight append. *)
+            Engine.sleep (0.3 *. float_of_int i);
+            match
+              R.submit c (Raft.Kvsm.Set ("k", Printf.sprintf "%d" i))
+            with
+            | Some Raft.Kvsm.Done -> incr done_
+            | _ -> Alcotest.fail "submit failed")
+      done;
+      Engine.sleep 2000.0;
+      Alcotest.(check int) "all submitters replied" n !done_;
+      let entries = R.log_length c 0 - len0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d submissions in %d entries" n entries)
+        true
+        (entries >= 1 && entries < n);
+      let reference = R.applied c 0 in
+      Alcotest.(check bool) "every command applied" true
+        (List.length reference >= n);
+      for id = 1 to 2 do
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d applied identical sequence" id)
+          true
+          (R.applied c id = reference)
+      done)
+
+(* With a modeled durable-append cost, unbatched same-instant submits
+   serialize on the append device (k entries -> k appends) while group
+   commit pays it once for the whole batch — the amortization the load
+   sweep measures. *)
+let test_append_cost_amortized () =
+  let run_mode group_commit =
+    let e = Engine.create ~seed:7 () in
+    let finish = ref 0.0 in
+    Engine.run e (fun () ->
+        let net =
+          Transport.create ~rtt:az_rtt ~jitter_sigma:0.0
+            ~rng:(Rng.split (Engine.rng ())) ()
+        in
+        let c =
+          R.create ~net ~locs:[ "AZ1" ] ~sm:Raft.Kvsm.create ~group_commit
+            ~append_latency:1.0 ()
+        in
+        let _ = await_leader c in
+        let t0 = Engine.now () in
+        let done_ = ref 0 in
+        for i = 1 to 8 do
+          Engine.spawn (fun () ->
+              match R.submit c (Raft.Kvsm.Set (Printf.sprintf "k%d" i, "v")) with
+              | Some Raft.Kvsm.Done ->
+                  incr done_;
+                  if !done_ = 8 then finish := Engine.now () -. t0
+              | _ -> Alcotest.fail "submit failed")
+        done;
+        Engine.sleep 500.0;
+        Alcotest.(check int) "all committed" 8 !done_;
+        R.stop c);
+    !finish
+  in
+  let unbatched = run_mode false in
+  let batched = run_mode true in
+  Alcotest.(check bool)
+    (Printf.sprintf "unbatched pays 8 serialized appends (%.1f ms)" unbatched)
+    true (unbatched >= 8.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "group commit amortizes to ~1 (%.1f ms)" batched)
+    true
+    (batched < unbatched /. 2.0)
+
+(* A leader crash with proposals queued must fail them cleanly: the
+   submit retry loop re-routes to the new leader and every caller still
+   gets an answer. *)
+let test_group_commit_failover_retries () =
+  with_gc_cluster (fun c ->
+      let l = await_leader c in
+      let n = 6 in
+      let done_ = ref 0 in
+      for i = 1 to n do
+        Engine.spawn (fun () ->
+            Engine.sleep (0.2 *. float_of_int i);
+            match
+              R.submit ~timeout:8000.0 c
+                (Raft.Kvsm.Set (Printf.sprintf "f%d" i, "v"))
+            with
+            | Some Raft.Kvsm.Done -> incr done_
+            | _ -> ())
+      done;
+      (* Crash the leader mid-stream. *)
+      Engine.sleep 1.0;
+      R.crash c l;
+      Engine.sleep 10_000.0;
+      R.restart c l;
+      Engine.sleep 3000.0;
+      Alcotest.(check int) "every submitter eventually answered" n !done_;
+      let applied = R.applied c l in
+      for i = 1 to n do
+        Alcotest.(check bool)
+          (Printf.sprintf "f%d committed" i)
+          true
+          (List.mem (Raft.Kvsm.Set (Printf.sprintf "f%d" i, "v")) applied)
+      done)
+
 let prop_log_convergence =
   QCheck.Test.make ~name:"logs converge under minority crash/restart churn"
     ~count:10
@@ -379,4 +571,17 @@ let () =
             test_restart_recovers_from_snapshot;
         ]
         @ qsuite [ prop_log_convergence ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "submit_batch is atomic" `Quick
+            test_submit_batch_atomic;
+          Alcotest.test_case "same-instant submits coalesce" `Quick
+            test_group_commit_coalesces;
+          Alcotest.test_case "replicated order preserved" `Quick
+            test_group_commit_replicated_order;
+          Alcotest.test_case "append cost amortized" `Quick
+            test_append_cost_amortized;
+          Alcotest.test_case "failover retries queued proposals" `Quick
+            test_group_commit_failover_retries;
+        ] );
     ]

@@ -189,6 +189,40 @@ let test_locks_double_acquire_raises () =
         (Invalid_argument "Locks.acquire: o already holds locks") (fun () ->
           Store.Locks.acquire lt ~owner:"o" [ ("j", Store.Locks.Read) ]))
 
+(* Regression for [release_one]'s Read branch: a release must undo
+   exactly one grant. Releasing one of several readers leaves the others
+   holding, a second release by the same owner is a no-op (its held
+   record is gone), and a writer queued behind the readers wakes only
+   once the *last* reader leaves. *)
+let test_locks_release_one_reader_keeps_others () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"a" [ ("k", Store.Locks.Read) ];
+      Store.Locks.acquire lt ~owner:"b" [ ("k", Store.Locks.Read) ];
+      let writer_in = ref false in
+      Engine.spawn (fun () ->
+          Store.Locks.acquire lt ~owner:"w" [ ("k", Store.Locks.Write) ];
+          writer_in := true);
+      Engine.sleep 1.0;
+      Store.Locks.release lt ~owner:"a";
+      (match Store.Locks.holders lt "k" with
+      | Some (Store.Locks.Read, got) ->
+          Alcotest.(check (list string)) "b still holds" [ "b" ] got
+      | _ -> Alcotest.fail "expected b to keep the read lock");
+      (* Double release by the same owner must not disturb b's grant. *)
+      Store.Locks.release lt ~owner:"a";
+      (match Store.Locks.holders lt "k" with
+      | Some (Store.Locks.Read, got) ->
+          Alcotest.(check (list string)) "unaffected by re-release" [ "b" ] got
+      | _ -> Alcotest.fail "expected b to keep the read lock");
+      Engine.sleep 1.0;
+      Alcotest.(check bool) "writer still queued" false !writer_in;
+      Store.Locks.release lt ~owner:"b";
+      Engine.sleep 1.0;
+      Alcotest.(check bool) "writer admitted after last reader" true !writer_in;
+      Store.Locks.release lt ~owner:"w";
+      Alcotest.(check bool) "free" true (Store.Locks.holders lt "k" = None))
+
 let test_locks_contention_counter () =
   run_sim (fun () ->
       let lt = Store.Locks.create () in
@@ -310,6 +344,8 @@ let () =
             test_locks_duplicate_key_raises;
           Alcotest.test_case "double acquire raises" `Quick
             test_locks_double_acquire_raises;
+          Alcotest.test_case "release one reader keeps others" `Quick
+            test_locks_release_one_reader_keeps_others;
           Alcotest.test_case "contention counter" `Quick
             test_locks_contention_counter;
         ]
