@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick check chaos analyze batch clean
+.PHONY: all build test bench examples quick check chaos analyze batch propagate clean
 
 all: build
 
@@ -34,19 +34,28 @@ analyze:
 batch:
 	dune exec bench/main.exe -- batch
 
+# Cache-update propagation experiment: multi-site shared-key workload
+# with propagation off / Nagle window sweep / invalidate-only; prints
+# the on-vs-off acceptance verdict (speculation success up, median
+# latency down). Full volume; `make check` smoke-tests at --scale 1.
+propagate:
+	dune exec bench/main.exe -- propagate
+
 # CI gate: full build, full test suite, the analyzer golden + bench
 # run, a small traced bench run that exercises the per-phase JSON
-# breakdown end to end, the batching load sweep at smoke scale, and a
-# 20-seed chaos smoke campaign with every batching knob on (fault
-# templates x apps x deployment modes; see `bench/main.exe chaos
-# --help` for the knobs).
+# breakdown end to end, the batching load sweep at smoke scale, the
+# propagation experiment at smoke scale, and a 20-seed chaos smoke
+# campaign with every batching knob and cache-update propagation on
+# (fault templates x apps x deployment modes; see `bench/main.exe
+# chaos --help` for the knobs).
 check:
 	dune build @all
 	dune runtest --force
 	$(MAKE) analyze
 	dune exec bench/main.exe -- --scale 1 phases
 	dune exec bench/main.exe -- --scale 1 batch
-	dune exec bench/main.exe -- chaos --seeds 20 --batching
+	dune exec bench/main.exe -- --scale 1 propagate
+	dune exec bench/main.exe -- chaos --seeds 20 --batching --propagation
 
 # Full 50-seeds-per-cell chaos campaign (~200 sweep runs) plus the
 # protocol-mutation demo; the acceptance run behind EXPERIMENTS.md.

@@ -137,7 +137,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe [--scale F] [--seeds N] \
-     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|batch|chaos|micro]";
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|batch|propagate|chaos|micro]";
   print_endline
     "  batch: batching load sweep — open-loop Poisson load against the";
   print_endline
@@ -147,6 +147,13 @@ let usage () =
   print_endline
     "    median+p99+achieved throughput per offered rate and the";
   print_endline "    batched-vs-unbatched acceptance verdict.";
+  print_endline
+    "  propagate: cache-update propagation experiment — multi-site";
+  print_endline
+    "    shared-key workload; speculation-success rate and latency with";
+  print_endline
+    "    propagation off / Nagle window sweep / invalidate-only, plus";
+  print_endline "    the on-vs-off acceptance verdict.";
   print_endline
     "  analyze: f^rw predict cost raw vs. residual-optimized, and the";
   print_endline
@@ -170,6 +177,13 @@ let usage () =
     "    --batching  run every cell with all batching knobs on (group";
   print_endline
     "                commit, lock flush, admission, followup coalescing).";
+  print_endline
+    "    --propagation  run every cell with asynchronous cache-update";
+  print_endline
+    "                propagation on; the propagation-chaos template then";
+  print_endline
+    "                stresses the channel with lost/duplicated/delayed";
+  print_endline "                cache_update messages.";
   exit 1
 
 let () =
@@ -177,11 +191,15 @@ let () =
   let scale = ref 5.0 in
   let seeds = ref 50 in
   let batching = ref false in
+  let propagation = ref false in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
     | "--batching" :: rest ->
         batching := true;
+        parse rest
+    | "--propagation" :: rest ->
+        propagation := true;
         parse rest
     | "--scale" :: v :: rest ->
         (match float_of_string_opt v with
@@ -223,9 +241,11 @@ let () =
       | "analyze" -> Experiments.Analyze_exp.run ~scale ()
       | "phases" -> ignore (Experiments.Figures.phases ~scale ())
       | "batch" -> ignore (Experiments.Batch_exp.run ~scale ())
+      | "propagate" -> ignore (Experiments.Propagate_exp.run ~scale ())
       | "chaos" ->
           let violations =
-            Experiments.Chaos_exp.run ~seeds:!seeds ~batching:!batching ()
+            Experiments.Chaos_exp.run ~seeds:!seeds ~batching:!batching
+              ~propagation:!propagation ()
           in
           if violations > 0 then exit 2
       | "micro" -> micro ()

@@ -338,23 +338,41 @@ let trace_cmd =
                    conflict-aware admission, followup coalescing) so the \
                    batch-size and queue-delay histograms fill up.")
   in
-  let run verbose app system requests seed top batching =
+  let propagation_arg =
+    Arg.(value & flag
+         & info [ "propagation" ]
+             ~doc:"Turn asynchronous cache-update propagation on so the \
+                   'propagation' batch histogram and per-site \
+                   'prop_lag:*' freshness-lag histograms fill up. \
+                   Composes with --batching.")
+  in
+  let run verbose app system requests seed top batching propagation =
     setup_logs verbose;
     let tracer = Metrics.Tracer.create () in
     let requests_per_client = max 1 (requests / 50) in
     let system =
-      if batching then
+      if batching || propagation then
+        let base = Radical.Framework.default_config in
+        let server =
+          {
+            Radical.Server.default_config with
+            mode =
+              (if batching then Radical.Server.Replicated { az_rtt = 1.5 }
+               else Radical.Server.default_config.mode);
+            batching =
+              (if batching then Radical.Server.full_batching
+               else Radical.Server.default_config.batching);
+            propagation =
+              (if propagation then Radical.Server.default_propagation
+               else Radical.Server.no_propagation);
+          }
+        in
         Experiments.Runner.Radical_with
           {
-            Radical.Framework.default_config with
-            server =
-              {
-                Radical.Server.default_config with
-                mode = Radical.Server.Replicated { az_rtt = 1.5 };
-                batching = Radical.Server.full_batching;
-              };
-            fu_window = 2.0;
-            fu_piggyback = true;
+            base with
+            server;
+            fu_window = (if batching then 2.0 else base.fu_window);
+            fu_piggyback = batching || base.fu_piggyback;
           }
       else system
     in
@@ -403,7 +421,7 @@ let trace_cmd =
        ~doc:"Run a traced deployment: per-phase JSON breakdown, batching \
              histograms, plus the slowest request span trees")
     Term.(const run $ verbose_arg $ app_arg $ system_arg $ requests $ seed
-          $ top $ batching_arg)
+          $ top $ batching_arg $ propagation_arg)
 
 let timeline_cmd =
   let app_arg =
@@ -459,6 +477,13 @@ let chaos_cmd =
     Arg.(value & flag & info [ "replicated" ]
            ~doc:"Raft-replicated LVI server (with --app).")
   in
+  let propagation =
+    Arg.(value & flag & info [ "propagation" ]
+           ~doc:"Asynchronous cache-update propagation on; the \
+                 propagation-chaos template then exercises the channel \
+                 with lost, duplicated and delayed cache_update \
+                 messages.")
+  in
   let template_names =
     List.map
       (fun (t : Chaos.Plan.template) -> (t.t_name, t))
@@ -476,15 +501,17 @@ let chaos_cmd =
                  must catch it and the failing plan is shrunk to a minimal \
                  reproduction.")
   in
-  let run verbose seeds app replicated template mutate =
+  let run verbose seeds app replicated propagation template mutate =
     setup_logs verbose;
     match app with
-    | None -> if Experiments.Chaos_exp.run ~seeds () > 0 then exit 2
+    | None ->
+        if Experiments.Chaos_exp.run ~seeds ~propagation () > 0 then exit 2
     | Some bundle ->
         let config =
           {
             Chaos.Campaign.default_config with
             replicated;
+            propagation;
             mutation =
               (if mutate then Some Radical.Server.Skip_reexecution else None);
           }
@@ -515,7 +542,7 @@ let chaos_cmd =
        ~doc:"Sweep fault plans against live deployments and judge the \
              survivors with the invariant oracle")
     Term.(const run $ verbose_arg $ seeds $ app_arg $ replicated
-          $ template_arg $ mutate)
+          $ propagation $ template_arg $ mutate)
 
 let analyze_cmd =
   let run () = print_string (Apps.Report.render ()) in

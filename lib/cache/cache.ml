@@ -79,7 +79,11 @@ let evict_one t =
 
 let update t key value ~version =
   match Hashtbl.find_opt t.items key with
-  | Some existing when existing.version >= version -> touch t key
+  | Some existing when existing.version >= version ->
+      (* Rejected (stale or duplicate) deliveries must not touch the
+         LRU stamp: promoting a stale duplicate to MRU would get
+         genuinely fresh keys evicted first under capacity. *)
+      ()
   | Some _ | None ->
       (match t.capacity with
       | Some cap
@@ -89,6 +93,18 @@ let update t key value ~version =
       | _ -> ());
       Hashtbl.replace t.items key { value; version };
       touch t key
+
+(* Version-guarded eviction for invalidation-mode propagation: only an
+   entry strictly older than the invalidating write is dropped, so a
+   reordered stale invalidation cannot evict data that is already as
+   fresh as (or fresher than) the write it announces. *)
+let invalidate t key ~version =
+  match Hashtbl.find_opt t.items key with
+  | Some existing when existing.version < version ->
+      Hashtbl.remove t.items key;
+      Hashtbl.remove t.stamps key;
+      true
+  | Some _ | None -> false
 
 let wipe t =
   Hashtbl.reset t.items;

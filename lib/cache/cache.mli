@@ -36,7 +36,17 @@ val peek : t -> string -> entry option
 
 val update : t -> string -> Dval.t -> version:int -> unit
 (** Install a (value, version) pair if newer than what is cached.
-    Latency-free: updates ride on protocol responses. *)
+    Latency-free: updates ride on protocol responses. A rejected
+    (stale or duplicate) install leaves the LRU stamp untouched, so
+    replayed deliveries cannot promote cold entries over fresh ones. *)
+
+val invalidate : t -> string -> version:int -> bool
+(** [invalidate t key ~version] evicts [key] if the cached entry is
+    strictly older than [version] (the version of a write committed at
+    the primary), returning whether an entry was dropped. A hit on an
+    entry at or past [version], or a miss, is a no-op — reordered or
+    duplicated invalidations are harmless. Used by the invalidate-only
+    propagation mode. *)
 
 val wipe : t -> unit
 (** Drop everything (failure injection / bootstrap experiments). *)

@@ -22,6 +22,7 @@ type config = {
   jitter : float;
   replicated : bool;
   batching : bool;
+  propagation : bool;
   intent_timeout : float;
   mutation : Server.protocol_mutation option;
   charge_every : int;
@@ -38,6 +39,7 @@ let default_config =
     jitter = 0.05;
     replicated = false;
     batching = false;
+    propagation = false;
     intent_timeout = 800.0;
     mutation = None;
     charge_every = 6;
@@ -126,6 +128,10 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
            if config.batching then Server.full_batching
            else Server.no_batching
          in
+         let propagation =
+           if config.propagation then Server.default_propagation
+           else Server.no_propagation
+         in
          let fw_config =
            {
              Framework.default_config with
@@ -136,6 +142,7 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
                  mode;
                  intent_timeout = config.intent_timeout;
                  batching;
+                 propagation;
                };
              fu_window = (if config.batching then 2.0 else 0.0);
              fu_piggyback = config.batching;

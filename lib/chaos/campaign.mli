@@ -35,6 +35,13 @@ type config = {
           flush + 2 ms persist window, conflict-aware admission, and
           followup coalescing/piggybacking on the near-user side. The
           fault campaign must find zero violations with or without. *)
+  propagation : bool;
+      (** Asynchronous cache-update propagation on
+          ({!Radical.Server.default_propagation}): committed writes fan
+          out to every subscribed site. Combined with the
+          propagation-chaos template (lost/duplicated/reordered
+          cache_update messages), the campaign must still find zero
+          violations — the version guard is the whole argument. *)
   intent_timeout : float;
   mutation : Radical.Server.protocol_mutation option;
       (** Deliberate protocol bug, injected into the server — the

@@ -37,6 +37,12 @@ let apply_action t env rng (action : Plan.action) =
           if matches filter ~src ~dst ~label && decide rng prob then
             Transport.Drop
           else Transport.Deliver)
+  | Duplicate_messages { filter; prob; duration } ->
+      applied ();
+      windowed_hook env rng ~duration (fun rng ~src ~dst ~label ->
+          if matches filter ~src ~dst ~label && decide rng prob then
+            Transport.Duplicate
+          else Transport.Deliver)
   | Delay_messages { filter; extra; prob; duration } ->
       applied ();
       windowed_hook env rng ~duration (fun rng ~src ~dst ~label ->

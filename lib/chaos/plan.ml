@@ -10,8 +10,16 @@ let any_message = { f_label = None; f_src = None; f_dst = None }
 
 let followups ?src () = { f_label = Some "followup"; f_src = src; f_dst = None }
 
+let cache_updates ?dst () =
+  { f_label = Some "cache_update"; f_src = None; f_dst = dst }
+
 type action =
   | Drop_messages of { filter : msg_filter; prob : float; duration : float }
+  | Duplicate_messages of {
+      filter : msg_filter;
+      prob : float;
+      duration : float;
+    }
   | Delay_messages of {
       filter : msg_filter;
       extra : float;
@@ -32,6 +40,7 @@ let event ?(seed = 0) ~at action = { at; ev_seed = seed; action }
 
 let duration_of = function
   | Drop_messages { duration; _ }
+  | Duplicate_messages { duration; _ }
   | Delay_messages { duration; _ }
   | Partition { duration; _ }
   | Pause_site { duration; _ } ->
@@ -54,6 +63,9 @@ let pp_action ppf = function
   | Drop_messages { filter; prob; duration } ->
       Format.fprintf ppf "drop %a p=%.2f for %.0f ms" pp_filter filter prob
         duration
+  | Duplicate_messages { filter; prob; duration } ->
+      Format.fprintf ppf "duplicate %a p=%.2f for %.0f ms" pp_filter filter
+        prob duration
   | Delay_messages { filter; extra; prob; duration } ->
       Format.fprintf ppf "delay %a +%.0f ms p=%.2f for %.0f ms" pp_filter
         filter extra prob duration
@@ -314,6 +326,72 @@ let everything =
           @ message_chaos.t_gen ~rng ~horizon ~locations));
   }
 
+let propagation_chaos =
+  {
+    t_name = "propagation-chaos";
+    t_replicated_only = false;
+    t_gen =
+      (fun ~rng ~horizon ~locations ->
+        (* The cache-update channel is fire-and-forget and its installs
+           are version-guarded, so unlike request traffic it may be
+           dropped, duplicated and delayed outright — the coherence
+           oracle must hold regardless. A low-probability duplication
+           of *all* traffic rides along to exercise the server's reply
+           cache on LVI and direct-exec deliveries. *)
+        let prop_faults kind =
+          List.init
+            (1 + Rng.int rng 2)
+            (fun _ ->
+              let duration = Rng.uniform rng 300.0 1200.0 in
+              let dst =
+                if Rng.bool rng then Some (pick rng locations) else None
+              in
+              let filter = cache_updates ?dst () in
+              {
+                at = start_at rng ~horizon duration;
+                ev_seed = fresh_seed rng;
+                action =
+                  (match kind with
+                  | `Drop ->
+                      Drop_messages
+                        { filter; prob = Rng.uniform rng 0.2 0.8; duration }
+                  | `Dup ->
+                      Duplicate_messages
+                        { filter; prob = Rng.uniform rng 0.2 0.8; duration }
+                  | `Delay ->
+                      Delay_messages
+                        {
+                          filter;
+                          extra = Rng.uniform rng 50.0 400.0;
+                          prob = Rng.uniform rng 0.2 0.8;
+                          duration;
+                        });
+              })
+        in
+        let dup_any =
+          let duration = Rng.uniform rng 300.0 1000.0 in
+          [
+            {
+              at = start_at rng ~horizon duration;
+              ev_seed = fresh_seed rng;
+              action =
+                Duplicate_messages
+                  {
+                    filter = any_message;
+                    prob = Rng.uniform rng 0.1 0.3;
+                    duration;
+                  };
+            };
+          ]
+        in
+        sort_by_time
+          (prop_faults `Drop @ prop_faults `Dup @ prop_faults `Delay
+         @ dup_any));
+  }
+
+(* New templates append at the end: a template's campaign RNG seed is
+   derived from its list index, so insertion in the middle would shift
+   every later template's plans under existing seeds. *)
 let default_templates =
   [
     followup_storm;
@@ -323,6 +401,7 @@ let default_templates =
     partition_heal;
     raft_churn;
     everything;
+    propagation_chaos;
   ]
 
 let find_template name =

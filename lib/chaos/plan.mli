@@ -22,10 +22,24 @@ val any_message : msg_filter
 val followups : ?src:Net.Location.t -> unit -> msg_filter
 (** Matches write-followup messages (optionally from one site only). *)
 
+val cache_updates : ?dst:Net.Location.t -> unit -> msg_filter
+(** Matches cache-update propagation messages (optionally to one site
+    only). *)
+
 type action =
   | Drop_messages of { filter : msg_filter; prob : float; duration : float }
       (** Drop each matching message with probability [prob] for
           [duration] ms. *)
+  | Duplicate_messages of {
+      filter : msg_filter;
+      prob : float;
+      duration : float;
+    }
+      (** Deliver each matching message twice (independently sampled
+          latencies, so the copy may overtake the original) with
+          probability [prob] for [duration] ms — at-least-once
+          delivery. Receivers dedupe: the LVI server through its reply
+          cache, cache-update installs through the version guard. *)
   | Delay_messages of {
       filter : msg_filter;
       extra : float;
@@ -89,6 +103,8 @@ type template = {
 val default_templates : template list
 (** The campaign's default sweep: followup storms, general message
     chaos, cache wipes + site pauses, mid-flight server restarts,
-    partitions, and (replicated only) Raft node churn. *)
+    partitions, (replicated only) Raft node churn, and lost/duplicated/
+    delayed cache-update propagation. New templates append at the end —
+    a template's campaign seed derives from its list index. *)
 
 val find_template : string -> template option

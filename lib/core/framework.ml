@@ -93,6 +93,12 @@ let create ?(config = default_config) ?schema ?(manual = [])
         (loc, rt))
       config.locations
   in
+  (* Wire every site's cache into the server's propagation channel.
+     [subscribe] is a no-op when propagation is off, so the seed
+     configuration constructs exactly what it did before. *)
+  List.iter
+    (fun (_, rt) -> Server.subscribe srv (Runtime.cache_update_service rt))
+    sites;
   { cfg = config; net; reg; kv; extsvc; srv; sites; ops = [] }
 
 let locations t = List.map fst t.sites

@@ -1,6 +1,10 @@
 type exec_id = string
 
-type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
+type followup = {
+  fu_exec_id : exec_id;
+  fu_from : Net.Location.t;
+  fu_updates : (string * Dval.t) list;
+}
 
 type lvi_request = {
   exec_id : exec_id;
@@ -22,6 +26,11 @@ type lvi_request = {
 }
 
 type update = { up_key : string; up_value : Dval.t; up_version : int }
+
+type cache_update = {
+  cu_invalidate : bool;
+  cu_updates : (update * float) list;
+}
 
 type exec_result = {
   value : (Dval.t, string) result;

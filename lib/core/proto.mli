@@ -11,7 +11,15 @@
 
 type exec_id = string
 
-type followup = { fu_exec_id : exec_id; fu_updates : (string * Dval.t) list }
+type followup = {
+  fu_exec_id : exec_id;
+  fu_from : Net.Location.t;
+      (** The near-user site whose speculation produced these writes.
+          The server excludes it when it propagates the committed
+          updates to subscribed caches — that site already installed
+          them at [Validated] time. *)
+  fu_updates : (string * Dval.t) list;
+}
 
 type lvi_request = {
   exec_id : exec_id;
@@ -39,6 +47,25 @@ type lvi_request = {
 }
 
 type update = { up_key : string; up_value : Dval.t; up_version : int }
+
+type cache_update = {
+  cu_invalidate : bool;
+      (** [true]: the receiver evicts each key (if it caches an older
+          version) instead of installing the value — the bandwidth-lean
+          invalidation mode; the next local request misses and repairs
+          through normal protocol traffic. [false]: install. *)
+  cu_updates : (update * float) list;
+      (** Committed (key, value, version) records paired with the
+          virtual instant the write was applied to primary storage; the
+          receiver derives its freshness lag from the stamp. Installs
+          are version-guarded at the receiving cache, so lost,
+          duplicated or reordered batches are harmless. *)
+}
+(** Asynchronous cache-update propagation from the LVI server to the
+    subscribed near-user caches — the cross-site freshness channel.
+    Published after a followup / deterministic re-execution / mismatch
+    repair commits writes to primary storage, coalesced per destination
+    in a Nagle window ([Server.propagation]). *)
 
 type exec_result = {
   value : (Dval.t, string) result;

@@ -59,6 +59,16 @@ type stats = {
   rpc_timeouts : int;
       (* LVI or direct-execution calls that hit the RPC timeout and
          returned an error outcome instead of blocking forever. *)
+  prop_batches : int;
+      (* cache_update messages received from the LVI server's
+         propagation channel (0 with propagation off). *)
+  prop_records : int;
+      (* Update records carried by those messages. *)
+  prop_installed : int;
+      (* Records that actually changed the cache — installed a newer
+         version, or evicted a stale entry in invalidate mode. The
+         remainder lost the version guard (already as fresh, typically
+         the origin's own writes or a reordered duplicate). *)
 }
 
 type t = {
@@ -88,10 +98,43 @@ type t = {
   mutable s_fu_batches : int;
   mutable s_fu_piggybacked : int;
   mutable s_rpc_timeouts : int;
+  mutable s_prop_batches : int;
+  mutable s_prop_records : int;
+  mutable s_prop_installed : int;
+  mutable cu_svc : (Proto.cache_update, unit) Transport.service option;
 }
 
+(* Receiver half of the cache-update propagation channel: install (or,
+   in invalidate mode, evict) each committed record. Installs are
+   version-guarded, so lost, duplicated or reordered batches are
+   harmless — at worst the cache stays as stale as it already was. The
+   freshness lag (commit instant at primary to install instant here)
+   lands in the per-site "prop_lag:<loc>" histogram. *)
+let handle_cache_update t (cu : Proto.cache_update) =
+  t.s_prop_batches <- t.s_prop_batches + 1;
+  let now = Engine.now () in
+  List.iter
+    (fun ({ Proto.up_key; up_value; up_version }, stamp) ->
+      t.s_prop_records <- t.s_prop_records + 1;
+      let changed =
+        if cu.cu_invalidate then
+          Cache.invalidate t.cache up_key ~version:up_version
+        else if Cache.version_of t.cache up_key < up_version then begin
+          Cache.update t.cache up_key up_value ~version:up_version;
+          true
+        end
+        else false
+      in
+      if changed then begin
+        t.s_prop_installed <- t.s_prop_installed + 1;
+        Tracer.record_queue t.tracer ~label:("prop_lag:" ^ t.cfg.loc)
+          (now -. stamp)
+      end)
+    cu.cu_updates
+
 let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
-  {
+  let t =
+    {
     cfg;
     net;
     tracer;
@@ -112,10 +155,22 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
     s_fallback = 0;
     s_skipped = 0;
     s_ro_hints = 0;
-    s_fu_batches = 0;
-    s_fu_piggybacked = 0;
-    s_rpc_timeouts = 0;
-  }
+      s_fu_batches = 0;
+      s_fu_piggybacked = 0;
+      s_rpc_timeouts = 0;
+      s_prop_batches = 0;
+      s_prop_records = 0;
+      s_prop_installed = 0;
+      cu_svc = None;
+    }
+  in
+  t.cu_svc <-
+    Some
+      (Transport.serve net ~loc:cfg.loc ~name:"cache_update"
+         (handle_cache_update t));
+  t
+
+let cache_update_service t = Option.get t.cu_svc
 
 let set_recorder t r = t.recorder <- Some r
 
@@ -412,15 +467,28 @@ let invoke t fn args =
                   (fun () ->
                     List.iter
                       (fun (k, v) ->
-                        let base =
-                          Option.value ~default:0
-                            (List.assoc_opt k write_versions)
-                        in
-                        Cache.update t.cache k v ~version:(base + 1))
+                        (* The server returns the authoritative version
+                           for every key in the validated write set, so
+                           a gap means this speculation wrote a key it
+                           never predicted — only possible with an
+                           under-predicting manual f^rw. Installing a
+                           guessed version would silently poison the
+                           cache (and every peer, once propagated), so
+                           fail loudly instead. *)
+                        match List.assoc_opt k write_versions with
+                        | Some base ->
+                            Cache.update t.cache k v ~version:(base + 1)
+                        | None ->
+                            invalid_arg
+                              (Printf.sprintf
+                                 "Runtime: %s wrote key %S outside its \
+                                  validated write set (unsound manual f^rw?)"
+                                 exec_id k))
                       spec_result.written;
                     send_followup t
                       {
                         Proto.fu_exec_id = exec_id;
+                        fu_from = t.cfg.loc;
                         fu_updates = spec_result.written;
                       });
               finalize outcome
@@ -454,4 +522,7 @@ let stats t =
     fu_batches = t.s_fu_batches;
     fu_piggybacked = t.s_fu_piggybacked;
     rpc_timeouts = t.s_rpc_timeouts;
+    prop_batches = t.s_prop_batches;
+    prop_records = t.s_prop_records;
+    prop_installed = t.s_prop_installed;
   }

@@ -85,6 +85,14 @@ type stats = {
       (** Followups that rode an outgoing LVI request. *)
   rpc_timeouts : int;
       (** Calls that hit [rpc_timeout] and returned an error outcome. *)
+  prop_batches : int;
+      (** [cache_update] messages received from the LVI server's
+          propagation channel (0 with propagation off). *)
+  prop_records : int; (** Update records carried by those messages. *)
+  prop_installed : int;
+      (** Records that changed the cache — installed a newer version,
+          or evicted a stale entry in invalidate mode. The rest lost
+          the version guard (the cache was already as fresh). *)
 }
 
 val create :
@@ -109,7 +117,17 @@ val create :
 
 val invoke : t -> string -> Dval.t list -> outcome
 (** Blocking; must run inside a fiber. Raises [Invalid_argument] for an
-    unregistered function name. *)
+    unregistered function name, and for a validated speculation that
+    wrote a key outside its predicted write set — the server cannot
+    have returned an authoritative version for it, which only happens
+    with an unsound manual [f^rw]. *)
+
+val cache_update_service : t -> (Proto.cache_update, unit) Net.Transport.service
+(** The runtime's receiver for the server's asynchronous cache-update
+    propagation ({!Server.subscribe}). Installs each record into the
+    local cache (or evicts, in invalidate mode) under the version
+    guard, so lost, duplicated or reordered batches are harmless, and
+    records the per-site freshness lag under ["prop_lag:<loc>"]. *)
 
 val set_recorder : t -> (Lincheck.op -> unit) -> unit
 

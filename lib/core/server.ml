@@ -40,12 +40,25 @@ let full_batching =
     append_cost = 0.0;
   }
 
+type propagation = {
+  enabled : bool;
+  prop_window : float;
+  invalidate_only : bool;
+}
+
+let no_propagation =
+  { enabled = false; prop_window = 0.0; invalidate_only = false }
+
+let default_propagation =
+  { enabled = true; prop_window = 2.0; invalidate_only = false }
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
   adaptive_timeout : bool;
   mode : mode;
   batching : batching;
+  propagation : propagation;
 }
 
 let default_config =
@@ -55,6 +68,7 @@ let default_config =
     adaptive_timeout = true;
     mode = Singleton;
     batching = no_batching;
+    propagation = no_propagation;
   }
 
 type stats = {
@@ -75,6 +89,14 @@ type stats = {
   persist_flushes : int;
       (* Batched lock-persist rounds flushed to Raft (0 unless
          batching.persist_window > 0). *)
+  prop_records : int;
+      (* Cache-update records enqueued for propagation, summed over
+         destinations (0 unless propagation.enabled). *)
+  prop_batches : int;
+      (* Coalesced cache_update messages actually sent. *)
+  dup_deliveries : int;
+      (* Duplicated LVI / direct-exec deliveries answered from the
+         reply cache instead of being re-processed. *)
 }
 
 type repl = {
@@ -117,6 +139,19 @@ type t = {
      protocol step is skipped so the invariant oracle can prove it has
      teeth. Never set in production paths. *)
   mutable mutation : protocol_mutation option;
+  (* One Nagle batcher per subscribed near-user cache; committed update
+     records are coalesced per destination for propagation.prop_window
+     virtual ms before one cache_update message ships. *)
+  mutable subscribers :
+    (Net.Location.t * (Proto.update * float) Batcher.t) list;
+  (* At-least-once delivery defense: the response of every in-flight or
+     completed LVI / direct-exec request, keyed by execution id. A
+     duplicated delivery reads the first delivery's (possibly still
+     pending) response instead of re-running the protocol — the
+     simulation equivalent of a server-side reply cache. Entries live
+     for the run; execution ids are unique per invocation. *)
+  reply_cache : (string, Proto.lvi_response Ivar.t) Hashtbl.t;
+  exec_replies : (string, Proto.exec_result Ivar.t) Hashtbl.t;
   mutable owners : int;
   mutable s_requests : int;
   mutable s_validated : int;
@@ -126,6 +161,8 @@ type t = {
   mutable s_reexec : int;
   mutable s_direct : int;
   mutable s_ro_fast : int;
+  mutable s_prop_records : int;
+  mutable s_dup_deliveries : int;
   mutable lvi_svc :
     (Proto.lvi_request, Proto.lvi_response) Transport.service option;
   mutable fu_svc : (Proto.followup list, unit) Transport.service option;
@@ -280,8 +317,46 @@ let backup_execute ?(span = Tracer.none) t (entry : Registry.entry)
 
 (* --- LVI request handling (Figure 3, steps 4-6) -------------------- *)
 
+(* Apply committed writes to primary storage and return them as
+   (key, value, version) records, ready for cache-update propagation. *)
 let apply_updates t updates =
-  ignore (Kv.put_many t.kv updates)
+  List.map2
+    (fun (k, v) (_, version) ->
+      { Proto.up_key = k; up_value = v; up_version = version })
+    updates
+    (Kv.put_many t.kv updates)
+
+(* Records for writes already applied to primary (deterministic
+   re-execution commits inside [execute_on_primary]); the authoritative
+   version is whatever primary holds now. Latency-free: the write just
+   paid its storage access. *)
+let committed_records t written =
+  List.map
+    (fun (k, v) ->
+      let version =
+        match Kv.peek t.kv k with Some { Kv.version; _ } -> version | None -> 0
+      in
+      { Proto.up_key = k; up_value = v; up_version = version })
+    written
+
+(* Fan committed update records out to every subscribed near-user cache
+   except [exclude] (the site whose speculation produced them — it
+   installed them at [Validated] time). Each record is stamped with the
+   commit instant so receivers can report their freshness lag. A
+   [Batcher.submit_all] blocks until its destination's Nagle window
+   flushes, so the fan-out runs in spawned fibers off the request path,
+   like [persist_unlocks]. *)
+let publish t ?exclude records =
+  if t.config.propagation.enabled && records <> [] then
+    let stamped = List.map (fun u -> (u, Engine.now ())) records in
+    List.iter
+      (fun (dst, batcher) ->
+        if exclude <> Some dst then begin
+          t.s_prop_records <- t.s_prop_records + List.length stamped;
+          Engine.spawn ~name:"propagate" (fun () ->
+              Batcher.submit_all batcher stamped)
+        end)
+      t.subscribers
 
 let fresh_updates t keys =
   List.map
@@ -310,7 +385,13 @@ let resolve_orphaned_intent t (req : Proto.lvi_request) =
     if claim_execution t ~exec_id:("ns:" ^ exec_id) then begin
       t.s_reexec <- t.s_reexec + 1;
       match Registry.find t.registry req.fn_name with
-      | Some entry -> ignore (execute_on_primary t ~exec_id entry req.args)
+      | Some entry ->
+          let result = execute_on_primary t ~exec_id entry req.args in
+          (* No exclusion: the origin installed these writes at
+             [Validated] time with the very versions the replay
+             reproduces, so the version guard turns its redundant
+             install into a no-op. *)
+          publish t (committed_records t result.written)
       | None -> ()
     end
   end;
@@ -392,7 +473,8 @@ let handle_followup t (fu : Proto.followup) =
         Log.debug (fun m ->
             m "followup %s: applying %d writes" exec_id
               (List.length fu.fu_updates));
-        apply_updates t fu.fu_updates
+        let committed = apply_updates t fu.fu_updates in
+        publish t ~exclude:fu.fu_from committed
       end
       else begin
         t.s_fu_discarded <- t.s_fu_discarded + 1;
@@ -402,7 +484,7 @@ let handle_followup t (fu : Proto.followup) =
       Hashtbl.remove t.durable_reqs exec_id;
       release t ~owner:exec_id (locked_keys_of p_req)
 
-let rec handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
+let rec handle_lvi_once t (req : Proto.lvi_request) : Proto.lvi_response =
   (* Piggybacked followups of earlier invocations from the same site
      apply first: they release locks this request might otherwise queue
      behind. *)
@@ -495,7 +577,10 @@ and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
       Proto.Validated { write_versions = [] }
     end
     else begin
-      Intents.put t.intents ~exec_id;
+      (* [put] is a conditional put-if-absent; with the reply cache
+         deduping deliveries upstream the id is always fresh here, but a
+         pre-existing intent must not crash the server either way. *)
+      ignore (Intents.put t.intents ~exec_id : bool);
       Hashtbl.replace t.durable_reqs exec_id req;
       start_intent_timer t req;
       Proto.Validated
@@ -526,23 +611,62 @@ and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
           List.sort_uniq String.compare
             (stale @ List.map fst backup.written)
         in
-        Proto.Mismatch { backup; updates = fresh_updates t refresh_keys }
+        let updates = fresh_updates t refresh_keys in
+        (* The repair material also freshens the other subscribed sites:
+           they are at least as stale as the requester was. The
+           requester itself installs [updates] from the response. *)
+        publish t ~exclude:req.from_loc updates;
+        Proto.Mismatch { backup; updates }
   end
+
+(* At-least-once delivery guard: a duplicated LVI message must not run
+   the protocol twice — the second pass would queue on its own locks,
+   find its own writes "stale" and double-execute the backup. The first
+   delivery registers an ivar and fills it with the response; a
+   duplicate — even one arriving while the original is still being
+   processed — blocks on the same ivar and returns the same response. *)
+let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
+  match Hashtbl.find_opt t.reply_cache req.exec_id with
+  | Some iv ->
+      t.s_dup_deliveries <- t.s_dup_deliveries + 1;
+      Log.info (fun m ->
+          m "LVI %s: duplicate delivery, replaying reply" req.exec_id);
+      Ivar.read iv
+  | None ->
+      let iv = Ivar.create () in
+      Hashtbl.replace t.reply_cache req.exec_id iv;
+      let resp = handle_lvi_once t req in
+      Ivar.fill iv resp;
+      resp
 
 (* Followups travel as a list: a coalescing runtime flushes one message
    per window carrying every followup buffered for this destination. *)
 let handle_followups t fus = List.iter (handle_followup t) fus
 
+(* Same reply-cache guard as [handle_lvi]: a duplicated direct-exec
+   delivery must not run the function (and its effects) twice. *)
 let handle_exec t (req : Proto.exec_request) : Proto.exec_result =
-  t.s_direct <- t.s_direct + 1;
-  match Registry.find t.registry req.dx_fn_name with
+  match Hashtbl.find_opt t.exec_replies req.dx_exec_id with
+  | Some iv ->
+      t.s_dup_deliveries <- t.s_dup_deliveries + 1;
+      Ivar.read iv
   | None ->
-      {
-        value = Error ("unknown function " ^ req.dx_fn_name);
-        observed = [];
-        written = [];
-      }
-  | Some entry -> execute_on_primary t ~exec_id:req.dx_exec_id entry req.dx_args
+      let iv = Ivar.create () in
+      Hashtbl.replace t.exec_replies req.dx_exec_id iv;
+      t.s_direct <- t.s_direct + 1;
+      let result =
+        match Registry.find t.registry req.dx_fn_name with
+        | None ->
+            {
+              Proto.value = Error ("unknown function " ^ req.dx_fn_name);
+              observed = [];
+              written = [];
+            }
+        | Some entry ->
+            execute_on_primary t ~exec_id:req.dx_exec_id entry req.dx_args
+      in
+      Ivar.fill iv result;
+      result
 
 (* --- Construction --------------------------------------------------- *)
 
@@ -617,6 +741,9 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
       admission;
       pending = Hashtbl.create 64;
       mutation = None;
+      subscribers = [];
+      reply_cache = Hashtbl.create 256;
+      exec_replies = Hashtbl.create 64;
       owners = 0;
       s_requests = 0;
       s_validated = 0;
@@ -626,6 +753,8 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
       s_reexec = 0;
       s_direct = 0;
       s_ro_fast = 0;
+      s_prop_records = 0;
+      s_dup_deliveries = 0;
       lvi_svc = None;
       fu_svc = None;
       exec_svc = None;
@@ -638,6 +767,28 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
   t.exec_svc <-
     Some (Transport.serve net ~loc:config.loc ~name:"exec" (handle_exec t));
   t
+
+(* Register a near-user cache-update service as a propagation
+   destination. One Nagle batcher per destination: records enqueued
+   within prop_window virtual ms ship as a single cache_update message.
+   A subscription at the server's own location is refused — the primary
+   needs no cache feed — and with propagation disabled this is a no-op,
+   keeping the seed configuration free of even idle batchers. *)
+let subscribe t svc =
+  let dst = Transport.service_location svc in
+  if t.config.propagation.enabled then begin
+    let prop = t.config.propagation in
+    let batcher =
+      Batcher.create ~window:prop.prop_window
+        ~on_flush:(fun ~size ~queue_delay ->
+          Tracer.record_batch t.tracer ~label:"propagation" size;
+          Tracer.record_queue t.tracer ~label:"propagation" queue_delay)
+        (fun stamped ->
+          Transport.post t.net ~from:t.config.loc svc
+            { Proto.cu_invalidate = prop.invalidate_only; cu_updates = stamped })
+    in
+    t.subscribers <- t.subscribers @ [ (dst, batcher) ]
+  end
 
 let lvi_service t = Option.get t.lvi_svc
 
@@ -661,6 +812,10 @@ let stats t =
       (match t.repl with
       | Some { flusher = Some b; _ } -> Batcher.flushes b
       | Some { flusher = None; _ } | None -> 0);
+    prop_records = t.s_prop_records;
+    prop_batches =
+      List.fold_left (fun acc (_, b) -> acc + Batcher.flushes b) 0 t.subscribers;
+    dup_deliveries = t.s_dup_deliveries;
   }
 
 let locks_held t = t.owners

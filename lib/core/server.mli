@@ -56,6 +56,29 @@ val no_batching : batching
 val full_batching : batching
 (** Every knob on, 2 ms persist window. *)
 
+type propagation = {
+  enabled : bool;
+      (** Publish committed writes to subscribed near-user caches. Off:
+          bit-identical seed behaviour — no batchers, no messages, no
+          timer activity. *)
+  prop_window : float;
+      (** Nagle window (virtual ms) coalescing update records per
+          destination into one [cache_update] message; 0 coalesces only
+          same-instant commits. *)
+  invalidate_only : bool;
+      (** Ship invalidations instead of values: the receiver evicts
+          each key it caches at an older version, and the next local
+          request repairs it through normal protocol traffic. Trades
+          propagation bandwidth for one extra mismatch per evicted
+          key. *)
+}
+
+val no_propagation : propagation
+(** Disabled — the seed behaviour. *)
+
+val default_propagation : propagation
+(** Enabled, 2 ms window, value installs (not invalidations). *)
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
@@ -68,11 +91,12 @@ type config = {
           Until a function has history, the ceiling applies. *)
   mode : mode;
   batching : batching;
+  propagation : propagation;
 }
 
 val default_config : config
 (** VA, 1500 ms ceiling with adaptive per-function timers, singleton,
-    no batching. *)
+    no batching, no propagation. *)
 
 type t
 
@@ -96,6 +120,14 @@ type stats = {
   persist_flushes : int;
       (** Batched lock-persist rounds flushed to Raft (0 unless
           [batching.persist_window] > 0). *)
+  prop_records : int;
+      (** Cache-update records enqueued for propagation, summed over
+          destinations (0 unless [propagation.enabled]). *)
+  prop_batches : int;
+      (** Coalesced [cache_update] messages actually sent. *)
+  dup_deliveries : int;
+      (** Duplicated LVI / direct-exec deliveries answered from the
+          reply cache instead of being re-processed. *)
 }
 
 val create :
@@ -116,6 +148,18 @@ val followup_service : t -> (Proto.followup list, unit) Net.Transport.service
     each runtime, singleton lists when coalescing is off. *)
 
 val exec_service : t -> (Proto.exec_request, Proto.exec_result) Net.Transport.service
+
+val subscribe : t -> (Proto.cache_update, unit) Net.Transport.service -> unit
+(** Register a near-user cache-update service as a propagation
+    destination. After a followup, deterministic re-execution or
+    mismatch repair commits writes to primary, the server coalesces the
+    committed (key, value, version) records per destination for
+    [propagation.prop_window] virtual ms and posts them as one
+    {!Proto.cache_update} message — excluding the origin site, which
+    installed its own writes at [Validated] time. A runtime colocated
+    with the server subscribes like any other: its cache is a separate
+    store that goes stale the same way. No-op when propagation is
+    disabled. *)
 
 val stats : t -> stats
 

@@ -13,17 +13,21 @@ let of_bundle (b : Bundle.app) =
 
 let grid = [ Bundle.social; Bundle.forum ]
 
-let campaign ?(seeds = 50) ?(progress = true) ?(batching = false) () =
+let campaign ?(seeds = 50) ?(progress = true) ?(batching = false)
+    ?(propagation = false) () =
   List.concat_map
     (fun bundle ->
       List.map
         (fun replicated ->
           let label =
-            Printf.sprintf "%s/%s%s" bundle.Bundle.name
+            Printf.sprintf "%s/%s%s%s" bundle.Bundle.name
               (if replicated then "replicated" else "singleton")
               (if batching then "+batching" else "")
+              (if propagation then "+propagation" else "")
           in
-          let config = { Campaign.default_config with replicated; batching } in
+          let config =
+            { Campaign.default_config with replicated; batching; propagation }
+          in
           let last = ref 0 in
           let on_progress ~done_ ~total =
             if progress && (done_ - !last >= 20 || done_ = total) then begin
@@ -86,7 +90,7 @@ let demo_mutation ?(seed = 7) () =
     shrunk;
   (original, shrunk)
 
-let run ?(seeds = 50) ?(batching = false) () =
+let run ?(seeds = 50) ?(batching = false) ?(propagation = false) () =
   print_newline ();
   print_endline
     "================================================================";
@@ -94,13 +98,14 @@ let run ?(seeds = 50) ?(batching = false) () =
   print_endline
     "================================================================";
   Printf.printf
-    "grid: {social, forum} x {singleton, replicated}%s, %d seeds each,\n\
+    "grid: {social, forum} x {singleton, replicated}%s%s, %d seeds each,\n\
      templates: %s\n"
     (if batching then " with all batching knobs on" else "")
+    (if propagation then " with cache-update propagation on" else "")
     seeds
     (String.concat ", "
        (List.map (fun (t : Plan.template) -> t.t_name) Plan.default_templates));
-  let reports = campaign ~seeds ~batching () in
+  let reports = campaign ~seeds ~batching ~propagation () in
   let violations = ref 0 in
   List.iter
     (fun r ->

@@ -13,18 +13,22 @@ type report = { r_label : string; r_summary : Chaos.Campaign.summary }
 val of_bundle : Bundle.app -> Chaos.Campaign.app
 
 val campaign :
-  ?seeds:int -> ?progress:bool -> ?batching:bool -> unit -> report list
+  ?seeds:int -> ?progress:bool -> ?batching:bool -> ?propagation:bool ->
+  unit -> report list
 (** [seeds] per (app × mode) cell, default 50 — 200 seeded sweeps in
     total over the 4-cell grid. [batching] turns every batching knob on
     in every cell (group commit, lock-record flush, admission, followup
-    coalescing) — the oracle expects zero violations either way. *)
+    coalescing); [propagation] turns asynchronous cache-update
+    propagation on, which the propagation-chaos template then stresses
+    with lost/duplicated/delayed cache_update messages — the oracle
+    expects zero violations in every combination. *)
 
 val demo_mutation : ?seed:int -> unit -> Chaos.Plan.t * Chaos.Plan.t
 (** Inject [Skip_reexecution], run a deliberately noisy plan, and
     return [(original, shrunk)] — the shrunk plan still reproduces a
     violation and is 1-minimal. *)
 
-val run : ?seeds:int -> ?batching:bool -> unit -> int
+val run : ?seeds:int -> ?batching:bool -> ?propagation:bool -> unit -> int
 (** Print campaign reports and the mutation demonstration; returns the
     number of genuine violations (0 expected — mutation-demo failures
     are intentional and not counted). *)

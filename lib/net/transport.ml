@@ -1,6 +1,6 @@
 open Sim
 
-type fault = Deliver | Drop | Delay of float
+type fault = Deliver | Drop | Delay of float | Duplicate
 
 type hook_fn = src:Location.t -> dst:Location.t -> label:string -> fault
 
@@ -21,6 +21,7 @@ type t = {
   mutable tracer : Metrics.Tracer.t;
   mutable sent : int;
   mutable dropped : int;
+  mutable duplicated : int;
   mutable timed_out : int;
   mutable late : int;
 }
@@ -50,6 +51,7 @@ let create ?(rtt = Location.rtt) ?(jitter_sigma = 0.05)
     tracer;
     sent = 0;
     dropped = 0;
+    duplicated = 0;
     timed_out = 0;
     late = 0;
   }
@@ -121,6 +123,19 @@ let transmit t ~src ~dst ~label k =
       Metrics.Tracer.record_fault t.tracer ~label ~outcome:"delay";
       Metrics.Tracer.record_wire t.tracer ~label d;
       Engine.schedule ~at:(Engine.now () +. d) k
+  | Duplicate ->
+      (* At-least-once delivery: the message arrives twice, each copy
+         with its own sampled latency, so the duplicate may also be
+         reordered ahead of the original. [k] runs once per copy —
+         receivers must dedupe. *)
+      t.duplicated <- t.duplicated + 1;
+      Metrics.Tracer.record_fault t.tracer ~label ~outcome:"duplicate";
+      let d1 = one_way t src dst in
+      let d2 = one_way t src dst in
+      Metrics.Tracer.record_wire t.tracer ~label d1;
+      Metrics.Tracer.record_wire t.tracer ~label d2;
+      Engine.schedule ~at:(Engine.now () +. d1) k;
+      Engine.schedule ~at:(Engine.now () +. d2) k
 
 let dispatch t ~from svc req ~on_reply =
   transmit t ~src:from ~dst:svc.svc_loc ~label:svc.svc_name (fun () ->
@@ -160,6 +175,8 @@ let post t ~from svc req =
 let messages_sent t = t.sent
 
 let messages_dropped t = t.dropped
+
+let messages_duplicated t = t.duplicated
 
 let calls_timed_out t = t.timed_out
 

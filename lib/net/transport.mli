@@ -15,7 +15,12 @@
 
 type t
 
-type fault = Deliver | Drop | Delay of float
+type fault = Deliver | Drop | Delay of float | Duplicate
+(** [Duplicate] models at-least-once delivery: the message arrives
+    twice, each copy with an independently sampled latency (so the
+    duplicate may overtake the original). Receivers must dedupe — the
+    LVI server keys on execution ids, and cache-update installs are
+    version-guarded. *)
 
 val create :
   ?rtt:(Location.t -> Location.t -> float) ->
@@ -104,6 +109,9 @@ val post : t -> from:Location.t -> ('req, 'resp) service -> 'req -> unit
 val messages_sent : t -> int
 
 val messages_dropped : t -> int
+
+val messages_duplicated : t -> int
+(** Messages a fault hook duplicated (each delivered twice). *)
 
 val calls_timed_out : t -> int
 (** [call_timeout] invocations that returned [None]. *)

@@ -9,11 +9,17 @@ let pay t = Sim.Engine.sleep t.latency
 
 let peek t ~exec_id = Hashtbl.find_opt t.table exec_id
 
+(* Conditional put-if-absent, like the DynamoDB conditional write the
+   paper uses. A duplicate delivery of the same LVI request must find
+   the first delivery's intent rather than crash the server, so this
+   dedupes instead of raising. *)
 let put t ~exec_id =
   pay t;
-  if Hashtbl.mem t.table exec_id then
-    invalid_arg ("Intents.put: duplicate intent " ^ exec_id);
-  Hashtbl.replace t.table exec_id Pending
+  if Hashtbl.mem t.table exec_id then false
+  else begin
+    Hashtbl.replace t.table exec_id Pending;
+    true
+  end
 
 let status t ~exec_id =
   pay t;

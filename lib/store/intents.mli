@@ -14,8 +14,11 @@ val create : ?access_latency:float -> unit -> t
 (** Intents live in DynamoDB in the paper, so the default latency matches
     [Kv.create]'s 6.0 ms. *)
 
-val put : t -> exec_id:string -> unit
-(** Create a pending intent. Raises [Invalid_argument] if it exists. *)
+val put : t -> exec_id:string -> bool
+(** Create a pending intent if none exists — a conditional put-if-absent.
+    Returns [true] iff this call created it; [false] means the id is
+    already present (in either status), which is how a duplicated LVI
+    delivery is detected instead of double-executing. *)
 
 val status : t -> exec_id:string -> status option
 

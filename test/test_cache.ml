@@ -66,6 +66,39 @@ let test_lru_update_existing_never_evicts () =
       Alcotest.(check int) "no eviction on in-place update" 0 (Cache.evictions c);
       Alcotest.(check int) "both present" 2 (Cache.size c))
 
+(* Regression: a rejected stale update used to refresh the key's LRU
+   stamp anyway, so a replayed (old) delivery could promote a cold
+   entry over fresh ones and get the wrong key evicted. Here "a" is
+   the LRU victim; the stale update on it must not save it. *)
+let test_stale_update_does_not_touch_lru () =
+  run_sim (fun () ->
+      let c = Cache.create ~capacity:2 () in
+      Cache.update c "a" Dval.Unit ~version:5;
+      Cache.update c "b" Dval.Unit ~version:1;
+      (* Stale replay of "a": rejected, and must leave "a" least
+         recently used. *)
+      Cache.update c "a" Dval.Unit ~version:2;
+      Cache.update c "cnew" Dval.Unit ~version:1;
+      Alcotest.(check int) "a evicted, not b" (-1) (Cache.version_of c "a");
+      Alcotest.(check bool) "b survived" true (Cache.version_of c "b" = 1))
+
+let test_invalidate () =
+  run_sim (fun () ->
+      let c = Cache.create () in
+      Cache.update c "x" (Dval.Str "old") ~version:3;
+      (* Reordered/duplicated invalidations for versions the cache has
+         already reached (or passed) are no-ops. *)
+      Alcotest.(check bool) "same version is a no-op" false
+        (Cache.invalidate c "x" ~version:3);
+      Alcotest.(check bool) "older version is a no-op" false
+        (Cache.invalidate c "x" ~version:2);
+      Alcotest.(check int) "entry intact" 3 (Cache.version_of c "x");
+      Alcotest.(check bool) "newer version evicts" true
+        (Cache.invalidate c "x" ~version:4);
+      Alcotest.(check int) "now a miss" (-1) (Cache.version_of c "x");
+      Alcotest.(check bool) "miss is a no-op" false
+        (Cache.invalidate c "x" ~version:9))
+
 let test_capacity_validation () =
   Alcotest.check_raises "zero capacity"
     (Invalid_argument "Cache.create: capacity must be positive") (fun () ->
@@ -95,6 +128,9 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
           Alcotest.test_case "update never evicts in place" `Quick
             test_lru_update_existing_never_evicts;
+          Alcotest.test_case "stale update leaves lru stamp" `Quick
+            test_stale_update_does_not_touch_lru;
+          Alcotest.test_case "invalidate version guard" `Quick test_invalidate;
           Alcotest.test_case "capacity validated" `Quick test_capacity_validation;
         ] );
     ]

@@ -211,6 +211,32 @@ let test_response_drop () =
       let r = Transport.call_timeout net ~from:Location.ca ~timeout:200.0 svc 7 in
       Alcotest.(check (option int)) "response lost" None r)
 
+let test_duplicate_fault () =
+  run_sim (fun () ->
+      let net = mknet () in
+      let hits = ref 0 in
+      let svc =
+        Transport.serve net ~loc:Location.va ~name:"sink" (fun () -> incr hits)
+      in
+      (* Duplicate only the request leg of the first post. *)
+      let first = ref true in
+      Transport.set_fault net (fun ~src:_ ~dst:_ ~label:_ ->
+          if !first then begin
+            first := false;
+            Transport.Duplicate
+          end
+          else Transport.Deliver);
+      Transport.post net ~from:Location.ca svc ();
+      Engine.sleep 500.0;
+      Alcotest.(check int) "handler ran twice" 2 !hits;
+      Alcotest.(check int) "one duplication recorded" 1
+        (Transport.messages_duplicated net);
+      Alcotest.(check int) "nothing dropped" 0 (Transport.messages_dropped net);
+      Transport.clear_fault net;
+      Transport.post net ~from:Location.ca svc ();
+      Engine.sleep 500.0;
+      Alcotest.(check int) "healed: delivered once" 3 !hits)
+
 let test_delay_fault () =
   run_sim (fun () ->
       let net = mknet () in
@@ -360,6 +386,7 @@ let () =
           Alcotest.test_case "call_timeout under chaos hook" `Quick
             test_call_timeout_under_chaos_hook;
           Alcotest.test_case "response drop" `Quick test_response_drop;
+          Alcotest.test_case "duplicate fault" `Quick test_duplicate_fault;
           Alcotest.test_case "delay fault" `Quick test_delay_fault;
           Alcotest.test_case "fault hooks compose" `Quick
             test_fault_hooks_compose;

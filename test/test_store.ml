@@ -276,7 +276,7 @@ let prop_locks_no_deadlock =
 let test_intents_lifecycle () =
   run_sim (fun () ->
       let it = Store.Intents.create () in
-      Store.Intents.put it ~exec_id:"e1";
+      Alcotest.(check bool) "created" true (Store.Intents.put it ~exec_id:"e1");
       Alcotest.(check bool) "pending" true
         (Store.Intents.status it ~exec_id:"e1" = Some Store.Intents.Pending);
       Alcotest.(check int) "pending count" 1 (Store.Intents.pending_count it);
@@ -288,13 +288,23 @@ let test_intents_lifecycle () =
       Alcotest.(check bool) "removed" true
         (Store.Intents.status it ~exec_id:"e1" = None))
 
-let test_intents_duplicate_raises () =
+(* [put] is a conditional put-if-absent: a duplicated LVI delivery must
+   find the first delivery's intent rather than crash the server, in
+   either status. *)
+let test_intents_duplicate_dedupes () =
   run_sim (fun () ->
       let it = Store.Intents.create () in
-      Store.Intents.put it ~exec_id:"e1";
-      Alcotest.check_raises "duplicate"
-        (Invalid_argument "Intents.put: duplicate intent e1") (fun () ->
-          Store.Intents.put it ~exec_id:"e1"))
+      Alcotest.(check bool) "created" true (Store.Intents.put it ~exec_id:"e1");
+      Alcotest.(check bool) "duplicate while pending" false
+        (Store.Intents.put it ~exec_id:"e1");
+      Alcotest.(check bool) "still pending" true
+        (Store.Intents.peek it ~exec_id:"e1" = Some Store.Intents.Pending);
+      Alcotest.(check int) "one intent" 1 (Store.Intents.pending_count it);
+      ignore (Store.Intents.try_complete it ~exec_id:"e1");
+      Alcotest.(check bool) "duplicate after completion" false
+        (Store.Intents.put it ~exec_id:"e1");
+      Alcotest.(check bool) "completion not clobbered" true
+        (Store.Intents.peek it ~exec_id:"e1" = Some Store.Intents.Completed))
 
 let test_intents_unknown_complete () =
   run_sim (fun () ->
@@ -353,8 +363,8 @@ let () =
       ( "intents",
         [
           Alcotest.test_case "lifecycle" `Quick test_intents_lifecycle;
-          Alcotest.test_case "duplicate raises" `Quick
-            test_intents_duplicate_raises;
+          Alcotest.test_case "duplicate dedupes" `Quick
+            test_intents_duplicate_dedupes;
           Alcotest.test_case "unknown complete" `Quick
             test_intents_unknown_complete;
         ] );
