@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick check chaos analyze batch propagate clean
+.PHONY: all build test bench examples quick check chaos analyze batch propagate shard clean
 
 all: build
 
@@ -41,13 +41,24 @@ batch:
 propagate:
 	dune exec bench/main.exe -- propagate
 
-# CI gate: full build, full test suite, the analyzer golden + bench
-# run, a small traced bench run that exercises the per-phase JSON
-# breakdown end to end, the batching load sweep at smoke scale, the
-# propagation experiment at smoke scale, and a 20-seed chaos smoke
-# campaign with every batching knob and cache-update propagation on
-# (fault templates x apps x deployment modes; see `bench/main.exe
-# chaos --help` for the knobs).
+# Shard scaling sweep: prefix-disjoint key families over 1/2/4 LVI
+# shards, peak sustainable throughput per shard count, a cross-shard
+# transfer mix at 4 shards, and the one-round-trip / >=3x scaling
+# acceptance verdicts. Full volume; `make check` smoke-tests at
+# --scale 1.
+shard:
+	dune exec bench/main.exe -- shard
+
+# CI gate: full build (the dev profile's -warn-error +a makes any
+# compiler warning fail the build), full test suite, the analyzer
+# golden + bench run, a small traced bench run that exercises the
+# per-phase JSON breakdown end to end, the batching load sweep, the
+# propagation experiment and the shard scaling sweep at smoke scale,
+# then two 20-seed chaos smoke campaigns: one with every batching
+# knob and cache-update propagation on, one with the LVI service
+# hash-sharded 4 ways so the shard-chaos template attacks the
+# cross-shard commit under the cross-atomicity oracle (see
+# `bench/main.exe chaos --help` for the knobs).
 check:
 	dune build @all
 	dune runtest --force
@@ -55,7 +66,9 @@ check:
 	dune exec bench/main.exe -- --scale 1 phases
 	dune exec bench/main.exe -- --scale 1 batch
 	dune exec bench/main.exe -- --scale 1 propagate
+	dune exec bench/main.exe -- --scale 1 shard
 	dune exec bench/main.exe -- chaos --seeds 20 --batching --propagation
+	dune exec bench/main.exe -- chaos --seeds 20 --shards 4
 
 # Full 50-seeds-per-cell chaos campaign (~200 sweep runs) plus the
 # protocol-mutation demo; the acceptance run behind EXPERIMENTS.md.

@@ -137,7 +137,8 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe [--scale F] [--seeds N] \
-     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|batch|propagate|chaos|micro]";
+     [--shards N] \
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|batch|propagate|shard|chaos|micro]";
   print_endline
     "  batch: batching load sweep — open-loop Poisson load against the";
   print_endline
@@ -154,6 +155,15 @@ let usage () =
   print_endline
     "    propagation off / Nagle window sweep / invalidate-only, plus";
   print_endline "    the on-vs-off acceptance verdict.";
+  print_endline
+    "  shard: shard scaling sweep — prefix-disjoint key families over";
+  print_endline
+    "    1/2/4 LVI shards (one replicated lock cluster each), peak";
+  print_endline
+    "    sustainable throughput per shard count, a cross-shard transfer";
+  print_endline
+    "    mix at 4 shards, and the one-round-trip / >=3x scaling";
+  print_endline "    acceptance verdicts.";
   print_endline
     "  analyze: f^rw predict cost raw vs. residual-optimized, and the";
   print_endline
@@ -184,6 +194,15 @@ let usage () =
   print_endline
     "                stresses the channel with lost/duplicated/delayed";
   print_endline "                cache_update messages.";
+  print_endline
+    "    --shards N  run every cell with the LVI service hash-sharded N";
+  print_endline
+    "                ways; the shard-chaos template then attacks the";
+  print_endline
+    "                cross-shard commit (delayed prepares, dropped";
+  print_endline
+    "                decisions, shard restarts, leader crashes) under";
+  print_endline "                the cross-atomicity oracle.";
   exit 1
 
 let () =
@@ -192,6 +211,7 @@ let () =
   let seeds = ref 50 in
   let batching = ref false in
   let propagation = ref false in
+  let shards = ref 1 in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
@@ -209,6 +229,11 @@ let () =
     | "--seeds" :: v :: rest ->
         (match int_of_string_opt v with
         | Some n when n > 0 -> seeds := n
+        | _ -> usage ());
+        parse rest
+    | "--shards" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> shards := n
         | _ -> usage ());
         parse rest
     | arg :: rest ->
@@ -242,10 +267,11 @@ let () =
       | "phases" -> ignore (Experiments.Figures.phases ~scale ())
       | "batch" -> ignore (Experiments.Batch_exp.run ~scale ())
       | "propagate" -> ignore (Experiments.Propagate_exp.run ~scale ())
+      | "shard" -> ignore (Experiments.Shard_exp.run ~scale ())
       | "chaos" ->
           let violations =
             Experiments.Chaos_exp.run ~seeds:!seeds ~batching:!batching
-              ~propagation:!propagation ()
+              ~propagation:!propagation ~shards:!shards ()
           in
           if violations > 0 then exit 2
       | "micro" -> micro ()

@@ -346,12 +346,21 @@ let trace_cmd =
                    'prop_lag:*' freshness-lag histograms fill up. \
                    Composes with --batching.")
   in
-  let run verbose app system requests seed top batching propagation =
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Deploy the LVI service hash-sharded N ways and print \
+                   the per-shard load table (requests and cross-shard \
+                   rate per shard); cross-shard requests additionally \
+                   show up as 'shard_prepare' phases in the JSON \
+                   breakdown. Composes with --batching/--propagation.")
+  in
+  let run verbose app system requests seed top batching propagation shards =
     setup_logs verbose;
     let tracer = Metrics.Tracer.create () in
     let requests_per_client = max 1 (requests / 50) in
     let system =
-      if batching || propagation then
+      if batching || propagation || shards > 1 then
         let base = Radical.Framework.default_config in
         let server =
           {
@@ -371,6 +380,9 @@ let trace_cmd =
           {
             base with
             server;
+            sharding =
+              (if shards > 1 then Some (Shard.Directory.Hash { shards })
+               else base.sharding);
             fu_window = (if batching then 2.0 else base.fu_window);
             fu_piggyback = batching || base.fu_piggyback;
           }
@@ -408,6 +420,24 @@ let trace_cmd =
         Metrics.Table.print
           ~header:[ "label"; "waits"; "mean"; "median"; "p99" ]
           ~rows);
+    (match Metrics.Tracer.shard_stats tracer with
+    | [] -> ()
+    | per_shard ->
+        print_endline "\n--- per-shard load ---";
+        Metrics.Table.print
+          ~header:[ "shard"; "requests"; "cross-shard"; "cross %" ]
+          ~rows:
+            (List.map
+               (fun (shard, (reqs, cross)) ->
+                 [
+                   string_of_int shard;
+                   string_of_int reqs;
+                   string_of_int cross;
+                   Printf.sprintf "%.1f%%"
+                     (if reqs = 0 then 0.0
+                      else 100.0 *. float_of_int cross /. float_of_int reqs);
+                 ])
+               per_shard));
     (match Metrics.Tracer.slowest ~k:top tracer with
     | [] -> ()
     | spans ->
@@ -421,7 +451,7 @@ let trace_cmd =
        ~doc:"Run a traced deployment: per-phase JSON breakdown, batching \
              histograms, plus the slowest request span trees")
     Term.(const run $ verbose_arg $ app_arg $ system_arg $ requests $ seed
-          $ top $ batching_arg $ propagation_arg)
+          $ top $ batching_arg $ propagation_arg $ shards_arg)
 
 let timeline_cmd =
   let app_arg =
@@ -501,17 +531,26 @@ let chaos_cmd =
                  must catch it and the failing plan is shrunk to a minimal \
                  reproduction.")
   in
-  let run verbose seeds app replicated propagation template mutate =
+  let shards_arg =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Hash-shard the LVI service N ways: multi-key functions \
+                 then cross shards, the shard-chaos template attacks the \
+                 commit protocol, and the cross-atomicity oracle judges \
+                 the quiescent state.")
+  in
+  let run verbose seeds app replicated propagation template mutate shards =
     setup_logs verbose;
     match app with
     | None ->
-        if Experiments.Chaos_exp.run ~seeds ~propagation () > 0 then exit 2
+        if Experiments.Chaos_exp.run ~seeds ~propagation ~shards () > 0 then
+          exit 2
     | Some bundle ->
         let config =
           {
             Chaos.Campaign.default_config with
             replicated;
             propagation;
+            shards;
             mutation =
               (if mutate then Some Radical.Server.Skip_reexecution else None);
           }
@@ -542,7 +581,7 @@ let chaos_cmd =
        ~doc:"Sweep fault plans against live deployments and judge the \
              survivors with the invariant oracle")
     Term.(const run $ verbose_arg $ seeds $ app_arg $ replicated
-          $ propagation $ template_arg $ mutate)
+          $ propagation $ template_arg $ mutate $ shards_arg)
 
 let analyze_cmd =
   let run () = print_string (Apps.Report.render ()) in

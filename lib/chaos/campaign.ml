@@ -23,6 +23,7 @@ type config = {
   replicated : bool;
   batching : bool;
   propagation : bool;
+  shards : int;
   intent_timeout : float;
   mutation : Server.protocol_mutation option;
   charge_every : int;
@@ -40,6 +41,7 @@ let default_config =
     replicated = false;
     batching = false;
     propagation = false;
+    shards = 1;
     intent_timeout = 800.0;
     mutation = None;
     charge_every = 6;
@@ -144,6 +146,10 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
                  batching;
                  propagation;
                };
+             sharding =
+               (if config.shards > 1 then
+                  Some (Shard.Directory.Hash { shards = config.shards })
+                else None);
              fu_window = (if config.batching then 2.0 else 0.0);
              fu_piggyback = config.batching;
            }
@@ -158,7 +164,9 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
          if config.charge_every > 0 then
            Framework.register_external fw ~name:charge_service (fun v ->
                Dval.Record [ ("paid", v) ]);
-         Server.inject_mutation (Framework.server fw) config.mutation;
+         List.iter
+           (fun s -> Server.inject_mutation s config.mutation)
+           (Framework.servers fw);
          Framework.record_history fw;
          let nemesis = Nemesis.launch { net; fw } plan in
          let gen = app.ca_gen () in

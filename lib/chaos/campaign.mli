@@ -42,6 +42,14 @@ type config = {
           propagation-chaos template (lost/duplicated/reordered
           cache_update messages), the campaign must still find zero
           violations — the version guard is the whole argument. *)
+  shards : int;
+      (** [> 1] deploys the LVI service hash-sharded over that many
+          servers ({!Radical.Framework.config.sharding}); the
+          applications' multi-key functions then exercise cross-shard
+          atomic commit, which the shard-chaos template attacks
+          (delayed prepares, dropped decisions, shard restarts, leader
+          crashes) and the {!Oracle.cross_atomic} invariant judges.
+          Default 1: the seed single-server deployment. *)
   intent_timeout : float;
   mutation : Radical.Server.protocol_mutation option;
       (** Deliberate protocol bug, injected into the server — the

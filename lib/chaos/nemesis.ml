@@ -27,9 +27,30 @@ let windowed_hook env rng ~duration verdict_of =
   Engine.sleep duration;
   Transport.remove_fault env.net h
 
+(* Shard [i mod n] of the deployment — the sole server when unsharded,
+   so shard actions degrade gracefully against a seed topology. *)
+let shard_server env i =
+  let srvs = Framework.servers env.fw in
+  List.nth srvs (i mod List.length srvs)
+
 let apply_action t env rng (action : Plan.action) =
   let applied () = t.s_applied <- t.s_applied + 1 in
   let skipped () = t.s_skipped <- t.s_skipped + 1 in
+  let crash_node cluster victim downtime =
+    let node =
+      match victim with
+      | `Node i -> i mod RaftLocks.size cluster
+      | `Leader -> (
+          match RaftLocks.leader cluster with Some n -> n | None -> 0)
+    in
+    if RaftLocks.is_alive cluster node then begin
+      applied ();
+      RaftLocks.crash cluster node;
+      Engine.sleep downtime;
+      RaftLocks.restart cluster node
+    end
+    else skipped ()
+  in
   match action with
   | Drop_messages { filter; prob; duration } ->
       applied ();
@@ -65,23 +86,17 @@ let apply_action t env rng (action : Plan.action) =
   | Crash_raft_node { victim; downtime } -> (
       match Server.raft_cluster (Framework.server env.fw) with
       | None -> skipped ()
-      | Some cluster ->
-          let node =
-            match victim with
-            | `Node i -> i mod RaftLocks.size cluster
-            | `Leader -> (
-                match RaftLocks.leader cluster with Some n -> n | None -> 0)
-          in
-          if RaftLocks.is_alive cluster node then begin
-            applied ();
-            RaftLocks.crash cluster node;
-            Engine.sleep downtime;
-            RaftLocks.restart cluster node
-          end
-          else skipped ())
+      | Some cluster -> crash_node cluster victim downtime)
   | Restart_server ->
       applied ();
       Server.restart_recover (Framework.server env.fw)
+  | Restart_shard i ->
+      applied ();
+      Server.restart_recover (shard_server env i)
+  | Crash_shard_leader { shard; downtime } -> (
+      match Server.raft_cluster (shard_server env shard) with
+      | None -> skipped ()
+      | Some cluster -> crash_node cluster `Leader downtime)
   | Wipe_cache loc ->
       if List.mem loc (Framework.locations env.fw) then begin
         applied ();

@@ -25,14 +25,73 @@ let linearizable ?(init = []) fw =
       ]
 
 let drained fw =
-  let server = Framework.server fw in
-  let pending = Server.pending_intents server in
-  let held = Server.locks_held server in
-  (if pending = 0 then []
-   else [ v "drained" "%d write intent(s) still pending at quiescence" pending ])
-  @
-  if held = 0 then []
-  else [ v "drained" "%d lock owner(s) still holding at quiescence" held ]
+  let servers = Framework.servers fw in
+  let where i = if List.length servers > 1 then Printf.sprintf " (shard %d)" i else "" in
+  List.concat
+    (List.mapi
+       (fun i server ->
+         let pending = Server.pending_intents server in
+         let held = Server.locks_held server in
+         (if pending = 0 then []
+          else
+            [
+              v "drained" "%d write intent(s) still pending at quiescence%s"
+                pending (where i);
+            ])
+         @
+         if held = 0 then []
+         else
+           [
+             v "drained" "%d lock owner(s) still holding at quiescence%s" held
+               (where i);
+           ])
+       servers)
+
+(* Cross-shard atomic commit: at quiescence every coordinated execution
+   must have reached the same terminal decision at every shard that
+   prepared a slice for it. A surviving [`Prepared] is a wedged
+   participant (its locks outlived every decision retry); a mix of
+   [`Committed] and [`Aborted] is a torn atomic commit — one shard
+   published the transaction's writes while another rolled them back. *)
+let cross_atomic fw =
+  let states = Hashtbl.create 64 in
+  List.iteri
+    (fun shard server ->
+      List.iter
+        (fun (exec_id, st) ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt states exec_id)
+          in
+          Hashtbl.replace states exec_id ((shard, st) :: prev))
+        (Server.cross_states server))
+    (Framework.servers fw);
+  Hashtbl.fold
+    (fun exec_id sts acc ->
+      let at want = List.filter_map
+          (fun (s, st) -> if st = want then Some (string_of_int s) else None)
+          sts
+      in
+      let prepared = at `Prepared
+      and committed = at `Committed
+      and aborted = at `Aborted in
+      (if prepared = [] then []
+       else
+         [
+           v "cross-atomic" "%s still prepared at shard(s) %s at quiescence"
+             exec_id
+             (String.concat "," prepared);
+         ])
+      @ (if committed <> [] && aborted <> [] then
+           [
+             v "cross-atomic"
+               "%s committed at shard(s) %s but aborted at shard(s) %s"
+               exec_id
+               (String.concat "," committed)
+               (String.concat "," aborted);
+           ]
+         else [])
+      @ acc)
+    states []
 
 let caches_coherent fw =
   let primary = Framework.primary fw in
@@ -84,6 +143,6 @@ let effects_exactly_once fw specs =
     specs
 
 let check ?init ?(effects = []) fw =
-  drained fw @ caches_coherent fw
+  drained fw @ cross_atomic fw @ caches_coherent fw
   @ effects_exactly_once fw effects
   @ linearizable ?init fw

@@ -22,7 +22,15 @@ val linearizable :
     been on) admits a legal total order. *)
 
 val drained : Radical.Framework.t -> violation list
-(** No pending write intents and no held locks survive quiescence. *)
+(** No pending write intents and no held locks survive quiescence, at
+    any shard of the deployment. *)
+
+val cross_atomic : Radical.Framework.t -> violation list
+(** Cross-shard atomicity ({!Radical.Server.cross_states}): every
+    coordinated execution reached the same terminal decision at every
+    shard that prepared a slice for it — no [`Prepared] survivor at
+    quiescence, and never a [`Committed]/[`Aborted] mix. Trivially
+    empty on unsharded deployments. *)
 
 val caches_coherent : Radical.Framework.t -> violation list
 (** No near-user cache entry is newer than primary storage, and entries

@@ -13,6 +13,12 @@ let followups ?src () = { f_label = Some "followup"; f_src = src; f_dst = None }
 let cache_updates ?dst () =
   { f_label = Some "cache_update"; f_src = None; f_dst = dst }
 
+let shard_prepares () =
+  { f_label = Some "shard_prepare"; f_src = None; f_dst = None }
+
+let shard_decides () =
+  { f_label = Some "shard_decide"; f_src = None; f_dst = None }
+
 type action =
   | Drop_messages of { filter : msg_filter; prob : float; duration : float }
   | Duplicate_messages of {
@@ -29,6 +35,8 @@ type action =
   | Partition of { group : Net.Location.t list; duration : float }
   | Crash_raft_node of { victim : [ `Leader | `Node of int ]; downtime : float }
   | Restart_server
+  | Restart_shard of int
+  | Crash_shard_leader of { shard : int; downtime : float }
   | Wipe_cache of Net.Location.t
   | Pause_site of { loc : Net.Location.t; duration : float }
 
@@ -45,8 +53,9 @@ let duration_of = function
   | Partition { duration; _ }
   | Pause_site { duration; _ } ->
       duration
-  | Crash_raft_node { downtime; _ } -> downtime
-  | Restart_server | Wipe_cache _ -> 0.0
+  | Crash_raft_node { downtime; _ } | Crash_shard_leader { downtime; _ } ->
+      downtime
+  | Restart_server | Restart_shard _ | Wipe_cache _ -> 0.0
 
 let horizon_of plan =
   List.fold_left
@@ -77,6 +86,10 @@ let pp_action ppf = function
         (match victim with `Leader -> "leader" | `Node i -> "node " ^ string_of_int i)
         downtime
   | Restart_server -> Format.fprintf ppf "restart LVI server"
+  | Restart_shard i -> Format.fprintf ppf "restart shard %d's LVI server" i
+  | Crash_shard_leader { shard; downtime } ->
+      Format.fprintf ppf "crash shard %d's raft leader for %.0f ms" shard
+        downtime
   | Wipe_cache loc -> Format.fprintf ppf "wipe cache at %s" loc
   | Pause_site { loc; duration } ->
       Format.fprintf ppf "pause site %s for %.0f ms" loc duration
@@ -389,6 +402,89 @@ let propagation_chaos =
          @ dup_any));
   }
 
+let shard_chaos =
+  {
+    t_name = "shard-chaos";
+    t_replicated_only = false;
+    t_gen =
+      (fun ~rng ~horizon ~locations:_ ->
+        (* Stresses the cross-shard commit protocol. Prepares are
+           delayed, never dropped: pushing one past the 50 ms
+           non-blocking timeout makes the coordinator treat the shard as
+           busy and fall back to the sequential blocking round, while
+           the late prepare races the round's abort — the supersession
+           arithmetic must hold. Decisions are retried until
+           acknowledged, so those CAN be dropped outright; a window of
+           lost decisions only postpones a participant's release past
+           the window, never past the drain. Shard restarts hit a
+           participant holding prepared slices (concluded later by
+           decision retries) or a coordinator with a pending cross
+           intent (re-executed on recovery); leader crashes stall one
+           shard's lock persistence mid-prepare. Against an unsharded
+           deployment the messages do not exist and the nemesis
+           degrades the actions to shard 0 / a skip. *)
+        let prepare_delays =
+          List.init
+            (1 + Rng.int rng 2)
+            (fun _ ->
+              let duration = Rng.uniform rng 300.0 1200.0 in
+              {
+                at = start_at rng ~horizon duration;
+                ev_seed = fresh_seed rng;
+                action =
+                  Delay_messages
+                    {
+                      filter = shard_prepares ();
+                      extra = Rng.uniform rng 30.0 400.0;
+                      prob = Rng.uniform rng 0.3 1.0;
+                      duration;
+                    };
+              })
+        in
+        let decide_drops =
+          List.init
+            (1 + Rng.int rng 2)
+            (fun _ ->
+              let duration = Rng.uniform rng 300.0 1200.0 in
+              {
+                at = start_at rng ~horizon duration;
+                ev_seed = fresh_seed rng;
+                action =
+                  Drop_messages
+                    {
+                      filter = shard_decides ();
+                      prob = Rng.uniform rng 0.3 0.9;
+                      duration;
+                    };
+              })
+        in
+        let restarts =
+          List.init
+            (1 + Rng.int rng 2)
+            (fun _ ->
+              {
+                at = start_at rng ~horizon 0.0;
+                ev_seed = fresh_seed rng;
+                action = Restart_shard (Rng.int rng 4);
+              })
+        in
+        let leader_crash =
+          if Rng.bool rng then
+            let downtime = Rng.uniform rng 300.0 1000.0 in
+            [
+              {
+                at = start_at rng ~horizon downtime;
+                ev_seed = fresh_seed rng;
+                action =
+                  Crash_shard_leader { shard = Rng.int rng 4; downtime };
+              };
+            ]
+          else []
+        in
+        sort_by_time
+          (prepare_delays @ decide_drops @ restarts @ leader_crash));
+  }
+
 (* New templates append at the end: a template's campaign RNG seed is
    derived from its list index, so insertion in the middle would shift
    every later template's plans under existing seeds. *)
@@ -402,6 +498,7 @@ let default_templates =
     raft_churn;
     everything;
     propagation_chaos;
+    shard_chaos;
   ]
 
 let find_template name =

@@ -26,6 +26,12 @@ val cache_updates : ?dst:Net.Location.t -> unit -> msg_filter
 (** Matches cache-update propagation messages (optionally to one site
     only). *)
 
+val shard_prepares : unit -> msg_filter
+(** Matches cross-shard prepare requests between LVI shards. *)
+
+val shard_decides : unit -> msg_filter
+(** Matches cross-shard decision broadcasts between LVI shards. *)
+
 type action =
   | Drop_messages of { filter : msg_filter; prob : float; duration : float }
       (** Drop each matching message with probability [prob] for
@@ -60,6 +66,15 @@ type action =
   | Restart_server
       (** Restart the LVI server: volatile intent timers are lost,
           recovery re-executes orphaned intents ({!Radical.Server.restart_recover}). *)
+  | Restart_shard of int
+      (** Restart shard [i mod shards]'s LVI server in a sharded
+          deployment (shard 0 — the sole server — when unsharded). A
+          restarted participant keeps its durable prepared slices; the
+          coordinator's retried decisions conclude them. *)
+  | Crash_shard_leader of { shard : int; downtime : float }
+      (** Crash the Raft leader of shard [shard mod shards]'s lock
+          cluster and restart it after [downtime] ms. No-op on
+          singleton servers. *)
   | Wipe_cache of Net.Location.t
       (** Drop one site's near-user cache (it self-repairs through
           protocol traffic). *)
@@ -103,8 +118,10 @@ type template = {
 val default_templates : template list
 (** The campaign's default sweep: followup storms, general message
     chaos, cache wipes + site pauses, mid-flight server restarts,
-    partitions, (replicated only) Raft node churn, and lost/duplicated/
-    delayed cache-update propagation. New templates append at the end —
-    a template's campaign seed derives from its list index. *)
+    partitions, (replicated only) Raft node churn, lost/duplicated/
+    delayed cache-update propagation, and cross-shard commit chaos
+    (delayed prepares, dropped decisions, shard restarts and per-shard
+    leader crashes). New templates append at the end — a template's
+    campaign seed derives from its list index. *)
 
 val find_template : string -> template option

@@ -1,6 +1,7 @@
 type config = {
   locations : Net.Location.t list;
   server : Server.config;
+  sharding : Shard.Directory.strategy option;
   invoke_overhead : float;
   frw_overhead : float;
   overlap : bool;
@@ -15,6 +16,7 @@ let default_config =
   {
     locations = Net.Location.user_locations;
     server = Server.default_config;
+    sharding = None;
     invoke_overhead = 12.0;
     frw_overhead = 1.0;
     overlap = true;
@@ -31,7 +33,9 @@ type t = {
   reg : Registry.t;
   kv : Store.Kv.t;
   extsvc : Extsvc.t;
-  srv : Server.t;
+  srv : Server.t; (* shard 0 — the sole server when unsharded *)
+  srvs : Server.t list; (* every shard, ascending; [srv] unsharded *)
+  dir : Shard.Directory.t option;
   sites : (Net.Location.t * Runtime.t) list;
   mutable ops : Lincheck.op list; (* newest first *)
 }
@@ -68,7 +72,37 @@ let create ?(config = default_config) ?schema ?(manual = [])
   Store.Kv.load kv data;
   let extsvc = Extsvc.create () in
   if Metrics.Tracer.enabled tracer then Net.Transport.set_tracer net tracer;
-  let srv = Server.create ~extsvc ~tracer ~net ~registry:reg ~kv config.server in
+  (* Sharded deployment: N independent LVI servers over the one shared
+     primary store, each owning a partition of the key space per the
+     directory, wired to each other for cross-shard prepare/commit. All
+     shards live in the near-storage location (the transport dispatches
+     services by value, so colocated same-name services are fine).
+     Unsharded (the default): the single seed server, constructed
+     through the identical code path. *)
+  let dir, srvs =
+    match config.sharding with
+    | None ->
+        ( None,
+          [ Server.create ~extsvc ~tracer ~net ~registry:reg ~kv config.server ] )
+    | Some strategy ->
+        let dir = Shard.Directory.create strategy in
+        let n = Shard.Directory.shards dir in
+        let srvs =
+          List.init n (fun id ->
+              let s =
+                Server.create ~extsvc ~tracer ~net ~registry:reg ~kv
+                  config.server
+              in
+              Server.enable_sharding s ~id ~directory:dir;
+              s)
+        in
+        List.iter (fun s -> Server.connect_shards s srvs) srvs;
+        (Some dir, srvs)
+  in
+  let srv = List.hd srvs in
+  let sharding =
+    Option.map (fun dir -> (Shard.Router.create dir, srvs)) dir
+  in
   let sites =
     List.map
       (fun loc ->
@@ -84,7 +118,8 @@ let create ?(config = default_config) ?schema ?(manual = [])
               Cache.update cache k v ~version)
             data;
         let rt =
-          Runtime.create ~extsvc ~tracer ~net ~registry:reg ~cache ~server:srv
+          Runtime.create ~extsvc ~tracer ?sharding ~net ~registry:reg ~cache
+            ~server:srv
             (Runtime.config ~invoke_overhead:config.invoke_overhead
                ~frw_overhead:config.frw_overhead ~overlap:config.overlap
                ~ro_fast:config.ro_fast ~fu_window:config.fu_window
@@ -93,13 +128,17 @@ let create ?(config = default_config) ?schema ?(manual = [])
         (loc, rt))
       config.locations
   in
-  (* Wire every site's cache into the server's propagation channel.
-     [subscribe] is a no-op when propagation is off, so the seed
-     configuration constructs exactly what it did before. *)
+  (* Wire every site's cache into every shard's propagation channel —
+     each shard publishes the committed records it owns. [subscribe] is
+     a no-op when propagation is off, so the seed configuration
+     constructs exactly what it did before. *)
   List.iter
-    (fun (_, rt) -> Server.subscribe srv (Runtime.cache_update_service rt))
+    (fun (_, rt) ->
+      List.iter
+        (fun s -> Server.subscribe s (Runtime.cache_update_service rt))
+        srvs)
     sites;
-  { cfg = config; net; reg; kv; extsvc; srv; sites; ops = [] }
+  { cfg = config; net; reg; kv; extsvc; srv; srvs; dir; sites; ops = [] }
 
 let locations t = List.map fst t.sites
 
@@ -111,6 +150,10 @@ let runtime t loc =
 let invoke t ~from fn args = Runtime.invoke (runtime t from) fn args
 
 let server t = t.srv
+
+let servers t = t.srvs
+
+let directory t = t.dir
 
 let primary t = t.kv
 
@@ -128,4 +171,4 @@ let record_history t =
 
 let history t = List.rev t.ops
 
-let stop t = Server.stop t.srv
+let stop t = List.iter Server.stop t.srvs

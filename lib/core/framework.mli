@@ -9,6 +9,14 @@
 type config = {
   locations : Net.Location.t list; (** Near-user deployment locations. *)
   server : Server.config;
+  sharding : Shard.Directory.strategy option;
+      (** [Some strategy] partitions the primary key space across N
+          independent LVI servers (one per shard of the directory, each
+          with its own locks, intents, idempotency table and — in
+          replicated mode — Raft cluster) wired together for
+          cross-shard atomic commit; every runtime routes by key shape
+          through a shared {!Shard.Router}. [None] (default) builds the
+          single seed server, bit-identically. *)
   invoke_overhead : float;
   frw_overhead : float;
   overlap : bool; (** Disable to ablate speculation/LVI overlap. *)
@@ -71,6 +79,15 @@ val locations : t -> Net.Location.t list
 (** The near-user sites of this deployment, in configuration order. *)
 
 val server : t -> Server.t
+(** Shard 0 — the sole server when unsharded. *)
+
+val servers : t -> Server.t list
+(** Every LVI server, ascending by shard id ([[server t]] unsharded).
+    Aggregate server statistics — and quiescence checks like
+    [locks_held] / [pending_intents] — must sum over all of them. *)
+
+val directory : t -> Shard.Directory.t option
+(** The shard directory ([None] unsharded). *)
 
 val primary : t -> Store.Kv.t
 

@@ -98,4 +98,67 @@ type exec_request = {
 (** Direct near-storage execution, used when the analyzer failed and for
     the primary-datacenter baseline. *)
 
+(** {1 Cross-shard atomic commit}
+
+    Sharded LVI deployments partition the key space across independent
+    servers. A request whose key set spans several shards is driven by
+    a coordinator — the minimum touched shard — which asks every other
+    touched shard to prepare its slice, commits iff all validated, and
+    concludes every prepare round with exactly one {!shard_decision}
+    broadcast, retried until acknowledged. *)
+
+type shard_prepare = {
+  sp_exec_id : exec_id;
+  sp_round : int;
+      (** Strictly increasing per exec_id at the coordinator. Round 1 is
+          the parallel all-or-nothing try; round 2+ the sequential
+          blocking fallback or a backup re-lock round. Participants use
+          it to refuse stale prepares and to let a newer round supersede
+          an orphaned older one after in-flight reordering. *)
+  sp_coord : int;  (** Coordinator shard id — anchor of re-execution. *)
+  sp_blocking : bool;
+      (** [false]: all-or-nothing [Locks.try_acquire]; a busy slice
+          means "vote Busy, hold nothing". [true]: blocking acquire —
+          only sent sequentially in ascending shard order, preserving
+          the global (shard, key) lock order that precludes deadlock. *)
+  sp_intent : bool;
+      (** [true] for atomic-commit rounds: install a write intent and
+          log the exec for the cross-shard atomicity oracle. [false]
+          for backup re-lock rounds, which only need the locks. *)
+  sp_reads : (string * int) list;
+      (** This shard's read slice, version-validated on prepare. *)
+  sp_writes : string list;  (** This shard's write slice. *)
+}
+
+type shard_vote =
+  | Shard_prepared of { sv_write_versions : (string * int) list }
+      (** Slice locked (and intent installed when requested); for write
+          keys, the authoritative current versions used to build the
+          merged [Validated] reply. *)
+  | Shard_stale of { sv_stale : string list }
+      (** Slice locked but validation failed on these keys. Locks are
+          {e held} — exactly like the single-server mismatch path — so
+          the coordinator can run backup execution under full coverage
+          before broadcasting the abort. *)
+  | Shard_busy
+      (** Non-blocking try failed, or the prepare was stale/superseded:
+          nothing is held at this shard for this round. *)
+
+type shard_decision = {
+  sd_exec_id : exec_id;
+  sd_round : int;
+      (** Concludes every round <= [sd_round]: a participant releases
+          the slice it holds for such rounds and refuses late prepares
+          for them, but leaves a newer round's locks untouched. *)
+  sd_commit : bool;
+  sd_from : Net.Location.t option;
+      (** Origin site of the committed write set, excluded from the
+          receiving shard's cache-update propagation (it installed its
+          own writes at [Validated] time). *)
+  sd_updates : update list;
+      (** Committed (or mismatch-repair) records owned by the receiving
+          shard: each shard publishes its own keys to its subscribers. *)
+}
+
 val pp_response : Format.formatter -> lvi_response -> unit
+val pp_vote : Format.formatter -> shard_vote -> unit

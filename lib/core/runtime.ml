@@ -71,6 +71,20 @@ type stats = {
          the origin's own writes or a reordered duplicate). *)
 }
 
+(* One LVI server this runtime talks to. Unsharded deployments have
+   exactly one; sharded ones have one per shard, indexed by shard id.
+   Followup coalescing buffers are per-endpoint: a followup must reach
+   the shard that installed its intent, and a piggybacked followup may
+   only ride a request bound for that same shard. *)
+type endpoint = {
+  ep_lvi : (Proto.lvi_request, Proto.lvi_response) Transport.service;
+  ep_fu : (Proto.followup list, unit) Transport.service;
+  ep_exec : (Proto.exec_request, Proto.exec_result) Transport.service;
+  mutable ep_buf : Proto.followup list; (* newest first *)
+  mutable ep_since : float; (* enqueue time of the oldest buffered one *)
+  mutable ep_timer : Timer.t option;
+}
+
 type t = {
   cfg : config;
   net : Transport.t;
@@ -78,17 +92,10 @@ type t = {
   registry : Registry.t;
   cache : Cache.t;
   extsvc : Extsvc.t;
-  lvi_svc : (Proto.lvi_request, Proto.lvi_response) Transport.service;
-  fu_svc : (Proto.followup list, unit) Transport.service;
-  exec_svc : (Proto.exec_request, Proto.exec_result) Transport.service;
+  endpoints : endpoint array;
+  router : Shard.Router.t option;
   mutable next_id : int;
   mutable recorder : (Lincheck.op -> unit) option;
-  (* Followup coalescing buffer (fu_window / fu_piggyback): followups
-     wait here until the window timer flushes them in one message, or
-     an outgoing LVI request picks them up as piggyback. *)
-  mutable fu_buf : Proto.followup list; (* newest first *)
-  mutable fu_since : float; (* enqueue time of the oldest buffered one *)
-  mutable fu_timer : Timer.t option;
   mutable s_invocations : int;
   mutable s_spec : int;
   mutable s_backup : int;
@@ -132,7 +139,41 @@ let handle_cache_update t (cu : Proto.cache_update) =
       end)
     cu.cu_updates
 
-let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
+let endpoint_of server =
+  {
+    ep_lvi = Server.lvi_service server;
+    ep_fu = Server.followup_service server;
+    ep_exec = Server.exec_service server;
+    ep_buf = [];
+    ep_since = 0.0;
+    ep_timer = None;
+  }
+
+let create ?extsvc ?(tracer = Tracer.noop) ?sharding ~net ~registry ~cache
+    ~server cfg =
+  let router, endpoints =
+    match sharding with
+    | None -> (None, [| endpoint_of server |])
+    | Some (router, servers) ->
+        let n = Shard.Directory.shards (Shard.Router.directory router) in
+        let eps = Array.make n None in
+        List.iter
+          (fun s ->
+            match Server.shard_id s with
+            | Some id -> eps.(id) <- Some (endpoint_of s)
+            | None ->
+                invalid_arg "Runtime.create: server without enable_sharding")
+          servers;
+        ( Some router,
+          Array.mapi
+            (fun i ep ->
+              match ep with
+              | Some ep -> ep
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Runtime.create: no server for shard %d" i))
+            eps )
+  in
   let t =
     {
     cfg;
@@ -141,14 +182,10 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~cache ~server cfg =
     registry;
     cache;
     extsvc = (match extsvc with Some e -> e | None -> Extsvc.create ());
-    lvi_svc = Server.lvi_service server;
-    fu_svc = Server.followup_service server;
-    exec_svc = Server.exec_service server;
+    endpoints;
+    router;
     next_id = 0;
     recorder = None;
-    fu_buf = [];
-    fu_since = 0.0;
-    fu_timer = None;
     s_invocations = 0;
     s_spec = 0;
     s_backup = 0;
@@ -246,59 +283,85 @@ let speculate t ~exec_id ?(span = Tracer.none) ?(snapshot = [])
         });
   iv
 
+(* --- Shard endpoint selection ---------------------------------------- *)
+
+(* Target for a request with a concrete predicted key set: the shard
+   holding all of them, or the coordinator anchor (minimum touched
+   shard) when they span several. Unsharded runtimes have exactly one
+   endpoint. *)
+let endpoint_for_keys t keys =
+  match t.router with
+  | None -> t.endpoints.(0)
+  | Some r -> t.endpoints.(Shard.Router.target_of_keys r keys)
+
+(* Target for a direct execution (no predicted key set): route by the
+   function's static key-shape classification — its home shard when the
+   analyzer pinned one, the anchor shard otherwise. Direct executions
+   run against the shared primary store, so any shard is correct; the
+   classification merely spreads load. *)
+let endpoint_for_entry t (entry : Registry.entry) =
+  match t.router with
+  | None -> t.endpoints.(0)
+  | Some r -> (
+      match Shard.Router.classify r entry.summary with
+      | Shard.Router.Single s -> t.endpoints.(s)
+      | Shard.Router.Cross -> t.endpoints.(0))
+
 (* --- Followup coalescing (Nagle window + piggyback) ----------------- *)
 
-let flush_followups t =
-  (match t.fu_timer with Some tm -> Timer.cancel tm | None -> ());
-  t.fu_timer <- None;
-  match List.rev t.fu_buf with
+let flush_followups t ep =
+  (match ep.ep_timer with Some tm -> Timer.cancel tm | None -> ());
+  ep.ep_timer <- None;
+  match List.rev ep.ep_buf with
   | [] -> ()
   | fus ->
-      t.fu_buf <- [];
+      ep.ep_buf <- [];
       t.s_fu_batches <- t.s_fu_batches + 1;
       Tracer.record_batch t.tracer ~label:"followup" (List.length fus);
       Tracer.record_queue t.tracer ~label:"followup"
-        (Engine.now () -. t.fu_since);
-      Transport.post t.net ~from:t.cfg.loc t.fu_svc fus
+        (Engine.now () -. ep.ep_since);
+      Transport.post t.net ~from:t.cfg.loc ep.ep_fu fus
 
-let send_followup t fu =
+let send_followup t ep fu =
   if t.cfg.fu_window <= 0.0 && not t.cfg.fu_piggyback then
     (* Coalescing off: one message per followup, immediately. *)
-    Transport.post t.net ~from:t.cfg.loc t.fu_svc [ fu ]
+    Transport.post t.net ~from:t.cfg.loc ep.ep_fu [ fu ]
   else begin
-    if t.fu_buf = [] then t.fu_since <- Engine.now ();
-    t.fu_buf <- fu :: t.fu_buf;
-    if t.fu_timer = None then
-      t.fu_timer <-
+    if ep.ep_buf = [] then ep.ep_since <- Engine.now ();
+    ep.ep_buf <- fu :: ep.ep_buf;
+    if ep.ep_timer = None then
+      ep.ep_timer <-
         Some
           (Timer.after
              (Float.max 0.0 t.cfg.fu_window)
              (fun () ->
-               t.fu_timer <- None;
-               flush_followups t))
+               ep.ep_timer <- None;
+               flush_followups t ep))
   end
 
 (* Drain the buffer into an outgoing LVI request. The window must stay
    well under the server's 200 ms intent-timer floor: a buffered
    followup delays the release of its server-side locks by at most one
-   window (less if a request piggybacks it out sooner). *)
-let take_piggyback t =
-  if (not t.cfg.fu_piggyback) || t.fu_buf = [] then []
+   window (less if a request piggybacks it out sooner). Only the target
+   endpoint's buffer drains: a followup must reach the shard holding
+   its intent. *)
+let take_piggyback t ep =
+  if (not t.cfg.fu_piggyback) || ep.ep_buf = [] then []
   else begin
-    (match t.fu_timer with Some tm -> Timer.cancel tm | None -> ());
-    t.fu_timer <- None;
-    let fus = List.rev t.fu_buf in
-    t.fu_buf <- [];
+    (match ep.ep_timer with Some tm -> Timer.cancel tm | None -> ());
+    ep.ep_timer <- None;
+    let fus = List.rev ep.ep_buf in
+    ep.ep_buf <- [];
     t.s_fu_piggybacked <- t.s_fu_piggybacked + List.length fus;
     fus
   end
 
-let direct_execute t ~start ~exec_id ~root fn args =
+let direct_execute t ~start ~exec_id ~root ep fn args =
   t.s_fallback <- t.s_fallback + 1;
   let res =
     Tracer.with_phase t.tracer ~parent:root "direct_exec" (fun () ->
         Transport.call_timeout t.net ~from:t.cfg.loc
-          ~timeout:t.cfg.rpc_timeout t.exec_svc
+          ~timeout:t.cfg.rpc_timeout ep.ep_exec
           { Proto.dx_exec_id = exec_id; dx_fn_name = fn; dx_args = args })
   in
   let finish = Engine.now () in
@@ -347,12 +410,17 @@ let invoke t fn args =
     | None -> invalid_arg ("Runtime.invoke: unknown function " ^ fn)
   in
   match entry.derived with
-  | None -> finalize (direct_execute t ~start ~exec_id ~root fn args)
+  | None ->
+      finalize
+        (direct_execute t ~start ~exec_id ~root (endpoint_for_entry t entry)
+           fn args)
   | Some { classification = Analyzer.Derive.Expensive; _ } ->
       (* §3.3 "Failure case": an f^rw that must do the function's own
          expensive computation runs in series with f and would erase the
          benefit — such functions always run near storage. *)
-      finalize (direct_execute t ~start ~exec_id ~root fn args)
+      finalize
+        (direct_execute t ~start ~exec_id ~root (endpoint_for_entry t entry)
+           fn args)
   | Some derived -> (
       (* (1) Run f^rw to predict the read/write set. Dependent reads hit
          the cache (paying its latency); an analysis-time [Compute] kept
@@ -370,9 +438,15 @@ let invoke t fn args =
       with
       | exception Fdsl.Eval.Error _ ->
           Tracer.stop sp_predict;
-          finalize (direct_execute t ~start ~exec_id ~root fn args)
+          finalize
+            (direct_execute t ~start ~exec_id ~root
+               (endpoint_for_entry t entry) fn args)
       | rwset ->
           Tracer.stop sp_predict;
+          (* The concrete predicted key set picks the shard: all keys on
+             one shard sends the unchanged one-round-trip request there;
+             a spanning set goes to its coordinator anchor. *)
+          let ep = endpoint_for_keys t (rwset.reads @ rwset.writes) in
           (* Versions for validation and values for speculation come
              from one latency-free sweep — a single virtual instant —
              so the execution cannot observe state the LVI request does
@@ -410,7 +484,7 @@ let invoke t fn args =
           match
             Tracer.with_phase t.tracer ~parent:root "lvi_rtt" (fun () ->
                 Transport.call_timeout t.net ~from:t.cfg.loc
-                  ~timeout:t.cfg.rpc_timeout t.lvi_svc
+                  ~timeout:t.cfg.rpc_timeout ep.ep_lvi
                   {
                     Proto.exec_id;
                     fn_name = fn;
@@ -419,7 +493,7 @@ let invoke t fn args =
                     writes = rwset.writes;
                     ro_hint;
                     from_loc = t.cfg.loc;
-                    piggyback = take_piggyback t;
+                    piggyback = take_piggyback t ep;
                   })
           with
           | None ->
@@ -485,7 +559,7 @@ let invoke t fn args =
                                   validated write set (unsound manual f^rw?)"
                                  exec_id k))
                       spec_result.written;
-                    send_followup t
+                    send_followup t ep
                       {
                         Proto.fu_exec_id = exec_id;
                         fu_from = t.cfg.loc;

@@ -128,6 +128,17 @@ type stats = {
   dup_deliveries : int;
       (** Duplicated LVI / direct-exec deliveries answered from the
           reply cache instead of being re-processed. *)
+  cross_requests : int;
+      (** LVI requests this server coordinated through the cross-shard
+          prepare/commit round (0 unless sharded). *)
+  cross_commits : int;  (** ... that committed on every touched shard. *)
+  cross_aborts : int;
+      (** ... that aborted (validation failure somewhere, or prepare
+          retries exhausted) — the write set was applied nowhere,
+          though a backup execution may still have served the client. *)
+  shard_prepares : int;
+      (** Participant slices this server prepared for coordinators
+          running elsewhere. *)
 }
 
 val create :
@@ -189,6 +200,37 @@ val inject_mutation : t -> protocol_mutation option -> unit
 val raft_cluster : t -> Raft_locks.cluster option
 (** The replicated server's lock cluster ([None] for a singleton) —
     exposed so tests can crash and restart its nodes. *)
+
+(** {1 Sharded deployment}
+
+    N independent LVI servers — each with its own lock table, intents,
+    idempotency table and (optionally) Raft cluster — partition the
+    primary key space by a {!Shard.Directory}. A request whose key set
+    lives on one shard runs the unchanged one-round-trip protocol
+    there; a cross-shard request is coordinated by the minimum touched
+    shard: it prepares every other shard's slice (lock + validate +
+    intent) in parallel, commits iff all validated, and aborts —
+    releasing everything — otherwise. Deterministic re-execution of an
+    orphaned cross-shard intent is anchored at the coordinator, which
+    rebroadcasts the commit decision until every participant acks. *)
+
+val enable_sharding : t -> id:int -> directory:Shard.Directory.t -> unit
+(** Make this server shard [id] of [directory]: serves the
+    [shard_prepare] / [shard_decide] participant services at its
+    location and routes multi-shard requests through the coordinator
+    path. Must be called once, before traffic. *)
+
+val connect_shards : t -> t list -> unit
+(** Point this server at its peer shards (self is filtered out).
+    Call after every server has had {!enable_sharding}. *)
+
+val shard_id : t -> int option
+
+val cross_states : t -> (string * [ `Prepared | `Committed | `Aborted ]) list
+(** Terminal-state log of every cross-shard exec this shard
+    participated in or coordinated, for the chaos atomicity oracle: at
+    quiescence no exec may be [`Prepared], and an exec's state must
+    agree across every shard that logged it. *)
 
 val stop : t -> unit
 (** Shut down the Raft cluster of a replicated server (no-op for a

@@ -14,19 +14,26 @@ let of_bundle (b : Bundle.app) =
 let grid = [ Bundle.social; Bundle.forum ]
 
 let campaign ?(seeds = 50) ?(progress = true) ?(batching = false)
-    ?(propagation = false) () =
+    ?(propagation = false) ?(shards = 1) () =
   List.concat_map
     (fun bundle ->
       List.map
         (fun replicated ->
           let label =
-            Printf.sprintf "%s/%s%s%s" bundle.Bundle.name
+            Printf.sprintf "%s/%s%s%s%s" bundle.Bundle.name
               (if replicated then "replicated" else "singleton")
               (if batching then "+batching" else "")
               (if propagation then "+propagation" else "")
+              (if shards > 1 then Printf.sprintf "+%dshards" shards else "")
           in
           let config =
-            { Campaign.default_config with replicated; batching; propagation }
+            {
+              Campaign.default_config with
+              replicated;
+              batching;
+              propagation;
+              shards;
+            }
           in
           let last = ref 0 in
           let on_progress ~done_ ~total =
@@ -90,7 +97,8 @@ let demo_mutation ?(seed = 7) () =
     shrunk;
   (original, shrunk)
 
-let run ?(seeds = 50) ?(batching = false) ?(propagation = false) () =
+let run ?(seeds = 50) ?(batching = false) ?(propagation = false) ?(shards = 1)
+    () =
   print_newline ();
   print_endline
     "================================================================";
@@ -98,14 +106,15 @@ let run ?(seeds = 50) ?(batching = false) ?(propagation = false) () =
   print_endline
     "================================================================";
   Printf.printf
-    "grid: {social, forum} x {singleton, replicated}%s%s, %d seeds each,\n\
+    "grid: {social, forum} x {singleton, replicated}%s%s%s, %d seeds each,\n\
      templates: %s\n"
     (if batching then " with all batching knobs on" else "")
     (if propagation then " with cache-update propagation on" else "")
+    (if shards > 1 then Printf.sprintf " sharded %d ways" shards else "")
     seeds
     (String.concat ", "
        (List.map (fun (t : Plan.template) -> t.t_name) Plan.default_templates));
-  let reports = campaign ~seeds ~batching ~propagation () in
+  let reports = campaign ~seeds ~batching ~propagation ~shards () in
   let violations = ref 0 in
   List.iter
     (fun r ->

@@ -14,13 +14,16 @@ val of_bundle : Bundle.app -> Chaos.Campaign.app
 
 val campaign :
   ?seeds:int -> ?progress:bool -> ?batching:bool -> ?propagation:bool ->
-  unit -> report list
+  ?shards:int -> unit -> report list
 (** [seeds] per (app × mode) cell, default 50 — 200 seeded sweeps in
     total over the 4-cell grid. [batching] turns every batching knob on
     in every cell (group commit, lock-record flush, admission, followup
     coalescing); [propagation] turns asynchronous cache-update
     propagation on, which the propagation-chaos template then stresses
-    with lost/duplicated/delayed cache_update messages — the oracle
+    with lost/duplicated/delayed cache_update messages; [shards > 1]
+    hash-shards the LVI service that many ways, putting every cell's
+    multi-key functions on the cross-shard commit path under the
+    shard-chaos template and the cross-atomicity oracle — the oracle
     expects zero violations in every combination. *)
 
 val demo_mutation : ?seed:int -> unit -> Chaos.Plan.t * Chaos.Plan.t
@@ -28,7 +31,9 @@ val demo_mutation : ?seed:int -> unit -> Chaos.Plan.t * Chaos.Plan.t
     return [(original, shrunk)] — the shrunk plan still reproduces a
     violation and is 1-minimal. *)
 
-val run : ?seeds:int -> ?batching:bool -> ?propagation:bool -> unit -> int
+val run :
+  ?seeds:int -> ?batching:bool -> ?propagation:bool -> ?shards:int ->
+  unit -> int
 (** Print campaign reports and the mutation demonstration; returns the
     number of genuine violations (0 expected — mutation-demo failures
     are intentional and not counted). *)

@@ -14,6 +14,8 @@ type state = {
   raft : Stats.t; (* lock-record submit -> commit latency *)
   batches : (string, Stats.t) Hashtbl.t; (* batch label -> batch size *)
   queues : (string, Stats.t) Hashtbl.t; (* queue label -> queueing delay *)
+  shards : (int, int * int) Hashtbl.t;
+      (* shard id -> (requests handled, of which cross-shard) *)
 }
 
 type t = Off | On of state
@@ -33,6 +35,7 @@ let create () =
       raft = Stats.create ();
       batches = Hashtbl.create 16;
       queues = Hashtbl.create 16;
+      shards = Hashtbl.create 8;
     }
 
 let enabled = function Off -> false | On _ -> true
@@ -154,6 +157,16 @@ let record_batch t ~label size =
 let record_queue t ~label d =
   match t with Off -> () | On st -> tbl_add st.queues label d
 
+let record_shard t ~shard ~parts =
+  match t with
+  | Off -> ()
+  | On st ->
+      let reqs, cross =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt st.shards shard)
+      in
+      Hashtbl.replace st.shards shard
+        (reqs + 1, if parts > 1 then cross + 1 else cross)
+
 (* --- Readout --------------------------------------------------------- *)
 
 let trace_count t = match t with Off -> 0 | On st -> st.n_completed
@@ -190,6 +203,11 @@ let queue_stats t =
   match t with
   | Off -> []
   | On st -> sorted_bindings st.queues String.compare
+
+let shard_stats t =
+  match t with
+  | Off -> []
+  | On st -> sorted_bindings st.shards Int.compare
 
 let slowest ?(k = 10) t =
   match t with
@@ -322,6 +340,16 @@ let phases_json t =
       in
       labeled_section "batch_sizes" st.batches;
       labeled_section "queue_delay_ms" st.queues;
+      Buffer.add_string buf "  \"shards\": [";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map
+              (fun (shard, (reqs, cross)) ->
+                Printf.sprintf
+                  "{\"shard\": %d, \"requests\": %d, \"cross_shard\": %d}"
+                  shard reqs cross)
+              (sorted_bindings st.shards Int.compare)));
+      Buffer.add_string buf "],\n";
       Buffer.add_string buf
         (Printf.sprintf "  \"raft_submit_ms\": %s\n"
            (if Stats.count st.raft = 0 then "null" else stats_json st.raft));

@@ -90,6 +90,11 @@ val record_queue : t -> label:string -> float -> unit
 (** Queueing delay paid by a batched element before its batch flushed
     (or by a request waiting in the admission queue), keyed by site. *)
 
+val record_shard : t -> shard:int -> parts:int -> unit
+(** Count one LVI request handled by [shard]; [parts] is the number of
+    shards its key set touches (> 1 marks it cross-shard and feeds the
+    per-shard cross-shard-rate readout). *)
+
 (** {1 Readout} *)
 
 val trace_count : t -> int
@@ -108,6 +113,10 @@ val batch_stats : t -> (string * Stats.t) list
 
 val queue_stats : t -> (string * Stats.t) list
 (** Queue-delay histograms per batching/admission site, sorted. *)
+
+val shard_stats : t -> (int * (int * int)) list
+(** Per-shard load, sorted by shard id: [(shard, (requests,
+    cross_shard_requests))]. Empty when disabled or unsharded. *)
 
 val slowest : ?k:int -> t -> Span.t list
 (** The [k] slowest finalized request trees, slowest first. *)

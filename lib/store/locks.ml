@@ -116,6 +116,30 @@ let acquire t ~owner locks =
   Hashtbl.replace t.held owner [];
   List.iter (fun (key, mode) -> acquire_one t ~owner key mode) sorted
 
+let try_acquire t ~owner locks =
+  if Hashtbl.mem t.held owner then
+    invalid_arg (Printf.sprintf "Locks.try_acquire: %s already holds locks" owner);
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) locks in
+  let rec check_dups = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg ("Locks.try_acquire: duplicate key " ^ a)
+        else check_dups rest
+    | [ _ ] | [] -> ()
+  in
+  check_dups sorted;
+  if List.for_all (fun (key, mode) -> free_now (kstate t key) mode) sorted
+  then begin
+    Hashtbl.replace t.held owner [];
+    List.iter
+      (fun (key, mode) ->
+        grant t (kstate t key) owner mode;
+        record_held t owner key mode)
+      sorted;
+    true
+  end
+  else false
+
 let release t ~owner =
   match Hashtbl.find_opt t.held owner with
   | None -> ()

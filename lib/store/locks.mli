@@ -19,6 +19,16 @@ val acquire : t -> owner:string -> (string * mode) list -> unit
     distinct; raises [Invalid_argument] on duplicates or if [owner]
     already holds locks. *)
 
+val try_acquire : t -> owner:string -> (string * mode) list -> bool
+(** All-or-nothing, non-blocking variant of {!acquire}: grants every
+    listed lock iff each is immediately free (no holder conflict and an
+    empty wait queue — queue-jumping would starve FIFO waiters). On
+    [false] nothing is granted and no queue entry is left behind, so the
+    caller never holds a partial set and never creates a wait-for edge —
+    the property the cross-shard parallel prepare round relies on for
+    deadlock freedom. Same duplicate-key / re-entrant-owner guards as
+    {!acquire}. *)
+
 val release : t -> owner:string -> unit
 (** Release every lock held by [owner]; wakes eligible waiters FIFO.
     No-op for an unknown owner. *)

@@ -74,6 +74,65 @@ let test_kv_versions_of () =
         [ ("a", 1); ("zz", 0) ]
         (Store.Kv.versions_of kv [ "a"; "zz" ]))
 
+(* Version monotonicity: under any interleaving of put / put_if_version /
+   load, each key's observable version never decreases, and every
+   successful write strictly increases it. *)
+let prop_kv_versions_monotonic =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun k v -> `Put (k, v)) (int_range 0 4) small_nat;
+          map3
+            (fun k v e -> `Put_if (k, v, e))
+            (int_range 0 4) small_nat (int_range 0 6);
+          map2 (fun k v -> `Load (k, v)) (int_range 0 4) small_nat;
+        ])
+  in
+  QCheck.Test.make ~name:"kv versions are monotonic" ~count:100
+    QCheck.(make Gen.(list_size (1 -- 40) op_gen))
+    (fun ops ->
+      let e = Engine.create ~seed:7 () in
+      let ok = ref true in
+      Engine.run e (fun () ->
+          let kv = Store.Kv.create ~access_latency:0.0 () in
+          let key i = Printf.sprintf "k%d" i in
+          let last = Hashtbl.create 8 in
+          let seen k = try Hashtbl.find last k with Not_found -> 0 in
+          let observe k v' ~wrote =
+            if wrote then ok := !ok && v' > seen k
+            else ok := !ok && v' >= seen k;
+            Hashtbl.replace last k (max v' (seen k))
+          in
+          List.iter
+            (fun op ->
+              match op with
+              | `Put (k, v) ->
+                  let k = key k in
+                  observe k (Store.Kv.put kv k (Dval.int v)) ~wrote:true
+              | `Put_if (k, v, expected) ->
+                  let k = key k in
+                  let wrote =
+                    Store.Kv.put_if_version kv k (Dval.int v) ~expected
+                  in
+                  observe k (Store.Kv.version_of kv k) ~wrote
+              | `Load (k, v) ->
+                  let k = key k in
+                  Store.Kv.load kv [ (k, Dval.int v) ];
+                  observe k (Store.Kv.version_of kv k) ~wrote:true)
+            ops;
+          (* Final cross-check: versions_of agrees with the tracked maxima. *)
+          Hashtbl.iter
+            (fun k v ->
+              ok := !ok && Store.Kv.version_of kv k = v;
+              ok :=
+                !ok
+                && match Store.Kv.peek kv k with
+                   | Some { version; _ } -> version = v
+                   | None -> v = 0)
+            last);
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Locks                                                               *)
 
@@ -235,6 +294,74 @@ let test_locks_contention_counter () =
       Alcotest.(check int) "grants" 2 (Store.Locks.acquisitions lt);
       Alcotest.(check int) "contended" 1 (Store.Locks.contended_acquisitions lt))
 
+let test_locks_try_acquire_free () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Alcotest.(check bool) "grants when free" true
+        (Store.Locks.try_acquire lt ~owner:"o"
+           [ ("a", Store.Locks.Read); ("b", Store.Locks.Write) ]);
+      Alcotest.(check (list (pair string bool))) "holds both"
+        [ ("a", false); ("b", true) ]
+        (List.map
+           (fun (k, m) -> (k, m = Store.Locks.Write))
+           (Store.Locks.held_by lt ~owner:"o"));
+      Store.Locks.release lt ~owner:"o";
+      Alcotest.(check bool) "free again" true (Store.Locks.holders lt "b" = None))
+
+let test_locks_try_acquire_shared_read () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"r1" [ ("k", Store.Locks.Read) ];
+      Alcotest.(check bool) "read joins read" true
+        (Store.Locks.try_acquire lt ~owner:"r2" [ ("k", Store.Locks.Read) ]);
+      match Store.Locks.holders lt "k" with
+      | Some (Store.Locks.Read, owners) ->
+          Alcotest.(check (list string)) "both hold" [ "r1"; "r2" ] owners
+      | _ -> Alcotest.fail "expected shared read")
+
+(* The all-or-nothing contract: a conflict on ANY key must leave NO lock
+   granted and NO queue entry behind — a partial grant or a parked waiter
+   would create the wait-for edges the cross-shard parallel prepare round
+   must never create. *)
+let test_locks_try_acquire_conflict_leaves_nothing () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"w" [ ("b", Store.Locks.Write) ];
+      Alcotest.(check bool) "refused" false
+        (Store.Locks.try_acquire lt ~owner:"o"
+           [ ("a", Store.Locks.Read); ("b", Store.Locks.Read) ]);
+      Alcotest.(check (list (pair string bool))) "o holds nothing" []
+        (List.map
+           (fun (k, m) -> (k, m = Store.Locks.Write))
+           (Store.Locks.held_by lt ~owner:"o"));
+      Alcotest.(check bool) "a untouched" true (Store.Locks.holders lt "a" = None);
+      Alcotest.(check int) "no waiter parked on a" 0 (Store.Locks.waiting lt "a");
+      Alcotest.(check int) "no waiter parked on b" 0 (Store.Locks.waiting lt "b");
+      (* After the refusal the owner must still be able to block-acquire. *)
+      Store.Locks.release lt ~owner:"w";
+      Store.Locks.acquire lt ~owner:"o"
+        [ ("a", Store.Locks.Read); ("b", Store.Locks.Read) ];
+      Alcotest.(check int) "o then acquires both" 2
+        (List.length (Store.Locks.held_by lt ~owner:"o")))
+
+(* No queue-jumping: even if the current holder set is compatible (reader
+   joining readers), a non-empty FIFO wait queue makes try_acquire refuse
+   rather than overtake the parked writer. *)
+let test_locks_try_acquire_no_overtake () =
+  run_sim (fun () ->
+      let lt = Store.Locks.create () in
+      Store.Locks.acquire lt ~owner:"r1" [ ("k", Store.Locks.Read) ];
+      Engine.spawn (fun () ->
+          Store.Locks.acquire lt ~owner:"w" [ ("k", Store.Locks.Write) ]);
+      Engine.sleep 1.0;
+      Alcotest.(check int) "writer queued" 1 (Store.Locks.waiting lt "k");
+      Alcotest.(check bool) "reader refused past queued writer" false
+        (Store.Locks.try_acquire lt ~owner:"r2" [ ("k", Store.Locks.Read) ]);
+      Alcotest.(check int) "queue undisturbed" 1 (Store.Locks.waiting lt "k");
+      Store.Locks.release lt ~owner:"r1";
+      Engine.sleep 1.0;
+      Store.Locks.release lt ~owner:"w")
+
 (* Deadlock freedom: many fibers acquiring random overlapping lock sets in
    sorted order all complete. *)
 let prop_locks_no_deadlock =
@@ -341,7 +468,8 @@ let () =
           Alcotest.test_case "put_if_version" `Quick test_kv_put_if_version;
           Alcotest.test_case "load and counters" `Quick test_kv_load_and_counters;
           Alcotest.test_case "versions_of" `Quick test_kv_versions_of;
-        ] );
+        ]
+        @ qsuite [ prop_kv_versions_monotonic ] );
       ( "locks",
         [
           Alcotest.test_case "read shared" `Quick test_locks_read_shared;
@@ -358,6 +486,14 @@ let () =
             test_locks_release_one_reader_keeps_others;
           Alcotest.test_case "contention counter" `Quick
             test_locks_contention_counter;
+          Alcotest.test_case "try_acquire free" `Quick
+            test_locks_try_acquire_free;
+          Alcotest.test_case "try_acquire shared read" `Quick
+            test_locks_try_acquire_shared_read;
+          Alcotest.test_case "try_acquire conflict leaves nothing" `Quick
+            test_locks_try_acquire_conflict_leaves_nothing;
+          Alcotest.test_case "try_acquire no overtake" `Quick
+            test_locks_try_acquire_no_overtake;
         ]
         @ qsuite [ prop_locks_no_deadlock ] );
       ( "intents",
