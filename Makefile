@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick check chaos analyze batch propagate shard clean
+.PHONY: all build test bench examples quick check chaos analyze certify batch propagate shard clean
 
 all: build
 
@@ -25,6 +25,13 @@ quick:
 analyze:
 	dune build @analyze
 	dune exec bench/main.exe -- --scale 1 analyze
+
+# Bytecode effect certification: golden-file check of `radical_cli
+# certify` — the whole catalog's compiled modules re-analyzed by the
+# bytecode abstract interpreter and checked, shape by shape, against
+# the registered f^rw (see DESIGN.md "Bytecode effect certification").
+certify:
+	dune build @certify
 
 # Batching load sweep: open-loop load against the replicated LVI
 # server with group commit / lock-record flush / conflict-aware
@@ -51,7 +58,8 @@ shard:
 
 # CI gate: full build (the dev profile's -warn-error +a makes any
 # compiler warning fail the build), full test suite, the analyzer
-# golden + bench run, a small traced bench run that exercises the
+# golden + bench run, the bytecode-certification golden run, a small
+# traced bench run that exercises the
 # per-phase JSON breakdown end to end, the batching load sweep, the
 # propagation experiment and the shard scaling sweep at smoke scale,
 # then two 20-seed chaos smoke campaigns: one with every batching
@@ -63,6 +71,7 @@ check:
 	dune build @all
 	dune runtest --force
 	$(MAKE) analyze
+	$(MAKE) certify
 	dune exec bench/main.exe -- --scale 1 phases
 	dune exec bench/main.exe -- --scale 1 batch
 	dune exec bench/main.exe -- --scale 1 propagate

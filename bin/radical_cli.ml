@@ -592,6 +592,20 @@ let analyze_cmd =
              matrices, lock-order hazards, and manual f^rw checks")
     Term.(const run $ const ())
 
+let certify_cmd =
+  let run () =
+    let report, all_ok = Apps.Report.render_certify () in
+    print_string report;
+    if not all_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Certify every catalog function's f^rw against its compiled \
+             bytecode: re-derive read/write key shapes from the WASM \
+             instruction stream and prove them subsumed by the registered \
+             prediction. Exits non-zero if any function is rejected")
+    Term.(const run $ const ())
+
 let () =
   let doc = "Radical (SOSP '25) reproduction: run experiments and deployments" in
   exit
@@ -599,6 +613,6 @@ let () =
        (Cmd.group (Cmd.info "radical_cli" ~doc)
           [
             experiments_cmd; run_cmd; inspect_cmd; check_cmd; analyze_cmd;
-            timeline_cmd; trace_cmd; trace_gen_cmd; trace_replay_cmd;
-            chaos_cmd;
+            certify_cmd; timeline_cmd; trace_cmd; trace_gen_cmd;
+            trace_replay_cmd; chaos_cmd;
           ]))

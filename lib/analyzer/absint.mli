@@ -20,18 +20,32 @@
     over-approximates — [overlap] never returns [false] for two shapes
     that share a concrete key. *)
 
-type origin =
+(** The domain itself lives in {!Keyshape} (shared with the
+    bytecode-level interpreter {!Wasm.Effect}); this module re-exports
+    it so existing [Absint.Lit] / [Absint.overlap] users are
+    unaffected. *)
+
+type origin = Keyshape.origin =
   | Const_only  (** fixed by the program text (e.g. a literal list's
                     elements: varies per iteration over a known set) *)
   | Input_only  (** determined by invocation inputs *)
   | Store_dep  (** depends on values read from storage *)
   | Opaque_dep  (** depends on an opaque/nondeterministic source *)
 
-type frag = Lit of string | Hole of { src : origin; label : string }
+type frag = Keyshape.frag =
+  | Lit of string
+  | Hole of { src : origin; label : string }
 
 type shape = frag list
 (** Normalized: no empty literals, no adjacent literals, no adjacent
     holes. The empty list is the empty string. *)
+
+val origin_rank : origin -> int
+val origin_join : origin -> origin -> origin
+val origin_name : origin -> string
+val pp_origin : Format.formatter -> origin -> unit
+
+val normalize : shape -> shape
 
 val top : shape
 (** The pure wildcard [⟨?⟩]: matches any key. *)
@@ -52,6 +66,10 @@ val overlap : shape -> shape -> bool
 (** May the two patterns share a concrete key? Sound over-approximation:
     [false] is a proof of disjointness; [true] may be spurious. *)
 
+val subsumes : shape -> shape -> bool
+(** [subsumes general specific]: language inclusion — see
+    {!Keyshape.subsumes}. *)
+
 val join : shape -> shape -> shape
 (** Anti-unification: the least pattern (in this restricted domain)
     covering both. Used at control-flow joins. *)
@@ -64,6 +82,9 @@ val ordered_before : shape -> shape -> bool option
 
 val compare_shape : shape -> shape -> int
 (** Total order for sorting/dedup (structural, not semantic). *)
+
+val same_shape : shape -> shape -> bool
+(** Structural equality up to hole labels (see {!Keyshape.same_shape}). *)
 
 val pp_shape : Format.formatter -> shape -> unit
 

@@ -1,0 +1,159 @@
+open Absint
+
+type scope = Vs_source | Vs_rw
+
+type problem =
+  | Uncovered of scope
+  | Weak_origin of { scope : scope; declared : origin; actual : origin }
+  | Static_violation of origin
+  | Opaque_key
+  | Undeclared_external of string
+  | Unanalyzable of string
+
+type issue = { i_access : Wasm.Effect.access option; i_problem : problem }
+
+type report = {
+  c_fn : string;
+  c_classification : Derive.classification option;
+  c_effect : Wasm.Effect.summary option;
+  c_issues : issue list;
+}
+
+let certified r = r.c_issues = []
+
+(* Declared shapes covering one bytecode access: the subsuming subset
+   and the strongest origin it admits. *)
+let coverage declared shape =
+  let covering = List.filter (fun d -> subsumes d shape) declared in
+  match covering with
+  | [] -> None
+  | _ ->
+      Some
+        (List.fold_left
+           (fun acc d -> origin_join acc (origin_of_shape d))
+           Const_only covering)
+
+let check_access ~scope ~declared (a : Wasm.Effect.access) =
+  let actual = origin_of_shape a.a_shape in
+  match coverage declared a.a_shape with
+  | None -> [ { i_access = Some a; i_problem = Uncovered scope } ]
+  | Some best ->
+      if origin_rank best < origin_rank actual then
+        [
+          {
+            i_access = Some a;
+            i_problem = Weak_origin { scope; declared = best; actual };
+          };
+        ]
+      else []
+
+let check ~(source : Fdsl.Ast.func) ~modul ?derived () =
+  let classification =
+    Option.map (fun (d : Derive.t) -> d.Derive.classification) derived
+  in
+  match
+    Wasm.Effect.analyze ~params:source.params modul ~entry:source.fn_name
+  with
+  | Error reason ->
+      {
+        c_fn = source.fn_name;
+        c_classification = classification;
+        c_effect = None;
+        c_issues = [ { i_access = None; i_problem = Unanalyzable reason } ];
+      }
+  | Ok eff ->
+      let src = summarize source in
+      let rw =
+        Option.map (fun (d : Derive.t) -> summarize d.Derive.rw_func) derived
+      in
+      let issues = ref [] in
+      let add is = issues := !issues @ is in
+      List.iter
+        (fun (a : Wasm.Effect.access) ->
+          let declared_of (sm : summary) =
+            match a.a_kind with
+            | Wasm.Effect.Read -> sm.sm_reads
+            | Wasm.Effect.Write -> sm.sm_writes
+          in
+          add (check_access ~scope:Vs_source ~declared:(declared_of src) a);
+          (match rw with
+          | Some sm -> add (check_access ~scope:Vs_rw ~declared:(declared_of sm) a)
+          | None -> ());
+          let actual = origin_of_shape a.a_shape in
+          (match classification with
+          | Some Derive.Static when origin_rank actual > origin_rank Input_only
+            ->
+              add [ { i_access = Some a; i_problem = Static_violation actual } ]
+          | _ -> ());
+          match classification with
+          | Some (Derive.Static | Derive.Dependent _ | Derive.Expensive)
+            when actual = Opaque_dep ->
+              add [ { i_access = Some a; i_problem = Opaque_key } ]
+          | _ -> ())
+        eff.Wasm.Effect.ef_accesses;
+      if not src.sm_external then
+        List.iter
+          (fun (_path, svc) ->
+            add [ { i_access = None; i_problem = Undeclared_external svc } ])
+          eff.Wasm.Effect.ef_externals;
+      {
+        c_fn = source.fn_name;
+        c_classification = classification;
+        c_effect = Some eff;
+        c_issues = !issues;
+      }
+
+let scope_name = function Vs_source -> "source summary" | Vs_rw -> "f^rw"
+
+let pp_issue fmt { i_access; i_problem } =
+  let where fmt () =
+    match i_access with
+    | Some a -> Format.fprintf fmt "%a" Wasm.Effect.pp_access a
+    | None -> Format.pp_print_string fmt "(module)"
+  in
+  match i_problem with
+  | Uncovered scope ->
+      Format.fprintf fmt "%a: not covered by any declared %s shape" where ()
+        (scope_name scope)
+  | Weak_origin { scope; declared; actual } ->
+      Format.fprintf fmt
+        "%a: key is %s-determined at runtime but the covering %s shape only \
+         admits %s-determined keys"
+        where () (origin_name actual) (scope_name scope)
+        (origin_name declared)
+  | Static_violation o ->
+      Format.fprintf fmt
+        "%a: classified Static but the key is %s-determined" where ()
+        (origin_name o)
+  | Opaque_key ->
+      Format.fprintf fmt
+        "%a: an opaque hole reaches this key under an analyzer-derived \
+         classification"
+        where ()
+  | Undeclared_external svc ->
+      Format.fprintf fmt
+        "(module): external.call to %S with no external flag in the source \
+         summary"
+        svc
+  | Unanalyzable reason ->
+      Format.fprintf fmt "(module): bytecode analysis failed: %s" reason
+
+let pp_failure fmt r =
+  Format.pp_print_list
+    ~pp_sep:(fun f () -> Format.fprintf f "; ")
+    pp_issue fmt r.c_issues
+
+let pp_report fmt r =
+  let verdict = if certified r then "CERTIFIED" else "REJECTED" in
+  Format.fprintf fmt "@[<v2>%s: %s@ " r.c_fn verdict;
+  (match r.c_effect with
+  | Some eff -> Format.fprintf fmt "%a" Wasm.Effect.pp_summary eff
+  | None -> Format.fprintf fmt "(no bytecode summary)");
+  if r.c_issues <> [] then begin
+    Format.fprintf fmt "@ @[<v2>issues:@ %a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f "@ ")
+         pp_issue)
+      r.c_issues
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,88 @@
+(** Translation validation of f^rw against the compiled bytecode
+    (§3.3/§4 hardening).
+
+    The runtime's safety argument needs the registered f^rw to {e
+    over-approximate} what a function actually does. Deriving both
+    sides from the same Fdsl AST leaves the Fdsl→Wasm compiler — and
+    every hand-supplied manual f^rw — inside the trusted base. This
+    module closes that gap: {!Wasm.Effect} re-derives the read/write
+    key shapes from the {e compiled} instruction stream, and [check]
+    proves, shape by shape, that they fall inside what registration
+    declared. After a successful check the TCB for effect soundness is
+    the VM and this checker; the compiler and the registrant are
+    untrusted.
+
+    Checks performed per bytecode access:
+    - {b coverage}: the access shape is subsumed
+      ({!Keyshape.subsumes}) by some declared shape of the same kind —
+      both against the source summary and against the summary of the
+      registered [rw_func];
+    - {b origin adequacy}: among the declared shapes that cover it, at
+      least one carries an origin no weaker than the access's actual
+      origin (catches a dependent read demoted to input-determined);
+    - {b classification agreement}: a [Static] classification admits
+      only [Const_only]/[Input_only] key origins, and any
+      analyzer-derived classification admits no [Opaque_dep] key (the
+      taint pass: an opaque hole reaching a key is only legal under a
+      [Manual] f^rw that declares it);
+    - {b externals}: every [external.call] site must be matched by the
+      source summary's external flag.
+
+    Certification proves the safety direction (no undeclared effect);
+    {e exactness} of f^rw remains checked at runtime by validation, as
+    in the paper. *)
+
+type scope = Vs_source | Vs_rw
+
+type problem =
+  | Uncovered of scope
+      (** no declared shape of the access's kind subsumes it *)
+  | Weak_origin of {
+      scope : scope;
+      declared : Absint.origin;
+      actual : Absint.origin;
+    }
+      (** every covering declared shape has a weaker origin than the
+          bytecode exhibits *)
+  | Static_violation of Absint.origin
+      (** classified [Static], but a key origin exceeds [Input_only] *)
+  | Opaque_key
+      (** analyzer-derived classification, yet an [Opaque_dep] hole
+          reaches a key *)
+  | Undeclared_external of string
+      (** an [external.call] site with no external flag in the source
+          summary *)
+  | Unanalyzable of string  (** the bytecode analysis itself failed *)
+
+type issue = { i_access : Wasm.Effect.access option; i_problem : problem }
+(** [i_access = None] only for [Undeclared_external]/[Unanalyzable];
+    otherwise the offending access, whose [a_path] is the
+    instruction-path diagnostic. *)
+
+type report = {
+  c_fn : string;
+  c_classification : Derive.classification option;
+      (** raw (pre-optimizer) classification the checks ran against *)
+  c_effect : Wasm.Effect.summary option;
+  c_issues : issue list;
+}
+
+val check :
+  source:Fdsl.Ast.func ->
+  modul:Wasm.Wmodule.t ->
+  ?derived:Derive.t ->
+  unit ->
+  report
+(** [derived] is the {e raw} derivation (or the manual pairing); omit
+    it for functions registered without an f^rw — they are then checked
+    against the source summary only. *)
+
+val certified : report -> bool
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line: verdict, bytecode shapes, then issues (if any). *)
+
+val pp_failure : Format.formatter -> report -> unit
+(** One line per issue — what registration embeds in its error. *)

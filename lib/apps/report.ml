@@ -103,3 +103,68 @@ let render () =
   List.iter (app_section buf) Catalog.all_apps;
   manual_section buf;
   Buffer.contents buf
+
+(* --- Bytecode effect certification ---------------------------------- *)
+
+let certify_fn (f : Fdsl.Ast.func) =
+  match Fdsl.Compile.compile f with
+  | exception Fdsl.Compile.Unsupported reason -> Error reason
+  | modul ->
+      let derived =
+        match Catalog.manual_rw_of f.Fdsl.Ast.fn_name with
+        | Some rw -> Some (Derive.manual ~source:f ~rw_func:rw)
+        | None -> (
+            match Derive.derive f with Ok d -> Some d | Error _ -> None)
+      in
+      Ok (Analyzer.Certify.check ~source:f ~modul ?derived ())
+
+let render_certify () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "radical certify: bytecode effect certification report\n\n";
+  let total = ref 0 and passed = ref 0 in
+  let section (app, funcs) =
+    Buffer.add_string buf
+      (Printf.sprintf "== %s (%d functions) ==\n\n" app (List.length funcs));
+    let rows =
+      List.map
+        (fun (f : Fdsl.Ast.func) ->
+          incr total;
+          match certify_fn f with
+          | Error reason ->
+              [ f.Fdsl.Ast.fn_name; "-"; "-"; "-"; "uncompilable: " ^ reason ]
+          | Ok r ->
+              let cls =
+                match r.Analyzer.Certify.c_classification with
+                | Some c -> classification_to_string c
+                | None -> "-"
+              in
+              let reads, writes =
+                match r.Analyzer.Certify.c_effect with
+                | Some eff ->
+                    ( shapes_to_string (Wasm.Effect.reads eff),
+                      shapes_to_string (Wasm.Effect.writes eff) )
+                | None -> ("-", "-")
+              in
+              let verdict =
+                if Analyzer.Certify.certified r then begin
+                  incr passed;
+                  "certified"
+                end
+                else
+                  Format.asprintf "REJECTED: %a" Analyzer.Certify.pp_failure r
+              in
+              [ f.Fdsl.Ast.fn_name; cls; reads; writes; verdict ])
+        funcs
+    in
+    Buffer.add_string buf
+      (render_table
+         ~header:
+           [ "function"; "f^rw"; "bytecode reads"; "bytecode writes"; "verdict" ]
+         rows);
+    Buffer.add_string buf "\n\n"
+  in
+  List.iter section Catalog.all_apps;
+  Buffer.add_string buf
+    (Printf.sprintf "catalog: %d/%d certified\n" !passed !total);
+  (Buffer.contents buf, !passed = !total)

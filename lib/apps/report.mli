@@ -18,3 +18,12 @@
     suite and printed by [radical_cli analyze]. *)
 
 val render : unit -> string
+
+val render_certify : unit -> string * bool
+(** Whole-catalog bytecode effect certification
+    ({!Analyzer.Certify.check} against the compiled module of every
+    catalog function): per-function table of classification,
+    bytecode-derived read/write shapes and verdict, plus a
+    [catalog: N/N certified] summary line. The boolean is [true] iff
+    every function certified. Byte-deterministic, golden-tested, and
+    printed by [radical_cli certify]. *)

@@ -5,6 +5,7 @@ type entry = {
   derived : Analyzer.Derive.t option;
   summary : Analyzer.Absint.summary;
   read_only : bool;
+  certificate : Analyzer.Certify.report option;
 }
 
 type t = {
@@ -28,37 +29,20 @@ let create () =
 let is_read_only (sm : Analyzer.Absint.summary) =
   sm.sm_writes = [] && not sm.sm_external
 
-let register t (f : Fdsl.Ast.func) =
-  if Hashtbl.mem t.entries f.fn_name then
-    Error (Printf.sprintf "%s: already registered" f.fn_name)
-  else
-    match Fdsl.Compile.compile f with
-    | exception Fdsl.Compile.Unsupported reason ->
-        Error (Printf.sprintf "%s: %s" f.fn_name reason)
-    | modul -> (
-        match Wasm.Validate.check_all modul with
-        | Error e ->
-            Error
-              (Format.asprintf "%s: determinism validation failed: %a"
-                 f.fn_name Wasm.Validate.pp_error e)
-        | Ok () ->
-            let raw_derived =
-              match Analyzer.Derive.derive f with
-              | Ok d -> Some d
-              | Error _ -> None
-            in
-            let derived = Option.map Analyzer.Optimize.optimize raw_derived in
-            let summary = Analyzer.Absint.summarize f in
-            let entry =
-              { func = f; modul; raw_derived; derived; summary;
-                read_only = is_read_only summary }
-            in
-            Hashtbl.replace t.entries f.fn_name entry;
-            t.conflicts <- None;
-            Hashtbl.reset t.degrees;
-            Ok entry)
+(* Effect certification (translation validation of f^rw against the
+   compiled bytecode) runs as a hard registration gate by default. The
+   escape hatch exists so deployments can fall back to the seed
+   behavior bit for bit — with it off, registration performs exactly
+   the seed's compile/validate/analyze pipeline. *)
+let certification = ref true
 
-let register_manual t (f : Fdsl.Ast.func) ~rw_func =
+let set_certification enabled = certification := enabled
+
+let certification_enabled () = !certification
+
+(* Both registration paths share everything except how f^rw is
+   obtained; [derive] returns [(raw, optimized)] or a fatal error. *)
+let validate_and_store t (f : Fdsl.Ast.func) ~derive =
   if Hashtbl.mem t.entries f.fn_name then
     Error (Printf.sprintf "%s: already registered" f.fn_name)
   else
@@ -72,24 +56,53 @@ let register_manual t (f : Fdsl.Ast.func) ~rw_func =
               (Format.asprintf "%s: determinism validation failed: %a"
                  f.fn_name Wasm.Validate.pp_error e)
         | Ok () -> (
-            match Analyzer.Derive.manual ~source:f ~rw_func with
-            | exception Invalid_argument m -> Error m
-            | derived ->
-                let summary = Analyzer.Absint.summarize f in
-                let entry =
-                  {
-                    func = f;
-                    modul;
-                    raw_derived = Some derived;
-                    derived = Some derived;
-                    summary;
-                    read_only = is_read_only summary;
-                  }
+            match derive () with
+            | Error m -> Error m
+            | Ok (raw_derived, derived) -> (
+                let certificate =
+                  if !certification then
+                    Some
+                      (Analyzer.Certify.check ~source:f ~modul
+                         ?derived:raw_derived ())
+                  else None
                 in
-                Hashtbl.replace t.entries f.fn_name entry;
-                t.conflicts <- None;
-                Hashtbl.reset t.degrees;
-                Ok entry))
+                match certificate with
+                | Some r when not (Analyzer.Certify.certified r) ->
+                    Error
+                      (Format.asprintf "%s: effect certification failed: %a"
+                         f.fn_name Analyzer.Certify.pp_failure r)
+                | _ ->
+                    let summary = Analyzer.Absint.summarize f in
+                    let entry =
+                      {
+                        func = f;
+                        modul;
+                        raw_derived;
+                        derived;
+                        summary;
+                        read_only = is_read_only summary;
+                        certificate;
+                      }
+                    in
+                    Hashtbl.replace t.entries f.fn_name entry;
+                    t.conflicts <- None;
+                    Hashtbl.reset t.degrees;
+                    Ok entry)))
+
+let register t (f : Fdsl.Ast.func) =
+  validate_and_store t f ~derive:(fun () ->
+      let raw_derived =
+        match Analyzer.Derive.derive f with
+        | Ok d -> Some d
+        | Error _ -> None
+      in
+      Ok (raw_derived, Option.map Analyzer.Optimize.optimize raw_derived))
+
+let register_manual t (f : Fdsl.Ast.func) ~rw_func =
+  validate_and_store t f ~derive:(fun () ->
+      match Analyzer.Derive.manual ~source:f ~rw_func with
+      | exception Invalid_argument m -> Error m
+      | derived -> Ok (Some derived, Some derived))
 
 let find t name = Hashtbl.find_opt t.entries name
 

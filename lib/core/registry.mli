@@ -26,13 +26,29 @@ type entry = {
       (** The source provably writes no key and calls no external
           service; such invocations are eligible for the server's
           validate-only LVI fast path. *)
+  certificate : Analyzer.Certify.report option;
+      (** Bytecode effect certification report ({!Analyzer.Certify}) —
+          always a passing one for stored entries. [None] when the gate
+          was disabled at registration time. *)
 }
 
 type t
 
 val create : unit -> t
 
+val set_certification : bool -> unit
+(** Globally enable/disable the bytecode effect-certification gate that
+    {!register}/{!register_manual} run after determinism validation.
+    Enabled by default; with it disabled, registration performs exactly
+    the pre-certification pipeline (the escape hatch for reproducing
+    seed behavior bit for bit). *)
+
+val certification_enabled : unit -> bool
+
 val register : t -> Fdsl.Ast.func -> (entry, string) result
+(** Compile, validate determinism, derive f^rw, and (unless disabled)
+    certify the compiled bytecode's effects against the derived f^rw —
+    a failing certificate is fatal, like a determinism violation. *)
 
 val register_manual :
   t -> Fdsl.Ast.func -> rw_func:Fdsl.Ast.func -> (entry, string) result

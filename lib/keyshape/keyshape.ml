@@ -1,0 +1,224 @@
+type origin = Const_only | Input_only | Store_dep | Opaque_dep
+
+type frag = Lit of string | Hole of { src : origin; label : string }
+
+type shape = frag list
+
+let origin_rank = function
+  | Const_only -> 0
+  | Input_only -> 1
+  | Store_dep -> 2
+  | Opaque_dep -> 3
+
+let origin_join a b = if origin_rank a >= origin_rank b then a else b
+
+let origin_name = function
+  | Const_only -> "const"
+  | Input_only -> "input"
+  | Store_dep -> "store"
+  | Opaque_dep -> "opaque"
+
+let pp_origin fmt o = Format.pp_print_string fmt (origin_name o)
+
+(* No empty literals, merge adjacent literals, collapse adjacent holes
+   (Σ*·Σ* = Σ*; the merged hole keeps the stronger origin and the first
+   label — labels are cosmetic). *)
+let normalize frags =
+  let rec go = function
+    | [] -> []
+    | Lit "" :: rest -> go rest
+    | Lit a :: Lit b :: rest -> go (Lit (a ^ b) :: rest)
+    | Hole a :: Hole b :: rest ->
+        go (Hole { src = origin_join a.src b.src; label = a.label } :: rest)
+    | f :: rest -> f :: go rest
+  in
+  (* A single pass can re-expose adjacency (Lit a; Lit ""; Lit b), so
+     iterate to a fixpoint; shapes are tiny. *)
+  let rec fix s =
+    let s' = go s in
+    if s' = s then s else fix s'
+  in
+  fix frags
+
+let top = [ Hole { src = Opaque_dep; label = "?" } ]
+
+let is_top s = not (List.exists (function Lit _ -> true | Hole _ -> false) s)
+
+let exact s =
+  if List.exists (function Hole _ -> true | Lit _ -> false) s then None
+  else Some (String.concat "" (List.map (function Lit l -> l | Hole _ -> "") s))
+
+let origin_of_shape s =
+  List.fold_left
+    (fun acc -> function Lit _ -> acc | Hole h -> origin_join acc h.src)
+    Const_only s
+
+(* Longest literal run anchored at the front / back of the pattern. *)
+let lit_prefix s = match s with Lit l :: _ -> l | _ -> ""
+
+let lit_suffix s =
+  match List.rev s with Lit l :: _ -> l | _ -> ""
+
+let common_prefix a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  String.sub a 0 (go 0)
+
+let common_suffix a b =
+  let la = String.length a and lb = String.length b in
+  let n = min la lb in
+  let rec go i =
+    if i < n && a.[la - 1 - i] = b.[lb - 1 - i] then go (i + 1) else i
+  in
+  let k = go 0 in
+  String.sub a (la - k) k
+
+let is_prefix p s =
+  String.length p <= String.length s && String.sub s 0 (String.length p) = p
+
+let is_suffix q s =
+  let lq = String.length q and ls = String.length s in
+  lq <= ls && String.sub s (ls - lq) lq = q
+
+(* Glob match: holes are Σ*. Shapes are short, so the backtracking
+   matcher is fine. *)
+let matches shape key =
+  let n = String.length key in
+  let rec go i = function
+    | [] -> i = n
+    | Lit l :: rest ->
+        let ll = String.length l in
+        i + ll <= n && String.sub key i ll = l && go (i + ll) rest
+    | Hole _ :: rest ->
+        let rec try_at j = j <= n && (go j rest || try_at (j + 1)) in
+        try_at i
+  in
+  go 0 (normalize shape)
+
+(* Strip a known literal prefix [p] (must be a prefix of the shape's
+   leading literal) from the front of a normalized shape. *)
+let strip_prefix p s =
+  if p = "" then s
+  else
+    match s with
+    | Lit l :: rest when is_prefix p l ->
+        normalize (Lit (String.sub l (String.length p) (String.length l - String.length p)) :: rest)
+    | _ -> s
+
+let strip_suffix q s =
+  if q = "" then s
+  else
+    match List.rev s with
+    | Lit l :: rest when is_suffix q l ->
+        normalize
+          (List.rev
+             (Lit (String.sub l 0 (String.length l - String.length q)) :: rest))
+    | _ -> s
+
+let overlap a b =
+  let a = normalize a and b = normalize b in
+  match (exact a, exact b) with
+  | Some ka, Some kb -> String.equal ka kb
+  | Some k, None -> matches b k
+  | None, Some k -> matches a k
+  | None, None ->
+      (* Both contain holes. They can share a key only if their anchored
+         literal prefixes are compatible (one a prefix of the other) and
+         likewise their suffixes; middle literals are ignored, which is
+         sound (over-approximates). *)
+      let pa = lit_prefix a and pb = lit_prefix b in
+      let qa = lit_suffix a and qb = lit_suffix b in
+      (is_prefix pa pb || is_prefix pb pa)
+      && (is_suffix qa qb || is_suffix qb qa)
+
+(* Pattern inclusion by atom alignment. Explode each shape into
+   characters and hole markers; [general] covers [specific] iff there is
+   an alignment where literal characters pair with equal characters, a
+   hole of [specific] is absorbed by a hole of [general] (a hole
+   generates arbitrarily long strings, so nothing narrower can cover
+   it), and holes of [general] absorb any run of atoms. The exhibited
+   alignment instantiates [general]'s holes for every concretization of
+   [specific], so [true] is a proof of language inclusion. *)
+type atom = Ch of char | Any
+
+let atoms s =
+  List.concat_map
+    (function
+      | Lit l -> List.init (String.length l) (fun i -> Ch l.[i])
+      | Hole _ -> [ Any ])
+    (normalize s)
+
+let subsumes general specific =
+  let rec go g s =
+    match (g, s) with
+    | [], [] -> true
+    | Any :: g', _ -> go g' s || (match s with [] -> false | _ :: s' -> go g s')
+    | Ch c :: g', Ch c' :: s' -> Char.equal c c' && go g' s'
+    | Ch _ :: _, (Any :: _ | []) -> false
+    | [], _ :: _ -> false
+  in
+  go (atoms general) (atoms specific)
+
+(* Anti-unification: keep the common anchored literal prefix, strip it,
+   then keep the common anchored literal suffix of what remains, and
+   generalize the differing middles to a single hole. Stripping the
+   prefix before computing the suffix prevents double-counting overlap
+   (join "aa" "aaa" must not become "aa"·⟨⟩·"aa"). *)
+let join a b =
+  let a = normalize a and b = normalize b in
+  if a = b then a
+  else
+    let p = common_prefix (lit_prefix a) (lit_prefix b) in
+    let a' = strip_prefix p a and b' = strip_prefix p b in
+    let q = common_suffix (lit_suffix a') (lit_suffix b') in
+    let a'' = strip_suffix q a' and b'' = strip_suffix q b' in
+    let src =
+      origin_join
+        (origin_join (origin_of_shape a'') (origin_of_shape b''))
+        (* Even a hole-free middle varies between the two branches. *)
+        Const_only
+    in
+    let middle =
+      if a'' = [] && b'' = [] then [] else [ Hole { src; label = "…" } ]
+    in
+    normalize ((Lit p :: middle) @ [ Lit q ])
+
+let ordered_before a b =
+  (* If the two literal prefixes differ within their common length, the
+     first differing character orders every concretization. *)
+  let pa = lit_prefix a and pb = lit_prefix b in
+  let n = min (String.length pa) (String.length pb) in
+  let rec go i =
+    if i >= n then None
+    else if pa.[i] < pb.[i] then Some true
+    else if pa.[i] > pb.[i] then Some false
+    else go (i + 1)
+  in
+  match (exact a, exact b) with
+  | Some ka, Some kb ->
+      let c = String.compare ka kb in
+      if c < 0 then Some true else if c > 0 then Some false else None
+  | _ -> go 0
+
+let compare_shape (a : shape) (b : shape) = Stdlib.compare a b
+
+let same_shape a b =
+  let strip =
+    List.map (function
+      | Lit l -> Lit l
+      | Hole h -> Hole { h with label = "" })
+  in
+  strip (normalize a) = strip (normalize b)
+
+let pp_frag fmt = function
+  | Lit l -> Format.fprintf fmt "%S" l
+  | Hole { label; _ } -> Format.fprintf fmt "<%s>" label
+
+let pp_shape fmt = function
+  | [] -> Format.pp_print_string fmt "\"\""
+  | s ->
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.pp_print_string f " ^ ")
+        pp_frag fmt s
+
+let shape_to_string s = Format.asprintf "%a" pp_shape s

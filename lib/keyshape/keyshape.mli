@@ -1,0 +1,101 @@
+(** The literal+hole key-shape domain.
+
+    A storage key is abstracted to a {!shape} — a concatenation pattern
+    of string literals and holes, e.g. ["post:" ^ ⟨u⟩ ^ ":likes"] —
+    where a hole stands for any string (any element of Sigma-star) and
+    is tagged with the strongest {!origin} that determines it. A key the
+    interpretation cannot structure at all becomes the pure wildcard
+    [⟨?⟩] (a sound ⊤ that overlaps everything).
+
+    The domain is deliberately coarse: shapes are anchored glob
+    patterns, so emptiness of an intersection is decidable by literal
+    prefix/suffix/infix compatibility, joins are computed by
+    anti-unification (common literal prefix and suffix kept, the
+    differing middle generalized to one hole), and pattern inclusion
+    ({!subsumes}) is decidable by atom alignment. Everything here
+    over-approximates — {!overlap} never returns [false] for two shapes
+    that share a concrete key.
+
+    This module sits below both the Fdsl-level abstract interpreter
+    ({!Analyzer.Absint}, which re-exports these types) and the
+    bytecode-level one ({!Wasm.Effect}), so the two analyses speak the
+    same domain and their results can be compared fragment by
+    fragment. *)
+
+type origin =
+  | Const_only  (** fixed by the program text (e.g. a literal list's
+                    elements: varies per iteration over a known set) *)
+  | Input_only  (** determined by invocation inputs *)
+  | Store_dep  (** depends on values read from storage *)
+  | Opaque_dep  (** depends on an opaque/nondeterministic source *)
+
+type frag = Lit of string | Hole of { src : origin; label : string }
+
+type shape = frag list
+(** Normalized: no empty literals, no adjacent literals, no adjacent
+    holes. The empty list is the empty string. *)
+
+val origin_rank : origin -> int
+(** [Const_only] 0 … [Opaque_dep] 3; the join order. *)
+
+val origin_join : origin -> origin -> origin
+
+val origin_name : origin -> string
+(** ["const"], ["input"], ["store"], ["opaque"]. *)
+
+val pp_origin : Format.formatter -> origin -> unit
+
+val normalize : shape -> shape
+(** Drop empty literals, merge adjacent literals, collapse adjacent
+    holes (Σ*·Σ* = Σ*; the merged hole keeps the stronger origin). *)
+
+val top : shape
+(** The pure wildcard [⟨?⟩]: matches any key. *)
+
+val is_top : shape -> bool
+(** No literal fragment at all — the shape constrains nothing. *)
+
+val exact : shape -> string option
+(** [Some s] iff the shape contains no hole (it denotes exactly [s]). *)
+
+val origin_of_shape : shape -> origin
+(** Join of the shape's hole origins ([Const_only] if hole-free). *)
+
+val matches : shape -> string -> bool
+(** Glob-match a concrete key against the pattern (holes match any string). *)
+
+val overlap : shape -> shape -> bool
+(** May the two patterns share a concrete key? Sound over-approximation:
+    [false] is a proof of disjointness; [true] may be spurious. *)
+
+val subsumes : shape -> shape -> bool
+(** [subsumes general specific]: does the key language of [specific]
+    fall entirely inside the key language of [general]? Decided exactly
+    (for this domain) by atom alignment: literal characters must match
+    literal characters, a hole of [specific] must be absorbed by a hole
+    of [general], and holes of [general] absorb anything. [true] is a
+    proof of inclusion; origins are ignored — compare them separately
+    with {!origin_of_shape} when demotion matters. *)
+
+val join : shape -> shape -> shape
+(** Anti-unification: the least pattern (in this restricted domain)
+    covering both. Used at control-flow joins. *)
+
+val ordered_before : shape -> shape -> bool option
+(** [Some true] if every concretization of the first shape sorts
+    strictly before every concretization of the second (lexicographic
+    key order — the lock-acquisition order of §3.6); [Some false] for
+    the converse; [None] when the order depends on hole contents. *)
+
+val compare_shape : shape -> shape -> int
+(** Total order for sorting/dedup (structural, not semantic). *)
+
+val same_shape : shape -> shape -> bool
+(** Structural equality up to hole labels (labels are cosmetic: the two
+    interpreters name holes after different syntactic carriers). Hole
+    origins {e are} compared. *)
+
+val pp_shape : Format.formatter -> shape -> unit
+
+val shape_to_string : shape -> string
+(** E.g. ["post:" ^ ⟨u⟩ ^ ":likes"]; [ε] for the empty shape. *)

@@ -1,0 +1,659 @@
+open Keyshape
+
+type kind = Read | Write
+
+type access = {
+  a_kind : kind;
+  a_shape : shape;
+  a_path : int list;
+  a_loop : bool;
+}
+
+type summary = {
+  ef_fn : string;
+  ef_params : string list;
+  ef_accesses : access list;
+  ef_externals : (int list * string) list;
+  ef_opaque : bool;
+}
+
+(* --- Abstract values ------------------------------------------------ *)
+
+(* Mirrors [Absint.aval], split by the VM's value representation: a
+   stack slot is either a raw i64 or a heap reference, and folding must
+   follow the concrete semantics of {!Interp} instruction by
+   instruction so that compiled constants re-fold to the same shapes
+   the source-level interpreter computes. *)
+type aval =
+  | AI64 of int64  (* known i64 *)
+  | AConst of Dval.t  (* known heap constant *)
+  | AStr of shape  (* a string with known concatenation structure *)
+  | ATop of origin * string  (* anything else: origin + display label *)
+
+let origin_of = function
+  | AI64 _ | AConst _ -> Const_only
+  | AStr s -> origin_of_shape s
+  | ATop (o, _) -> o
+
+let shape_of = function
+  | AConst (Dval.Str s) -> [ Lit s ]
+  | AI64 _ | AConst _ ->
+      (* A non-string key faults at runtime; any shape is sound. *)
+      [ Hole { src = Const_only; label = "const" } ]
+  | AStr s -> s
+  | ATop (o, label) -> [ Hole { src = o; label } ]
+
+let truthy = function
+  | Dval.Bool b -> b
+  | Dval.Int i -> i <> 0L
+  | Dval.Unit -> false
+  | Dval.Str s -> s <> ""
+  | Dval.List l -> l <> []
+  | Dval.Record _ -> true
+
+(* Equality up to cosmetic labels — the fixpoint's stability test. *)
+let aval_stable a b =
+  match (a, b) with
+  | AI64 x, AI64 y -> Int64.equal x y
+  | AConst x, AConst y -> Dval.equal x y
+  | AStr s, AStr t -> same_shape s t
+  | ATop (o, _), ATop (p, _) -> o = p
+  | _ -> false
+
+let join_aval ~cond a b =
+  if aval_stable a b then a
+  else
+    match (a, b) with
+    | (AConst (Dval.Str _) | AStr _), (AConst (Dval.Str _) | AStr _) ->
+        let s = join (shape_of a) (shape_of b) in
+        (* The branch choice itself determines the value. *)
+        let s =
+          List.map
+            (function
+              | Hole h -> Hole { h with src = origin_join h.src cond }
+              | f -> f)
+            s
+        in
+        AStr s
+    | _ ->
+        ATop (origin_join cond (origin_join (origin_of a) (origin_of b)), "phi")
+
+(* --- Numeric folding ------------------------------------------------ *)
+
+let apply_binop op a b =
+  let open Int64 in
+  let bool_i64 c = if c then 1L else 0L in
+  match (op : Instr.binop) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div_s -> div a b
+  | Rem_s -> rem a b
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Eq -> bool_i64 (equal a b)
+  | Ne -> bool_i64 (not (equal a b))
+  | Lt_s -> bool_i64 (compare a b < 0)
+  | Gt_s -> bool_i64 (compare a b > 0)
+  | Le_s -> bool_i64 (compare a b <= 0)
+  | Ge_s -> bool_i64 (compare a b >= 0)
+
+let fold_binop op a b =
+  match (a, b) with
+  | AI64 x, AI64 y -> (
+      match (op : Instr.binop) with
+      | (Div_s | Rem_s) when Int64.equal y 0L ->
+          (* Concretely a trap; [Absint] degrades the same way. *)
+          ATop (Const_only, Instr.binop_name op)
+      | _ -> AI64 (apply_binop op x y))
+  | _ ->
+      ATop (origin_join (origin_of a) (origin_of b), Instr.binop_name op)
+
+(* --- Analysis state ------------------------------------------------- *)
+
+type ctx = {
+  modul : Wmodule.t;
+  mutable record : bool;  (* off during loop fixpoint iterations *)
+  mutable loop_depth : int;
+  mutable accesses : access list;  (* newest first *)
+  mutable externals : (int list * string) list;
+  mutable opaque : bool;
+  mutable active : int list;  (* call stack of func indices *)
+  mutable path_override : int list option;
+      (* inside an inlined call: attribute accesses to the call site *)
+}
+
+let record ctx ?(loop = false) a_kind raw path =
+  if ctx.record then
+    let a_path =
+      match ctx.path_override with Some p -> p | None -> path
+    in
+    ctx.accesses <-
+      {
+        a_kind;
+        a_shape = normalize raw;
+        a_path;
+        a_loop = loop || ctx.loop_depth > 0;
+      }
+      :: ctx.accesses
+
+(* Control frames, innermost first. A [Br n] joins the current locals
+   (and the top [yields] stack values) into frame [n]; blocks and loops
+   merge those joins back in when they close. *)
+type frame = {
+  yields : int;
+  mutable br_locals : aval array option;
+  mutable br_vals : aval list option;
+}
+
+let fresh_frame yields = { yields; br_locals = None; br_vals = None }
+
+let merge_locals ~cond a b = Array.map2 (join_aval ~cond) a b
+
+let merge_vals ~cond a b = List.map2 (join_aval ~cond) a b
+
+let rec popn n stack =
+  if n <= 0 then ([], stack)
+  else
+    match stack with
+    | v :: rest ->
+        let vs, st = popn (n - 1) rest in
+        (v :: vs, st)
+    | [] ->
+        let vs, st = popn (n - 1) [] in
+        (ATop (Opaque_dep, "underflow") :: vs, st)
+
+let pop stack =
+  match popn 1 stack with [ v ], st -> (v, st) | _ -> assert false
+
+let get_local locals n =
+  if n >= 0 && n < Array.length locals then locals.(n)
+  else ATop (Opaque_dep, "local")
+
+let set_local locals n v =
+  if n >= 0 && n < Array.length locals then locals.(n) <- v
+
+let branch ctx frames locals stack n =
+  ignore ctx;
+  match List.nth_opt frames n with
+  | None -> () (* validation rejects this; nothing to merge into *)
+  | Some fr ->
+      let vals, _ = popn fr.yields stack in
+      fr.br_locals <-
+        Some
+          (match fr.br_locals with
+          | None -> Array.copy locals
+          | Some l -> merge_locals ~cond:Const_only l locals);
+      fr.br_vals <-
+        Some
+          (match fr.br_vals with
+          | None -> vals
+          | Some v -> merge_vals ~cond:Const_only v vals)
+
+(* How many fixpoint rounds before an unstable local slot is widened to
+   an origin-tagged ⊤, and the hard iteration cap (origins climb a
+   4-level lattice, so widening converges well before the cap). *)
+let widen_after = 3
+
+let max_iter = 10
+
+(* --- The interpreter ------------------------------------------------ *)
+
+(* [exec_seq] returns the relative operand stack at the end of the
+   sequence, or [None] if the sequence ends unreachable (after a
+   [Br]/[Return]/[Unreachable]); dead code after a terminator is
+   skipped, as in [Absint]'s known-condition pruning. [locals] is
+   mutated in place; control constructs run their bodies on copies and
+   merge the reachable exits back. [ret] collects [Return] values of
+   the enclosing function activation. *)
+let rec exec_seq ctx ret frames locals path idx stack = function
+  | [] -> Some stack
+  | i :: rest -> (
+      match step ctx ret frames locals (path @ [ idx ]) stack i with
+      | None -> None
+      | Some stack' -> exec_seq ctx ret frames locals path (idx + 1) stack' rest)
+
+and step ctx ret frames locals here stack (i : Instr.t) : aval list option =
+  match i with
+  | I64_const n -> Some (AI64 n :: stack)
+  | Ref_const d -> Some (AConst d :: stack)
+  | I64_binop op ->
+      let b, st = pop stack in
+      let a, st = pop st in
+      Some (fold_binop op a b :: st)
+  | I64_eqz ->
+      let v, st = pop stack in
+      let r =
+        match v with
+        | AI64 n -> AI64 (if Int64.equal n 0L then 1L else 0L)
+        | _ -> ATop (origin_of v, "eqz")
+      in
+      Some (r :: st)
+  | Local_get n -> Some (get_local locals n :: stack)
+  | Local_set n ->
+      let v, st = pop stack in
+      set_local locals n v;
+      Some st
+  | Local_tee n ->
+      (match stack with v :: _ -> set_local locals n v | [] -> ());
+      Some stack
+  | Drop ->
+      let _, st = pop stack in
+      Some st
+  | Nop -> Some stack
+  | Unreachable -> None
+  | Return ->
+      (match stack with
+      | v :: _ -> ret := v :: !ret
+      | [] -> ret := ATop (Opaque_dep, "return") :: !ret);
+      None
+  | Br n ->
+      branch ctx frames locals stack n;
+      None
+  | Br_if n -> (
+      let c, st = pop stack in
+      match c with
+      | AI64 0L -> Some st
+      | AI64 _ ->
+          branch ctx frames locals st n;
+          None
+      | _ ->
+          branch ctx frames locals st n;
+          Some st)
+  | Block body -> (
+      let fr = fresh_frame 0 in
+      let inner = Array.copy locals in
+      let fall = exec_seq ctx ret (fr :: frames) inner here 0 [] body in
+      match (fall, fr.br_locals) with
+      | None, None -> None
+      | Some _, None ->
+          Array.blit inner 0 locals 0 (Array.length locals);
+          Some stack
+      | None, Some bl ->
+          Array.blit bl 0 locals 0 (Array.length locals);
+          Some stack
+      | Some _, Some bl ->
+          let merged = merge_locals ~cond:Const_only inner bl in
+          Array.blit merged 0 locals 0 (Array.length locals);
+          Some stack)
+  | Loop body -> (
+      (* Iterate the back-edge to a fixpoint on the locals at the loop
+         header, with recording suppressed and throwaway outer frames
+         (the stabilized header over-approximates every iteration's
+         entry state, so one final recording pass from it covers all
+         behaviors), then run that final pass with the real frames. *)
+      let widen_slot n old next =
+        if aval_stable old next then old
+        else if n >= widen_after then
+          ATop (origin_join (origin_of old) (origin_of next), "widen")
+        else join_aval ~cond:Const_only old next
+      in
+      let rec iterate header n =
+        if n >= max_iter then
+          Array.map (fun v -> ATop (origin_of v, "widen")) header
+        else begin
+          let fr = fresh_frame 0 in
+          let throwaway = List.map (fun f -> fresh_frame f.yields) frames in
+          let l = Array.copy header in
+          let was = ctx.record in
+          ctx.record <- false;
+          let junk = ref [] in
+          let _ = exec_seq ctx junk (fr :: throwaway) l here 0 [] body in
+          ctx.record <- was;
+          match fr.br_locals with
+          | None -> header (* no back-edge taken: straight-line body *)
+          | Some back ->
+              let merged =
+                Array.mapi (fun i old -> widen_slot n old back.(i)) header
+              in
+              let stable =
+                Array.for_all (fun x -> x)
+                  (Array.mapi (fun i v -> aval_stable v header.(i)) merged)
+              in
+              if stable then header else iterate merged (n + 1)
+        end
+      in
+      let header = iterate (Array.copy locals) 0 in
+      let fr = fresh_frame 0 in
+      let l = Array.copy header in
+      ctx.loop_depth <- ctx.loop_depth + 1;
+      let fall = exec_seq ctx ret (fr :: frames) l here 0 [] body in
+      ctx.loop_depth <- ctx.loop_depth - 1;
+      match fall with
+      | Some _ ->
+          Array.blit l 0 locals 0 (Array.length locals);
+          Some stack
+      | None -> None)
+  | If (then_, else_) -> (
+      let c, st = pop stack in
+      (* One arm runs per execution; an arm yields exactly one value.
+         Reachable exits of an arm: its fallthrough, plus any [Br] to
+         the arm's own frame. *)
+      let run_arm which body =
+        let fr = fresh_frame 1 in
+        let l = Array.copy locals in
+        let fall =
+          exec_seq ctx ret (fr :: frames) l (here @ [ which ]) 0 [] body
+        in
+        let states =
+          match fall with
+          | Some (v :: _) -> [ (v, l) ]
+          | Some [] -> [ (ATop (Opaque_dep, "if"), l) ]
+          | None -> []
+        in
+        match fr.br_locals with
+        | Some bl ->
+            let v =
+              match fr.br_vals with
+              | Some (v :: _) -> v
+              | _ -> ATop (Opaque_dep, "br")
+            in
+            (v, bl) :: states
+        | None -> states
+      in
+      let merge ~cond states =
+        match states with
+        | [] -> None
+        | (v0, l0) :: rest ->
+            let v, l =
+              List.fold_left
+                (fun (v, l) (v', l') ->
+                  (join_aval ~cond v v', merge_locals ~cond l l'))
+                (v0, l0) rest
+            in
+            Array.blit l 0 locals 0 (Array.length locals);
+            Some (v :: st)
+      in
+      match c with
+      | AI64 0L -> merge ~cond:Const_only (run_arm 1 else_)
+      | AI64 _ -> merge ~cond:Const_only (run_arm 0 then_)
+      | _ ->
+          let cond = origin_of c in
+          merge ~cond (run_arm 0 then_ @ run_arm 1 else_))
+  | Call fidx ->
+      if fidx < 0 || fidx >= Array.length ctx.modul.funcs then begin
+        ctx.opaque <- true;
+        record ctx Read top here;
+        record ctx Write top here;
+        Some (ATop (Opaque_dep, "call") :: stack)
+      end
+      else begin
+        let f = ctx.modul.funcs.(fidx) in
+        let args_top_first, st = popn f.n_params stack in
+        let args = List.rev args_top_first in
+        if List.mem fidx ctx.active then begin
+          (* Recursive cycle: over-approximate the whole call as a
+             wildcard read+write that may repeat. *)
+          record ctx ~loop:true Read top here;
+          record ctx ~loop:true Write top here;
+          Some (ATop (Opaque_dep, "recursion") :: st)
+        end
+        else begin
+          let saved = ctx.path_override in
+          ctx.path_override <-
+            Some (match saved with Some p -> p | None -> here);
+          let v = run_call ctx fidx args in
+          ctx.path_override <- saved;
+          Some (v :: st)
+        end
+      end
+  | Call_host name -> Some (host ctx here stack name)
+
+(* Transfer functions of the host builtins, mirroring {!Interp}'s
+   concrete semantics (fold when every operand is known) and
+   {!Absint}'s abstraction everywhere else. List/record accessors that
+   [Absint] never folds ([list.get], [list.take], [list.prepend],
+   [list.concat], [list.len]) are kept unfolded here too, so shapes
+   derived from the two levels coincide for static functions. *)
+and host ctx here stack name =
+  let open Dval in
+  match name with
+  | "dval.to_i64" ->
+      let a, st = pop stack in
+      let r =
+        match a with
+        | AConst (Int i) -> AI64 i
+        | AConst (Bool b) -> AI64 (if b then 1L else 0L)
+        | ATop _ as v -> v
+        | _ -> ATop (origin_of a, "to_i64")
+      in
+      r :: st
+  | "dval.of_i64" ->
+      let a, st = pop stack in
+      let r =
+        match a with
+        | AI64 i -> AConst (Int i)
+        | ATop _ as v -> v
+        | _ -> ATop (origin_of a, "of_i64")
+      in
+      r :: st
+  | "dval.of_bool" ->
+      let a, st = pop stack in
+      let r =
+        match a with
+        | AI64 i -> AConst (Bool (not (Int64.equal i 0L)))
+        | ATop _ as v -> v
+        | _ -> ATop (origin_of a, "of_bool")
+      in
+      r :: st
+  | "dval.truthy" ->
+      let a, st = pop stack in
+      let r =
+        match a with
+        | AConst v -> AI64 (if truthy v then 1L else 0L)
+        | _ -> ATop (origin_of a, "truthy")
+      in
+      r :: st
+  | "dval.eq" ->
+      let b, st = pop stack in
+      let a, st = pop st in
+      let r =
+        match (a, b) with
+        | AConst x, AConst y -> AI64 (if Dval.equal x y then 1L else 0L)
+        | _ -> ATop (origin_join (origin_of a) (origin_of b), "eq")
+      in
+      r :: st
+  | "str.eq" ->
+      let b, st = pop stack in
+      let a, st = pop st in
+      let r =
+        match (a, b) with
+        | AConst (Str x), AConst (Str y) ->
+            AI64 (if String.equal x y then 1L else 0L)
+        | _ -> ATop (origin_join (origin_of a) (origin_of b), "eq")
+      in
+      r :: st
+  | "str.concat" ->
+      let b, st = pop stack in
+      let a, st = pop st in
+      let r =
+        match (a, b) with
+        | AConst (Str x), AConst (Str y) -> AConst (Str (x ^ y))
+        | _ -> AStr (normalize (shape_of a @ shape_of b))
+      in
+      r :: st
+  | "str.of_i64" ->
+      let a, st = pop stack in
+      let r =
+        match a with
+        | AI64 i -> AConst (Str (Int64.to_string i))
+        | ATop _ as v -> v
+        | _ -> ATop (origin_of a, "str(..)")
+      in
+      r :: st
+  | "list.empty" -> AConst (List []) :: stack
+  | "list.append" ->
+      let x, st = pop stack in
+      let l, st = pop st in
+      let r =
+        match (l, x) with
+        | AConst (List ll), AConst v -> AConst (List (ll @ [ v ]))
+        | _ -> ATop (origin_join (origin_of l) (origin_of x), "list")
+      in
+      r :: st
+  | "list.prepend" | "list.concat" | "list.take" ->
+      let b, st = pop stack in
+      let a, st = pop st in
+      ATop (origin_join (origin_of a) (origin_of b), "list") :: st
+  | "list.get" ->
+      let b, st = pop stack in
+      let a, st = pop st in
+      ATop (origin_join (origin_of a) (origin_of b), "nth") :: st
+  | "list.len" ->
+      let a, st = pop stack in
+      ATop (origin_of a, "len") :: st
+  | "record.new" -> AConst (Record []) :: stack
+  | "record.set" ->
+      let v, st = pop stack in
+      let n, st = pop st in
+      let r, st = pop st in
+      let res =
+        match (r, n, v) with
+        | AConst (Record _ as rec_), AConst (Str name), AConst d ->
+            AConst (Dval.set_field rec_ name d)
+        | _ ->
+            ATop
+              ( origin_join (origin_of r)
+                  (origin_join (origin_of n) (origin_of v)),
+                "record" )
+      in
+      res :: st
+  | "record.get" ->
+      let n, st = pop stack in
+      let r, st = pop st in
+      let res =
+        match (r, n) with
+        | AConst (Record fs), AConst (Str name) -> (
+            match List.assoc_opt name fs with
+            | Some d -> AConst d
+            | None -> ATop (Const_only, name))
+        | _ ->
+            let label =
+              match n with AConst (Str name) -> "." ^ name | _ -> ".?"
+            in
+            ATop (origin_join (origin_of r) (origin_of n), label)
+      in
+      res :: st
+  | "unit" -> AConst Unit :: stack
+  | "storage.read" ->
+      let k, st = pop stack in
+      record ctx Read (shape_of k) here;
+      ATop (Store_dep, "read") :: st
+  | "storage.write" ->
+      let _v, st = pop stack in
+      let k, st = pop st in
+      record ctx Write (shape_of k) here;
+      AConst Unit :: st
+  | "external.call" ->
+      let _payload, st = pop stack in
+      let svc, st = pop st in
+      let label = match svc with AConst (Str s) -> s | _ -> "?" in
+      if ctx.record then ctx.externals <- (here, label) :: ctx.externals;
+      ATop (Opaque_dep, label) :: st
+  | "cpu.burn" ->
+      let _micros, st = pop stack in
+      AConst Unit :: st
+  | "wasi.clock_time_get" -> ATop (Opaque_dep, "time") :: stack
+  | "wasi.random_get" ->
+      let _n, st = pop stack in
+      ATop (Opaque_dep, "rand") :: st
+  | name ->
+      (* Unknown import: over-approximate as wildcard read+write. *)
+      ctx.opaque <- true;
+      record ctx Read top here;
+      record ctx Write top here;
+      let pops, _ =
+        match Host.arity name with Some a -> a | None -> (0, 1)
+      in
+      let _, st = popn pops stack in
+      ATop (Opaque_dep, name) :: st
+
+and run_call ctx fidx (args : aval list) : aval =
+  let f = ctx.modul.funcs.(fidx) in
+  let locals = Array.make (max 1 (f.n_params + f.n_locals)) (AI64 0L) in
+  List.iteri
+    (fun i v -> if i < Array.length locals then locals.(i) <- v)
+    args;
+  let ret = ref [] in
+  ctx.active <- fidx :: ctx.active;
+  let fall = exec_seq ctx ret [] locals [] 0 [] f.body in
+  ctx.active <- List.tl ctx.active;
+  let results =
+    (match fall with Some (v :: _) -> [ v ] | Some [] | None -> []) @ !ret
+  in
+  match results with
+  | [] -> ATop (Opaque_dep, "noresult")
+  | v :: rest -> List.fold_left (join_aval ~cond:Const_only) v rest
+
+(* --- Entry points --------------------------------------------------- *)
+
+let analyze ?(params = []) (modul : Wmodule.t) ~entry =
+  match Wmodule.find modul entry with
+  | None -> Error (Printf.sprintf "no function named %S" entry)
+  | Some idx ->
+      let ctx =
+        {
+          modul;
+          record = true;
+          loop_depth = 0;
+          accesses = [];
+          externals = [];
+          opaque = false;
+          active = [];
+          path_override = None;
+        }
+      in
+      let f = modul.funcs.(idx) in
+      let name_of i =
+        match List.nth_opt params i with
+        | Some p -> p
+        | None -> Printf.sprintf "arg%d" i
+      in
+      let args =
+        List.init f.n_params (fun i -> ATop (Input_only, name_of i))
+      in
+      let _ = run_call ctx idx args in
+      Ok
+        {
+          ef_fn = entry;
+          ef_params = List.init f.n_params name_of;
+          ef_accesses = List.rev ctx.accesses;
+          ef_externals = List.rev ctx.externals;
+          ef_opaque = ctx.opaque;
+        }
+
+let shapes_of_kind k sm =
+  List.sort_uniq compare_shape
+    (List.filter_map
+       (fun a -> if a.a_kind = k then Some a.a_shape else None)
+       sm.ef_accesses)
+
+let reads sm = shapes_of_kind Read sm
+
+let writes sm = shapes_of_kind Write sm
+
+let multi sm =
+  List.sort_uniq compare_shape
+    (List.filter_map
+       (fun a -> if a.a_loop then Some a.a_shape else None)
+       sm.ef_accesses)
+
+let pp_access fmt a =
+  Format.fprintf fmt "%s %a at %a%s"
+    (match a.a_kind with Read -> "read" | Write -> "write")
+    pp_shape a.a_shape Instr.pp_path a.a_path
+    (if a.a_loop then " (in loop)" else "")
+
+let pp_summary fmt sm =
+  let pp_shapes fmt shapes =
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+      pp_shape fmt shapes
+  in
+  Format.fprintf fmt "@[<v2>%s(%s) [bytecode]:@ reads:  [@[%a@]]@ writes: [@[%a@]]%s%s@]"
+    sm.ef_fn
+    (String.concat ", " sm.ef_params)
+    pp_shapes (reads sm) pp_shapes (writes sm)
+    (if sm.ef_externals <> [] then " +external" else "")
+    (if sm.ef_opaque then " +opaque" else "")

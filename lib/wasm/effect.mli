@@ -1,0 +1,68 @@
+(** Bytecode-level effect analysis: the key-shape abstract interpreter
+    run directly over the compiled {!Instr.t} stream.
+
+    {!Analyzer.Absint} derives a function's key shapes from its Fdsl
+    source — which leaves the Fdsl→Wasm compiler (and every
+    hand-registered module) inside the trusted base. This module runs
+    the {e same} literal+hole domain ({!Keyshape}) over the bytecode the
+    VM will actually execute: an abstract operand stack and abstract
+    locals are threaded through the instruction stream, i64 arithmetic
+    and the string/list/record builtins are folded over shape fragments,
+    control-flow joins happen at [If] merges and [Br] targets, and loop
+    back-edges are iterated to a fixpoint with widening. Every
+    [storage.read]/[storage.write] host call is classified into a read
+    or write {e access} carrying the abstract shape of its key, the
+    instruction path of the call site, and whether it sits inside a
+    loop.
+
+    The analysis is total (it never raises) and sound by construction of
+    the domain: unknown values degrade to origin-tagged wildcard holes,
+    so a reported shape always covers every key the instruction can
+    concretely compute. Certification ({!Analyzer.Certify}) then checks
+    these shapes against the registered f^rw. *)
+
+type kind = Read | Write
+
+type access = {
+  a_kind : kind;
+  a_shape : Keyshape.shape;  (** abstract shape of the key operand *)
+  a_path : int list;
+      (** instruction path of the [Call_host] site (see
+          {!Instr.pp_path}); for accesses inside an inlined intra-module
+          call, the path of the call site in the entry function *)
+  a_loop : bool;
+      (** the site is inside a [Loop] body (or a recursive call): one
+          invocation may touch several concrete keys of this shape *)
+}
+
+type summary = {
+  ef_fn : string;
+  ef_params : string list;
+  ef_accesses : access list;  (** in discovery order, with duplicates *)
+  ef_externals : (int list * string) list;
+      (** [external.call] sites: instruction path and service name (["?"]
+          when the service operand is not a known string) *)
+  ef_opaque : bool;
+      (** an unknown or unmodeled host function was encountered; its
+          effects were over-approximated as wildcard read+write *)
+}
+
+val analyze :
+  ?params:string list -> Wmodule.t -> entry:string -> (summary, string) result
+(** Abstractly execute [entry] with every parameter bound to an
+    [Input_only] hole (labeled by [params] when given, [arg<i>]
+    otherwise). Intra-module calls are inlined (a recursive cycle
+    degrades to wildcard read+write at the call site). [Error] only when
+    [entry] does not exist. *)
+
+val reads : summary -> Keyshape.shape list
+(** Deduplicated, sorted read shapes. *)
+
+val writes : summary -> Keyshape.shape list
+
+val multi : summary -> Keyshape.shape list
+(** Shapes of accesses with [a_loop] set (cf. [Absint.sm_multi]). *)
+
+val pp_access : Format.formatter -> access -> unit
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -58,3 +58,18 @@ let pure_imports =
   ]
 
 let forbidden_imports = [ "wasi.clock_time_get"; "wasi.random_get" ]
+
+(* (pops, pushes) of each host function — the single source of truth
+   shared by the stack validator and the bytecode effect interpreter. *)
+let arity = function
+  | "dval.to_i64" | "dval.of_i64" | "dval.of_bool" | "dval.truthy"
+  | "str.of_i64" | "list.len" | "storage.read" | "cpu.burn"
+  | "wasi.random_get" ->
+      Some (1, 1)
+  | "dval.eq" | "str.concat" | "str.eq" | "list.append" | "list.prepend"
+  | "list.get" | "list.take" | "list.concat" | "record.get"
+  | "storage.write" | "external.call" ->
+      Some (2, 1)
+  | "record.set" -> Some (3, 1)
+  | "list.empty" | "record.new" | "unit" | "wasi.clock_time_get" -> Some (0, 1)
+  | _ -> None

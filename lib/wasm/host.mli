@@ -38,3 +38,8 @@ val forbidden_imports : string list
 (** Nondeterministic imports that the validator must reject and the
     interpreter refuses to execute ("wasi.clock_time_get",
     "wasi.random_get"). *)
+
+val arity : string -> (int * int) option
+(** [(pops, pushes)] of a host function, or [None] if unknown. The
+    single source of truth for the stack validator and the bytecode
+    effect interpreter. *)

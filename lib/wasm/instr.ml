@@ -72,3 +72,30 @@ let rec pp fmt = function
 
 and pp_seq fmt instrs =
   Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "@ ") pp fmt instrs
+
+(* Instruction paths: block-nesting indices from the function body down.
+   A top-level instruction is [i]; a child of a Block/Loop at path p is
+   p@[j]; an instruction in an If arm is p@[arm; j] with arm 0 = then,
+   1 = else. *)
+
+let pp_path fmt = function
+  | [] -> Format.pp_print_string fmt "(entry)"
+  | p ->
+      Format.pp_print_string fmt
+        (String.concat "." (List.map string_of_int p))
+
+let path_to_string p = Format.asprintf "%a" pp_path p
+
+let rec at_path (body : t list) (path : int list) : t option =
+  match path with
+  | [] -> None
+  | [ i ] -> List.nth_opt body i
+  | i :: rest -> (
+      match List.nth_opt body i with
+      | Some (Block b) | Some (Loop b) -> at_path b rest
+      | Some (If (t, e)) -> (
+          match rest with
+          | 0 :: rest' -> at_path t rest'
+          | 1 :: rest' -> at_path e rest'
+          | _ -> None)
+      | _ -> None)

@@ -43,4 +43,26 @@ type t =
   | Nop
   | Unreachable (** Always traps. *)
 
+val binop_name : binop -> string
+(** The mnemonic suffix, e.g. ["add"], ["lt_s"]. *)
+
 val pp : Format.formatter -> t -> unit
+
+(** {2 Instruction paths}
+
+    A path addresses one instruction by block-nesting indices from the
+    function body down: a top-level instruction is [[i]]; a child of a
+    [Block]/[Loop] at path [p] is [p @ [j]]; an instruction inside an
+    [If] arm is [p @ [arm; j]] with arm [0] = then, [1] = else. The
+    empty path denotes the function body as a whole. Validation errors
+    and effect-certification diagnostics use these to point at the
+    offending instruction. *)
+
+val pp_path : Format.formatter -> int list -> unit
+(** Dotted indices, e.g. ["0.2.1"]; [(entry)] for the empty path. *)
+
+val path_to_string : int list -> string
+
+val at_path : t list -> int list -> t option
+(** Resolve a path against a function body. [None] for the empty path or
+    a path that walks off the tree. *)

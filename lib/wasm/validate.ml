@@ -1,40 +1,46 @@
-type error = { in_func : string; reason : string }
+type error = { in_func : string; path : int list; reason : string }
 
-let pp_error fmt e = Format.fprintf fmt "%s: %s" e.in_func e.reason
+let pp_error fmt e =
+  match e.path with
+  | [] -> Format.fprintf fmt "%s: %s" e.in_func e.reason
+  | p -> Format.fprintf fmt "%s: at %a: %s" e.in_func Instr.pp_path p e.reason
 
-exception Bad of string
+exception Bad of int list * string
+
+let bad path fmt = Printf.ksprintf (fun s -> raise (Bad (path, s))) fmt
 
 let whitelist = Host.storage_imports @ Host.pure_imports
 
 let check_func (m : Wmodule.t) (f : Wmodule.func) =
   let n_locals = f.n_params + f.n_locals in
-  let check_local i =
+  let check_local path i =
     if i < 0 || i >= n_locals then
-      raise (Bad (Printf.sprintf "local index %d out of range (%d locals)" i n_locals))
+      bad path "local index %d out of range (%d locals)" i n_locals
   in
-  let rec go depth (instr : Instr.t) =
+  let rec go depth path (instr : Instr.t) =
     match instr with
-    | Local_get i | Local_set i | Local_tee i -> check_local i
+    | Local_get i | Local_set i | Local_tee i -> check_local path i
     | Br n | Br_if n ->
         if n < 0 || n >= depth then
-          raise (Bad (Printf.sprintf "branch depth %d exceeds nesting %d" n depth))
+          bad path "branch depth %d exceeds nesting %d" n depth
     | Call i ->
         if i < 0 || i >= Array.length m.funcs then
-          raise (Bad (Printf.sprintf "call to unknown function index %d" i))
+          bad path "call to unknown function index %d" i
     | Call_host name ->
         if not (List.mem name m.imports) then
-          raise (Bad (Printf.sprintf "host call %S not declared as import" name));
+          bad path "host call %S not declared as import" name;
         if not (List.mem name whitelist) then
-          raise (Bad (Printf.sprintf "nondeterministic or unknown import %S" name))
-    | Block body | Loop body -> List.iter (go (depth + 1)) body
+          bad path "nondeterministic or unknown import %S" name
+    | Block body | Loop body ->
+        List.iteri (fun j x -> go (depth + 1) (path @ [ j ]) x) body
     | If (t, e) ->
-        List.iter (go (depth + 1)) t;
-        List.iter (go (depth + 1)) e
+        List.iteri (fun j x -> go (depth + 1) (path @ [ 0; j ]) x) t;
+        List.iteri (fun j x -> go (depth + 1) (path @ [ 1; j ]) x) e
     | I64_const _ | I64_binop _ | I64_eqz | Ref_const _ | Drop | Return | Nop
     | Unreachable ->
         ()
   in
-  List.iter (go 0) f.body
+  List.iteri (fun i x -> go 0 [ i ] x) f.body
 
 let check (m : Wmodule.t) =
   let bad_import =
@@ -45,6 +51,7 @@ let check (m : Wmodule.t) =
       Error
         {
           in_func = "(imports)";
+          path = [];
           reason = Printf.sprintf "nondeterministic or unknown import %S" name;
         }
   | None -> (
@@ -53,25 +60,19 @@ let check (m : Wmodule.t) =
         (fun (f : Wmodule.func) ->
           if !failure = None then
             try check_func m f
-            with Bad reason -> failure := Some { in_func = f.fn_name; reason })
+            with Bad (path, reason) ->
+              failure := Some { in_func = f.fn_name; path; reason })
         m.funcs;
       match !failure with None -> Ok () | Some e -> Error e)
 
 (* --- Stack-discipline validation ----------------------------------- *)
 
-(* (pops, pushes) of each host function. *)
-let host_arity = function
-  | "dval.to_i64" | "dval.of_i64" | "dval.of_bool" | "dval.truthy"
-  | "str.of_i64" | "list.len" | "storage.read" | "cpu.burn" ->
-      (1, 1)
-  | "dval.eq" | "str.concat" | "str.eq" | "list.append" | "list.prepend"
-  | "list.get" | "list.take" | "list.concat" | "record.get"
-  | "storage.write" | "external.call" ->
-      (2, 1)
-  | "record.set" -> (3, 1)
-  | "list.empty" | "record.new" | "unit" | "wasi.clock_time_get" -> (0, 1)
-  | "wasi.random_get" -> (1, 1)
-  | name -> raise (Bad (Printf.sprintf "unknown host function %S" name))
+(* (pops, pushes) of each host function; table shared with the effect
+   interpreter via {!Host.arity}. *)
+let host_arity path name =
+  match Host.arity name with
+  | Some a -> a
+  | None -> bad path "unknown host function %S" name
 
 (* Control frames carry (entry height, values a branch to them needs).
    The outermost frame is the function itself (yield 1). A sequence
@@ -79,26 +80,29 @@ let host_arity = function
    Return / Unreachable), in which case the enclosing frame's exit
    height check is skipped — the spec's stack-polymorphic dead code. *)
 let check_func_stack (m : Wmodule.t) (f : Wmodule.func) =
-  let frame_of frames n =
+  let frame_of path frames n =
     match List.nth_opt frames n with
     | Some fr -> fr
-    | None -> raise (Bad (Printf.sprintf "branch depth %d has no frame" n))
+    | None -> bad path "branch depth %d has no frame" n
   in
-  let rec seq frames height unreachable instrs =
+  let rec seq frames path idx height unreachable instrs =
     match instrs with
     | [] -> if unreachable then None else Some height
     | i :: rest ->
-        let height', unreachable' = step frames height unreachable i in
-        seq frames height' unreachable' rest
-  and step frames height unreachable (i : Instr.t) =
+        let height', unreachable' =
+          step frames (path @ [ idx ]) height unreachable i
+        in
+        seq frames path (idx + 1) height' unreachable' rest
+  and step frames here height unreachable (i : Instr.t) =
     let base = fst (List.hd frames) in
     let shift ~pops ~pushes =
       if unreachable then (height, true)
       else if height - pops < base then
         raise
           (Bad
-             (Format.asprintf "stack underflow at %a (height %d, needs %d)"
-                Instr.pp i (height - base) pops))
+             ( here,
+               Format.asprintf "stack underflow at %a (height %d, needs %d)"
+                 Instr.pp i (height - base) pops ))
       else (height - pops + pushes, false)
     in
     match i with
@@ -112,63 +116,60 @@ let check_func_stack (m : Wmodule.t) (f : Wmodule.func) =
         let callee = Wmodule.func m idx in
         shift ~pops:callee.n_params ~pushes:1
     | Call_host name ->
-        let pops, pushes = host_arity name in
+        let pops, pushes = host_arity here name in
         shift ~pops ~pushes
     | Unreachable -> (height, true)
     | Return ->
         if (not unreachable) && height - base < 1 then
-          raise (Bad "return with no result value on the stack");
+          bad here "return with no result value on the stack";
         (height, true)
     | Br n ->
-        let _, yields = frame_of frames n in
+        let _, yields = frame_of here frames n in
         if (not unreachable) && height - base < yields then
-          raise (Bad (Printf.sprintf "br %d needs %d value(s)" n yields));
+          bad here "br %d needs %d value(s)" n yields;
         (height, true)
     | Br_if n ->
         let height', unreachable' = shift ~pops:1 ~pushes:0 in
-        let _, yields = frame_of frames n in
+        let _, yields = frame_of here frames n in
         if (not unreachable') && height' - base < yields then
-          raise (Bad (Printf.sprintf "br_if %d needs %d value(s)" n yields));
+          bad here "br_if %d needs %d value(s)" n yields;
         (height', unreachable')
     | Block body ->
-        check_block frames height unreachable body ~yields:0 ~label:"block"
+        check_block frames here height unreachable body ~yields:0
+          ~label:"block"
     | Loop body ->
         (* A br to a loop re-enters its header, which takes no values. *)
-        check_block frames height unreachable body ~yields:0 ~label:"loop"
+        check_block frames here height unreachable body ~yields:0 ~label:"loop"
     | If (then_, else_) ->
         let height', unreachable' = shift ~pops:1 ~pushes:0 in
         let inner = (height', 1) :: frames in
-        let arm name body =
-          match seq inner height' false body with
+        let arm which name body =
+          match seq inner (here @ [ which ]) 0 height' false body with
           | Some h ->
               if h <> height' + 1 then
-                raise
-                  (Bad
-                     (Printf.sprintf "%s arm must yield exactly one value" name))
+                bad here "%s arm must yield exactly one value" name
           | None -> ()
         in
         if not unreachable' then begin
-          arm "then" then_;
-          arm "else" else_
+          arm 0 "then" then_;
+          arm 1 "else" else_
         end;
         (height' + 1, unreachable')
-  and check_block frames height unreachable body ~yields ~label =
+  and check_block frames here height unreachable body ~yields ~label =
     if unreachable then (height, true)
     else begin
       let inner = (height, yields) :: frames in
-      (match seq inner height false body with
+      (match seq inner here 0 height false body with
       | Some h ->
-          if h <> height + yields then
-            raise (Bad (Printf.sprintf "%s must be stack-neutral" label))
+          if h <> height + yields then bad here "%s must be stack-neutral" label
       | None -> ());
       (height + yields, unreachable)
     end
   in
-  match seq [ (0, 1) ] 0 false f.body with
+  match seq [ (0, 1) ] [] 0 0 false f.body with
   | Some h ->
       if h <> 1 then
-        raise
-          (Bad (Printf.sprintf "body ends with %d values; expected exactly 1" h))
+        bad [] "body ends with %d values; expected exactly 1" h
   | None -> ()
 
 let check_stack (m : Wmodule.t) =
@@ -177,7 +178,8 @@ let check_stack (m : Wmodule.t) =
     (fun (f : Wmodule.func) ->
       if !failure = None then
         try check_func_stack m f
-        with Bad reason -> failure := Some { in_func = f.fn_name; reason })
+        with Bad (path, reason) ->
+          failure := Some { in_func = f.fn_name; path; reason })
     m.funcs;
   match !failure with None -> Ok () | Some e -> Error e
 

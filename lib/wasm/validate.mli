@@ -7,9 +7,14 @@
     well-formedness: call indices, local indices, branch depths, and that
     every [Call_host] was declared in the module's import list. *)
 
-type error = { in_func : string; reason : string }
+type error = { in_func : string; path : int list; reason : string }
+(** [path] locates the offending instruction by block-nesting indices
+    (see {!Instr.pp_path}); it is empty for errors that concern the
+    import list or the function body as a whole. *)
 
 val pp_error : Format.formatter -> error -> unit
+(** ["fn: at 0.2.1: reason"], or ["fn: reason"] when the path is
+    empty. *)
 
 val check : Wmodule.t -> (unit, error) result
 

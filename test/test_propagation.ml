@@ -282,6 +282,12 @@ let sneaky_rw =
   }
 
 let test_write_outside_validated_set_raises () =
+  (* The registration-time effect certifier rejects this very lie
+     (bytecode write not covered by the declared f^rw); disable the
+     gate so the *runtime* accounting check is the one under test. *)
+  Radical.Registry.set_certification false;
+  Fun.protect ~finally:(fun () -> Radical.Registry.set_certification true)
+  @@ fun () ->
   with_radical ~funcs:(sneaky_fn :: funcs)
     ~manual:[ (sneaky_fn, sneaky_rw) ]
     (fun _ fw ->

@@ -303,27 +303,48 @@ let test_validate_rejects_nondeterministic_import () =
   Alcotest.(check bool) "deterministic is false" false (Validate.deterministic m)
 
 let test_validate_rejects_undeclared_host_call () =
-  let m = mk_module ~imports:[] [ Call_host "storage.read" ] in
+  let m = mk_module ~imports:[] [ Nop; Call_host "storage.read" ] in
   match Validate.check m with
-  | Error e -> Alcotest.(check string) "in main" "main" e.in_func
+  | Error e ->
+      Alcotest.(check string) "in main" "main" e.in_func;
+      Alcotest.(check (list int)) "path of the call" [ 1 ] e.path
   | Ok () -> Alcotest.fail "expected rejection"
 
 let test_validate_rejects_bad_local () =
   let m = mk_module ~n_locals:1 [ Local_get 5 ] in
   match Validate.check m with
-  | Error _ -> ()
+  | Error e -> Alcotest.(check (list int)) "path" [ 0 ] e.path
   | Ok () -> Alcotest.fail "expected rejection"
 
 let test_validate_rejects_bad_branch_depth () =
   let m = mk_module [ Block [ Br 3 ] ] in
   match Validate.check m with
-  | Error _ -> ()
+  | Error e ->
+      (* The br sits inside the block: nested path, printable, and
+         resolvable back to the offending instruction. *)
+      Alcotest.(check (list int)) "nested path" [ 0; 0 ] e.path;
+      Alcotest.(check string) "pp_path" "0.0" (Instr.path_to_string e.path);
+      (match Instr.at_path [ Block [ Br 3 ] ] e.path with
+      | Some (Br 3) -> ()
+      | _ -> Alcotest.fail "at_path did not resolve to the br")
   | Ok () -> Alcotest.fail "expected rejection"
 
 let test_validate_rejects_bad_call_index () =
   let m = mk_module [ Call 7 ] in
   match Validate.check m with
-  | Error _ -> ()
+  | Error e -> Alcotest.(check (list int)) "path" [ 0 ] e.path
+  | Ok () -> Alcotest.fail "expected rejection"
+
+let test_validate_error_paths_in_if_arms () =
+  (* Errors inside If arms carry the arm selector (0 = then, 1 = else). *)
+  let m =
+    mk_module
+      [ I64_const 1L; If ([ Nop; I64_const 0L ], [ Nop; Nop; Br 9 ]) ]
+  in
+  match Validate.check m with
+  | Error e ->
+      Alcotest.(check (list int)) "else-arm path" [ 1; 1; 2 ] e.path;
+      Alcotest.(check string) "pp_path" "1.1.2" (Instr.path_to_string e.path)
   | Ok () -> Alcotest.fail "expected rejection"
 
 let test_interp_refuses_forbidden_at_runtime () =
@@ -407,9 +428,12 @@ let expect_stack_ok m =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Format.asprintf "%a" Validate.pp_error e)
 
-let expect_stack_bad msg m =
+let expect_stack_bad ?path msg m =
   match Validate.check_stack m with
-  | Error _ -> ()
+  | Error e -> (
+      match path with
+      | Some p -> Alcotest.(check (list int)) (msg ^ ": error path") p e.path
+      | None -> ())
   | Ok () -> Alcotest.fail (msg ^ ": expected stack-validation failure")
 
 let test_stack_accepts_wellformed () =
@@ -430,20 +454,22 @@ let test_stack_accepts_wellformed () =
     (mk_module [ I64_const 1L; If ([ I64_const 2L ], [ I64_const 3L ]) ])
 
 let test_stack_rejects_underflow () =
-  expect_stack_bad "drop on empty" (mk_module [ Drop; I64_const 1L ]);
-  expect_stack_bad "binop with one operand"
+  expect_stack_bad ~path:[ 0 ] "drop on empty"
+    (mk_module [ Drop; I64_const 1L ]);
+  expect_stack_bad ~path:[ 1 ] "binop with one operand"
     (mk_module [ I64_const 1L; I64_binop Add ])
 
 let test_stack_rejects_bad_frame_shapes () =
-  expect_stack_bad "non-neutral block"
+  expect_stack_bad ~path:[ 0 ] "non-neutral block"
     (mk_module [ Block [ I64_const 1L ]; I64_const 2L; I64_binop Add ]);
-  expect_stack_bad "if arm yields nothing"
+  expect_stack_bad ~path:[ 1 ] "if arm yields nothing"
     (mk_module [ I64_const 1L; If ([ Nop ], [ I64_const 2L ]) ]);
-  expect_stack_bad "body ends with two values"
+  expect_stack_bad ~path:[] "body ends with two values"
     (mk_module [ I64_const 1L; I64_const 2L ]);
-  expect_stack_bad "body ends empty" (mk_module [ I64_const 1L; Drop ]);
-  expect_stack_bad "return without a value" (mk_module [ Return ]);
-  expect_stack_bad "frame cannot cross block for underflow"
+  expect_stack_bad ~path:[] "body ends empty"
+    (mk_module [ I64_const 1L; Drop ]);
+  expect_stack_bad ~path:[ 0 ] "return without a value" (mk_module [ Return ]);
+  expect_stack_bad ~path:[ 1; 0 ] "frame cannot cross block for underflow"
     (mk_module [ I64_const 1L; Block [ Drop ]; I64_const 2L ])
 
 let test_stack_host_arities () =
@@ -632,6 +658,8 @@ let () =
             test_validate_rejects_bad_branch_depth;
           Alcotest.test_case "rejects bad call index" `Quick
             test_validate_rejects_bad_call_index;
+          Alcotest.test_case "error paths in if arms" `Quick
+            test_validate_error_paths_in_if_arms;
           Alcotest.test_case "runtime refusal of forbidden import" `Quick
             test_interp_refuses_forbidden_at_runtime;
         ] );
