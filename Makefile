@@ -1,6 +1,6 @@
 # Radical (SOSP '25) reproduction.
 
-.PHONY: all build test bench examples quick check chaos analyze certify batch propagate shard clean
+.PHONY: all build test bench examples quick check chaos analyze certify batch propagate shard lease clean
 
 all: build
 
@@ -56,17 +56,25 @@ propagate:
 shard:
 	dune exec bench/main.exe -- shard
 
+# Read-lease experiment: read-heavy zipf mix with leases off / on
+# (revocation) / on (expiry-wait only); prints the >=40% read-only
+# median reduction acceptance verdict and writes BENCH_lease.json.
+# Full volume; `make check` smoke-tests at --scale 1.
+lease:
+	dune exec bench/main.exe -- --json lease
+
 # CI gate: full build (the dev profile's -warn-error +a makes any
 # compiler warning fail the build), full test suite, the analyzer
 # golden + bench run, the bytecode-certification golden run, a small
 # traced bench run that exercises the
 # per-phase JSON breakdown end to end, the batching load sweep, the
-# propagation experiment and the shard scaling sweep at smoke scale,
-# then two 20-seed chaos smoke campaigns: one with every batching
-# knob and cache-update propagation on, one with the LVI service
-# hash-sharded 4 ways so the shard-chaos template attacks the
-# cross-shard commit under the cross-atomicity oracle (see
-# `bench/main.exe chaos --help` for the knobs).
+# propagation experiment, the shard scaling sweep and the read-lease
+# experiment at smoke scale, then three 20-seed chaos smoke campaigns:
+# one with every batching knob and cache-update propagation on, one
+# with the LVI service hash-sharded 4 ways so the shard-chaos template
+# attacks the cross-shard commit under the cross-atomicity oracle, and
+# one with read leases on so the lease-chaos template attacks the
+# revocation channel (see `bench/main.exe chaos --help` for the knobs).
 check:
 	dune build @all
 	dune runtest --force
@@ -76,8 +84,10 @@ check:
 	dune exec bench/main.exe -- --scale 1 batch
 	dune exec bench/main.exe -- --scale 1 propagate
 	dune exec bench/main.exe -- --scale 1 shard
+	dune exec bench/main.exe -- --scale 1 lease
 	dune exec bench/main.exe -- chaos --seeds 20 --batching --propagation
 	dune exec bench/main.exe -- chaos --seeds 20 --shards 4
+	dune exec bench/main.exe -- chaos --seeds 20 --leases
 
 # Full 50-seeds-per-cell chaos campaign (~200 sweep runs) plus the
 # protocol-mutation demo; the acceptance run behind EXPERIMENTS.md.

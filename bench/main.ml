@@ -137,8 +137,8 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe [--scale F] [--seeds N] \
-     [--shards N] \
-     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|batch|propagate|shard|chaos|micro]";
+     [--shards N] [--json] \
+     [all|fig1|table1|table2|fig4|fig5|fig6|repl|cost|sensitivity|skew|throughput|bootstrap|ablation|analyze|phases|batch|propagate|lease|shard|chaos|micro]";
   print_endline
     "  batch: batching load sweep — open-loop Poisson load against the";
   print_endline
@@ -148,6 +148,13 @@ let usage () =
   print_endline
     "    median+p99+achieved throughput per offered rate and the";
   print_endline "    batched-vs-unbatched acceptance verdict.";
+  print_endline
+    "  lease: read-lease experiment — read-heavy zipf mix; read-only";
+  print_endline
+    "    median latency with leases off / on (revocation) / on";
+  print_endline
+    "    (expiry-wait only), lease-local and settle counters, plus the";
+  print_endline "    >=40% read-only median reduction acceptance verdict.";
   print_endline
     "  propagate: cache-update propagation experiment — multi-site";
   print_endline
@@ -203,6 +210,18 @@ let usage () =
   print_endline
     "                decisions, shard restarts, leader crashes) under";
   print_endline "                the cross-atomicity oracle.";
+  print_endline
+    "    --leases    run every cell with read leases on; the lease-chaos";
+  print_endline
+    "                template then attacks the settle protocol (lost/";
+  print_endline
+    "                duplicated/delayed revocations, cache wipes, late";
+  print_endline "                cache updates).";
+  print_endline
+    "  --json: additionally write each measurement-returning experiment's";
+  print_endline
+    "    results as BENCH_<experiment>.json (medians, p99, throughput,";
+  print_endline "    acceptance flags, run config).";
   exit 1
 
 let () =
@@ -211,6 +230,8 @@ let () =
   let seeds = ref 50 in
   let batching = ref false in
   let propagation = ref false in
+  let leases = ref false in
+  let json = ref false in
   let shards = ref 1 in
   let targets = ref [] in
   let rec parse = function
@@ -220,6 +241,12 @@ let () =
         parse rest
     | "--propagation" :: rest ->
         propagation := true;
+        parse rest
+    | "--leases" :: rest ->
+        leases := true;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
         parse rest
     | "--scale" :: v :: rest ->
         (match float_of_string_opt v with
@@ -243,6 +270,19 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let targets = if !targets = [] then [ "all" ] else List.rev !targets in
   let scale = !scale in
+  let emit experiment measurements =
+    if !json then begin
+      let config =
+        [
+          ("scale", Printf.sprintf "%g" scale);
+          ("seeds", string_of_int !seeds);
+          ("shards", string_of_int !shards);
+        ]
+      in
+      let path = Experiments.Runner.write_json ~experiment ~config measurements in
+      Printf.printf "wrote %s\n" path
+    end
+  in
   let eval_data = lazy (Experiments.Figures.collect_eval ~scale ()) in
   List.iter
     (fun target ->
@@ -250,8 +290,8 @@ let () =
       | "all" ->
           Experiments.Figures.all ~scale ();
           micro ()
-      | "fig1" -> ignore (Experiments.Figures.fig1 ~scale ())
-      | "table1" -> ignore (Experiments.Figures.table1 ())
+      | "fig1" -> emit "fig1" (Experiments.Figures.fig1 ~scale ())
+      | "table1" -> emit "table1" (Experiments.Figures.table1 ())
       | "table2" -> ignore (Experiments.Figures.table2 ())
       | "fig4" -> ignore (Experiments.Figures.fig4 (Lazy.force eval_data))
       | "fig5" -> ignore (Experiments.Figures.fig5 (Lazy.force eval_data))
@@ -265,13 +305,14 @@ let () =
       | "ablation" -> ignore (Experiments.Figures.ablation ~scale ())
       | "analyze" -> Experiments.Analyze_exp.run ~scale ()
       | "phases" -> ignore (Experiments.Figures.phases ~scale ())
-      | "batch" -> ignore (Experiments.Batch_exp.run ~scale ())
-      | "propagate" -> ignore (Experiments.Propagate_exp.run ~scale ())
-      | "shard" -> ignore (Experiments.Shard_exp.run ~scale ())
+      | "batch" -> emit "batch" (Experiments.Batch_exp.run ~scale ())
+      | "propagate" -> emit "propagate" (Experiments.Propagate_exp.run ~scale ())
+      | "lease" -> emit "lease" (Experiments.Lease_exp.run ~scale ())
+      | "shard" -> emit "shard" (Experiments.Shard_exp.run ~scale ())
       | "chaos" ->
           let violations =
             Experiments.Chaos_exp.run ~seeds:!seeds ~batching:!batching
-              ~propagation:!propagation ~shards:!shards ()
+              ~propagation:!propagation ~leases:!leases ~shards:!shards ()
           in
           if violations > 0 then exit 2
       | "micro" -> micro ()

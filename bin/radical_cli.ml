@@ -346,6 +346,15 @@ let trace_cmd =
                    'prop_lag:*' freshness-lag histograms fill up. \
                    Composes with --batching.")
   in
+  let leases_arg =
+    Arg.(value & flag
+         & info [ "leases" ]
+             ~doc:"Turn read leases on so the 'lease_grant'/'lease_revoke' \
+                   batch histograms, the 'lease_wait' expiry-wait \
+                   histogram and the 'lease_local'/'lease_settle' phases \
+                   in the JSON breakdown fill up. Composes with \
+                   --batching/--propagation/--shards.")
+  in
   let shards_arg =
     Arg.(value & opt int 1
          & info [ "shards" ] ~docv:"N"
@@ -355,12 +364,13 @@ let trace_cmd =
                    show up as 'shard_prepare' phases in the JSON \
                    breakdown. Composes with --batching/--propagation.")
   in
-  let run verbose app system requests seed top batching propagation shards =
+  let run verbose app system requests seed top batching propagation leases
+      shards =
     setup_logs verbose;
     let tracer = Metrics.Tracer.create () in
     let requests_per_client = max 1 (requests / 50) in
     let system =
-      if batching || propagation || shards > 1 then
+      if batching || propagation || leases || shards > 1 then
         let base = Radical.Framework.default_config in
         let server =
           {
@@ -374,6 +384,9 @@ let trace_cmd =
             propagation =
               (if propagation then Radical.Server.default_propagation
                else Radical.Server.no_propagation);
+            leases =
+              (if leases then Radical.Server.default_leases
+               else Radical.Server.no_leases);
           }
         in
         Experiments.Runner.Radical_with
@@ -451,7 +464,7 @@ let trace_cmd =
        ~doc:"Run a traced deployment: per-phase JSON breakdown, batching \
              histograms, plus the slowest request span trees")
     Term.(const run $ verbose_arg $ app_arg $ system_arg $ requests $ seed
-          $ top $ batching_arg $ propagation_arg $ shards_arg)
+          $ top $ batching_arg $ propagation_arg $ leases_arg $ shards_arg)
 
 let timeline_cmd =
   let app_arg =
@@ -484,7 +497,8 @@ let timeline_cmd =
           (match o.path with
           | Radical.Runtime.Speculative -> "speculative"
           | Radical.Runtime.Backup -> "backup"
-          | Radical.Runtime.Fallback -> "fallback");
+          | Radical.Runtime.Fallback -> "fallback"
+          | Radical.Runtime.Local -> "local");
         Sim.Engine.sleep 5000.0;
         Radical.Framework.stop fw)
   in
@@ -514,6 +528,13 @@ let chaos_cmd =
                  with lost, duplicated and delayed cache_update \
                  messages.")
   in
+  let leases_arg =
+    Arg.(value & flag & info [ "leases" ]
+           ~doc:"Read leases on; the lease-chaos template then attacks \
+                 the settle protocol with lost, duplicated and delayed \
+                 lease_revoke messages, cache wipes and late cache \
+                 updates.")
+  in
   let template_names =
     List.map
       (fun (t : Chaos.Plan.template) -> (t.t_name, t))
@@ -538,18 +559,20 @@ let chaos_cmd =
                  commit protocol, and the cross-atomicity oracle judges \
                  the quiescent state.")
   in
-  let run verbose seeds app replicated propagation template mutate shards =
+  let run verbose seeds app replicated propagation leases template mutate
+      shards =
     setup_logs verbose;
     match app with
     | None ->
-        if Experiments.Chaos_exp.run ~seeds ~propagation ~shards () > 0 then
-          exit 2
+        if Experiments.Chaos_exp.run ~seeds ~propagation ~leases ~shards () > 0
+        then exit 2
     | Some bundle ->
         let config =
           {
             Chaos.Campaign.default_config with
             replicated;
             propagation;
+            leases;
             shards;
             mutation =
               (if mutate then Some Radical.Server.Skip_reexecution else None);
@@ -581,7 +604,7 @@ let chaos_cmd =
        ~doc:"Sweep fault plans against live deployments and judge the \
              survivors with the invariant oracle")
     Term.(const run $ verbose_arg $ seeds $ app_arg $ replicated
-          $ propagation $ template_arg $ mutate $ shards_arg)
+          $ propagation $ leases_arg $ template_arg $ mutate $ shards_arg)
 
 let analyze_cmd =
   let run () = print_string (Apps.Report.render ()) in

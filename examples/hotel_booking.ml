@@ -53,7 +53,8 @@ let () =
             (match o.path with
             | Radical.Runtime.Speculative -> "speculative"
             | Radical.Runtime.Backup -> "backup"
-            | Radical.Runtime.Fallback -> "fallback"))
+            | Radical.Runtime.Fallback -> "fallback"
+            | Radical.Runtime.Local -> "local"))
         attempts;
       Engine.sleep 3000.0;
       let rooms =

@@ -38,6 +38,7 @@ let path_name = function
   | Radical.Runtime.Speculative -> "speculative (validated)"
   | Radical.Runtime.Backup -> "backup (validation failed)"
   | Radical.Runtime.Fallback -> "fallback (no f^rw)"
+  | Radical.Runtime.Local -> "local (lease-covered read)"
 
 let show loc what (o : Radical.Runtime.outcome) =
   let value =

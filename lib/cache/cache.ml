@@ -123,3 +123,5 @@ let snapshot t =
 
 let restore t entries =
   List.iter (fun (k, value, version) -> update t k value ~version) entries
+
+module Leases = Leases

@@ -65,3 +65,7 @@ val snapshot : t -> (string * Dval.t * int) list
 
 val restore : t -> (string * Dval.t * int) list -> unit
 (** Load a snapshot; per-key, newer versions win. *)
+
+module Leases : module type of Leases
+(** The near-user read-lease cache — companion bookkeeping to the value
+    cache, keyed the same way. See {!Leases}. *)

@@ -1,0 +1,75 @@
+type grant = { issued : float; until : float; version : int }
+
+type t = {
+  held : (string, grant) Hashtbl.t;
+  (* key -> instant of the last acknowledged revocation. A grant issued
+     at or before the fence is refused on arrival: it was in flight when
+     the writer settled the key, and honouring it would revive a lease
+     the server already considers dead. *)
+  fences : (string, float) Hashtbl.t;
+  mutable installed : int;
+  mutable refused : int;
+  mutable revoked : int;
+}
+
+let create () =
+  {
+    held = Hashtbl.create 256;
+    fences = Hashtbl.create 64;
+    installed = 0;
+    refused = 0;
+    revoked = 0;
+  }
+
+let install t ~key ~version ~issued ~until =
+  let fenced =
+    match Hashtbl.find_opt t.fences key with
+    | Some fence -> issued <= fence
+    | None -> false
+  in
+  let newer =
+    match Hashtbl.find_opt t.held key with
+    | Some g -> until > g.until
+    | None -> true
+  in
+  if fenced || not newer then begin
+    t.refused <- t.refused + 1;
+    false
+  end
+  else begin
+    Hashtbl.replace t.held key { issued; until; version };
+    t.installed <- t.installed + 1;
+    true
+  end
+
+let valid t ~now ~key ~version =
+  match Hashtbl.find_opt t.held key with
+  | Some g -> g.until > now && g.version = version
+  | None -> false
+
+let covered t ~now reads =
+  reads <> []
+  && List.for_all (fun (key, version) -> valid t ~now ~key ~version) reads
+
+let drop t ~now keys =
+  List.iter
+    (fun key ->
+      if Hashtbl.mem t.held key then begin
+        Hashtbl.remove t.held key;
+        t.revoked <- t.revoked + 1
+      end;
+      (* Fence even keys not currently held: the revocation may have
+         overtaken the grant it kills. Fences only move forward. *)
+      match Hashtbl.find_opt t.fences key with
+      | Some fence when fence >= now -> ()
+      | _ -> Hashtbl.replace t.fences key now)
+    keys
+
+let live t ~now =
+  Hashtbl.fold (fun _ g acc -> if g.until > now then acc + 1 else acc) t.held 0
+
+let installed t = t.installed
+
+let refused t = t.refused
+
+let revoked t = t.revoked

@@ -1,0 +1,48 @@
+(** Near-user read-lease cache — the site half of the lease protocol.
+
+    Keyed like {!Cache}: one grant per key, carrying the expiry instant,
+    the primary version the lease certifies, and the instant the lease
+    authority issued it. A statically read-only invocation whose whole
+    read set is {!covered} may be served from the local cache with no
+    LVI round trip — see [Runtime.invoke]'s [lease_local] fast path.
+
+    Everything is latency-free bookkeeping on the global virtual clock
+    ([now] is always passed in), mirroring {!Cache.peek}. *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> key:string -> version:int -> issued:float -> until:float -> bool
+(** Install a grant that arrived piggybacked on an LVI reply or a
+    cache-update record. Refused (returning [false]) when a later
+    revocation already fenced the key ([issued] at or before the fence —
+    the grant was in flight while a writer settled the key) or when a
+    grant with a later expiry is already held. *)
+
+val valid : t -> now:float -> key:string -> version:int -> bool
+(** An unexpired grant is held for [key] and it certifies exactly
+    [version] — the version the local cache must still hold for a local
+    read to be current. *)
+
+val covered : t -> now:float -> (string * int) list -> bool
+(** Every (key, cached-version) pair of a read set is {!valid}; [false]
+    for the empty read set (nothing to certify, nothing to serve). *)
+
+val drop : t -> now:float -> string list -> unit
+(** Revocation (or local surrender) of the given keys: forget their
+    grants and fence each key at [now], so grants issued before this
+    instant but still in flight are refused on arrival. Idempotent —
+    duplicated revocations only re-fence. *)
+
+val live : t -> now:float -> int
+(** Unexpired grants currently held. *)
+
+val installed : t -> int
+(** Cumulative grants accepted by {!install}. *)
+
+val refused : t -> int
+(** Cumulative grants refused (fenced or superseded). *)
+
+val revoked : t -> int
+(** Cumulative held grants dropped by {!drop}. *)

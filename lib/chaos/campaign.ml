@@ -23,6 +23,7 @@ type config = {
   replicated : bool;
   batching : bool;
   propagation : bool;
+  leases : bool;
   shards : int;
   intent_timeout : float;
   mutation : Server.protocol_mutation option;
@@ -41,6 +42,7 @@ let default_config =
     replicated = false;
     batching = false;
     propagation = false;
+    leases = false;
     shards = 1;
     intent_timeout = 800.0;
     mutation = None;
@@ -134,6 +136,9 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
            if config.propagation then Server.default_propagation
            else Server.no_propagation
          in
+         let leases =
+           if config.leases then Server.default_leases else Server.no_leases
+         in
          let fw_config =
            {
              Framework.default_config with
@@ -145,6 +150,7 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
                  intent_timeout = config.intent_timeout;
                  batching;
                  propagation;
+                 leases;
                };
              sharding =
                (if config.shards > 1 then

@@ -42,6 +42,18 @@ type config = {
           propagation-chaos template (lost/duplicated/reordered
           cache_update messages), the campaign must still find zero
           violations — the version guard is the whole argument. *)
+  leases : bool;
+      (** Read leases on ({!Radical.Server.default_leases}): validated
+          read replies and propagation flushes grant per-key leases to
+          near-user sites, which then serve statically read-only
+          functions locally with zero round trips; writers settle the
+          grants (revoke-and-ack, or wait out expiry + ε) before
+          validating. Combined with the lease-chaos template (lost /
+          delayed / duplicated [lease_revoke] messages, cache wipes,
+          late cache updates), the campaign must still find zero
+          violations — a lost revocation may only ever slow a writer
+          down to the expiry wait, never let a stale local read
+          through. *)
   shards : int;
       (** [> 1] deploys the LVI service hash-sharded over that many
           servers ({!Radical.Framework.config.sharding}); the

@@ -19,6 +19,9 @@ let shard_prepares () =
 let shard_decides () =
   { f_label = Some "shard_decide"; f_src = None; f_dst = None }
 
+let lease_revokes ?dst () =
+  { f_label = Some "lease_revoke"; f_src = None; f_dst = dst }
+
 type action =
   | Drop_messages of { filter : msg_filter; prob : float; duration : float }
   | Duplicate_messages of {
@@ -485,6 +488,107 @@ let shard_chaos =
           (prepare_delays @ decide_drops @ restarts @ leader_crash));
   }
 
+let lease_chaos =
+  {
+    t_name = "lease-chaos";
+    t_replicated_only = false;
+    t_gen =
+      (fun ~rng ~horizon ~locations ->
+        (* Stresses the read-lease settle protocol. Revocations may be
+           dropped or delayed outright: the writer's revocation RPC
+           times out and it falls back to waiting out the lease expiry
+           plus ε, so a lost revocation only ever slows the write down
+           — it must never let a stale lease-local read through.
+           Duplicated revocations exercise the site-side fence (the
+           second delivery finds the grants already dropped). Cache
+           wipes race the version fence: a wiped site re-reads through
+           the protocol and may be re-granted mid-settle — the
+           [until_leq]-guarded forget must keep the fresh grant alive
+           on the server. Delayed cache updates make propagation-borne
+           grants arrive long after issue, when the key may have moved
+           on; the version re-check at flush time and the issue-time
+           fence at the site are the argument. A low-probability
+           duplication of all traffic rides along as usual. *)
+        let revoke_faults kind =
+          List.init
+            (1 + Rng.int rng 2)
+            (fun _ ->
+              let duration = Rng.uniform rng 300.0 1200.0 in
+              let dst =
+                if Rng.bool rng then Some (pick rng locations) else None
+              in
+              let filter = lease_revokes ?dst () in
+              {
+                at = start_at rng ~horizon duration;
+                ev_seed = fresh_seed rng;
+                action =
+                  (match kind with
+                  | `Drop ->
+                      Drop_messages
+                        { filter; prob = Rng.uniform rng 0.3 0.9; duration }
+                  | `Dup ->
+                      Duplicate_messages
+                        { filter; prob = Rng.uniform rng 0.2 0.8; duration }
+                  | `Delay ->
+                      Delay_messages
+                        {
+                          filter;
+                          extra = Rng.uniform rng 50.0 600.0;
+                          prob = Rng.uniform rng 0.3 0.9;
+                          duration;
+                        });
+              })
+        in
+        let wipes =
+          List.init
+            (1 + Rng.int rng 2)
+            (fun _ ->
+              {
+                at = start_at rng ~horizon 0.0;
+                ev_seed = fresh_seed rng;
+                action = Wipe_cache (pick rng locations);
+              })
+        in
+        let update_delays =
+          if Rng.bool rng then
+            let duration = Rng.uniform rng 300.0 1200.0 in
+            [
+              {
+                at = start_at rng ~horizon duration;
+                ev_seed = fresh_seed rng;
+                action =
+                  Delay_messages
+                    {
+                      filter = cache_updates ();
+                      extra = Rng.uniform rng 100.0 500.0;
+                      prob = Rng.uniform rng 0.3 0.9;
+                      duration;
+                    };
+              };
+            ]
+          else []
+        in
+        let dup_any =
+          let duration = Rng.uniform rng 300.0 1000.0 in
+          [
+            {
+              at = start_at rng ~horizon duration;
+              ev_seed = fresh_seed rng;
+              action =
+                Duplicate_messages
+                  {
+                    filter = any_message;
+                    prob = Rng.uniform rng 0.1 0.3;
+                    duration;
+                  };
+            };
+          ]
+        in
+        sort_by_time
+          (revoke_faults `Drop @ revoke_faults `Dup @ revoke_faults `Delay
+         @ wipes @ update_delays @ dup_any));
+  }
+
 (* New templates append at the end: a template's campaign RNG seed is
    derived from its list index, so insertion in the middle would shift
    every later template's plans under existing seeds. *)
@@ -499,6 +603,7 @@ let default_templates =
     everything;
     propagation_chaos;
     shard_chaos;
+    lease_chaos;
   ]
 
 let find_template name =

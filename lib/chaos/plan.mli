@@ -32,6 +32,12 @@ val shard_prepares : unit -> msg_filter
 val shard_decides : unit -> msg_filter
 (** Matches cross-shard decision broadcasts between LVI shards. *)
 
+val lease_revokes : ?dst:Net.Location.t -> unit -> msg_filter
+(** Matches lease-revocation messages from the LVI server's write path
+    to near-user sites (optionally to one site only). Safe to drop
+    outright: the writer's RPC times out and falls back to waiting out
+    the lease expiry plus ε. *)
+
 type action =
   | Drop_messages of { filter : msg_filter; prob : float; duration : float }
       (** Drop each matching message with probability [prob] for
@@ -119,9 +125,11 @@ val default_templates : template list
 (** The campaign's default sweep: followup storms, general message
     chaos, cache wipes + site pauses, mid-flight server restarts,
     partitions, (replicated only) Raft node churn, lost/duplicated/
-    delayed cache-update propagation, and cross-shard commit chaos
+    delayed cache-update propagation, cross-shard commit chaos
     (delayed prepares, dropped decisions, shard restarts and per-shard
-    leader crashes). New templates append at the end — a template's
-    campaign seed derives from its list index. *)
+    leader crashes), and read-lease chaos (lost/duplicated/delayed
+    revocations, cache wipes, late cache updates). New templates append
+    at the end — a template's campaign seed derives from its list
+    index. *)
 
 val find_template : string -> template option

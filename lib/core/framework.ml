@@ -129,13 +129,17 @@ let create ?(config = default_config) ?schema ?(manual = [])
       config.locations
   in
   (* Wire every site's cache into every shard's propagation channel —
-     each shard publishes the committed records it owns. [subscribe] is
-     a no-op when propagation is off, so the seed configuration
-     constructs exactly what it did before. *)
+     each shard publishes the committed records it owns — and its lease
+     revocation service into every shard (each shard is the lease
+     authority for the keys it owns). [subscribe] and
+     [register_lease_site] are no-ops when their feature is off, so the
+     seed configuration constructs exactly what it did before. *)
   List.iter
     (fun (_, rt) ->
       List.iter
-        (fun s -> Server.subscribe s (Runtime.cache_update_service rt))
+        (fun s ->
+          Server.subscribe s (Runtime.cache_update_service rt);
+          Server.register_lease_site s (Runtime.lease_revoke_service rt))
         srvs)
     sites;
   { cfg = config; net; reg; kv; extsvc; srv; srvs; dir; sites; ops = [] }

@@ -1,0 +1,64 @@
+type t = {
+  (* key -> (site, until) assoc; one entry per holding site. *)
+  grants : (string, (Net.Location.t * float) list) Hashtbl.t;
+  mutable granted : int;
+}
+
+let create () = { grants = Hashtbl.create 64; granted = 0 }
+
+let grant t ~key ~site ~until =
+  let entries =
+    match Hashtbl.find_opt t.grants key with Some l -> l | None -> []
+  in
+  let until =
+    match List.assoc_opt site entries with
+    | Some prev -> Float.max prev until
+    | None -> until
+  in
+  Hashtbl.replace t.grants key ((site, until) :: List.remove_assoc site entries);
+  t.granted <- t.granted + 1
+
+let prune_key t ~now key =
+  match Hashtbl.find_opt t.grants key with
+  | None -> []
+  | Some entries -> (
+      match List.filter (fun (_, until) -> until > now) entries with
+      | [] ->
+          Hashtbl.remove t.grants key;
+          []
+      | live ->
+          Hashtbl.replace t.grants key live;
+          live)
+
+let holders t ~now keys =
+  List.fold_left
+    (fun acc key ->
+      List.fold_left
+        (fun acc (site, until) ->
+          match List.assoc_opt site acc with
+          | Some prev when prev >= until -> acc
+          | _ -> (site, until) :: List.remove_assoc site acc)
+        acc (prune_key t ~now key))
+    []
+    (List.sort_uniq String.compare keys)
+
+let forget t ~until_leq keys =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.grants key with
+      | None -> ()
+      | Some entries -> (
+          match List.filter (fun (_, until) -> until > until_leq) entries with
+          | [] -> Hashtbl.remove t.grants key
+          | kept -> Hashtbl.replace t.grants key kept))
+    keys
+
+let live t ~now =
+  (* Collect keys first: [prune_key] mutates the table, which is not
+     allowed during a [Hashtbl.fold]. *)
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) t.grants [] in
+  List.fold_left
+    (fun acc key -> acc + List.length (prune_key t ~now key))
+    0 keys
+
+let granted t = t.granted

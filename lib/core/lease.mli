@@ -1,0 +1,50 @@
+(** Server-side read-lease table (per-key, per-site grants).
+
+    A lease on key [k] granted to site [S] until instant [u] is the
+    server's promise that no write to [k] will {e validate} before the
+    lease is settled — revoked with an acknowledged revocation, or
+    waited out past [u] plus the configured clock-skew bound ε
+    ([Server.leases]). Under that promise the site may serve statically
+    read-only functions from its own cache with no LVI round trip, as
+    long as every read key is covered by an unexpired grant whose
+    version still matches the cached entry.
+
+    The table is pure bookkeeping on the global virtual clock: it takes
+    [now] as an argument everywhere and never touches the engine, so it
+    is trivially testable. It is conceptually persisted with the lock
+    table — like the prepared-slice bookkeeping of the sharded service,
+    it survives [Server.restart_recover], so a restarted server still
+    settles grants issued before the crash instead of letting a write
+    race a forgotten lease. *)
+
+type t
+
+val create : unit -> t
+
+val grant : t -> key:string -> site:Net.Location.t -> until:float -> unit
+(** Record (or extend) the grant of [key] to [site]. A later grant for
+    the same (key, site) pair replaces an earlier one; expiry instants
+    never move backwards. *)
+
+val holders : t -> now:float -> string list -> (Net.Location.t * float) list
+(** Sites holding an unexpired grant (strictly [until > now]) on any of
+    the given keys, each with the latest expiry instant among its
+    grants on those keys. Expired entries encountered on the way are
+    pruned. The write path settles exactly this list before it lets a
+    write to the keys validate. *)
+
+val forget : t -> until_leq:float -> string list -> unit
+(** Drop every grant on the given keys whose expiry is at or before
+    [until_leq] — called once the write path has settled them (the
+    revocations were acknowledged, or the caller waited out the longest
+    expiry). The guard makes a settle forget only the grants it actually
+    observed: a fresh grant issued after the settle's snapshot carries a
+    strictly later expiry and survives, so an unlocked settle racing a
+    new grant can never silently orphan it. *)
+
+val live : t -> now:float -> int
+(** Number of unexpired grants currently outstanding (prunes expired
+    ones as it counts). *)
+
+val granted : t -> int
+(** Cumulative number of grants ever issued through [grant]. *)

@@ -27,9 +27,31 @@ type lvi_request = {
 
 type update = { up_key : string; up_value : Dval.t; up_version : int }
 
+(* Read-lease grant, piggybacked on lvi_response and cache_update
+   messages — granting costs no extra round trip. [lg_version] is the
+   primary version of the key the lease certifies: a local read under
+   the lease is current iff the cache still holds exactly that version.
+   [lg_issued] is the grant instant at the lease authority, used by the
+   receiving site to fence grants that were in flight while a writer
+   revoked the key. [lg_until] is the absolute expiry on the global
+   virtual clock. *)
+type lease_grant = {
+  lg_key : string;
+  lg_version : int;
+  lg_issued : float;
+  lg_until : float;
+}
+
+(* Revocation request from a lease authority (the LVI server owning the
+   keys) to a holding site; the RPC reply is the ack the write path
+   waits for. Idempotent at the receiver: drop the grants, fence the
+   keys, reply. *)
+type lease_revoke = { lr_keys : string list }
+
 type cache_update = {
   cu_invalidate : bool;
   cu_updates : (update * float) list;
+  cu_leases : lease_grant list;
 }
 
 type exec_result = {
@@ -39,7 +61,13 @@ type exec_result = {
 }
 
 type lvi_response =
-  | Validated of { write_versions : (string * int) list }
+  | Validated of {
+      write_versions : (string * int) list;
+      leases : lease_grant list;
+          (* Read leases granted on this validated reply (empty unless
+             the server's lease config is on and the request validated
+             read-only). *)
+    }
   | Mismatch of { backup : exec_result; updates : update list }
 
 type exec_request = {
@@ -117,8 +145,8 @@ let pp_vote fmt = function
   | Shard_busy -> Format.fprintf fmt "Busy"
 
 let pp_response fmt = function
-  | Validated { write_versions } ->
-      Format.fprintf fmt "Validated(%d write versions)"
-        (List.length write_versions)
+  | Validated { write_versions; leases } ->
+      Format.fprintf fmt "Validated(%d write versions, %d leases)"
+        (List.length write_versions) (List.length leases)
   | Mismatch { updates; _ } ->
       Format.fprintf fmt "Mismatch(%d updates)" (List.length updates)

@@ -48,6 +48,32 @@ type lvi_request = {
 
 type update = { up_key : string; up_value : Dval.t; up_version : int }
 
+type lease_grant = {
+  lg_key : string;
+  lg_version : int;
+      (** Primary version of the key at grant time — the version the
+          lease certifies. A local read under the lease is current iff
+          the near-user cache still holds exactly this version. *)
+  lg_issued : float;
+      (** Grant instant at the lease authority. The receiving site
+          fences grants issued at or before its last acknowledged
+          revocation of the key: such a grant was in flight while a
+          writer settled the key and must not revive the lease. *)
+  lg_until : float;
+      (** Absolute expiry on the global virtual clock. The authority
+          will not let a write to the key validate before this instant
+          plus the configured clock-skew bound ε unless the lease is
+          revoked and acknowledged first ([Server.leases]). *)
+}
+(** Per-key read lease, piggybacked on [Validated] replies and on
+    {!cache_update} records — granting costs no extra round trip. *)
+
+type lease_revoke = { lr_keys : string list }
+(** Revocation from a lease authority to a holding site, fired on the
+    write path before a write to the keys may validate; the RPC reply
+    is the acknowledgement the writer waits for. Idempotent at the
+    receiver: drop the grants, fence the keys, reply. *)
+
 type cache_update = {
   cu_invalidate : bool;
       (** [true]: the receiver evicts each key (if it caches an older
@@ -60,6 +86,10 @@ type cache_update = {
           receiver derives its freshness lag from the stamp. Installs
           are version-guarded at the receiving cache, so lost,
           duplicated or reordered batches are harmless. *)
+  cu_leases : lease_grant list;
+      (** Read leases granted to the receiving site alongside the
+          freshly propagated values (empty unless [Server.leases] is on
+          and update-mode propagation is). *)
 }
 (** Asynchronous cache-update propagation from the LVI server to the
     subscribed near-user caches — the cross-site freshness channel.
@@ -76,11 +106,16 @@ type exec_result = {
 }
 
 type lvi_response =
-  | Validated of { write_versions : (string * int) list }
+  | Validated of {
+      write_versions : (string * int) list;
+      leases : lease_grant list;
+    }
       (** Validation succeeded: every cached version matched primary.
           [write_versions] are the primary's current versions of the
           write-set keys, letting the runtime install its own writes in
-          the cache with the exact post-commit versions. *)
+          the cache with the exact post-commit versions. [leases] are
+          read leases granted on the reply path of a validated read
+          (empty unless [Server.leases] is on). *)
   | Mismatch of {
       backup : exec_result;
           (** The function ran in the near-storage location (6b). *)

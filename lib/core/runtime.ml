@@ -31,12 +31,13 @@ let config ?(invoke_overhead = 12.0) ?(frw_overhead = 1.0) ?(overlap = true)
     rpc_timeout;
   }
 
-type path = Speculative | Backup | Fallback
+type path = Speculative | Backup | Fallback | Local
 
 let path_label = function
   | Speculative -> "Speculative"
   | Backup -> "Backup"
   | Fallback -> "Fallback"
+  | Local -> "Local"
 
 type outcome = { value : (Dval.t, string) result; latency : float; path : path }
 
@@ -69,6 +70,15 @@ type stats = {
          version, or evicted a stale entry in invalidate mode. The
          remainder lost the version guard (already as fresh, typically
          the origin's own writes or a reordered duplicate). *)
+  lease_local : int;
+      (* Statically read-only invocations served entirely at this site
+         under read leases: zero LVI round trips (0 with leases off). *)
+  lease_installed : int;
+      (* Lease grants accepted off LVI replies and cache updates. *)
+  lease_refused : int;
+      (* Grants refused: fenced by a later revocation, or superseded. *)
+  lease_revoked : int;
+      (* Held grants dropped by server revocations. *)
 }
 
 (* One LVI server this runtime talks to. Unsharded deployments have
@@ -91,6 +101,10 @@ type t = {
   tracer : Tracer.t;
   registry : Registry.t;
   cache : Cache.t;
+  (* Read leases held by this site, keyed like the cache. A statically
+     read-only invocation whose whole (non-miss) read set is covered by
+     valid leases is served locally with no LVI round trip. *)
+  leases : Cache.Leases.t;
   extsvc : Extsvc.t;
   endpoints : endpoint array;
   router : Shard.Router.t option;
@@ -108,8 +122,31 @@ type t = {
   mutable s_prop_batches : int;
   mutable s_prop_records : int;
   mutable s_prop_installed : int;
+  mutable s_lease_local : int;
   mutable cu_svc : (Proto.cache_update, unit) Transport.service option;
+  mutable lr_svc : (Proto.lease_revoke, unit) Transport.service option;
 }
+
+(* Grants arrive piggybacked on Validated replies and cache updates.
+   [Cache.Leases.install] refuses fenced grants (issued at or before the
+   last acknowledged revocation of the key — they were in flight while a
+   writer settled it) and keeps its own counters. *)
+let install_leases t grants =
+  List.iter
+    (fun { Proto.lg_key; lg_version; lg_issued; lg_until } ->
+      ignore
+        (Cache.Leases.install t.leases ~key:lg_key ~version:lg_version
+           ~issued:lg_issued ~until:lg_until
+          : bool))
+    grants
+
+(* Server-side write path revoking this site's leases. Drop the grants
+   and fence the keys BEFORE the reply travels back: the ack is the
+   server's licence to let the write validate, so nothing here may be
+   deferred. The handler is synchronous and latency-free — the transport
+   charges the round trip. *)
+let handle_lease_revoke t (lr : Proto.lease_revoke) =
+  Cache.Leases.drop t.leases ~now:(Engine.now ()) lr.lr_keys
 
 (* Receiver half of the cache-update propagation channel: install (or,
    in invalidate mode, evict) each committed record. Installs are
@@ -137,7 +174,8 @@ let handle_cache_update t (cu : Proto.cache_update) =
         Tracer.record_queue t.tracer ~label:("prop_lag:" ^ t.cfg.loc)
           (now -. stamp)
       end)
-    cu.cu_updates
+    cu.cu_updates;
+  install_leases t cu.cu_leases
 
 let endpoint_of server =
   {
@@ -181,6 +219,7 @@ let create ?extsvc ?(tracer = Tracer.noop) ?sharding ~net ~registry ~cache
     tracer;
     registry;
     cache;
+    leases = Cache.Leases.create ();
     extsvc = (match extsvc with Some e -> e | None -> Extsvc.create ());
     endpoints;
     router;
@@ -198,14 +237,22 @@ let create ?extsvc ?(tracer = Tracer.noop) ?sharding ~net ~registry ~cache
       s_prop_batches = 0;
       s_prop_records = 0;
       s_prop_installed = 0;
+      s_lease_local = 0;
       cu_svc = None;
+      lr_svc = None;
     }
   in
   t.cu_svc <-
     Some
       (Transport.serve net ~loc:cfg.loc ~name:"cache_update"
          (handle_cache_update t));
+  t.lr_svc <-
+    Some
+      (Transport.serve net ~loc:cfg.loc ~name:"lease_revoke"
+         (handle_lease_revoke t));
   t
+
+let lease_revoke_service t = Option.get t.lr_svc
 
 let cache_update_service t = Option.get t.cu_svc
 
@@ -466,6 +513,28 @@ let invoke t fn args =
               snap
           in
           let misses = List.exists (fun (_, v) -> v = -1) reads in
+          (* Lease-local fast path: a statically read-only function
+             whose whole read set is cached AND covered by valid leases
+             certifying exactly the cached versions needs no LVI round
+             trip at all — the server promised no write to these keys
+             validates before the leases are settled, so the snapshot is
+             current and executing against it linearizes the invocation
+             at this instant. Falls through to the normal protocol on
+             any miss, uncovered key, version mismatch or expiry. *)
+          if
+            entry.read_only && rwset.writes = [] && (not misses)
+            && Cache.Leases.covered t.leases ~now:(Engine.now ()) reads
+          then begin
+            t.s_lease_local <- t.s_lease_local + 1;
+            let sp = Tracer.child t.tracer ~parent:root "lease_local" in
+            let spec_iv = speculate t ~exec_id ~span:sp ~snapshot entry args in
+            let res = Ivar.read spec_iv in
+            let finish = Engine.now () in
+            record t ~exec_id ~start ~finish res;
+            finalize
+              { value = res.value; latency = finish -. start; path = Local }
+          end
+          else begin
           (* (2a) Speculate unless a miss makes failure certain (§3.2).
              With overlap disabled (ablation), execution is deferred
              until the LVI response arrives. *)
@@ -521,7 +590,8 @@ let invoke t fn args =
             | _ -> spec
           in
           (match (response, spec) with
-          | Proto.Validated { write_versions }, Some spec_iv ->
+          | Proto.Validated { write_versions; leases }, Some spec_iv ->
+              install_leases t leases;
               t.s_spec <- t.s_spec + 1;
               Log.debug (fun m -> m "%s validated; releasing speculation" exec_id);
               let spec_result = Ivar.read spec_iv in
@@ -583,7 +653,8 @@ let invoke t fn args =
               let finish = Engine.now () in
               record t ~exec_id ~start ~finish backup;
               finalize
-                { value = backup.value; latency = finish -. start; path = Backup }))
+                { value = backup.value; latency = finish -. start; path = Backup })
+          end)
 
 let stats t =
   {
@@ -599,4 +670,8 @@ let stats t =
     prop_batches = t.s_prop_batches;
     prop_records = t.s_prop_records;
     prop_installed = t.s_prop_installed;
+    lease_local = t.s_lease_local;
+    lease_installed = Cache.Leases.installed t.leases;
+    lease_refused = Cache.Leases.refused t.leases;
+    lease_revoked = Cache.Leases.revoked t.leases;
   }

@@ -57,10 +57,15 @@ type path =
   | Speculative (** Validation succeeded; the speculative result was used. *)
   | Backup (** Validation failed; the near-storage result was used. *)
   | Fallback (** No [f^rw]; ran near storage unconditionally. *)
+  | Local
+      (** Statically read-only and every read key was covered by a valid
+          read lease certifying the cached version: served entirely at
+          this site, zero LVI round trips ([Server.leases]). *)
 
 val path_label : path -> string
-(** ["Speculative"], ["Backup"] or ["Fallback"] — the path key used in
-    {!Metrics.Tracer} phase histograms and JSON breakdowns. *)
+(** ["Speculative"], ["Backup"], ["Fallback"] or ["Local"] — the path
+    key used in {!Metrics.Tracer} phase histograms and JSON
+    breakdowns. *)
 
 type outcome = {
   value : (Dval.t, string) result;
@@ -93,6 +98,17 @@ type stats = {
       (** Records that changed the cache — installed a newer version,
           or evicted a stale entry in invalidate mode. The rest lost
           the version guard (the cache was already as fresh). *)
+  lease_local : int;
+      (** Invocations served on the lease-local path: statically
+          read-only, zero LVI round trips (0 with leases off). *)
+  lease_installed : int;
+      (** Lease grants accepted off LVI replies and cache updates. *)
+  lease_refused : int;
+      (** Grants refused — fenced by a later revocation (the grant was
+          in flight while a writer settled the key) or superseded by a
+          longer-lived grant already held. *)
+  lease_revoked : int;
+      (** Held grants dropped by server revocations. *)
 }
 
 val create :
@@ -141,6 +157,13 @@ val cache_update_service : t -> (Proto.cache_update, unit) Net.Transport.service
     local cache (or evicts, in invalidate mode) under the version
     guard, so lost, duplicated or reordered batches are harmless, and
     records the per-site freshness lag under ["prop_lag:<loc>"]. *)
+
+val lease_revoke_service : t -> (Proto.lease_revoke, unit) Net.Transport.service
+(** The runtime's receiver for server-side lease revocations; register
+    it with {!Server.register_lease_site} to make this site eligible
+    for read-lease grants. The handler drops the named grants and
+    fences their keys before the acknowledgement travels back — the ack
+    is the server's licence to let the blocked write validate. *)
 
 val set_recorder : t -> (Lincheck.op -> unit) -> unit
 

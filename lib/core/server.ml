@@ -52,6 +52,52 @@ let no_propagation =
 let default_propagation =
   { enabled = true; prop_window = 2.0; invalidate_only = false }
 
+(* Read-lease configuration. Off (the seed default) is bit-identical to
+   the seed pipeline: no grants are issued, no revocation channels are
+   registered, replies carry empty lease lists and the write path never
+   consults the (empty) table — mirroring the propagation/batching
+   precedent. *)
+type leases = {
+  enabled : bool;
+  duration : float;
+      (* Lease term in virtual ms. Short enough that a wait-out on the
+         write path stays well under intent timers; long enough that a
+         read-heavy site re-validates rarely (grants refresh on every
+         validated read reply). *)
+  skew : float;
+      (* ε: the clock-skew bound a real deployment would need. The
+         virtual clock is global, so expiry alone would be safe here;
+         the write path still waits [duration + skew] past the grant to
+         model the real protocol's safety margin. *)
+  revoke : bool;
+      (* true: the write path fires revocations to holding sites and
+         waits for the acks, falling back to the expiry wait only for
+         sites that do not answer. false: always wait out the expiry —
+         the leaner protocol with no revocation channel, paying write
+         latency instead. *)
+  revoke_timeout : float;
+      (* Per-site revocation RPC timeout before falling back to the
+         expiry wait. Must cover a near-storage -> site round trip. *)
+}
+
+let no_leases =
+  {
+    enabled = false;
+    duration = 0.0;
+    skew = 0.0;
+    revoke = true;
+    revoke_timeout = 0.0;
+  }
+
+let default_leases =
+  {
+    enabled = true;
+    duration = 2000.0;
+    skew = 5.0;
+    revoke = true;
+    revoke_timeout = 400.0;
+  }
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
@@ -59,6 +105,7 @@ type config = {
   mode : mode;
   batching : batching;
   propagation : propagation;
+  leases : leases;
 }
 
 let default_config =
@@ -69,6 +116,7 @@ let default_config =
     mode = Singleton;
     batching = no_batching;
     propagation = no_propagation;
+    leases = no_leases;
   }
 
 type stats = {
@@ -108,6 +156,18 @@ type stats = {
   shard_prepares : int;
       (* Participant slices this server prepared for coordinators
          running elsewhere. *)
+  lease_grants : int;
+      (* Read leases issued, over reply-path and propagation piggyback
+         (0 unless leases.enabled). *)
+  lease_revokes : int;
+      (* Revocation RPCs fired at holding sites from the write path. *)
+  lease_expiry_waits : int;
+      (* Writes that waited out a lease expiry (plus ε) because
+         revocation was off, timed out, or had no channel to the
+         holder. *)
+  lease_blocked_writes : int;
+      (* Writes that found outstanding grants on their write set and had
+         to settle them before validating. *)
 }
 
 type repl = {
@@ -216,6 +276,16 @@ type t = {
   exec_replies : (string, Proto.exec_result Ivar.t) Hashtbl.t;
   (* Some when this server is one shard of a sharded LVI service. *)
   mutable sharding : sharding option;
+  (* Outstanding read leases this server (the lease authority for its
+     keys) has granted to near-user sites. Conceptually persisted with
+     the lock table: it survives [restart_recover], so a restarted
+     server still settles pre-crash grants instead of letting a write
+     race a forgotten lease. *)
+  lease_tbl : Lease.t;
+  (* Revocation channel per site that registered for leases; grants are
+     only issued to sites present here. *)
+  mutable lease_peers :
+    (Net.Location.t * (Proto.lease_revoke, unit) Transport.service) list;
   mutable owners : int;
   mutable s_requests : int;
   mutable s_validated : int;
@@ -230,6 +300,10 @@ type t = {
   mutable s_cross : int;
   mutable s_cross_commits : int;
   mutable s_cross_aborts : int;
+  mutable s_lease_grants : int;
+  mutable s_lease_revokes : int;
+  mutable s_lease_waits : int;
+  mutable s_lease_blocked : int;
   mutable lvi_svc :
     (Proto.lvi_request, Proto.lvi_response) Transport.service option;
   mutable fu_svc : (Proto.followup list, unit) Transport.service option;
@@ -291,13 +365,156 @@ let register_invocation t ~exec_id =
   | Some { idempotency; _ } ->
       ignore (Store.Idempotency.register idempotency ~exec_id:("inv:" ^ exec_id))
 
+(* --- Read leases (§ leases config) ----------------------------------
+
+   Grants are issued only on paths where the replied versions are known
+   to equal primary at an instant when the key is not write-locked: the
+   ro_fast reply, the slow-path read-only reply (under its read locks),
+   and propagation flushes (freshly committed records). They piggyback
+   on messages those paths send anyway, so granting costs no round trip.
+   The write path settles every outstanding grant on its write set
+   before the write may validate. *)
+
+(* Issue a lease on each (key, version) to [site]. No-ops unless leases
+   are on, the site registered a revocation channel, and it is not the
+   server's own location (a colocated runtime gains nothing). Keys
+   write-locked at this instant are skipped: the locking writer is past
+   its settle, so a grant now would escape it. *)
+let grant_leases t ~site keys =
+  let lc = t.config.leases in
+  if
+    (not lc.enabled)
+    || site = t.config.loc
+    || not (List.mem_assoc site t.lease_peers)
+  then []
+  else begin
+    let now = Engine.now () in
+    let until = now +. lc.duration in
+    let grants =
+      List.filter_map
+        (fun (key, version) ->
+          (* The caller's version may predate this instant (propagation
+             flushes run a Nagle window after the commit they carry):
+             only certify a version that is still primary's, for a key
+             no writer holds. The peek-check-grant sequence has no
+             blocking point, so it is atomic in the cooperative
+             engine. *)
+          let current =
+            match Kv.peek t.kv key with
+            | Some { Kv.version; _ } -> version
+            | None -> 0
+          in
+          if version <> current || Locks.write_locked t.locks key then None
+          else begin
+            Lease.grant t.lease_tbl ~key ~site ~until;
+            t.s_lease_grants <- t.s_lease_grants + 1;
+            Some
+              {
+                Proto.lg_key = key;
+                lg_version = version;
+                lg_issued = now;
+                lg_until = until;
+              }
+          end)
+        keys
+    in
+    if grants <> [] then
+      Tracer.record_batch t.tracer ~label:"lease_grant" (List.length grants);
+    grants
+  end
+
+(* Write-path barrier: before a write to [keys] may validate or apply,
+   every outstanding lease covering them must be dead. With revocation
+   on, fire one revocation RPC per holding site in parallel and wait
+   for the acks; sites that do not answer within revoke_timeout (or all
+   of them, with revocation off) are waited out instead — sleep until
+   the latest surviving grant's expiry plus the clock-skew bound ε.
+   Bounded either way: a settle can delay a write, never wedge it.
+   Settled grants are then forgotten, guarded by the snapshot's latest
+   expiry so a fresh grant issued concurrently (possible only on the
+   unlocked settle paths) is never silently orphaned. *)
+let settle_write_leases ?(span = Tracer.none) t keys =
+  let lc = t.config.leases in
+  if lc.enabled && keys <> [] then begin
+    match Lease.holders t.lease_tbl ~now:(Engine.now ()) keys with
+    | [] -> ()
+    | holders ->
+        t.s_lease_blocked <- t.s_lease_blocked + 1;
+        let latest =
+          List.fold_left (fun acc (_, until) -> Float.max acc until) 0.0 holders
+        in
+        Tracer.with_phase t.tracer ~parent:span "lease_settle" (fun () ->
+            let unsettled =
+              if not lc.revoke then holders
+              else begin
+                let pending =
+                  List.map
+                    (fun (site, until) ->
+                      let iv = Ivar.create () in
+                      Engine.spawn ~name:"lease-revoke" (fun () ->
+                          let acked =
+                            match List.assoc_opt site t.lease_peers with
+                            | None -> false
+                            | Some svc ->
+                                t.s_lease_revokes <- t.s_lease_revokes + 1;
+                                Transport.call_timeout t.net
+                                  ~from:t.config.loc
+                                  ~timeout:lc.revoke_timeout svc
+                                  { Proto.lr_keys = keys }
+                                <> None
+                          in
+                          Ivar.fill iv acked);
+                      ((site, until), iv))
+                    holders
+                in
+                Tracer.record_batch t.tracer ~label:"lease_revoke"
+                  (List.length pending);
+                List.filter_map
+                  (fun (holder, iv) ->
+                    if Ivar.read iv then None else Some holder)
+                  pending
+              end
+            in
+            (match unsettled with
+            | [] -> ()
+            | _ ->
+                t.s_lease_waits <- t.s_lease_waits + 1;
+                let horizon =
+                  List.fold_left
+                    (fun acc (_, until) -> Float.max acc until)
+                    0.0 unsettled
+                  +. lc.skew
+                in
+                let wait = horizon -. Engine.now () in
+                if wait > 0.0 then begin
+                  Tracer.record_queue t.tracer ~label:"lease_wait" wait;
+                  Engine.sleep wait
+                end);
+            Lease.forget t.lease_tbl ~until_leq:latest keys)
+  end
+
 (* --- Execution against primary storage ----------------------------- *)
 
+(* Every write an execution makes — backup execution, deterministic
+   re-execution, direct execution — settles the key's leases first.
+   This is the catch-all settle site: it covers writes outside the
+   request's predicted write set (dependent-function backups, direct
+   execs with no prediction at all), which the slow path's up-front
+   settle cannot see. Keys with no outstanding grant cost one table
+   lookup. *)
 let execute_on_primary t ~exec_id (entry : Registry.entry) args :
     Proto.exec_result =
-  Execute.on_kv
+  Execute.run
     ~external_call:(Extsvc.dispatcher t.extsvc ~exec_id)
-    entry ~kv:t.kv args
+    entry
+    ~read:(fun k ->
+      match Kv.get t.kv k with
+      | Some { Kv.value; _ } -> Some value
+      | None -> None)
+    ~write:(fun k v ->
+      settle_write_leases t [ k ];
+      ignore (Kv.put t.kv k v))
+    args
 
 let release t ~owner keys =
   Locks.release t.locks ~owner;
@@ -568,6 +785,12 @@ let prepare_slice t sh (sp : Proto.shard_prepare) : Proto.shard_vote =
     end
     else begin
       Hashtbl.replace sh.sh_prepared exec_id (sp.sp_round, owner, keys);
+      (* This shard is the lease authority for its slice: settle the
+         write keys' grants before voting, so by the time the
+         coordinator applies the cross-shard write set every covering
+         lease is dead and (the slice being write-locked from here to
+         the decision) none can be granted anew. *)
+      settle_write_leases t sl.sl_writes;
       if not sp.sp_intent then
         (* Backup re-lock round: locks only, no validation, no intent. *)
         Proto.Shard_prepared { sv_write_versions = [] }
@@ -772,22 +995,29 @@ let resolve_orphaned_intent t (req : Proto.lvi_request) =
   match cross_parts t req with
   | None ->
       if Intents.try_complete t.intents ~exec_id then begin
-        if claim_execution t ~exec_id:("ns:" ^ exec_id) then begin
-          t.s_reexec <- t.s_reexec + 1;
-          match Registry.find t.registry req.fn_name with
-          | Some entry ->
-              let result = execute_on_primary t ~exec_id entry req.args in
-              (* No exclusion: the origin installed these writes at
-                 [Validated] time with the very versions the replay
-                 reproduces, so the version guard turns its redundant
-                 install into a no-op. *)
-              publish t (committed_records t result.written)
-          | None -> ()
-        end
-      end;
-      Intents.remove t.intents ~exec_id;
-      Hashtbl.remove t.durable_reqs exec_id;
-      release t ~owner:exec_id (locked_keys_of req)
+        (if claim_execution t ~exec_id:("ns:" ^ exec_id) then begin
+           t.s_reexec <- t.s_reexec + 1;
+           match Registry.find t.registry req.fn_name with
+           | Some entry ->
+               let result = execute_on_primary t ~exec_id entry req.args in
+               (* No exclusion: the origin installed these writes at
+                  [Validated] time with the very versions the replay
+                  reproduces, so the version guard turns its redundant
+                  install into a no-op. *)
+               publish t (committed_records t result.written)
+           | None -> ()
+         end);
+        Intents.remove t.intents ~exec_id;
+        Hashtbl.remove t.durable_reqs exec_id;
+        release t ~owner:exec_id (locked_keys_of req)
+      end
+      (* [try_complete] lost: another party — a followup handler that
+         had already passed its own pending check and was still paying
+         the intent-store latency when this resolution started, or an
+         earlier resolution — owns the completion, and with it the
+         cleanup and the lock release. Releasing here too would free
+         locks the winner still relies on and drive the owner count
+         negative. *)
   | Some parts ->
       (* Cross-shard coordinator: every touched shard still holds its
          slice (locks froze the whole read set), so the replay observes
@@ -1107,14 +1337,14 @@ let handle_lvi_cross t sh (req : Proto.lvi_request) ~root parts :
           broadcast_decisions t sh ~exec_id ~round:r ~commit:true ~from:None
             ~targets [];
           conclude_local t sh ~exec_id ~round:r ~commit:true ~from:None [];
-          Proto.Validated { write_versions = [] }
+          Proto.Validated { write_versions = []; leases = [] }
         end
         else begin
           ignore (Intents.put t.intents ~exec_id : bool);
           Hashtbl.replace t.durable_reqs exec_id req;
           Hashtbl.replace sh.sh_coord_round exec_id r;
           start_intent_timer t req;
-          Proto.Validated { write_versions }
+          Proto.Validated { write_versions; leases = [] }
         end
       end
       else begin
@@ -1189,7 +1419,11 @@ let rec handle_lvi_once t (req : Proto.lvi_request) : Proto.lvi_response =
       Log.debug (fun m ->
           m "LVI %s: read-only fast path, %d reads validated" exec_id
             (List.length req.reads));
-      Proto.Validated { write_versions = [] }
+      (* The validated versions equal primary's at this (non-blocking)
+         instant and none is write-locked: the reply may carry fresh
+         leases on the whole read set for free. *)
+      Proto.Validated
+        { write_versions = []; leases = grant_leases t ~site:req.from_loc req.reads }
     end
     else
       (* Stale or racing a writer: fall through to the full locked
@@ -1233,6 +1467,10 @@ and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
   (match (t.admission, ticket) with
   | Some adm, Some tk -> Admission.leave adm tk
   | _ -> ());
+  (* Write keys are locked from here on, so no new lease on them can be
+     granted; settle whatever grants are outstanding before the write
+     may validate. *)
+  settle_write_leases ~span:root t req.writes;
   let all_keys = List.map fst lock_list in
   let sp_validate = Tracer.child t.tracer ~parent:root "validate" in
   let versions = Kv.versions_of t.kv all_keys in
@@ -1250,8 +1488,11 @@ and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
   if stale = [] then begin
     t.s_validated <- t.s_validated + 1;
     if req.writes = [] then begin
+      (* Grant while the read locks are still held: the validated
+         versions cannot move before the grants are recorded. *)
+      let leases = grant_leases t ~site:req.from_loc req.reads in
       release t ~owner:exec_id all_keys;
-      Proto.Validated { write_versions = [] }
+      Proto.Validated { write_versions = []; leases }
     end
     else begin
       (* [put] is a conditional put-if-absent; with the reply cache
@@ -1261,7 +1502,10 @@ and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
       Hashtbl.replace t.durable_reqs exec_id req;
       start_intent_timer t req;
       Proto.Validated
-        { write_versions = List.map (fun k -> (k, version_of k)) req.writes }
+        {
+          write_versions = List.map (fun k -> (k, version_of k)) req.writes;
+          leases = [];
+        }
     end
   end
   else begin
@@ -1422,6 +1666,8 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
       reply_cache = Hashtbl.create 256;
       exec_replies = Hashtbl.create 64;
       sharding = None;
+      lease_tbl = Lease.create ();
+      lease_peers = [];
       owners = 0;
       s_requests = 0;
       s_validated = 0;
@@ -1436,6 +1682,10 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
       s_cross = 0;
       s_cross_commits = 0;
       s_cross_aborts = 0;
+      s_lease_grants = 0;
+      s_lease_revokes = 0;
+      s_lease_waits = 0;
+      s_lease_blocked = 0;
       lvi_svc = None;
       fu_svc = None;
       exec_svc = None;
@@ -1467,11 +1717,36 @@ let subscribe t svc =
           Tracer.record_batch t.tracer ~label:"propagation" size;
           Tracer.record_queue t.tracer ~label:"propagation" queue_delay)
         (fun stamped ->
+          (* Update-mode flushes carry fresh committed values: piggyback
+             lease grants for them (re-verified against primary at this
+             instant — the window may have let a later write in).
+             Invalidation mode ships no values, so nothing a lease could
+             certify. *)
+          let cu_leases =
+            if prop.invalidate_only then []
+            else
+              grant_leases t ~site:dst
+                (List.map
+                   (fun (u, _) -> (u.Proto.up_key, u.Proto.up_version))
+                   stamped)
+          in
           Transport.post t.net ~from:t.config.loc svc
-            { Proto.cu_invalidate = prop.invalidate_only; cu_updates = stamped })
+            {
+              Proto.cu_invalidate = prop.invalidate_only;
+              cu_updates = stamped;
+              cu_leases;
+            })
     in
     t.subscribers <- t.subscribers @ [ (dst, batcher) ]
   end
+
+(* Register a near-user runtime's lease-revocation service, making its
+   site eligible for grants. No-op with leases off: the seed
+   configuration issues no grants and registers no channels. *)
+let register_lease_site t svc =
+  let site = Transport.service_location svc in
+  if t.config.leases.enabled && site <> t.config.loc then
+    t.lease_peers <- (site, svc) :: List.remove_assoc site t.lease_peers
 
 let lvi_service t = Option.get t.lvi_svc
 
@@ -1504,9 +1779,15 @@ let stats t =
     cross_aborts = t.s_cross_aborts;
     shard_prepares =
       (match t.sharding with Some sh -> sh.sh_prepares | None -> 0);
+    lease_grants = t.s_lease_grants;
+    lease_revokes = t.s_lease_revokes;
+    lease_expiry_waits = t.s_lease_waits;
+    lease_blocked_writes = t.s_lease_blocked;
   }
 
 let locks_held t = t.owners
+
+let outstanding_leases t = Lease.live t.lease_tbl ~now:(Engine.now ())
 
 let pending_intents t = Intents.pending_count t.intents
 
@@ -1563,7 +1844,7 @@ let restart_recover t =
             req.writes
         in
         let iv = Ivar.create () in
-        Ivar.fill iv (Proto.Validated { write_versions });
+        Ivar.fill iv (Proto.Validated { write_versions; leases = [] });
         Hashtbl.replace t.reply_cache exec_id iv
       end)
     t.durable_reqs;

@@ -79,6 +79,43 @@ val no_propagation : propagation
 val default_propagation : propagation
 (** Enabled, 2 ms window, value installs (not invalidations). *)
 
+type leases = {
+  enabled : bool;
+      (** Grant per-key read leases to registered near-user sites on
+          validated-read reply paths and propagation flushes, letting
+          them serve statically read-only functions locally with zero
+          round trips. Off: bit-identical seed behaviour — no grants,
+          no revocation channels, no table activity. *)
+  duration : float;
+      (** Lease term (virtual ms). A grant on key [k] to site [S] is
+          the server's promise that no write to [k] validates before
+          the lease is revoked-and-acked or [duration + skew] has
+          passed since the grant. *)
+  skew : float;
+      (** ε, the clock-skew bound: the extra margin the write path
+          waits past a lease's expiry before proceeding without an
+          acknowledged revocation. The simulation's clock is global, so
+          this models the safety margin a real deployment needs. *)
+  revoke : bool;
+      (** [true]: the write path revokes leases from holding sites and
+          waits for acknowledgements, falling back to the expiry wait
+          only for sites that do not answer. [false]: always wait out
+          the expiry — no revocation traffic, slower writes to leased
+          keys. *)
+  revoke_timeout : float;
+      (** Per-site revocation RPC timeout before the expiry-wait
+          fallback; must cover a near-storage → site round trip. *)
+}
+
+val no_leases : leases
+(** Disabled — the seed behaviour. *)
+
+val default_leases : leases
+(** Enabled: 2 s leases, ε = 5 ms, revocation on with a 400 ms RPC
+    timeout. The long term maximizes read locality; revocation keeps
+    writes to leased keys at ~one site round trip regardless, so only
+    the no-revocation fallback ever feels the full term. *)
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
@@ -92,11 +129,12 @@ type config = {
   mode : mode;
   batching : batching;
   propagation : propagation;
+  leases : leases;
 }
 
 val default_config : config
 (** VA, 1500 ms ceiling with adaptive per-function timers, singleton,
-    no batching, no propagation. *)
+    no batching, no propagation, no leases. *)
 
 type t
 
@@ -139,6 +177,17 @@ type stats = {
   shard_prepares : int;
       (** Participant slices this server prepared for coordinators
           running elsewhere. *)
+  lease_grants : int;
+      (** Read leases issued across reply-path and propagation
+          piggyback (0 unless [leases.enabled]). *)
+  lease_revokes : int;
+      (** Revocation RPCs fired at holding sites from the write path. *)
+  lease_expiry_waits : int;
+      (** Writes that waited out a lease expiry plus ε (revocation off,
+          timed out, or no channel to the holder). *)
+  lease_blocked_writes : int;
+      (** Writes that found outstanding grants on their write set and
+          settled them before validating. *)
 }
 
 val create :
@@ -172,10 +221,23 @@ val subscribe : t -> (Proto.cache_update, unit) Net.Transport.service -> unit
     store that goes stale the same way. No-op when propagation is
     disabled. *)
 
+val register_lease_site : t -> (Proto.lease_revoke, unit) Net.Transport.service -> unit
+(** Register a near-user runtime's lease-revocation service, making its
+    site eligible for read-lease grants. Grants then piggyback on the
+    site's validated read replies and cache-update flushes; the write
+    path revokes through this channel. Only sites registered here are
+    ever granted to — a site without a revocation channel could wedge
+    writers into systematic expiry waits. No-op when [leases] is off or
+    the service is at the server's own location. *)
+
 val stats : t -> stats
 
 val locks_held : t -> int
 (** Owners currently holding locks — 0 at quiescence. *)
+
+val outstanding_leases : t -> int
+(** Unexpired read-lease grants currently recorded — settles and
+    expiries prune it; purely informational. *)
 
 val pending_intents : t -> int
 

@@ -14,16 +14,17 @@ let of_bundle (b : Bundle.app) =
 let grid = [ Bundle.social; Bundle.forum ]
 
 let campaign ?(seeds = 50) ?(progress = true) ?(batching = false)
-    ?(propagation = false) ?(shards = 1) () =
+    ?(propagation = false) ?(leases = false) ?(shards = 1) () =
   List.concat_map
     (fun bundle ->
       List.map
         (fun replicated ->
           let label =
-            Printf.sprintf "%s/%s%s%s%s" bundle.Bundle.name
+            Printf.sprintf "%s/%s%s%s%s%s" bundle.Bundle.name
               (if replicated then "replicated" else "singleton")
               (if batching then "+batching" else "")
               (if propagation then "+propagation" else "")
+              (if leases then "+leases" else "")
               (if shards > 1 then Printf.sprintf "+%dshards" shards else "")
           in
           let config =
@@ -32,6 +33,7 @@ let campaign ?(seeds = 50) ?(progress = true) ?(batching = false)
               replicated;
               batching;
               propagation;
+              leases;
               shards;
             }
           in
@@ -97,8 +99,8 @@ let demo_mutation ?(seed = 7) () =
     shrunk;
   (original, shrunk)
 
-let run ?(seeds = 50) ?(batching = false) ?(propagation = false) ?(shards = 1)
-    () =
+let run ?(seeds = 50) ?(batching = false) ?(propagation = false)
+    ?(leases = false) ?(shards = 1) () =
   print_newline ();
   print_endline
     "================================================================";
@@ -106,15 +108,16 @@ let run ?(seeds = 50) ?(batching = false) ?(propagation = false) ?(shards = 1)
   print_endline
     "================================================================";
   Printf.printf
-    "grid: {social, forum} x {singleton, replicated}%s%s%s, %d seeds each,\n\
+    "grid: {social, forum} x {singleton, replicated}%s%s%s%s, %d seeds each,\n\
      templates: %s\n"
     (if batching then " with all batching knobs on" else "")
     (if propagation then " with cache-update propagation on" else "")
+    (if leases then " with read leases on" else "")
     (if shards > 1 then Printf.sprintf " sharded %d ways" shards else "")
     seeds
     (String.concat ", "
        (List.map (fun (t : Plan.template) -> t.t_name) Plan.default_templates));
-  let reports = campaign ~seeds ~batching ~propagation ~shards () in
+  let reports = campaign ~seeds ~batching ~propagation ~leases ~shards () in
   let violations = ref 0 in
   List.iter
     (fun r ->

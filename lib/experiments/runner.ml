@@ -145,3 +145,50 @@ let by_loc r =
 let median_of r = Metrics.Stats.median (overall r)
 
 let p99_of r = Metrics.Stats.p99 (overall r)
+
+(* --- machine-readable bench output (--json) --------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_json ?(dir = ".") ~experiment ~config measurements =
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" experiment) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"experiment\": \"%s\",\n" (json_escape experiment));
+  Buffer.add_string buf "  \"config\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\": \"%s\"" (json_escape k) (json_escape v)))
+    config;
+  Buffer.add_string buf (if config = [] then "},\n" else "\n  },\n");
+  Buffer.add_string buf "  \"measurements\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\": %s" (json_escape k) (json_float v)))
+    measurements;
+  Buffer.add_string buf (if measurements = [] then "}\n" else "\n  }\n");
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  path

@@ -61,3 +61,17 @@ val by_loc : result -> (Net.Location.t * Metrics.Stats.t) list
 val median_of : result -> float
 
 val p99_of : result -> float
+
+val write_json :
+  ?dir:string ->
+  experiment:string ->
+  config:(string * string) list ->
+  (string * float) list ->
+  string
+(** Write an experiment's measurement list as
+    [<dir>/BENCH_<experiment>.json] (default [dir] the working
+    directory) — the machine-readable output behind
+    [bench/main.exe --json], tracking medians/p99/throughput across
+    revisions. [config] records the run parameters (scale, seed, …) as
+    string pairs; non-finite measurement values serialize as [null].
+    Returns the written path. *)

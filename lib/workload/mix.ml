@@ -19,3 +19,14 @@ let sample t rng =
   let u = Sim.Rng.float rng 1.0 in
   let rec find i = if t.cdf.(i) >= u then t.items.(i) else find (i + 1) in
   find 0
+
+let read_heavy ?(read_share = 0.95) ~reads ~writes () =
+  if reads = [] then invalid_arg "Mix.read_heavy: no read items";
+  if writes = [] then invalid_arg "Mix.read_heavy: no write items";
+  if read_share <= 0.0 || read_share >= 1.0 then
+    invalid_arg "Mix.read_heavy: read_share must be in (0, 1)";
+  let spread share items =
+    let w = share /. float_of_int (List.length items) in
+    List.map (fun x -> (x, w)) items
+  in
+  create (spread read_share reads @ spread (1.0 -. read_share) writes)

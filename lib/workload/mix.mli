@@ -7,3 +7,10 @@ val create : ('a * float) list -> 'a t
     non-empty list with positive total weight. *)
 
 val sample : 'a t -> Sim.Rng.t -> 'a
+
+val read_heavy :
+  ?read_share:float -> reads:'a list -> writes:'a list -> unit -> 'a t
+(** The read-dominated preset of the lease experiment: [read_share]
+    (default 0.95) of the probability mass spread uniformly over the
+    [reads] items, the remainder over the [writes] items. Requires both
+    lists non-empty and [read_share] strictly inside (0, 1). *)

@@ -55,6 +55,7 @@ let check_path msg expected (o : Runtime.outcome) =
     | Runtime.Speculative -> "speculative"
     | Runtime.Backup -> "backup"
     | Runtime.Fallback -> "fallback"
+    | Runtime.Local -> "local"
   in
   Alcotest.(check string) msg (name expected) (name o.path)
 
@@ -306,7 +307,8 @@ let test_write_outside_validated_set_raises () =
             ^ (match o.path with
               | Runtime.Speculative -> "speculative"
               | Runtime.Backup -> "backup"
-              | Runtime.Fallback -> "fallback")
+              | Runtime.Fallback -> "fallback"
+              | Runtime.Local -> "local")
             ^ " outcome"))
 
 (* --- Chaos smoke ------------------------------------------------------- *)

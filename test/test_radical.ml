@@ -68,6 +68,7 @@ let check_path msg expected (o : Runtime.outcome) =
     | Runtime.Speculative -> "speculative"
     | Runtime.Backup -> "backup"
     | Runtime.Fallback -> "fallback"
+    | Runtime.Local -> "local"
   in
   Alcotest.(check string) msg (name expected) (name o.path)
 

@@ -437,7 +437,7 @@ let test_restart_duplicate_lvi_dedup () =
          followup never arrives (we are the client and send none). *)
       let r1 = Transport.call net ~from:Location.va svc req in
       (match r1 with
-      | Radical.Proto.Validated { write_versions } ->
+      | Radical.Proto.Validated { write_versions; _ } ->
           Alcotest.(check (list (pair string int)))
             "validated at v1"
             [ ("a:x", 1) ]
@@ -457,7 +457,7 @@ let test_restart_duplicate_lvi_dedup () =
          and run the backup a second time. *)
       let r2 = Transport.call net ~from:Location.va svc req in
       (match r2 with
-      | Radical.Proto.Validated { write_versions } ->
+      | Radical.Proto.Validated { write_versions; _ } ->
           Alcotest.(check (list (pair string int)))
             "duplicate served from the rebuilt reply cache"
             [ ("a:x", 1) ]

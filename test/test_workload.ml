@@ -79,6 +79,58 @@ let test_mix_proportions () =
   Alcotest.(check bool) "3:1 mix lands near 0.75" true
     (share > 0.70 && share < 0.80)
 
+(* read_heavy: the empirical read-class share must track [read_share]
+   and spread uniformly within each class, for any class sizes. *)
+let test_read_heavy_proportions =
+  QCheck.Test.make ~name:"read_heavy proportions" ~count:50
+    QCheck.(
+      quad (int_range 1 5) (int_range 1 5) (int_range 5 95) (int_range 0 10_000))
+    (fun (n_reads, n_writes, share_pct, seed) ->
+      let share = float_of_int share_pct /. 100.0 in
+      let reads = List.init n_reads (fun i -> `Read i) in
+      let writes = List.init n_writes (fun i -> `Write i) in
+      let mix = Workload.Mix.read_heavy ~read_share:share ~reads ~writes () in
+      let rng = Rng.create (seed + 1) in
+      let draws = 4_000 in
+      let read_counts = Array.make n_reads 0 in
+      let read_total = ref 0 in
+      for _ = 1 to draws do
+        match Workload.Mix.sample mix rng with
+        | `Read i ->
+            incr read_total;
+            read_counts.(i) <- read_counts.(i) + 1
+        | `Write _ -> ()
+      done;
+      let got = float_of_int !read_total /. float_of_int draws in
+      (* Class share within sampling noise of the requested share. *)
+      abs_float (got -. share) < 0.05
+      (* ... and uniform within the read class: every item near 1/n of
+         the class draws. *)
+      && Array.for_all
+           (fun c ->
+             abs_float
+               ((float_of_int c /. float_of_int (Stdlib.max 1 !read_total))
+               -. (1.0 /. float_of_int n_reads))
+             < 0.08)
+           read_counts)
+
+let test_read_heavy_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "empty reads rejected" true
+    (raises (fun () -> Workload.Mix.read_heavy ~reads:[] ~writes:[ `W ] ()));
+  Alcotest.(check bool) "empty writes rejected" true
+    (raises (fun () -> Workload.Mix.read_heavy ~reads:[ `R ] ~writes:[] ()));
+  Alcotest.(check bool) "share 0 rejected" true
+    (raises (fun () ->
+         Workload.Mix.read_heavy ~read_share:0.0 ~reads:[ `R ] ~writes:[ `W ] ()));
+  Alcotest.(check bool) "share 1 rejected" true
+    (raises (fun () ->
+         Workload.Mix.read_heavy ~read_share:1.0 ~reads:[ `R ] ~writes:[ `W ] ()))
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
@@ -165,7 +217,13 @@ let () =
           Alcotest.test_case "skew monotone in theta" `Quick
             test_zipf_skew_monotone_in_theta;
         ] );
-      ("mix", [ Alcotest.test_case "proportions" `Quick test_mix_proportions ]);
+      ( "mix",
+        [
+          Alcotest.test_case "proportions" `Quick test_mix_proportions;
+          QCheck_alcotest.to_alcotest test_read_heavy_proportions;
+          Alcotest.test_case "read_heavy validation" `Quick
+            test_read_heavy_validation;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "open-loop spacing" `Quick
