@@ -559,8 +559,67 @@ let chaos_cmd =
                  commit protocol, and the cross-atomicity oracle judges \
                  the quiescent state.")
   in
+  (* Cross-shard commit timing knobs (Server.tuning), exposed so a
+     sweep can shrink or stretch the prepare/decide timeouts relative
+     to the fault templates' delay distributions. Defaults are the
+     production values. *)
+  let dt = Radical.Server.default_tuning in
+  let try_prepare_timeout =
+    Arg.(value & opt float dt.try_prepare_timeout
+         & info [ "try-prepare-timeout" ] ~docv:"MS"
+             ~doc:"Cross-shard commit: per-shard timeout of the \
+                   non-blocking first prepare round.")
+  in
+  let blocking_prepare_timeout =
+    Arg.(value & opt float dt.blocking_prepare_timeout
+         & info [ "blocking-prepare-timeout" ] ~docv:"MS"
+             ~doc:"Cross-shard commit: per-attempt timeout of the \
+                   blocking ascending-order prepare fallback.")
+  in
+  let blocking_prepare_attempts =
+    Arg.(value & opt int dt.blocking_prepare_attempts
+         & info [ "blocking-prepare-attempts" ] ~docv:"N"
+             ~doc:"Cross-shard commit: blocking prepare attempts before \
+                   the coordinator aborts the request.")
+  in
+  let decide_timeout =
+    Arg.(value & opt float dt.decide_timeout
+         & info [ "decide-timeout" ] ~docv:"MS"
+             ~doc:"Cross-shard commit: per-call timeout of a decision \
+                   delivery to a prepared shard.")
+  in
+  let decide_retry_backoff =
+    Arg.(value & opt float dt.decide_retry_backoff
+         & info [ "decide-retry-backoff" ] ~docv:"MS"
+             ~doc:"Cross-shard commit: pause between decision-delivery \
+                   retries.")
+  in
+  let decide_retries =
+    Arg.(value & opt int dt.decide_retries
+         & info [ "decide-retries" ] ~docv:"N"
+             ~doc:"Cross-shard commit: decision-delivery attempts per \
+                   shard before giving up (the shard's own intent timer \
+                   then resolves the orphan).")
+  in
+  let tuning_term =
+    let mk try_prepare_timeout blocking_prepare_timeout
+        blocking_prepare_attempts decide_timeout decide_retry_backoff
+        decide_retries =
+      {
+        Radical.Server.try_prepare_timeout;
+        blocking_prepare_timeout;
+        blocking_prepare_attempts;
+        decide_timeout;
+        decide_retry_backoff;
+        decide_retries;
+      }
+    in
+    Term.(const mk $ try_prepare_timeout $ blocking_prepare_timeout
+          $ blocking_prepare_attempts $ decide_timeout
+          $ decide_retry_backoff $ decide_retries)
+  in
   let run verbose seeds app replicated propagation leases template mutate
-      shards =
+      shards tuning =
     setup_logs verbose;
     match app with
     | None ->
@@ -574,6 +633,7 @@ let chaos_cmd =
             propagation;
             leases;
             shards;
+            tuning;
             mutation =
               (if mutate then Some Radical.Server.Skip_reexecution else None);
           }
@@ -604,7 +664,8 @@ let chaos_cmd =
        ~doc:"Sweep fault plans against live deployments and judge the \
              survivors with the invariant oracle")
     Term.(const run $ verbose_arg $ seeds $ app_arg $ replicated
-          $ propagation $ leases_arg $ template_arg $ mutate $ shards_arg)
+          $ propagation $ leases_arg $ template_arg $ mutate $ shards_arg
+          $ tuning_term)
 
 let analyze_cmd =
   let run () = print_string (Apps.Report.render ()) in

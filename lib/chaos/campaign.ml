@@ -26,6 +26,7 @@ type config = {
   leases : bool;
   shards : int;
   intent_timeout : float;
+  tuning : Server.tuning;
   mutation : Server.protocol_mutation option;
   charge_every : int;
 }
@@ -45,6 +46,7 @@ let default_config =
     leases = false;
     shards = 1;
     intent_timeout = 800.0;
+    tuning = Server.default_tuning;
     mutation = None;
     charge_every = 6;
   }
@@ -151,6 +153,7 @@ let run_one ?(config = default_config) ~seed app (plan : Plan.t) =
                  batching;
                  propagation;
                  leases;
+                 tuning = config.tuning;
                };
              sharding =
                (if config.shards > 1 then

@@ -63,6 +63,13 @@ type config = {
           crashes) and the {!Oracle.cross_atomic} invariant judges.
           Default 1: the seed single-server deployment. *)
   intent_timeout : float;
+  tuning : Radical.Server.tuning;
+      (** Cross-shard commit timing knobs, passed through to every
+          server in the deployment (default
+          {!Radical.Server.default_tuning}). The shard-chaos template's
+          delayed prepares and dropped decisions interact directly with
+          these timeouts, so sweeping them widens the schedule space the
+          campaign explores. *)
   mutation : Radical.Server.protocol_mutation option;
       (** Deliberate protocol bug, injected into the server — the
           oracle-has-teeth demonstration. *)

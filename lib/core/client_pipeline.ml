@@ -1,0 +1,115 @@
+(* Client-side request-pipeline pieces of the near-user runtime,
+   extracted so they are testable without a full site: the followup
+   coalescer (Nagle window + piggyback) and the lease-local admission
+   check. [Runtime.invoke] composes these; the server-side counterpart
+   lives in lib/core/server/. *)
+
+open Sim
+
+(* --- Followup coalescing (Nagle window + piggyback) -----------------
+
+   One coalescer per server endpoint: a followup must reach the shard
+   that installed its intent, and a piggybacked followup may only ride
+   a request bound for that same shard. *)
+
+type coalescer = {
+  co_window : float;
+  co_piggyback : bool;
+  co_post : Proto.followup list -> unit;
+      (* Ship one coalesced message; charged to the caller's fiber. *)
+  co_on_flush : count:int -> waited:float -> unit;
+      (* Observation hook per posted batch (tracer counters). *)
+  mutable co_buf : Proto.followup list; (* newest first *)
+  mutable co_since : float; (* enqueue time of the oldest buffered one *)
+  mutable co_timer : Timer.t option;
+  mutable co_flushes : int;
+  mutable co_piggybacked : int;
+}
+
+let coalescer ~window ~piggyback ~post ~on_flush =
+  {
+    co_window = window;
+    co_piggyback = piggyback;
+    co_post = post;
+    co_on_flush = on_flush;
+    co_buf = [];
+    co_since = 0.0;
+    co_timer = None;
+    co_flushes = 0;
+    co_piggybacked = 0;
+  }
+
+let flush co =
+  (match co.co_timer with Some tm -> Timer.cancel tm | None -> ());
+  co.co_timer <- None;
+  match List.rev co.co_buf with
+  | [] -> ()
+  | fus ->
+      co.co_buf <- [];
+      co.co_flushes <- co.co_flushes + 1;
+      co.co_on_flush ~count:(List.length fus)
+        ~waited:(Engine.now () -. co.co_since);
+      co.co_post fus
+
+let send co fu =
+  if co.co_window <= 0.0 && not co.co_piggyback then
+    (* Coalescing off: one message per followup, immediately. *)
+    co.co_post [ fu ]
+  else begin
+    if co.co_buf = [] then co.co_since <- Engine.now ();
+    co.co_buf <- fu :: co.co_buf;
+    if co.co_timer = None then
+      co.co_timer <-
+        Some
+          (Timer.after
+             (Float.max 0.0 co.co_window)
+             (fun () ->
+               co.co_timer <- None;
+               flush co))
+  end
+
+(* Drain the buffer into an outgoing LVI request. The window must stay
+   well under the server's 200 ms intent-timer floor: a buffered
+   followup delays the release of its server-side locks by at most one
+   window (less if a request piggybacks it out sooner). *)
+let take_piggyback co =
+  if (not co.co_piggyback) || co.co_buf = [] then []
+  else begin
+    (match co.co_timer with Some tm -> Timer.cancel tm | None -> ());
+    co.co_timer <- None;
+    let fus = List.rev co.co_buf in
+    co.co_buf <- [];
+    co.co_piggybacked <- co.co_piggybacked + List.length fus;
+    fus
+  end
+
+let flushes co = co.co_flushes
+
+let piggybacked co = co.co_piggybacked
+
+(* --- Lease-local admission ------------------------------------------ *)
+
+(* Grants arrive piggybacked on Validated replies and cache updates.
+   [Cache.Leases.install] refuses fenced grants (issued at or before the
+   last acknowledged revocation of the key — they were in flight while a
+   writer settled it) and keeps its own counters. *)
+let install_leases leases grants =
+  List.iter
+    (fun { Proto.lg_key; lg_version; lg_issued; lg_until } ->
+      ignore
+        (Cache.Leases.install leases ~key:lg_key ~version:lg_version
+           ~issued:lg_issued ~until:lg_until
+          : bool))
+    grants
+
+(* Lease-local fast path admission: a statically read-only function
+   whose whole read set is cached AND covered by valid leases certifying
+   exactly the cached versions needs no LVI round trip at all — the
+   server promised no write to these keys validates before the leases
+   are settled, so the snapshot is current and executing against it
+   linearizes the invocation at this instant. Any miss, uncovered key,
+   version mismatch or expiry falls back to the normal protocol. *)
+let lease_local_eligible leases ~(entry : Registry.entry)
+    ~(rwset : Analyzer.Rwset.t) ~misses ~reads =
+  entry.read_only && rwset.writes = [] && (not misses)
+  && Cache.Leases.covered leases ~now:(Engine.now ()) reads

@@ -1,0 +1,62 @@
+(** Client-side request-pipeline pieces of the near-user runtime:
+    followup coalescing (Nagle window + piggyback) and lease-local
+    admission, extracted from {!Runtime} so they are testable without a
+    full site. *)
+
+(** {1 Followup coalescing}
+
+    One coalescer per server endpoint: a followup must reach the shard
+    that installed its intent, and a piggybacked followup may only ride
+    a request bound for that same shard. *)
+
+type coalescer
+
+val coalescer :
+  window:float ->
+  piggyback:bool ->
+  post:(Proto.followup list -> unit) ->
+  on_flush:(count:int -> waited:float -> unit) ->
+  coalescer
+(** [post] ships one coalesced message (charged to the flushing fiber);
+    [on_flush] observes each posted batch with its size and the oldest
+    entry's queueing delay. With [window <= 0] and [piggyback] off,
+    {!send} posts each followup immediately and nothing ever buffers. *)
+
+val send : coalescer -> Proto.followup -> unit
+(** Buffer a followup (arming the window timer if needed), or post it
+    immediately when coalescing is off. *)
+
+val flush : coalescer -> unit
+(** Post the buffered followups now, cancelling the window timer.
+    No-op on an empty buffer. *)
+
+val take_piggyback : coalescer -> Proto.followup list
+(** Drain the buffer (oldest first) into an outgoing LVI request bound
+    for the same endpoint; empty when piggybacking is off or nothing is
+    buffered. *)
+
+val flushes : coalescer -> int
+(** Coalesced followup messages posted so far. *)
+
+val piggybacked : coalescer -> int
+(** Followups that rode an outgoing LVI request instead of their own
+    message. *)
+
+(** {1 Lease-local admission} *)
+
+val install_leases : Cache.Leases.t -> Proto.lease_grant list -> unit
+(** Install grants arriving piggybacked on Validated replies and cache
+    updates; fenced or superseded grants are refused by the lease table
+    itself. *)
+
+val lease_local_eligible :
+  Cache.Leases.t ->
+  entry:Registry.entry ->
+  rwset:Analyzer.Rwset.t ->
+  misses:bool ->
+  reads:(string * int) list ->
+  bool
+(** May this invocation be served entirely at the near-user site, with
+    zero LVI round trips? True iff the function is statically read-only,
+    predicted no writes, every read key was cached, and valid leases
+    cover exactly the cached versions at this instant. *)

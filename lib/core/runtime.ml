@@ -83,16 +83,14 @@ type stats = {
 
 (* One LVI server this runtime talks to. Unsharded deployments have
    exactly one; sharded ones have one per shard, indexed by shard id.
-   Followup coalescing buffers are per-endpoint: a followup must reach
-   the shard that installed its intent, and a piggybacked followup may
+   Followup coalescers are per-endpoint: a followup must reach the
+   shard that installed its intent, and a piggybacked followup may
    only ride a request bound for that same shard. *)
 type endpoint = {
   ep_lvi : (Proto.lvi_request, Proto.lvi_response) Transport.service;
   ep_fu : (Proto.followup list, unit) Transport.service;
   ep_exec : (Proto.exec_request, Proto.exec_result) Transport.service;
-  mutable ep_buf : Proto.followup list; (* newest first *)
-  mutable ep_since : float; (* enqueue time of the oldest buffered one *)
-  mutable ep_timer : Timer.t option;
+  ep_coal : Client_pipeline.coalescer;
 }
 
 type t = {
@@ -116,8 +114,6 @@ type t = {
   mutable s_fallback : int;
   mutable s_skipped : int;
   mutable s_ro_hints : int;
-  mutable s_fu_batches : int;
-  mutable s_fu_piggybacked : int;
   mutable s_rpc_timeouts : int;
   mutable s_prop_batches : int;
   mutable s_prop_records : int;
@@ -126,19 +122,6 @@ type t = {
   mutable cu_svc : (Proto.cache_update, unit) Transport.service option;
   mutable lr_svc : (Proto.lease_revoke, unit) Transport.service option;
 }
-
-(* Grants arrive piggybacked on Validated replies and cache updates.
-   [Cache.Leases.install] refuses fenced grants (issued at or before the
-   last acknowledged revocation of the key — they were in flight while a
-   writer settled it) and keeps its own counters. *)
-let install_leases t grants =
-  List.iter
-    (fun { Proto.lg_key; lg_version; lg_issued; lg_until } ->
-      ignore
-        (Cache.Leases.install t.leases ~key:lg_key ~version:lg_version
-           ~issued:lg_issued ~until:lg_until
-          : bool))
-    grants
 
 (* Server-side write path revoking this site's leases. Drop the grants
    and fence the keys BEFORE the reply travels back: the ack is the
@@ -175,30 +158,35 @@ let handle_cache_update t (cu : Proto.cache_update) =
           (now -. stamp)
       end)
     cu.cu_updates;
-  install_leases t cu.cu_leases
+  Client_pipeline.install_leases t.leases cu.cu_leases
 
-let endpoint_of server =
+let endpoint_of ~net ~tracer cfg server =
+  let ep_fu = Server.followup_service server in
   {
     ep_lvi = Server.lvi_service server;
-    ep_fu = Server.followup_service server;
+    ep_fu;
     ep_exec = Server.exec_service server;
-    ep_buf = [];
-    ep_since = 0.0;
-    ep_timer = None;
+    ep_coal =
+      Client_pipeline.coalescer ~window:cfg.fu_window
+        ~piggyback:cfg.fu_piggyback
+        ~post:(fun fus -> Transport.post net ~from:cfg.loc ep_fu fus)
+        ~on_flush:(fun ~count ~waited ->
+          Tracer.record_batch tracer ~label:"followup" count;
+          Tracer.record_queue tracer ~label:"followup" waited);
   }
 
 let create ?extsvc ?(tracer = Tracer.noop) ?sharding ~net ~registry ~cache
     ~server cfg =
   let router, endpoints =
     match sharding with
-    | None -> (None, [| endpoint_of server |])
+    | None -> (None, [| endpoint_of ~net ~tracer cfg server |])
     | Some (router, servers) ->
         let n = Shard.Directory.shards (Shard.Router.directory router) in
         let eps = Array.make n None in
         List.iter
           (fun s ->
             match Server.shard_id s with
-            | Some id -> eps.(id) <- Some (endpoint_of s)
+            | Some id -> eps.(id) <- Some (endpoint_of ~net ~tracer cfg s)
             | None ->
                 invalid_arg "Runtime.create: server without enable_sharding")
           servers;
@@ -231,8 +219,6 @@ let create ?extsvc ?(tracer = Tracer.noop) ?sharding ~net ~registry ~cache
     s_fallback = 0;
     s_skipped = 0;
     s_ro_hints = 0;
-      s_fu_batches = 0;
-      s_fu_piggybacked = 0;
       s_rpc_timeouts = 0;
       s_prop_batches = 0;
       s_prop_records = 0;
@@ -354,55 +340,6 @@ let endpoint_for_entry t (entry : Registry.entry) =
       | Shard.Router.Single s -> t.endpoints.(s)
       | Shard.Router.Cross -> t.endpoints.(0))
 
-(* --- Followup coalescing (Nagle window + piggyback) ----------------- *)
-
-let flush_followups t ep =
-  (match ep.ep_timer with Some tm -> Timer.cancel tm | None -> ());
-  ep.ep_timer <- None;
-  match List.rev ep.ep_buf with
-  | [] -> ()
-  | fus ->
-      ep.ep_buf <- [];
-      t.s_fu_batches <- t.s_fu_batches + 1;
-      Tracer.record_batch t.tracer ~label:"followup" (List.length fus);
-      Tracer.record_queue t.tracer ~label:"followup"
-        (Engine.now () -. ep.ep_since);
-      Transport.post t.net ~from:t.cfg.loc ep.ep_fu fus
-
-let send_followup t ep fu =
-  if t.cfg.fu_window <= 0.0 && not t.cfg.fu_piggyback then
-    (* Coalescing off: one message per followup, immediately. *)
-    Transport.post t.net ~from:t.cfg.loc ep.ep_fu [ fu ]
-  else begin
-    if ep.ep_buf = [] then ep.ep_since <- Engine.now ();
-    ep.ep_buf <- fu :: ep.ep_buf;
-    if ep.ep_timer = None then
-      ep.ep_timer <-
-        Some
-          (Timer.after
-             (Float.max 0.0 t.cfg.fu_window)
-             (fun () ->
-               ep.ep_timer <- None;
-               flush_followups t ep))
-  end
-
-(* Drain the buffer into an outgoing LVI request. The window must stay
-   well under the server's 200 ms intent-timer floor: a buffered
-   followup delays the release of its server-side locks by at most one
-   window (less if a request piggybacks it out sooner). Only the target
-   endpoint's buffer drains: a followup must reach the shard holding
-   its intent. *)
-let take_piggyback t ep =
-  if (not t.cfg.fu_piggyback) || ep.ep_buf = [] then []
-  else begin
-    (match ep.ep_timer with Some tm -> Timer.cancel tm | None -> ());
-    ep.ep_timer <- None;
-    let fus = List.rev ep.ep_buf in
-    ep.ep_buf <- [];
-    t.s_fu_piggybacked <- t.s_fu_piggybacked + List.length fus;
-    fus
-  end
-
 let direct_execute t ~start ~exec_id ~root ep fn args =
   t.s_fallback <- t.s_fallback + 1;
   let res =
@@ -513,17 +450,11 @@ let invoke t fn args =
               snap
           in
           let misses = List.exists (fun (_, v) -> v = -1) reads in
-          (* Lease-local fast path: a statically read-only function
-             whose whole read set is cached AND covered by valid leases
-             certifying exactly the cached versions needs no LVI round
-             trip at all — the server promised no write to these keys
-             validates before the leases are settled, so the snapshot is
-             current and executing against it linearizes the invocation
-             at this instant. Falls through to the normal protocol on
-             any miss, uncovered key, version mismatch or expiry. *)
-          if
-            entry.read_only && rwset.writes = [] && (not misses)
-            && Cache.Leases.covered t.leases ~now:(Engine.now ()) reads
+          (* Lease-local fast path (zero LVI round trips); falls through
+             to the normal protocol on any miss, uncovered key, version
+             mismatch or expiry. *)
+          if Client_pipeline.lease_local_eligible t.leases ~entry ~rwset ~misses
+               ~reads
           then begin
             t.s_lease_local <- t.s_lease_local + 1;
             let sp = Tracer.child t.tracer ~parent:root "lease_local" in
@@ -562,7 +493,7 @@ let invoke t fn args =
                     writes = rwset.writes;
                     ro_hint;
                     from_loc = t.cfg.loc;
-                    piggyback = take_piggyback t ep;
+                    piggyback = Client_pipeline.take_piggyback ep.ep_coal;
                   })
           with
           | None ->
@@ -591,7 +522,7 @@ let invoke t fn args =
           in
           (match (response, spec) with
           | Proto.Validated { write_versions; leases }, Some spec_iv ->
-              install_leases t leases;
+              Client_pipeline.install_leases t.leases leases;
               t.s_spec <- t.s_spec + 1;
               Log.debug (fun m -> m "%s validated; releasing speculation" exec_id);
               let spec_result = Ivar.read spec_iv in
@@ -629,7 +560,7 @@ let invoke t fn args =
                                   validated write set (unsound manual f^rw?)"
                                  exec_id k))
                       spec_result.written;
-                    send_followup t ep
+                    Client_pipeline.send ep.ep_coal
                       {
                         Proto.fu_exec_id = exec_id;
                         fu_from = t.cfg.loc;
@@ -664,8 +595,14 @@ let stats t =
     fallback = t.s_fallback;
     skipped_speculations = t.s_skipped;
     ro_hints = t.s_ro_hints;
-    fu_batches = t.s_fu_batches;
-    fu_piggybacked = t.s_fu_piggybacked;
+    fu_batches =
+      Array.fold_left
+        (fun acc ep -> acc + Client_pipeline.flushes ep.ep_coal)
+        0 t.endpoints;
+    fu_piggybacked =
+      Array.fold_left
+        (fun acc ep -> acc + Client_pipeline.piggybacked ep.ep_coal)
+        0 t.endpoints;
     rpc_timeouts = t.s_rpc_timeouts;
     prop_batches = t.s_prop_batches;
     prop_records = t.s_prop_records;

@@ -1,20 +1,34 @@
+(* Public facade of the LVI server engine.
+
+   The engine itself lives in lib/core/server/, split into layers that
+   each own one concern and depend only on the layers below them:
+
+     Server_config          presets and knobs (pure data)
+     Server_state           the shared mutable record
+     Server_persist         lock persistence, Raft submit, at-most-once
+     Server_lease_authority read-lease grant / settle / revoke
+     Server_exec            execution against primary storage
+     Server_propagator      cache-update publication and subscriptions
+     Server_coordinator     cross-shard prepare / decide / topology
+     Server_recovery        intent timers, followups, restart recovery
+     Server_pipeline        the explicit request-stage engine
+     Server_lvi_engine      LVI admission: ro-fast and slow pipelines
+
+   This module re-exports the configuration types with manifest
+   equations (so call sites keep compiling against [Server.*]), seals
+   [Server_state.t] abstract, constructs the engine, and delegates
+   every operation to its layer. *)
+
 open Sim
 module Transport = Net.Transport
-module Kv = Store.Kv
-module Locks = Store.Locks
-module Intents = Store.Intents
 module RaftLocks = Raft_locks
 module Tracer = Metrics.Tracer
 
-let log_src = Logs.Src.create "radical.server" ~doc:"LVI server events"
+type mode = Server_config.mode = Singleton | Replicated of { az_rtt : float }
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+type protocol_mutation = Server_config.protocol_mutation = Skip_reexecution
 
-type mode = Singleton | Replicated of { az_rtt : float }
-
-type protocol_mutation = Skip_reexecution
-
-type batching = {
+type batching = Server_config.batching = {
   group_commit : bool;
   request_flush : bool;
   persist_window : float;
@@ -22,83 +36,41 @@ type batching = {
   append_cost : float;
 }
 
-let no_batching =
-  {
-    group_commit = false;
-    request_flush = false;
-    persist_window = 0.0;
-    admission = false;
-    append_cost = 0.0;
-  }
+let no_batching = Server_config.no_batching
+let full_batching = Server_config.full_batching
 
-let full_batching =
-  {
-    group_commit = true;
-    request_flush = true;
-    persist_window = 2.0;
-    admission = true;
-    append_cost = 0.0;
-  }
-
-type propagation = {
+type propagation = Server_config.propagation = {
   enabled : bool;
   prop_window : float;
   invalidate_only : bool;
 }
 
-let no_propagation =
-  { enabled = false; prop_window = 0.0; invalidate_only = false }
+let no_propagation = Server_config.no_propagation
+let default_propagation = Server_config.default_propagation
 
-let default_propagation =
-  { enabled = true; prop_window = 2.0; invalidate_only = false }
-
-(* Read-lease configuration. Off (the seed default) is bit-identical to
-   the seed pipeline: no grants are issued, no revocation channels are
-   registered, replies carry empty lease lists and the write path never
-   consults the (empty) table — mirroring the propagation/batching
-   precedent. *)
-type leases = {
+type leases = Server_config.leases = {
   enabled : bool;
   duration : float;
-      (* Lease term in virtual ms. Short enough that a wait-out on the
-         write path stays well under intent timers; long enough that a
-         read-heavy site re-validates rarely (grants refresh on every
-         validated read reply). *)
   skew : float;
-      (* ε: the clock-skew bound a real deployment would need. The
-         virtual clock is global, so expiry alone would be safe here;
-         the write path still waits [duration + skew] past the grant to
-         model the real protocol's safety margin. *)
   revoke : bool;
-      (* true: the write path fires revocations to holding sites and
-         waits for the acks, falling back to the expiry wait only for
-         sites that do not answer. false: always wait out the expiry —
-         the leaner protocol with no revocation channel, paying write
-         latency instead. *)
   revoke_timeout : float;
-      (* Per-site revocation RPC timeout before falling back to the
-         expiry wait. Must cover a near-storage -> site round trip. *)
 }
 
-let no_leases =
-  {
-    enabled = false;
-    duration = 0.0;
-    skew = 0.0;
-    revoke = true;
-    revoke_timeout = 0.0;
-  }
+let no_leases = Server_config.no_leases
+let default_leases = Server_config.default_leases
 
-let default_leases =
-  {
-    enabled = true;
-    duration = 2000.0;
-    skew = 5.0;
-    revoke = true;
-    revoke_timeout = 400.0;
-  }
+type tuning = Server_config.tuning = {
+  try_prepare_timeout : float;
+  blocking_prepare_timeout : float;
+  blocking_prepare_attempts : int;
+  decide_timeout : float;
+  decide_retry_backoff : float;
+  decide_retries : int;
+}
 
-type config = {
+let default_tuning = Server_config.default_tuning
+
+type config = Server_config.config = {
   loc : Net.Location.t;
   intent_timeout : float;
   adaptive_timeout : bool;
@@ -106,18 +78,12 @@ type config = {
   batching : batching;
   propagation : propagation;
   leases : leases;
+  tuning : tuning;
 }
 
-let default_config =
-  {
-    loc = Net.Location.near_storage;
-    intent_timeout = 1500.0;
-    adaptive_timeout = true;
-    mode = Singleton;
-    batching = no_batching;
-    propagation = no_propagation;
-    leases = no_leases;
-  }
+let default_config = Server_config.default_config
+
+type t = Server_state.t
 
 type stats = {
   requests : int;
@@ -170,1425 +136,6 @@ type stats = {
          to settle them before validating. *)
 }
 
-type repl = {
-  cluster : RaftLocks.cluster;
-  idempotency : Store.Idempotency.t;
-  flusher : Raft.Kvsm.cmd Batcher.t option;
-      (* Cross-request Nagle flusher folding the lock records of
-         concurrent requests into one Raft proposal
-         (batching.persist_window > 0). *)
-}
-
-type pending = {
-  p_req : Proto.lvi_request;
-  p_timer : Timer.t;
-  p_created : float;
-}
-
-(* --- Sharded deployment (lib/shard) -------------------------------- *)
-
-(* One request's slice of the key space owned by one shard. *)
-type slice = { sl_reads : (string * int) list; sl_writes : string list }
-
-type cross_state = Cross_prepared | Cross_committed | Cross_aborted
-
-type shard_peer = {
-  pe_prepare : (Proto.shard_prepare, Proto.shard_vote) Transport.service;
-  pe_decide : (Proto.shard_decision, unit) Transport.service;
-}
-
-type sharding = {
-  sh_id : int;
-  sh_dir : Shard.Directory.t;
-  mutable sh_peers : (int * shard_peer) list; (* other shards, ascending *)
-  (* Participant-side slice bookkeeping: the locked slice of each
-     cross-shard exec — (round, lock owner, locked keys). Conceptually
-     persisted with the lock table: it survives restart_recover, and the
-     coordinator's retried decision resolves it. *)
-  sh_prepared : (string, int * string * string list) Hashtbl.t;
-  (* Lock owners with a prepare acquire currently in flight: a
-     duplicated prepare of the same round must not re-enter
-     [Locks.acquire] under the same owner. *)
-  sh_preparing : (string, unit) Hashtbl.t;
-  (* Highest concluded prepare round per exec: prepares at or below it
-     are refused, decisions at or below it are duplicates. *)
-  sh_decided : (string, int) Hashtbl.t;
-  (* Final prepare round of each cross-shard commit this server
-     coordinates, stamped on its decisions; persisted with the intent
-     record so post-restart recovery can still conclude its peers. *)
-  sh_coord_round : (string, int) Hashtbl.t;
-  (* Cross-shard atomicity log for the chaos oracle: every intent-ful
-     prepare this server accepted (or initiated, as coordinator) and how
-     it concluded. At quiescence the states of one exec_id must agree
-     across every shard, with no Cross_prepared leftovers. *)
-  sh_cross : (string, cross_state) Hashtbl.t;
-  mutable sh_prepares : int; (* participant slices prepared here *)
-}
-
-(* Cross-shard protocol timing. The try round fails fast (prepares are
-   non-blocking); the ordered fallback must outlive lock waits, which
-   are bounded by intent timers. Decisions are retried until
-   acknowledged — the cap only bounds a pathological total blackout. *)
-let try_prepare_timeout = 50.0
-let blocking_prepare_timeout = 4000.0
-let blocking_prepare_attempts = 4
-let decide_timeout = 200.0
-let decide_retry_backoff = 100.0
-let decide_retries = 50
-
-type t = {
-  config : config;
-  net : Transport.t;
-  tracer : Tracer.t;
-  registry : Registry.t;
-  kv : Kv.t;
-  extsvc : Extsvc.t;
-  locks : Locks.t;
-  intents : Intents.t;
-  (* The request that created each intent, persisted in the same storage
-     item as the intent record (§3.4 needs the function and inputs to
-     re-execute after a failure). Unlike [pending] below, this survives a
-     server restart. *)
-  durable_reqs : (string, Proto.lvi_request) Hashtbl.t;
-  (* Observed intent-to-followup delays per function, driving the
-     adaptive intent timer (§3.4: "a timer longer than the expected
-     execution latency of the function"). *)
-  followup_delay : (string, float) Hashtbl.t;
-  repl : repl option;
-  admission : Admission.t option; (* Some when batching.admission *)
-  pending : (string, pending) Hashtbl.t; (* volatile: timers, lost on crash *)
-  (* Deliberate protocol sabotage for chaos testing: when set, the named
-     protocol step is skipped so the invariant oracle can prove it has
-     teeth. Never set in production paths. *)
-  mutable mutation : protocol_mutation option;
-  (* One Nagle batcher per subscribed near-user cache; committed update
-     records are coalesced per destination for propagation.prop_window
-     virtual ms before one cache_update message ships. *)
-  mutable subscribers :
-    (Net.Location.t * (Proto.update * float) Batcher.t) list;
-  (* At-least-once delivery defense: the response of every in-flight or
-     completed LVI / direct-exec request, keyed by execution id. A
-     duplicated delivery reads the first delivery's (possibly still
-     pending) response instead of re-running the protocol — the
-     simulation equivalent of a server-side reply cache. Entries live
-     for the run; execution ids are unique per invocation. *)
-  reply_cache : (string, Proto.lvi_response Ivar.t) Hashtbl.t;
-  exec_replies : (string, Proto.exec_result Ivar.t) Hashtbl.t;
-  (* Some when this server is one shard of a sharded LVI service. *)
-  mutable sharding : sharding option;
-  (* Outstanding read leases this server (the lease authority for its
-     keys) has granted to near-user sites. Conceptually persisted with
-     the lock table: it survives [restart_recover], so a restarted
-     server still settles pre-crash grants instead of letting a write
-     race a forgotten lease. *)
-  lease_tbl : Lease.t;
-  (* Revocation channel per site that registered for leases; grants are
-     only issued to sites present here. *)
-  mutable lease_peers :
-    (Net.Location.t * (Proto.lease_revoke, unit) Transport.service) list;
-  mutable owners : int;
-  mutable s_requests : int;
-  mutable s_validated : int;
-  mutable s_mismatched : int;
-  mutable s_fu_applied : int;
-  mutable s_fu_discarded : int;
-  mutable s_reexec : int;
-  mutable s_direct : int;
-  mutable s_ro_fast : int;
-  mutable s_prop_records : int;
-  mutable s_dup_deliveries : int;
-  mutable s_cross : int;
-  mutable s_cross_commits : int;
-  mutable s_cross_aborts : int;
-  mutable s_lease_grants : int;
-  mutable s_lease_revokes : int;
-  mutable s_lease_waits : int;
-  mutable s_lease_blocked : int;
-  mutable lvi_svc :
-    (Proto.lvi_request, Proto.lvi_response) Transport.service option;
-  mutable fu_svc : (Proto.followup list, unit) Transport.service option;
-  mutable exec_svc :
-    (Proto.exec_request, Proto.exec_result) Transport.service option;
-  mutable prepare_svc :
-    (Proto.shard_prepare, Proto.shard_vote) Transport.service option;
-  mutable decide_svc : (Proto.shard_decision, unit) Transport.service option;
-}
-
-(* --- Replicated-mode persistence (§5.6) ---------------------------- *)
-
-(* How a request's lock records reach the replicated log, most to least
-   batched: through the cross-request Nagle flusher (persist_window);
-   as one submit_batch proposal per request (request_flush); or one
-   submit per record — the seed behaviour, "our implementation of the
-   replicated server acquires all locks in series". *)
-let persist_records t cmds =
-  match t.repl with
-  | None -> ()
-  | Some { cluster; flusher; _ } -> (
-      match flusher with
-      | Some b -> Batcher.submit_all b cmds
-      | None ->
-          if t.config.batching.request_flush then begin
-            Tracer.record_batch t.tracer ~label:"lock_persist"
-              (List.length cmds);
-            ignore (RaftLocks.submit_batch ~tracer:t.tracer cluster cmds)
-          end
-          else
-            List.iter
-              (fun cmd ->
-                ignore (RaftLocks.submit ~tracer:t.tracer cluster cmd))
-              cmds)
-
-let persist_locks t ~exec_id keys =
-  persist_records t
-    (List.map (fun key -> Raft.Kvsm.Set ("lock:" ^ key, exec_id)) keys)
-
-let persist_unlocks t keys =
-  match t.repl with
-  | None -> ()
-  | Some _ ->
-      (* Off the critical path: the response does not wait for these. *)
-      Engine.spawn ~name:"unlock-persist" (fun () ->
-          persist_records t
-            (List.map (fun key -> Raft.Kvsm.Del ("lock:" ^ key)) keys))
-
-(* Returns false if the execution was already claimed: at-most-once near
-   storage. Singleton mode always allows. *)
-let claim_execution t ~exec_id =
-  match t.repl with
-  | None -> true
-  | Some { idempotency; _ } -> Store.Idempotency.register idempotency ~exec_id
-
-let register_invocation t ~exec_id =
-  match t.repl with
-  | None -> ()
-  | Some { idempotency; _ } ->
-      ignore (Store.Idempotency.register idempotency ~exec_id:("inv:" ^ exec_id))
-
-(* --- Read leases (§ leases config) ----------------------------------
-
-   Grants are issued only on paths where the replied versions are known
-   to equal primary at an instant when the key is not write-locked: the
-   ro_fast reply, the slow-path read-only reply (under its read locks),
-   and propagation flushes (freshly committed records). They piggyback
-   on messages those paths send anyway, so granting costs no round trip.
-   The write path settles every outstanding grant on its write set
-   before the write may validate. *)
-
-(* Issue a lease on each (key, version) to [site]. No-ops unless leases
-   are on, the site registered a revocation channel, and it is not the
-   server's own location (a colocated runtime gains nothing). Keys
-   write-locked at this instant are skipped: the locking writer is past
-   its settle, so a grant now would escape it. *)
-let grant_leases t ~site keys =
-  let lc = t.config.leases in
-  if
-    (not lc.enabled)
-    || site = t.config.loc
-    || not (List.mem_assoc site t.lease_peers)
-  then []
-  else begin
-    let now = Engine.now () in
-    let until = now +. lc.duration in
-    let grants =
-      List.filter_map
-        (fun (key, version) ->
-          (* The caller's version may predate this instant (propagation
-             flushes run a Nagle window after the commit they carry):
-             only certify a version that is still primary's, for a key
-             no writer holds. The peek-check-grant sequence has no
-             blocking point, so it is atomic in the cooperative
-             engine. *)
-          let current =
-            match Kv.peek t.kv key with
-            | Some { Kv.version; _ } -> version
-            | None -> 0
-          in
-          if version <> current || Locks.write_locked t.locks key then None
-          else begin
-            Lease.grant t.lease_tbl ~key ~site ~until;
-            t.s_lease_grants <- t.s_lease_grants + 1;
-            Some
-              {
-                Proto.lg_key = key;
-                lg_version = version;
-                lg_issued = now;
-                lg_until = until;
-              }
-          end)
-        keys
-    in
-    if grants <> [] then
-      Tracer.record_batch t.tracer ~label:"lease_grant" (List.length grants);
-    grants
-  end
-
-(* Write-path barrier: before a write to [keys] may validate or apply,
-   every outstanding lease covering them must be dead. With revocation
-   on, fire one revocation RPC per holding site in parallel and wait
-   for the acks; sites that do not answer within revoke_timeout (or all
-   of them, with revocation off) are waited out instead — sleep until
-   the latest surviving grant's expiry plus the clock-skew bound ε.
-   Bounded either way: a settle can delay a write, never wedge it.
-   Settled grants are then forgotten, guarded by the snapshot's latest
-   expiry so a fresh grant issued concurrently (possible only on the
-   unlocked settle paths) is never silently orphaned. *)
-let settle_write_leases ?(span = Tracer.none) t keys =
-  let lc = t.config.leases in
-  if lc.enabled && keys <> [] then begin
-    match Lease.holders t.lease_tbl ~now:(Engine.now ()) keys with
-    | [] -> ()
-    | holders ->
-        t.s_lease_blocked <- t.s_lease_blocked + 1;
-        let latest =
-          List.fold_left (fun acc (_, until) -> Float.max acc until) 0.0 holders
-        in
-        Tracer.with_phase t.tracer ~parent:span "lease_settle" (fun () ->
-            let unsettled =
-              if not lc.revoke then holders
-              else begin
-                let pending =
-                  List.map
-                    (fun (site, until) ->
-                      let iv = Ivar.create () in
-                      Engine.spawn ~name:"lease-revoke" (fun () ->
-                          let acked =
-                            match List.assoc_opt site t.lease_peers with
-                            | None -> false
-                            | Some svc ->
-                                t.s_lease_revokes <- t.s_lease_revokes + 1;
-                                Transport.call_timeout t.net
-                                  ~from:t.config.loc
-                                  ~timeout:lc.revoke_timeout svc
-                                  { Proto.lr_keys = keys }
-                                <> None
-                          in
-                          Ivar.fill iv acked);
-                      ((site, until), iv))
-                    holders
-                in
-                Tracer.record_batch t.tracer ~label:"lease_revoke"
-                  (List.length pending);
-                List.filter_map
-                  (fun (holder, iv) ->
-                    if Ivar.read iv then None else Some holder)
-                  pending
-              end
-            in
-            (match unsettled with
-            | [] -> ()
-            | _ ->
-                t.s_lease_waits <- t.s_lease_waits + 1;
-                let horizon =
-                  List.fold_left
-                    (fun acc (_, until) -> Float.max acc until)
-                    0.0 unsettled
-                  +. lc.skew
-                in
-                let wait = horizon -. Engine.now () in
-                if wait > 0.0 then begin
-                  Tracer.record_queue t.tracer ~label:"lease_wait" wait;
-                  Engine.sleep wait
-                end);
-            Lease.forget t.lease_tbl ~until_leq:latest keys)
-  end
-
-(* --- Execution against primary storage ----------------------------- *)
-
-(* Every write an execution makes — backup execution, deterministic
-   re-execution, direct execution — settles the key's leases first.
-   This is the catch-all settle site: it covers writes outside the
-   request's predicted write set (dependent-function backups, direct
-   execs with no prediction at all), which the slow path's up-front
-   settle cannot see. Keys with no outstanding grant cost one table
-   lookup. *)
-let execute_on_primary t ~exec_id (entry : Registry.entry) args :
-    Proto.exec_result =
-  Execute.run
-    ~external_call:(Extsvc.dispatcher t.extsvc ~exec_id)
-    entry
-    ~read:(fun k ->
-      match Kv.get t.kv k with
-      | Some { Kv.value; _ } -> Some value
-      | None -> None)
-    ~write:(fun k v ->
-      settle_write_leases t [ k ];
-      ignore (Kv.put t.kv k v))
-    args
-
-let release t ~owner keys =
-  Locks.release t.locks ~owner;
-  t.owners <- t.owners - 1;
-  persist_unlocks t keys
-
-let acquire ?(span = Tracer.none) t ~owner lock_list =
-  Tracer.with_phase t.tracer ~parent:span "lock_wait" (fun () ->
-      Locks.acquire t.locks ~owner lock_list);
-  t.owners <- t.owners + 1;
-  match t.repl with
-  | None -> ()
-  | Some _ ->
-      Tracer.with_phase t.tracer ~parent:span "raft_persist" (fun () ->
-          persist_locks t ~exec_id:owner (List.map fst lock_list))
-
-let lock_list_of rwset =
-  List.map
-    (fun (k, m) -> (k, match m with `R -> Locks.Read | `W -> Locks.Write))
-    (Analyzer.Rwset.lock_modes rwset)
-
-(* The keys [handle_lvi] actually locked for a request: its writes plus
-   the reads that are not also written (the write lock dominates). Both
-   release sites must use this — naively concatenating reads and writes
-   passes a key that is read *and* written twice to [persist_unlocks],
-   appending a redundant [Del] to the replicated lock log. *)
-let locked_keys_of (req : Proto.lvi_request) =
-  req.writes
-  @ List.filter_map
-      (fun (k, _) -> if List.mem k req.writes then None else Some k)
-      req.reads
-
-(* Backup execution for a function whose validation failed. Static
-   functions have an exact predicted set, so they run under the locks
-   already held. Dependent functions may have mispredicted from a stale
-   cache: re-predict against the primary (now coherent), re-lock the
-   corrected set, and confirm the prediction is stable under those locks
-   before executing. *)
-let backup_execute ?(span = Tracer.none) t (entry : Registry.entry)
-    (req : Proto.lvi_request) ~held_keys =
-  let exec_id = req.exec_id in
-  match entry.derived with
-  | Some d
-    when (match d.classification with
-         | Analyzer.Derive.Dependent _ | Analyzer.Derive.Manual -> true
-         | Analyzer.Derive.Static | Analyzer.Derive.Expensive -> false) ->
-      release t ~owner:exec_id held_keys;
-      let predict_with reader =
-        Analyzer.Derive.predict d ~read:reader ~compute:ignore req.args
-      in
-      let charged_read k =
-        match Kv.get t.kv k with Some { value; _ } -> value | None -> Dval.Unit
-      in
-      let free_read k =
-        match Kv.peek t.kv k with Some { value; _ } -> value | None -> Dval.Unit
-      in
-      let rec settle attempt =
-        match predict_with charged_read with
-        | exception Fdsl.Eval.Error _ ->
-            (* The residual program faulted on current primary data
-               (shape drift); fall back to an unlocked execution rather
-               than stranding the client. *)
-            execute_on_primary t ~exec_id entry req.args
-        | rwset ->
-            let owner = Printf.sprintf "%s#%d" exec_id attempt in
-            acquire ~span t ~owner (lock_list_of rwset);
-            let stable =
-              match predict_with free_read with
-              | rwset' -> Analyzer.Rwset.equal rwset rwset'
-              | exception Fdsl.Eval.Error _ -> false
-            in
-            if stable || attempt >= 3 then begin
-              let result = execute_on_primary t ~exec_id entry req.args in
-              release t ~owner (Analyzer.Rwset.all_keys rwset);
-              result
-            end
-            else begin
-              release t ~owner (Analyzer.Rwset.all_keys rwset);
-              settle (attempt + 1)
-            end
-      in
-      settle 1
-  | Some _ | None ->
-      let result = execute_on_primary t ~exec_id entry req.args in
-      release t ~owner:exec_id held_keys;
-      result
-
-(* --- LVI request handling (Figure 3, steps 4-6) -------------------- *)
-
-(* Apply committed writes to primary storage and return them as
-   (key, value, version) records, ready for cache-update propagation. *)
-let apply_updates t updates =
-  List.map2
-    (fun (k, v) (_, version) ->
-      { Proto.up_key = k; up_value = v; up_version = version })
-    updates
-    (Kv.put_many t.kv updates)
-
-(* Records for writes already applied to primary (deterministic
-   re-execution commits inside [execute_on_primary]); the authoritative
-   version is whatever primary holds now. Latency-free: the write just
-   paid its storage access. *)
-let committed_records t written =
-  List.map
-    (fun (k, v) ->
-      let version =
-        match Kv.peek t.kv k with Some { Kv.version; _ } -> version | None -> 0
-      in
-      { Proto.up_key = k; up_value = v; up_version = version })
-    written
-
-(* Fan committed update records out to every subscribed near-user cache
-   except [exclude] (the site whose speculation produced them — it
-   installed them at [Validated] time). Each record is stamped with the
-   commit instant so receivers can report their freshness lag. A
-   [Batcher.submit_all] blocks until its destination's Nagle window
-   flushes, so the fan-out runs in spawned fibers off the request path,
-   like [persist_unlocks]. *)
-let publish t ?exclude records =
-  if t.config.propagation.enabled && records <> [] then
-    let stamped = List.map (fun u -> (u, Engine.now ())) records in
-    List.iter
-      (fun (dst, batcher) ->
-        if exclude <> Some dst then begin
-          t.s_prop_records <- t.s_prop_records + List.length stamped;
-          Engine.spawn ~name:"propagate" (fun () ->
-              Batcher.submit_all batcher stamped)
-        end)
-      t.subscribers
-
-let fresh_updates t keys =
-  List.map
-    (fun (k, vo) ->
-      match (vo : Kv.versioned option) with
-      | Some { value; version } ->
-          { Proto.up_key = k; up_value = value; up_version = version }
-      | None -> { Proto.up_key = k; up_value = Dval.Unit; up_version = 0 })
-    (Kv.get_many t.kv keys)
-
-(* --- Cross-shard atomic commit (sharded LVI service) ----------------
-
-   A request whose key set spans shards is handled by a coordinator —
-   the shard the router sent it to, normally the minimum touched shard
-   id — which runs a prepare round: every touched shard locks its slice,
-   validates its read versions and (for write slices) installs an
-   intent. The coordinator replies [Validated] iff every shard
-   validated; the origin site's followup then reaches the coordinator,
-   which applies ALL writes to shared primary storage (exactly one party
-   applies, so deterministic re-execution can never observe a torn
-   write set) and concludes each peer with a retried-until-acked
-   decision carrying that peer's own committed records to publish.
-
-   Deadlock freedom: the first prepare round runs in parallel but uses
-   the all-or-nothing non-blocking [Locks.try_acquire], so it creates no
-   wait-for edges; if any shard is busy, everything is released and a
-   sequential fallback round re-prepares in ascending shard order with
-   blocking acquires — every lock wait then follows the global
-   (shard, key) lexicographic order, so any wait cycle would have to
-   increase strictly around itself. Single-shard requests (sorted-key
-   incremental acquire at one shard) embed in the same order. *)
-
-let cross_parts t (req : Proto.lvi_request) =
-  match t.sharding with
-  | None -> None
-  | Some sh ->
-      if Shard.Directory.shards sh.sh_dir = 1 then None
-      else begin
-        let slices = Hashtbl.create 4 in
-        let slice s =
-          match Hashtbl.find_opt slices s with
-          | Some sl -> sl
-          | None ->
-              let sl = ref { sl_reads = []; sl_writes = [] } in
-              Hashtbl.add slices s sl;
-              sl
-        in
-        List.iter
-          (fun k ->
-            let sl = slice (Shard.Directory.shard_of_key sh.sh_dir k) in
-            sl := { !sl with sl_writes = k :: !sl.sl_writes })
-          req.writes;
-        List.iter
-          (fun (k, v) ->
-            let sl = slice (Shard.Directory.shard_of_key sh.sh_dir k) in
-            sl := { !sl with sl_reads = (k, v) :: !sl.sl_reads })
-          req.reads;
-        let parts =
-          List.sort
-            (fun (a, _) (b, _) -> compare a b)
-            (Hashtbl.fold (fun s sl acc -> (s, !sl) :: acc) slices [])
-        in
-        match parts with
-        | [] -> None
-        | [ (s, _) ] when s = sh.sh_id -> None
-        | parts -> Some parts
-      end
-
-let lock_list_of_slice sl =
-  List.map (fun k -> (k, Locks.Write)) sl.sl_writes
-  @ List.filter_map
-      (fun (k, _) ->
-        if List.mem k sl.sl_writes then None else Some (k, Locks.Read))
-      sl.sl_reads
-
-(* Participant side of one prepare round — also runs the coordinator's
-   own slice. On [Shard_prepared] and [Shard_stale] the slice's locks
-   are HELD (stale keeps them so a backup can execute under full
-   coverage, like the single-server mismatch path); only [Shard_busy]
-   holds nothing. Round arithmetic makes the handler safe against
-   delayed, reordered or duplicated prepares: a round at or below the
-   highest concluded round is refused, a newer round supersedes an
-   orphaned older one, and a blocking acquire that completes after its
-   round was concluded releases itself. *)
-let prepare_slice t sh (sp : Proto.shard_prepare) : Proto.shard_vote =
-  let exec_id = sp.sp_exec_id in
-  let decided () =
-    Option.value ~default:0 (Hashtbl.find_opt sh.sh_decided exec_id)
-  in
-  let active () =
-    match Hashtbl.find_opt sh.sh_prepared exec_id with
-    | Some (r, _, _) -> r
-    | None -> 0
-  in
-  let owner =
-    if sp.sp_round = 1 then exec_id
-    else Printf.sprintf "%s@%d" exec_id sp.sp_round
-  in
-  if
-    sp.sp_round <= decided ()
-    || sp.sp_round <= active ()
-    || Hashtbl.mem sh.sh_preparing owner
-  then Proto.Shard_busy
-  else begin
-    (match Hashtbl.find_opt sh.sh_prepared exec_id with
-    | Some (r, owner', keys') when r < sp.sp_round ->
-        (* The coordinator has moved on; its abort for round [r] may
-           still be in flight behind this prepare. *)
-        Hashtbl.remove sh.sh_prepared exec_id;
-        Intents.remove t.intents ~exec_id;
-        release t ~owner:owner' keys'
-    | _ -> ());
-    let sl = { sl_reads = sp.sp_reads; sl_writes = sp.sp_writes } in
-    let lock_list = lock_list_of_slice sl in
-    let keys = List.map fst lock_list in
-    Hashtbl.replace sh.sh_preparing owner ();
-    let granted =
-      if sp.sp_blocking then begin
-        acquire t ~owner lock_list;
-        true
-      end
-      else if Locks.try_acquire t.locks ~owner lock_list then begin
-        (* [acquire]'s bookkeeping without the blocking. *)
-        t.owners <- t.owners + 1;
-        (match t.repl with
-        | None -> ()
-        | Some _ -> persist_locks t ~exec_id:owner keys);
-        true
-      end
-      else false
-    in
-    Hashtbl.remove sh.sh_preparing owner;
-    if not granted then Proto.Shard_busy
-    else if sp.sp_round <= decided () || sp.sp_round <= active () then begin
-      (* Concluded or superseded while the blocking acquire waited; the
-         decision found nothing to release, so release here. *)
-      release t ~owner keys;
-      Proto.Shard_busy
-    end
-    else begin
-      Hashtbl.replace sh.sh_prepared exec_id (sp.sp_round, owner, keys);
-      (* This shard is the lease authority for its slice: settle the
-         write keys' grants before voting, so by the time the
-         coordinator applies the cross-shard write set every covering
-         lease is dead and (the slice being write-locked from here to
-         the decision) none can be granted anew. *)
-      settle_write_leases t sl.sl_writes;
-      if not sp.sp_intent then
-        (* Backup re-lock round: locks only, no validation, no intent. *)
-        Proto.Shard_prepared { sv_write_versions = [] }
-      else begin
-        Hashtbl.replace sh.sh_cross exec_id Cross_prepared;
-        let versions = Kv.versions_of t.kv keys in
-        let version_of k =
-          Option.value ~default:0 (List.assoc_opt k versions)
-        in
-        let stale =
-          List.filter_map
-            (fun (k, cached) ->
-              if version_of k <> cached then Some k else None)
-            sl.sl_reads
-        in
-        if stale <> [] then Proto.Shard_stale { sv_stale = stale }
-        else begin
-          if sl.sl_writes <> [] then
-            ignore (Intents.put t.intents ~exec_id : bool);
-          Proto.Shard_prepared
-            {
-              sv_write_versions =
-                List.map (fun k -> (k, version_of k)) sl.sl_writes;
-            }
-        end
-      end
-    end
-  end
-
-(* Conclude rounds <= sd_round at this shard: release the slice (if one
-   is held for such a round), settle its intent, record the outcome for
-   the atomicity oracle, and publish this shard's own committed (or
-   repair) records to its subscribers. Idempotent: a retried decision
-   finds the round already concluded and only re-acknowledges. *)
-let conclude_slice t sh (sd : Proto.shard_decision) =
-  let exec_id = sd.sd_exec_id in
-  let prev = Option.value ~default:0 (Hashtbl.find_opt sh.sh_decided exec_id) in
-  if sd.sd_round > prev then Hashtbl.replace sh.sh_decided exec_id sd.sd_round;
-  (match Hashtbl.find_opt sh.sh_prepared exec_id with
-  | Some (r, owner, keys) when r <= sd.sd_round ->
-      Hashtbl.remove sh.sh_prepared exec_id;
-      ignore (Intents.try_complete t.intents ~exec_id : bool);
-      Intents.remove t.intents ~exec_id;
-      release t ~owner keys
-  | _ -> ());
-  if sd.sd_round > prev then begin
-    if Hashtbl.mem sh.sh_cross exec_id then
-      Hashtbl.replace sh.sh_cross exec_id
-        (if sd.sd_commit then Cross_committed else Cross_aborted);
-    publish t ?exclude:sd.sd_from sd.sd_updates
-  end
-
-let handle_shard_prepare t (sp : Proto.shard_prepare) : Proto.shard_vote =
-  match t.sharding with
-  | None -> Proto.Shard_busy
-  | Some sh -> (
-      let vote = prepare_slice t sh sp in
-      Log.debug (fun m ->
-          m "shard %d: prepare %s round %d -> %a" sh.sh_id sp.sp_exec_id
-            sp.sp_round Proto.pp_vote vote);
-      match vote with
-      | Proto.Shard_prepared _ | Proto.Shard_stale _ ->
-          sh.sh_prepares <- sh.sh_prepares + 1;
-          vote
-      | Proto.Shard_busy -> vote)
-
-let handle_shard_decide t (sd : Proto.shard_decision) : unit =
-  match t.sharding with
-  | None -> ()
-  | Some sh -> conclude_slice t sh sd
-
-(* Conclude a round at every peer in [targets] (self is skipped; the
-   coordinator concludes itself with [conclude_local]). Decisions are
-   posted from spawned fibers and retried until acknowledged, so a lost
-   or delayed message can only delay a peer's release, never wedge the
-   coordinator — and never strand the slice, short of a blackout longer
-   than every chaos window. *)
-let broadcast_decisions t sh ~exec_id ~round ~commit ~from ~targets updates =
-  let slice_updates target =
-    List.filter
-      (fun u -> Shard.Directory.shard_of_key sh.sh_dir u.Proto.up_key = target)
-      updates
-  in
-  List.iter
-    (fun target ->
-      if target <> sh.sh_id then
-        match List.assoc_opt target sh.sh_peers with
-        | None -> ()
-        | Some peer ->
-            let sd =
-              {
-                Proto.sd_exec_id = exec_id;
-                sd_round = round;
-                sd_commit = commit;
-                sd_from = from;
-                sd_updates = slice_updates target;
-              }
-            in
-            Engine.spawn ~name:"shard-decide" (fun () ->
-                let rec attempt n =
-                  match
-                    Transport.call_timeout t.net ~from:t.config.loc
-                      ~timeout:decide_timeout peer.pe_decide sd
-                  with
-                  | Some () -> ()
-                  | None when n >= decide_retries ->
-                      Log.info (fun m ->
-                          m "shard %d: decision %s round %d to shard %d \
-                             undeliverable"
-                            sh.sh_id exec_id round target)
-                  | None ->
-                      Engine.sleep decide_retry_backoff;
-                      attempt (n + 1)
-                in
-                attempt 1))
-    (List.sort_uniq compare targets)
-
-let conclude_local t sh ~exec_id ~round ~commit ~from updates =
-  let own =
-    List.filter
-      (fun u ->
-        Shard.Directory.shard_of_key sh.sh_dir u.Proto.up_key = sh.sh_id)
-      updates
-  in
-  conclude_slice t sh
-    {
-      Proto.sd_exec_id = exec_id;
-      sd_round = round;
-      sd_commit = commit;
-      sd_from = from;
-      sd_updates = own;
-    }
-
-let prepare_at t sh ~exec_id ~round ~blocking ~intent (target, sl) =
-  let sp =
-    {
-      Proto.sp_exec_id = exec_id;
-      sp_round = round;
-      sp_coord = sh.sh_id;
-      sp_blocking = blocking;
-      sp_intent = intent;
-      sp_reads = sl.sl_reads;
-      sp_writes = sl.sl_writes;
-    }
-  in
-  if target = sh.sh_id then prepare_slice t sh sp
-  else
-    match List.assoc_opt target sh.sh_peers with
-    | None -> Proto.Shard_busy
-    | Some peer -> (
-        let timeout =
-          if blocking then blocking_prepare_timeout else try_prepare_timeout
-        in
-        match
-          Transport.call_timeout t.net ~from:t.config.loc ~timeout
-            peer.pe_prepare sp
-        with
-        | Some vote -> vote
-        | None ->
-            (* Lost or overdue: treated as busy. The round's abort
-               decision still goes to this shard, so a late prepare that
-               did acquire is released (or refused on arrival). *)
-            Proto.Shard_busy)
-
-(* Partition a backup re-lock set by owning shard (reads carry no
-   version: lock-only rounds skip validation). *)
-let parts_of_locks sh lock_list =
-  let slices = Hashtbl.create 4 in
-  List.iter
-    (fun (k, mode) ->
-      let s = Shard.Directory.shard_of_key sh.sh_dir k in
-      let sl =
-        match Hashtbl.find_opt slices s with
-        | Some sl -> sl
-        | None ->
-            let sl = ref { sl_reads = []; sl_writes = [] } in
-            Hashtbl.add slices s sl;
-            sl
-      in
-      match mode with
-      | Locks.Write -> sl := { !sl with sl_writes = k :: !sl.sl_writes }
-      | Locks.Read -> sl := { !sl with sl_reads = (k, 0) :: !sl.sl_reads })
-    lock_list;
-  List.sort
-    (fun (a, _) (b, _) -> compare a b)
-    (Hashtbl.fold (fun s sl acc -> (s, !sl) :: acc) slices [])
-
-(* Resolve an intent whose followup never arrived: deterministic
-   re-execution (§3.4). Read locks kept the read set frozen, so the
-   replay sees exactly the state the speculation saw and reproduces its
-   writes. Shared by the intent timer and by post-restart recovery. *)
-let resolve_orphaned_intent t (req : Proto.lvi_request) =
-  let exec_id = req.exec_id in
-  match t.mutation with
-  | Some Skip_reexecution ->
-      (* Sabotaged server: the orphaned intent is simply forgotten — its
-         write is lost, the intent stays pending and its locks stay held.
-         The chaos oracle must catch all three. *)
-      Log.info (fun m -> m "intent %s orphaned; MUTATION skips re-execution" exec_id)
-  | None -> (
-  Log.info (fun m -> m "intent %s orphaned; deterministic re-execution" exec_id);
-  match cross_parts t req with
-  | None ->
-      if Intents.try_complete t.intents ~exec_id then begin
-        (if claim_execution t ~exec_id:("ns:" ^ exec_id) then begin
-           t.s_reexec <- t.s_reexec + 1;
-           match Registry.find t.registry req.fn_name with
-           | Some entry ->
-               let result = execute_on_primary t ~exec_id entry req.args in
-               (* No exclusion: the origin installed these writes at
-                  [Validated] time with the very versions the replay
-                  reproduces, so the version guard turns its redundant
-                  install into a no-op. *)
-               publish t (committed_records t result.written)
-           | None -> ()
-         end);
-        Intents.remove t.intents ~exec_id;
-        Hashtbl.remove t.durable_reqs exec_id;
-        release t ~owner:exec_id (locked_keys_of req)
-      end
-      (* [try_complete] lost: another party — a followup handler that
-         had already passed its own pending check and was still paying
-         the intent-store latency when this resolution started, or an
-         earlier resolution — owns the completion, and with it the
-         cleanup and the lock release. Releasing here too would free
-         locks the winner still relies on and drive the owner count
-         negative. *)
-  | Some parts ->
-      (* Cross-shard coordinator: every touched shard still holds its
-         slice (locks froze the whole read set), so the replay observes
-         exactly the speculated state. The coordinator applies all
-         writes, then concludes each peer with a commit decision
-         carrying that peer's own records. *)
-      let sh = Option.get t.sharding in
-      let round =
-        Option.value ~default:1 (Hashtbl.find_opt sh.sh_coord_round exec_id)
-      in
-      let records =
-        if Intents.try_complete t.intents ~exec_id then begin
-          if claim_execution t ~exec_id:("ns:" ^ exec_id) then begin
-            t.s_reexec <- t.s_reexec + 1;
-            match Registry.find t.registry req.fn_name with
-            | Some entry ->
-                let result = execute_on_primary t ~exec_id entry req.args in
-                Some (committed_records t result.written)
-            | None -> Some []
-          end
-          else Some []
-        end
-        else None
-      in
-      (match records with
-      | Some records ->
-          t.s_cross_commits <- t.s_cross_commits + 1;
-          broadcast_decisions t sh ~exec_id ~round ~commit:true ~from:None
-            ~targets:(List.map fst parts) records;
-          conclude_local t sh ~exec_id ~round ~commit:true ~from:None records
-      | None ->
-          (* Intent already completed (a racing conclusion handled the
-             decisions); just make sure our own slice is retired. *)
-          conclude_local t sh ~exec_id ~round ~commit:true ~from:None []);
-      Intents.remove t.intents ~exec_id;
-      Hashtbl.remove t.durable_reqs exec_id;
-      Hashtbl.remove sh.sh_coord_round exec_id)
-
-(* Exponentially-weighted expected followup delay for a function; the
-   timer fires at 4x the expectation (bounded below by 200 ms and above
-   by the configured ceiling) so transient jitter does not trigger
-   spurious re-executions, while fast functions recover quickly. *)
-let intent_timeout_for t fn_name =
-  if not t.config.adaptive_timeout then t.config.intent_timeout
-  else
-    match Hashtbl.find_opt t.followup_delay fn_name with
-    | Some avg ->
-        Float.min t.config.intent_timeout (Float.max 200.0 (4.0 *. avg))
-    | None -> t.config.intent_timeout
-
-let observe_followup_delay t fn_name delay =
-  let avg =
-    match Hashtbl.find_opt t.followup_delay fn_name with
-    | Some avg -> (0.8 *. avg) +. (0.2 *. delay)
-    | None -> delay
-  in
-  Hashtbl.replace t.followup_delay fn_name avg
-
-let start_intent_timer t (req : Proto.lvi_request) =
-  let exec_id = req.exec_id in
-  let timer =
-    Timer.after (intent_timeout_for t req.fn_name) (fun () ->
-        match Hashtbl.find_opt t.pending exec_id with
-        | None -> ()
-        | Some _ ->
-            Hashtbl.remove t.pending exec_id;
-            resolve_orphaned_intent t req)
-  in
-  Hashtbl.replace t.pending exec_id
-    { p_req = req; p_timer = timer; p_created = Engine.now () }
-
-(* Validate-only fast path for invocations the static analysis proved
-   read-only (no writes, no external calls). No locks are taken, no
-   intent or idempotency record is written: the request just samples the
-   versions of its read set and probes the lock table.
-
-   Soundness of the linearization point: [Kv.versions_of] charges its
-   latency first and reads at the return instant, so the versions — and
-   the lock probe right after — describe one storage state S. If no read
-   key is stale and none is write-locked at that instant, replying
-   Validated linearizes the invocation at S: a writer that finished
-   before S bumped a version (caught by staleness); a writer holding a
-   write lock at S may already have been acked to its client without its
-   write being applied (intent pending), so reading around it would be a
-   read of the past — the probe forces those onto the locked path. A
-   writer merely *queued* at S has not validated yet, so S precedes its
-   linearization point and reading S is legal. Skipping the idempotency
-   record is safe because a re-executed read-only function writes
-   nothing: at-most-once only matters for effects. *)
-let ro_fast_eligible t (req : Proto.lvi_request) =
-  (* The hint is client-provided; re-derive eligibility from this
-     server's own registry before trusting it. *)
-  req.ro_hint && req.writes = []
-  && (match Registry.find t.registry req.fn_name with
-     | Some entry -> entry.read_only
-     | None -> false)
-
-(* Figure 3 steps 8a-10: apply the speculative writes carried by the
-   followup, unless re-execution already handled the intent. *)
-let handle_followup t (fu : Proto.followup) =
-  let exec_id = fu.fu_exec_id in
-  match Hashtbl.find_opt t.pending exec_id with
-  | None -> t.s_fu_discarded <- t.s_fu_discarded + 1
-  | Some { p_req; p_timer; p_created } ->
-      Hashtbl.remove t.pending exec_id;
-      Timer.cancel p_timer;
-      observe_followup_delay t p_req.fn_name (Engine.now () -. p_created);
-      let applied = Intents.try_complete t.intents ~exec_id in
-      let committed =
-        if applied then begin
-          t.s_fu_applied <- t.s_fu_applied + 1;
-          Log.debug (fun m ->
-              m "followup %s: applying %d writes" exec_id
-                (List.length fu.fu_updates));
-          (* Cross-shard commits included: the coordinator applies the
-             FULL write set to shared primary storage — exactly one
-             party applies, so no shard can observe a torn set. *)
-          apply_updates t fu.fu_updates
-        end
-        else begin
-          t.s_fu_discarded <- t.s_fu_discarded + 1;
-          Log.info (fun m -> m "followup %s discarded (already handled)" exec_id);
-          []
-        end
-      in
-      Intents.remove t.intents ~exec_id;
-      Hashtbl.remove t.durable_reqs exec_id;
-      (match cross_parts t p_req with
-      | None ->
-          if applied then publish t ~exclude:fu.fu_from committed;
-          release t ~owner:exec_id (locked_keys_of p_req)
-      | Some parts ->
-          (* Conclude the commit at every touched shard; each publishes
-             its own slice of the committed records. The coordinator's
-             slice releases through the same path. *)
-          let sh = Option.get t.sharding in
-          let round =
-            Option.value ~default:1
-              (Hashtbl.find_opt sh.sh_coord_round exec_id)
-          in
-          if applied then begin
-            t.s_cross_commits <- t.s_cross_commits + 1;
-            broadcast_decisions t sh ~exec_id ~round ~commit:true
-              ~from:(Some fu.fu_from) ~targets:(List.map fst parts) committed
-          end;
-          conclude_local t sh ~exec_id ~round ~commit:true
-            ~from:(Some fu.fu_from) committed;
-          Hashtbl.remove sh.sh_coord_round exec_id)
-
-(* Coordinator side of a cross-shard LVI request (the router anchored it
-   here — normally the minimum touched shard id). Runs the prepare
-   rounds, merges the votes, and either installs the coordinator intent
-   (commit decided later, by followup or timer) or aborts everywhere and
-   serves the client through backup execution. *)
-let handle_lvi_cross t sh (req : Proto.lvi_request) ~root parts :
-    Proto.lvi_response =
-  let exec_id = req.exec_id in
-  t.s_cross <- t.s_cross + 1;
-  register_invocation t ~exec_id;
-  Tracer.record_shard t.tracer ~shard:sh.sh_id ~parts:(List.length parts);
-  let targets = List.map fst parts in
-  let round = ref 0 in
-  let run_round ~blocking ~intent parts =
-    incr round;
-    let r = !round in
-    let votes =
-      Tracer.with_phase t.tracer ~parent:root "shard_prepare" (fun () ->
-          if blocking then
-            (* Sequential, ascending shard order — the global
-               (shard, key) lexicographic lock order. *)
-            List.map
-              (fun part ->
-                (fst part, prepare_at t sh ~exec_id ~round:r ~blocking ~intent part))
-              parts
-          else
-            (* Parallel: [Locks.try_acquire] never waits, so the round
-               creates no wait-for edges. *)
-            let pending =
-              List.map
-                (fun part ->
-                  let iv = Ivar.create () in
-                  Engine.spawn ~name:"shard-prepare" (fun () ->
-                      Ivar.fill iv
-                        (prepare_at t sh ~exec_id ~round:r ~blocking ~intent
-                           part));
-                  (fst part, iv))
-                parts
-            in
-            List.map (fun (s, iv) -> (s, Ivar.read iv)) pending)
-    in
-    (r, votes)
-  in
-  let abort ~r ~parts updates =
-    let extra =
-      List.map
-        (fun u -> Shard.Directory.shard_of_key sh.sh_dir u.Proto.up_key)
-        updates
-    in
-    broadcast_decisions t sh ~exec_id ~round:r ~commit:false
-      ~from:(Some req.from_loc)
-      ~targets:(List.map fst parts @ extra)
-      updates;
-    conclude_local t sh ~exec_id ~round:r ~commit:false
-      ~from:(Some req.from_loc) updates
-  in
-  let any_busy votes =
-    List.exists (fun (_, v) -> v = Proto.Shard_busy) votes
-  in
-  (* Backup execution once validation failed somewhere. Static-class
-     functions run under the slices every shard still holds; dependent
-     functions may have mispredicted their set from a stale cache, so
-     drop everything, re-predict on primary and re-lock the corrected
-     set with ordered lock-only rounds until the prediction is stable.
-     Returns the result plus the round/parts still held (None when all
-     slices were already released). *)
-  let cross_backup (entry : Registry.entry) ~r ~votes:_ =
-    match entry.derived with
-    | Some d
-      when (match d.classification with
-           | Analyzer.Derive.Dependent _ | Analyzer.Derive.Manual -> true
-           | Analyzer.Derive.Static | Analyzer.Derive.Expensive -> false) ->
-        abort ~r ~parts [];
-        let predict_with reader =
-          Analyzer.Derive.predict d ~read:reader ~compute:ignore req.args
-        in
-        let charged_read k =
-          match Kv.get t.kv k with
-          | Some { value; _ } -> value
-          | None -> Dval.Unit
-        in
-        let free_read k =
-          match Kv.peek t.kv k with
-          | Some { value; _ } -> value
-          | None -> Dval.Unit
-        in
-        let rec settle attempt =
-          match predict_with charged_read with
-          | exception Fdsl.Eval.Error _ ->
-              (* Shape drift faulted the residual program: execute
-                 unlocked rather than strand the client. *)
-              (execute_on_primary t ~exec_id entry req.args, None)
-          | rwset -> (
-              let lparts = parts_of_locks sh (lock_list_of rwset) in
-              let rl, votes = run_round ~blocking:true ~intent:false lparts in
-              if any_busy votes then begin
-                abort ~r:rl ~parts:lparts [];
-                if attempt >= 3 then
-                  (execute_on_primary t ~exec_id entry req.args, None)
-                else settle (attempt + 1)
-              end
-              else
-                let stable =
-                  match predict_with free_read with
-                  | rwset' -> Analyzer.Rwset.equal rwset rwset'
-                  | exception Fdsl.Eval.Error _ -> false
-                in
-                if stable || attempt >= 3 then
-                  ( execute_on_primary t ~exec_id entry req.args,
-                    Some (rl, lparts) )
-                else begin
-                  abort ~r:rl ~parts:lparts [];
-                  settle (attempt + 1)
-                end)
-        in
-        settle 1
-    | Some _ | None ->
-        (execute_on_primary t ~exec_id entry req.args, Some (r, parts))
-  in
-  let rec prepare_phase attempt =
-    let r, votes = run_round ~blocking:(attempt > 0) ~intent:true parts in
-    if any_busy votes then begin
-      abort ~r ~parts [];
-      if attempt >= blocking_prepare_attempts then None
-      else prepare_phase (attempt + 1)
-    end
-    else Some (r, votes)
-  in
-  match prepare_phase 0 with
-  | None ->
-      (* Prepares kept failing (partitioned or blacked-out shard):
-         nothing is held anywhere; give the client an error rather than
-         block forever. *)
-      t.s_cross_aborts <- t.s_cross_aborts + 1;
-      Proto.Mismatch
-        {
-          backup =
-            {
-              value = Error ("cross-shard prepare failed: " ^ exec_id);
-              observed = [];
-              written = [];
-            };
-          updates = [];
-        }
-  | Some (r, votes) -> (
-      let stale =
-        List.concat_map
-          (fun (_, v) ->
-            match v with
-            | Proto.Shard_stale { sv_stale } -> sv_stale
-            | Proto.Shard_prepared _ | Proto.Shard_busy -> [])
-          votes
-      in
-      if stale = [] then begin
-        t.s_validated <- t.s_validated + 1;
-        let write_versions =
-          List.concat_map
-            (fun (_, v) ->
-              match v with
-              | Proto.Shard_prepared { sv_write_versions } -> sv_write_versions
-              | Proto.Shard_stale _ | Proto.Shard_busy -> [])
-            votes
-        in
-        if req.writes = [] then begin
-          (* Read-only across shards: validated everywhere, nothing to
-             commit — conclude immediately. *)
-          t.s_cross_commits <- t.s_cross_commits + 1;
-          broadcast_decisions t sh ~exec_id ~round:r ~commit:true ~from:None
-            ~targets [];
-          conclude_local t sh ~exec_id ~round:r ~commit:true ~from:None [];
-          Proto.Validated { write_versions = []; leases = [] }
-        end
-        else begin
-          ignore (Intents.put t.intents ~exec_id : bool);
-          Hashtbl.replace t.durable_reqs exec_id req;
-          Hashtbl.replace sh.sh_coord_round exec_id r;
-          start_intent_timer t req;
-          Proto.Validated { write_versions; leases = [] }
-        end
-      end
-      else begin
-        (* Atomic abort: some slice failed validation, so the write set
-           is applied on no shard; backup execution still serves the
-           client, like the single-server mismatch path. *)
-        t.s_mismatched <- t.s_mismatched + 1;
-        t.s_cross_aborts <- t.s_cross_aborts + 1;
-        match Registry.find t.registry req.fn_name with
-        | None ->
-            abort ~r ~parts [];
-            Proto.Mismatch
-              {
-                backup =
-                  {
-                    value = Error ("unknown function " ^ req.fn_name);
-                    observed = [];
-                    written = [];
-                  };
-                updates = [];
-              }
-        | Some entry ->
-            let sp_backup = Tracer.child t.tracer ~parent:root "backup_exec" in
-            let backup, held = cross_backup entry ~r ~votes in
-            Tracer.stop sp_backup;
-            let refresh_keys =
-              List.sort_uniq String.compare
-                (stale @ List.map fst backup.written)
-            in
-            let updates = fresh_updates t refresh_keys in
-            (match held with
-            | Some (r_held, held_parts) -> abort ~r:r_held ~parts:held_parts updates
-            | None ->
-                (* Nothing held; one more decision round just to carry
-                   the repair slices to their owners' subscribers. *)
-                incr round;
-                abort ~r:!round ~parts:[] updates);
-            Proto.Mismatch { backup; updates }
-      end)
-
-let rec handle_lvi_once t (req : Proto.lvi_request) : Proto.lvi_response =
-  (* Piggybacked followups of earlier invocations from the same site
-     apply first: they release locks this request might otherwise queue
-     behind. *)
-  List.iter (handle_followup t) req.piggyback;
-  t.s_requests <- t.s_requests + 1;
-  let exec_id = req.exec_id in
-  (* The near-user runtime registered this request's root span under its
-     execution id; server-side phases attach to the same tree. *)
-  let root = Tracer.exec_span t.tracer ~exec_id in
-  match cross_parts t req with
-  | Some parts -> handle_lvi_cross t (Option.get t.sharding) req ~root parts
-  | None ->
-  (match t.sharding with
-  | Some sh -> Tracer.record_shard t.tracer ~shard:sh.sh_id ~parts:1
-  | None -> ());
-  if ro_fast_eligible t req then begin
-    let sp = Tracer.child t.tracer ~parent:root "ro_validate" in
-    let keys = List.map fst req.reads in
-    let versions = Kv.versions_of t.kv keys in
-    let fresh =
-      List.for_all
-        (fun (k, cached) ->
-          Option.value ~default:0 (List.assoc_opt k versions) = cached)
-        req.reads
-    in
-    let unlocked = not (List.exists (Locks.write_locked t.locks) keys) in
-    Tracer.stop sp;
-    if fresh && unlocked then begin
-      t.s_validated <- t.s_validated + 1;
-      t.s_ro_fast <- t.s_ro_fast + 1;
-      Log.debug (fun m ->
-          m "LVI %s: read-only fast path, %d reads validated" exec_id
-            (List.length req.reads));
-      (* The validated versions equal primary's at this (non-blocking)
-         instant and none is write-locked: the reply may carry fresh
-         leases on the whole read set for free. *)
-      Proto.Validated
-        { write_versions = []; leases = grant_leases t ~site:req.from_loc req.reads }
-    end
-    else
-      (* Stale or racing a writer: fall through to the full locked
-         protocol (paying a second version sample under locks). *)
-      handle_lvi_slow t req ~root
-  end
-  else handle_lvi_slow t req ~root
-
-and handle_lvi_slow t (req : Proto.lvi_request) ~root : Proto.lvi_response =
-  let exec_id = req.exec_id in
-  register_invocation t ~exec_id;
-  (* Write locks dominate for keys that are both read and written; the
-     read is still validated below. *)
-  let lock_list =
-    List.map (fun k -> (k, Locks.Write)) req.writes
-    @ List.filter_map
-        (fun (k, _) ->
-          if List.mem k req.writes then None else Some (k, Locks.Read))
-        req.reads
-  in
-  (* Conflict-aware admission brackets the lock-and-persist section:
-     statically non-conflicting requests pass straight through and get
-     their lock records batched together; actually-conflicting ones
-     wait here in arrival order. The backup path's re-lock attempts
-     run outside admission — they are rare, bounded, and still
-     serialized by the lock table itself. *)
-  let ticket =
-    match t.admission with
-    | None -> None
-    | Some adm ->
-        Some
-          (Tracer.with_phase t.tracer ~parent:root "admission" (fun () ->
-               Admission.enter adm ~fn:req.fn_name
-                 ~reads:
-                   (List.filter_map
-                      (fun (k, m) -> if m = Locks.Read then Some k else None)
-                      lock_list)
-                 ~writes:req.writes))
-  in
-  acquire ~span:root t ~owner:exec_id lock_list;
-  (match (t.admission, ticket) with
-  | Some adm, Some tk -> Admission.leave adm tk
-  | _ -> ());
-  (* Write keys are locked from here on, so no new lease on them can be
-     granted; settle whatever grants are outstanding before the write
-     may validate. *)
-  settle_write_leases ~span:root t req.writes;
-  let all_keys = List.map fst lock_list in
-  let sp_validate = Tracer.child t.tracer ~parent:root "validate" in
-  let versions = Kv.versions_of t.kv all_keys in
-  let version_of k = Option.value ~default:0 (List.assoc_opt k versions) in
-  let stale =
-    List.filter_map
-      (fun (k, cached) -> if version_of k <> cached then Some k else None)
-      req.reads
-  in
-  Tracer.stop sp_validate;
-  Log.debug (fun m ->
-      m "LVI %s: %d reads, %d writes, stale=[%s]" exec_id
-        (List.length req.reads) (List.length req.writes)
-        (String.concat "," stale));
-  if stale = [] then begin
-    t.s_validated <- t.s_validated + 1;
-    if req.writes = [] then begin
-      (* Grant while the read locks are still held: the validated
-         versions cannot move before the grants are recorded. *)
-      let leases = grant_leases t ~site:req.from_loc req.reads in
-      release t ~owner:exec_id all_keys;
-      Proto.Validated { write_versions = []; leases }
-    end
-    else begin
-      (* [put] is a conditional put-if-absent; with the reply cache
-         deduping deliveries upstream the id is always fresh here, but a
-         pre-existing intent must not crash the server either way. *)
-      ignore (Intents.put t.intents ~exec_id : bool);
-      Hashtbl.replace t.durable_reqs exec_id req;
-      start_intent_timer t req;
-      Proto.Validated
-        {
-          write_versions = List.map (fun k -> (k, version_of k)) req.writes;
-          leases = [];
-        }
-    end
-  end
-  else begin
-    t.s_mismatched <- t.s_mismatched + 1;
-    match Registry.find t.registry req.fn_name with
-    | None ->
-        release t ~owner:exec_id all_keys;
-        Proto.Mismatch
-          {
-            backup =
-              {
-                value = Error ("unknown function " ^ req.fn_name);
-                observed = [];
-                written = [];
-              };
-            updates = [];
-          }
-    | Some entry ->
-        (* The backup's own re-lock attempts nest under this span. *)
-        let sp_backup = Tracer.child t.tracer ~parent:root "backup_exec" in
-        let backup = backup_execute ~span:sp_backup t entry req ~held_keys:all_keys in
-        Tracer.stop sp_backup;
-        let refresh_keys =
-          List.sort_uniq String.compare
-            (stale @ List.map fst backup.written)
-        in
-        let updates = fresh_updates t refresh_keys in
-        (* The repair material also freshens the other subscribed sites:
-           they are at least as stale as the requester was. The
-           requester itself installs [updates] from the response. *)
-        publish t ~exclude:req.from_loc updates;
-        Proto.Mismatch { backup; updates }
-  end
-
-(* At-least-once delivery guard: a duplicated LVI message must not run
-   the protocol twice — the second pass would queue on its own locks,
-   find its own writes "stale" and double-execute the backup. The first
-   delivery registers an ivar and fills it with the response; a
-   duplicate — even one arriving while the original is still being
-   processed — blocks on the same ivar and returns the same response. *)
-let handle_lvi t (req : Proto.lvi_request) : Proto.lvi_response =
-  match Hashtbl.find_opt t.reply_cache req.exec_id with
-  | Some iv ->
-      t.s_dup_deliveries <- t.s_dup_deliveries + 1;
-      Log.info (fun m ->
-          m "LVI %s: duplicate delivery, replaying reply" req.exec_id);
-      Ivar.read iv
-  | None ->
-      let iv = Ivar.create () in
-      Hashtbl.replace t.reply_cache req.exec_id iv;
-      let resp = handle_lvi_once t req in
-      Ivar.fill iv resp;
-      resp
-
-(* Followups travel as a list: a coalescing runtime flushes one message
-   per window carrying every followup buffered for this destination. *)
-let handle_followups t fus = List.iter (handle_followup t) fus
-
-(* Same reply-cache guard as [handle_lvi]: a duplicated direct-exec
-   delivery must not run the function (and its effects) twice. *)
-let handle_exec t (req : Proto.exec_request) : Proto.exec_result =
-  match Hashtbl.find_opt t.exec_replies req.dx_exec_id with
-  | Some iv ->
-      t.s_dup_deliveries <- t.s_dup_deliveries + 1;
-      Ivar.read iv
-  | None ->
-      let iv = Ivar.create () in
-      Hashtbl.replace t.exec_replies req.dx_exec_id iv;
-      t.s_direct <- t.s_direct + 1;
-      let result =
-        match Registry.find t.registry req.dx_fn_name with
-        | None ->
-            {
-              Proto.value = Error ("unknown function " ^ req.dx_fn_name);
-              observed = [];
-              written = [];
-            }
-        | Some entry ->
-            execute_on_primary t ~exec_id:req.dx_exec_id entry req.dx_args
-      in
-      Ivar.fill iv result;
-      result
-
 (* --- Construction --------------------------------------------------- *)
 
 let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
@@ -1629,7 +176,12 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
                    ignore (RaftLocks.submit_batch ~tracer cluster cmds)))
           else None
         in
-        Some { cluster; idempotency = Store.Idempotency.create (); flusher }
+        Some
+          {
+            Server_state.cluster;
+            idempotency = Store.Idempotency.create ();
+            flusher;
+          }
   in
   let admission =
     if config.batching.admission then
@@ -1647,114 +199,44 @@ let create ?extsvc ?(tracer = Tracer.noop) ~net ~registry ~kv config =
     else None
   in
   let t =
-    {
-      config;
-      net;
-      tracer;
-      registry;
-      kv;
-      extsvc;
-      locks = Locks.create ();
-      intents = Intents.create ();
-      durable_reqs = Hashtbl.create 64;
-      followup_delay = Hashtbl.create 16;
-      repl;
-      admission;
-      pending = Hashtbl.create 64;
-      mutation = None;
-      subscribers = [];
-      reply_cache = Hashtbl.create 256;
-      exec_replies = Hashtbl.create 64;
-      sharding = None;
-      lease_tbl = Lease.create ();
-      lease_peers = [];
-      owners = 0;
-      s_requests = 0;
-      s_validated = 0;
-      s_mismatched = 0;
-      s_fu_applied = 0;
-      s_fu_discarded = 0;
-      s_reexec = 0;
-      s_direct = 0;
-      s_ro_fast = 0;
-      s_prop_records = 0;
-      s_dup_deliveries = 0;
-      s_cross = 0;
-      s_cross_commits = 0;
-      s_cross_aborts = 0;
-      s_lease_grants = 0;
-      s_lease_revokes = 0;
-      s_lease_waits = 0;
-      s_lease_blocked = 0;
-      lvi_svc = None;
-      fu_svc = None;
-      exec_svc = None;
-      prepare_svc = None;
-      decide_svc = None;
-    }
+    Server_state.create ?repl ?admission ~tracer ~net ~registry ~kv ~extsvc
+      config
   in
   t.lvi_svc <-
-    Some (Transport.serve net ~loc:config.loc ~name:"lvi" (handle_lvi t));
+    Some
+      (Transport.serve net ~loc:config.loc ~name:"lvi"
+         (Server_lvi_engine.handle_lvi t));
   t.fu_svc <-
-    Some (Transport.serve net ~loc:config.loc ~name:"followup" (handle_followups t));
+    Some
+      (Transport.serve net ~loc:config.loc ~name:"followup"
+         (Server_recovery.handle_followups t));
   t.exec_svc <-
-    Some (Transport.serve net ~loc:config.loc ~name:"exec" (handle_exec t));
+    Some
+      (Transport.serve net ~loc:config.loc ~name:"exec"
+         (Server_lvi_engine.handle_exec t));
   t
 
-(* Register a near-user cache-update service as a propagation
-   destination. One Nagle batcher per destination: records enqueued
-   within prop_window virtual ms ship as a single cache_update message.
-   A subscription at the server's own location is refused — the primary
-   needs no cache feed — and with propagation disabled this is a no-op,
-   keeping the seed configuration free of even idle batchers. *)
-let subscribe t svc =
-  let dst = Transport.service_location svc in
-  if t.config.propagation.enabled then begin
-    let prop = t.config.propagation in
-    let batcher =
-      Batcher.create ~window:prop.prop_window
-        ~on_flush:(fun ~size ~queue_delay ->
-          Tracer.record_batch t.tracer ~label:"propagation" size;
-          Tracer.record_queue t.tracer ~label:"propagation" queue_delay)
-        (fun stamped ->
-          (* Update-mode flushes carry fresh committed values: piggyback
-             lease grants for them (re-verified against primary at this
-             instant — the window may have let a later write in).
-             Invalidation mode ships no values, so nothing a lease could
-             certify. *)
-          let cu_leases =
-            if prop.invalidate_only then []
-            else
-              grant_leases t ~site:dst
-                (List.map
-                   (fun (u, _) -> (u.Proto.up_key, u.Proto.up_version))
-                   stamped)
-          in
-          Transport.post t.net ~from:t.config.loc svc
-            {
-              Proto.cu_invalidate = prop.invalidate_only;
-              cu_updates = stamped;
-              cu_leases;
-            })
-    in
-    t.subscribers <- t.subscribers @ [ (dst, batcher) ]
-  end
+(* --- Propagation and lease wiring ----------------------------------- *)
+
+let subscribe = Server_propagator.subscribe
 
 (* Register a near-user runtime's lease-revocation service, making its
    site eligible for grants. No-op with leases off: the seed
    configuration issues no grants and registers no channels. *)
-let register_lease_site t svc =
+let register_lease_site (t : t) svc =
   let site = Transport.service_location svc in
   if t.config.leases.enabled && site <> t.config.loc then
     t.lease_peers <- (site, svc) :: List.remove_assoc site t.lease_peers
 
-let lvi_service t = Option.get t.lvi_svc
+let lvi_service (t : t) = Option.get t.lvi_svc
 
-let followup_service t = Option.get t.fu_svc
+let followup_service (t : t) = Option.get t.fu_svc
 
-let exec_service t = Option.get t.exec_svc
+let exec_service (t : t) = Option.get t.exec_svc
 
-let stats t =
+(* --- Observation ----------------------------------------------------- *)
+
+let stats (t : t) =
   {
     requests = t.s_requests;
     validated = t.s_validated;
@@ -1785,146 +267,29 @@ let stats t =
     lease_blocked_writes = t.s_lease_blocked;
   }
 
-let locks_held t = t.owners
+let locks_held (t : t) = t.owners
 
-let outstanding_leases t = Lease.live t.lease_tbl ~now:(Engine.now ())
+let outstanding_leases (t : t) = Lease.live t.lease_tbl ~now:(Engine.now ())
 
-let pending_intents t = Intents.pending_count t.intents
+let pending_intents (t : t) = Store.Intents.pending_count t.intents
 
-let inject_mutation t m = t.mutation <- m
+let inject_mutation (t : t) m = t.mutation <- m
 
-(* Simulate a restart of the LVI server process: volatile state (intent
-   timers and the pending table) is lost; the intent records, their
-   request payloads, and the lock table (persisted to disk, §4) survive.
-   Recovery resolves every orphaned pending intent by deterministic
-   re-execution, releasing its locks. The instant need not be quiescent:
-   a followup still in flight at restart time finds its intent already
-   completed on arrival and is discarded (its write was produced by the
-   re-execution, exactly once), and an in-flight LVI request that has
-   not yet installed an intent is untouched — its handler fiber still
-   owns its locks and releases them normally. *)
-let restart_recover t =
-  Log.info (fun m ->
-      m "server restart: recovering %d pending intent(s)"
-        (Hashtbl.length t.pending));
-  Hashtbl.iter (fun _ { p_timer; _ } -> Timer.cancel p_timer) t.pending;
-  Hashtbl.reset t.pending;
-  (* The LVI reply cache is volatile process memory: its filled entries
-     die with the process. (Unfilled entries belong to in-flight handler
-     fibers, which this non-quiescent restart model keeps alive — wiping
-     those would let a racing duplicate re-enter the protocol while the
-     original still owns its locks.) Rebuild an entry for every durable
-     pending intent BEFORE resolving orphans: the intent's locks are
-     still held, so the current primary versions of its write keys are
-     exactly the ones validation replied with. Without this
-     repopulation, a duplicate LVI delivery arriving after the restart
-     re-runs the full protocol — it re-acquires the now-released locks,
-     finds its reads stale (re-execution bumped the versions) and
-     double-executes the backup. Direct-exec replies have no durable
-     record to rebuild from and keep their in-memory entries. *)
-  let filled =
-    Hashtbl.fold
-      (fun id iv acc -> if Ivar.is_full iv then id :: acc else acc)
-      t.reply_cache []
-  in
-  List.iter (Hashtbl.remove t.reply_cache) filled;
-  Hashtbl.iter
-    (fun exec_id (req : Proto.lvi_request) ->
-      if
-        Intents.peek t.intents ~exec_id = Some Intents.Pending
-        && not (Hashtbl.mem t.reply_cache exec_id)
-      then begin
-        let write_versions =
-          List.map
-            (fun k ->
-              ( k,
-                match Kv.peek t.kv k with
-                | Some { Kv.version; _ } -> version
-                | None -> 0 ))
-            req.writes
-        in
-        let iv = Ivar.create () in
-        Ivar.fill iv (Proto.Validated { write_versions; leases = [] });
-        Hashtbl.replace t.reply_cache exec_id iv
-      end)
-    t.durable_reqs;
-  let orphans = Hashtbl.fold (fun _ req acc -> req :: acc) t.durable_reqs [] in
-  List.iter
-    (fun (req : Proto.lvi_request) ->
-      if Intents.peek t.intents ~exec_id:req.exec_id = Some Intents.Pending then
-        resolve_orphaned_intent t req)
-    orphans
+let on_stage (t : t) hook = t.stage_hook <- hook
 
-let raft_cluster t =
+let restart_recover = Server_recovery.restart_recover
+
+let raft_cluster (t : t) =
   match t.repl with None -> None | Some { cluster; _ } -> Some cluster
 
-let stop t =
+let stop (t : t) =
   match t.repl with
   | None -> ()
   | Some { cluster; _ } -> RaftLocks.stop cluster
 
-(* --- Sharded topology wiring ---------------------------------------- *)
+(* --- Sharded topology ------------------------------------------------ *)
 
-let enable_sharding t ~id ~directory =
-  if t.sharding <> None then
-    invalid_arg "Server.enable_sharding: already enabled";
-  let n = Shard.Directory.shards directory in
-  if id < 0 || id >= n then
-    invalid_arg (Printf.sprintf "Server.enable_sharding: id %d out of range" id);
-  t.sharding <-
-    Some
-      {
-        sh_id = id;
-        sh_dir = directory;
-        sh_peers = [];
-        sh_prepared = Hashtbl.create 64;
-        sh_preparing = Hashtbl.create 16;
-        sh_decided = Hashtbl.create 64;
-        sh_coord_round = Hashtbl.create 64;
-        sh_cross = Hashtbl.create 64;
-        sh_prepares = 0;
-      };
-  t.prepare_svc <-
-    Some
-      (Transport.serve t.net ~loc:t.config.loc ~name:"shard_prepare"
-         (handle_shard_prepare t));
-  t.decide_svc <-
-    Some
-      (Transport.serve t.net ~loc:t.config.loc ~name:"shard_decide"
-         (handle_shard_decide t))
-
-let connect_shards t servers =
-  match t.sharding with
-  | None -> invalid_arg "Server.connect_shards: sharding not enabled"
-  | Some sh ->
-      let peers =
-        List.filter_map
-          (fun s ->
-            match s.sharding with
-            | Some sh' when sh'.sh_id <> sh.sh_id ->
-                Some
-                  ( sh'.sh_id,
-                    {
-                      pe_prepare = Option.get s.prepare_svc;
-                      pe_decide = Option.get s.decide_svc;
-                    } )
-            | Some _ | None -> None)
-          servers
-      in
-      sh.sh_peers <- List.sort (fun (a, _) (b, _) -> compare a b) peers
-
-let shard_id t = Option.map (fun sh -> sh.sh_id) t.sharding
-
-let cross_states t =
-  match t.sharding with
-  | None -> []
-  | Some sh ->
-      Hashtbl.fold
-        (fun exec_id st acc ->
-          ( exec_id,
-            match st with
-            | Cross_prepared -> `Prepared
-            | Cross_committed -> `Committed
-            | Cross_aborted -> `Aborted )
-          :: acc)
-        sh.sh_cross []
+let enable_sharding = Server_coordinator.enable_sharding
+let connect_shards = Server_coordinator.connect_shards
+let shard_id = Server_coordinator.shard_id
+let cross_states = Server_coordinator.cross_states

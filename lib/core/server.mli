@@ -116,6 +116,31 @@ val default_leases : leases
     writes to leased keys at ~one site round trip regardless, so only
     the no-revocation fallback ever feels the full term. *)
 
+type tuning = {
+  try_prepare_timeout : float;
+      (** Per-shard prepare timeout (virtual ms) of the parallel
+          non-blocking try round; overdue votes count as busy. *)
+  blocking_prepare_timeout : float;
+      (** Per-shard prepare timeout of the ordered blocking fallback
+          rounds; must outlive lock waits, which are bounded by intent
+          timers. *)
+  blocking_prepare_attempts : int;
+      (** Blocking fallback rounds before the coordinator gives up and
+          answers the client with an error. *)
+  decide_timeout : float;
+      (** Per-attempt timeout of a decision post to a participant. *)
+  decide_retry_backoff : float;
+      (** Sleep between decision retries. *)
+  decide_retries : int;
+      (** Decision attempts before declaring the peer unreachable — a
+          cap on a pathological total blackout, not a correctness
+          bound. *)
+}
+
+val default_tuning : tuning
+(** 50 ms try prepares; 4 s blocking prepares, 4 attempts; 200 ms
+    decisions retried 50 times with a 100 ms backoff. *)
+
 type config = {
   loc : Net.Location.t;
   intent_timeout : float;
@@ -130,11 +155,13 @@ type config = {
   batching : batching;
   propagation : propagation;
   leases : leases;
+  tuning : tuning;  (** Cross-shard commit timing. *)
 }
 
 val default_config : config
 (** VA, 1500 ms ceiling with adaptive per-function timers, singleton,
-    no batching, no propagation, no leases. *)
+    no batching, no propagation, no leases, default cross-shard
+    tuning. *)
 
 type t
 
@@ -258,6 +285,13 @@ val restart_recover : t -> unit
 
 val inject_mutation : t -> protocol_mutation option -> unit
 (** Enable/disable a deliberate protocol bug (chaos testing only). *)
+
+val on_stage : t -> (string -> unit) -> unit
+(** Attach a per-stage observation hook to the request pipeline: the
+    callback fires with the stage name ([admit], [lock], [settle],
+    [validate], [ro_validate]) just before that stage of an LVI request
+    runs. Chaos fault injection and stage-level instrumentation attach
+    here; the default hook does nothing and costs nothing. *)
 
 val raft_cluster : t -> Raft_locks.cluster option
 (** The replicated server's lock cluster ([None] for a singleton) —

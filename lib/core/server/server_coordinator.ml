@@ -1,0 +1,624 @@
+(* Cross-shard atomic commit (sharded LVI service).
+
+   A request whose key set spans shards is handled by a coordinator —
+   the shard the router sent it to, normally the minimum touched shard
+   id — which runs a prepare round: every touched shard locks its slice,
+   validates its read versions and (for write slices) installs an
+   intent. The coordinator replies [Validated] iff every shard
+   validated; the origin site's followup then reaches the coordinator,
+   which applies ALL writes to shared primary storage (exactly one party
+   applies, so deterministic re-execution can never observe a torn
+   write set) and concludes each peer with a retried-until-acked
+   decision carrying that peer's own committed records to publish.
+
+   Deadlock freedom: the first prepare round runs in parallel but uses
+   the all-or-nothing non-blocking [Locks.try_acquire], so it creates no
+   wait-for edges; if any shard is busy, everything is released and a
+   sequential fallback round re-prepares in ascending shard order with
+   blocking acquires — every lock wait then follows the global
+   (shard, key) lexicographic order, so any wait cycle would have to
+   increase strictly around itself. Single-shard requests (sorted-key
+   incremental acquire at one shard) embed in the same order.
+
+   Protocol timing (try/blocking prepare timeouts, decision retry
+   policy) comes from [t.config.tuning]. *)
+
+open Sim
+open Server_state
+module Transport = Net.Transport
+module Kv = Store.Kv
+module Locks = Store.Locks
+module Intents = Store.Intents
+module Tracer = Metrics.Tracer
+
+let cross_parts (t : t) (req : Proto.lvi_request) =
+  match t.sharding with
+  | None -> None
+  | Some sh ->
+      if Shard.Directory.shards sh.sh_dir = 1 then None
+      else begin
+        let slices = Hashtbl.create 4 in
+        let slice s =
+          match Hashtbl.find_opt slices s with
+          | Some sl -> sl
+          | None ->
+              let sl = ref { sl_reads = []; sl_writes = [] } in
+              Hashtbl.add slices s sl;
+              sl
+        in
+        List.iter
+          (fun k ->
+            let sl = slice (Shard.Directory.shard_of_key sh.sh_dir k) in
+            sl := { !sl with sl_writes = k :: !sl.sl_writes })
+          req.writes;
+        List.iter
+          (fun (k, v) ->
+            let sl = slice (Shard.Directory.shard_of_key sh.sh_dir k) in
+            sl := { !sl with sl_reads = (k, v) :: !sl.sl_reads })
+          req.reads;
+        let parts =
+          List.sort
+            (fun (a, _) (b, _) -> compare a b)
+            (Hashtbl.fold (fun s sl acc -> (s, !sl) :: acc) slices [])
+        in
+        match parts with
+        | [] -> None
+        | [ (s, _) ] when s = sh.sh_id -> None
+        | parts -> Some parts
+      end
+
+let lock_list_of_slice sl =
+  Locks.lock_list ~reads:(List.map fst sl.sl_reads) ~writes:sl.sl_writes
+
+(* Participant side of one prepare round — also runs the coordinator's
+   own slice. On [Shard_prepared] and [Shard_stale] the slice's locks
+   are HELD (stale keeps them so a backup can execute under full
+   coverage, like the single-server mismatch path); only [Shard_busy]
+   holds nothing. Round arithmetic makes the handler safe against
+   delayed, reordered or duplicated prepares: a round at or below the
+   highest concluded round is refused, a newer round supersedes an
+   orphaned older one, and a blocking acquire that completes after its
+   round was concluded releases itself. *)
+let prepare_slice (t : t) sh (sp : Proto.shard_prepare) : Proto.shard_vote =
+  let exec_id = sp.sp_exec_id in
+  let decided () =
+    Option.value ~default:0 (Hashtbl.find_opt sh.sh_decided exec_id)
+  in
+  let active () =
+    match Hashtbl.find_opt sh.sh_prepared exec_id with
+    | Some (r, _, _) -> r
+    | None -> 0
+  in
+  let owner =
+    if sp.sp_round = 1 then exec_id
+    else Printf.sprintf "%s@%d" exec_id sp.sp_round
+  in
+  if
+    sp.sp_round <= decided ()
+    || sp.sp_round <= active ()
+    || Hashtbl.mem sh.sh_preparing owner
+  then Proto.Shard_busy
+  else begin
+    (match Hashtbl.find_opt sh.sh_prepared exec_id with
+    | Some (r, owner', keys') when r < sp.sp_round ->
+        (* The coordinator has moved on; its abort for round [r] may
+           still be in flight behind this prepare. *)
+        Hashtbl.remove sh.sh_prepared exec_id;
+        Intents.remove t.intents ~exec_id;
+        Server_persist.release t ~owner:owner' keys'
+    | _ -> ());
+    let sl = { sl_reads = sp.sp_reads; sl_writes = sp.sp_writes } in
+    let lock_list = lock_list_of_slice sl in
+    let keys = List.map fst lock_list in
+    Hashtbl.replace sh.sh_preparing owner ();
+    let granted =
+      if sp.sp_blocking then begin
+        Server_persist.acquire t ~owner lock_list;
+        true
+      end
+      else if Locks.try_acquire t.locks ~owner lock_list then begin
+        (* [acquire]'s bookkeeping without the blocking. *)
+        t.owners <- t.owners + 1;
+        (match t.repl with
+        | None -> ()
+        | Some _ -> Server_persist.persist_locks t ~exec_id:owner keys);
+        true
+      end
+      else false
+    in
+    Hashtbl.remove sh.sh_preparing owner;
+    if not granted then Proto.Shard_busy
+    else if sp.sp_round <= decided () || sp.sp_round <= active () then begin
+      (* Concluded or superseded while the blocking acquire waited; the
+         decision found nothing to release, so release here. *)
+      Server_persist.release t ~owner keys;
+      Proto.Shard_busy
+    end
+    else begin
+      Hashtbl.replace sh.sh_prepared exec_id (sp.sp_round, owner, keys);
+      (* This shard is the lease authority for its slice: settle the
+         write keys' grants before voting, so by the time the
+         coordinator applies the cross-shard write set every covering
+         lease is dead and (the slice being write-locked from here to
+         the decision) none can be granted anew. *)
+      Server_lease_authority.settle_write_leases t sl.sl_writes;
+      if not sp.sp_intent then
+        (* Backup re-lock round: locks only, no validation, no intent. *)
+        Proto.Shard_prepared { sv_write_versions = [] }
+      else begin
+        Hashtbl.replace sh.sh_cross exec_id Cross_prepared;
+        let versions = Kv.versions_of t.kv keys in
+        let version_of k =
+          Option.value ~default:0 (List.assoc_opt k versions)
+        in
+        let stale =
+          List.filter_map
+            (fun (k, cached) ->
+              if version_of k <> cached then Some k else None)
+            sl.sl_reads
+        in
+        if stale <> [] then Proto.Shard_stale { sv_stale = stale }
+        else begin
+          if sl.sl_writes <> [] then
+            ignore (Intents.put t.intents ~exec_id : bool);
+          Proto.Shard_prepared
+            {
+              sv_write_versions =
+                List.map (fun k -> (k, version_of k)) sl.sl_writes;
+            }
+        end
+      end
+    end
+  end
+
+(* Conclude rounds <= sd_round at this shard: release the slice (if one
+   is held for such a round), settle its intent, record the outcome for
+   the atomicity oracle, and publish this shard's own committed (or
+   repair) records to its subscribers. Idempotent: a retried decision
+   finds the round already concluded and only re-acknowledges. *)
+let conclude_slice (t : t) sh (sd : Proto.shard_decision) =
+  let exec_id = sd.sd_exec_id in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt sh.sh_decided exec_id) in
+  if sd.sd_round > prev then Hashtbl.replace sh.sh_decided exec_id sd.sd_round;
+  (match Hashtbl.find_opt sh.sh_prepared exec_id with
+  | Some (r, owner, keys) when r <= sd.sd_round ->
+      Hashtbl.remove sh.sh_prepared exec_id;
+      ignore (Intents.try_complete t.intents ~exec_id : bool);
+      Intents.remove t.intents ~exec_id;
+      Server_persist.release t ~owner keys
+  | _ -> ());
+  if sd.sd_round > prev then begin
+    if Hashtbl.mem sh.sh_cross exec_id then
+      Hashtbl.replace sh.sh_cross exec_id
+        (if sd.sd_commit then Cross_committed else Cross_aborted);
+    Server_propagator.publish t ?exclude:sd.sd_from sd.sd_updates
+  end
+
+let handle_shard_prepare (t : t) (sp : Proto.shard_prepare) : Proto.shard_vote =
+  match t.sharding with
+  | None -> Proto.Shard_busy
+  | Some sh -> (
+      let vote = prepare_slice t sh sp in
+      Log.debug (fun m ->
+          m "shard %d: prepare %s round %d -> %a" sh.sh_id sp.sp_exec_id
+            sp.sp_round Proto.pp_vote vote);
+      match vote with
+      | Proto.Shard_prepared _ | Proto.Shard_stale _ ->
+          sh.sh_prepares <- sh.sh_prepares + 1;
+          vote
+      | Proto.Shard_busy -> vote)
+
+let handle_shard_decide (t : t) (sd : Proto.shard_decision) : unit =
+  match t.sharding with
+  | None -> ()
+  | Some sh -> conclude_slice t sh sd
+
+(* Conclude a round at every peer in [targets] (self is skipped; the
+   coordinator concludes itself with [conclude_local]). Decisions are
+   posted from spawned fibers and retried until acknowledged, so a lost
+   or delayed message can only delay a peer's release, never wedge the
+   coordinator — and never strand the slice, short of a blackout longer
+   than every chaos window. *)
+let broadcast_decisions (t : t) sh ~exec_id ~round ~commit ~from ~targets
+    updates =
+  let tuning = t.config.tuning in
+  let slice_updates target =
+    List.filter
+      (fun u -> Shard.Directory.shard_of_key sh.sh_dir u.Proto.up_key = target)
+      updates
+  in
+  List.iter
+    (fun target ->
+      if target <> sh.sh_id then
+        match List.assoc_opt target sh.sh_peers with
+        | None -> ()
+        | Some peer ->
+            let sd =
+              {
+                Proto.sd_exec_id = exec_id;
+                sd_round = round;
+                sd_commit = commit;
+                sd_from = from;
+                sd_updates = slice_updates target;
+              }
+            in
+            Engine.spawn ~name:"shard-decide" (fun () ->
+                let rec attempt n =
+                  match
+                    Transport.call_timeout t.net ~from:t.config.loc
+                      ~timeout:tuning.decide_timeout peer.pe_decide sd
+                  with
+                  | Some () -> ()
+                  | None when n >= tuning.decide_retries ->
+                      Log.info (fun m ->
+                          m "shard %d: decision %s round %d to shard %d \
+                             undeliverable"
+                            sh.sh_id exec_id round target)
+                  | None ->
+                      Engine.sleep tuning.decide_retry_backoff;
+                      attempt (n + 1)
+                in
+                attempt 1))
+    (List.sort_uniq compare targets)
+
+let conclude_local (t : t) sh ~exec_id ~round ~commit ~from updates =
+  let own =
+    List.filter
+      (fun u ->
+        Shard.Directory.shard_of_key sh.sh_dir u.Proto.up_key = sh.sh_id)
+      updates
+  in
+  conclude_slice t sh
+    {
+      Proto.sd_exec_id = exec_id;
+      sd_round = round;
+      sd_commit = commit;
+      sd_from = from;
+      sd_updates = own;
+    }
+
+let prepare_at (t : t) sh ~exec_id ~round ~blocking ~intent (target, sl) =
+  let sp =
+    {
+      Proto.sp_exec_id = exec_id;
+      sp_round = round;
+      sp_coord = sh.sh_id;
+      sp_blocking = blocking;
+      sp_intent = intent;
+      sp_reads = sl.sl_reads;
+      sp_writes = sl.sl_writes;
+    }
+  in
+  if target = sh.sh_id then prepare_slice t sh sp
+  else
+    match List.assoc_opt target sh.sh_peers with
+    | None -> Proto.Shard_busy
+    | Some peer -> (
+        let tuning = t.config.tuning in
+        let timeout =
+          if blocking then tuning.blocking_prepare_timeout
+          else tuning.try_prepare_timeout
+        in
+        match
+          Transport.call_timeout t.net ~from:t.config.loc ~timeout
+            peer.pe_prepare sp
+        with
+        | Some vote -> vote
+        | None ->
+            (* Lost or overdue: treated as busy. The round's abort
+               decision still goes to this shard, so a late prepare that
+               did acquire is released (or refused on arrival). *)
+            Proto.Shard_busy)
+
+(* Partition a backup re-lock set by owning shard (reads carry no
+   version: lock-only rounds skip validation). *)
+let parts_of_locks sh lock_list =
+  let slices = Hashtbl.create 4 in
+  List.iter
+    (fun (k, mode) ->
+      let s = Shard.Directory.shard_of_key sh.sh_dir k in
+      let sl =
+        match Hashtbl.find_opt slices s with
+        | Some sl -> sl
+        | None ->
+            let sl = ref { sl_reads = []; sl_writes = [] } in
+            Hashtbl.add slices s sl;
+            sl
+      in
+      match mode with
+      | Locks.Write -> sl := { !sl with sl_writes = k :: !sl.sl_writes }
+      | Locks.Read -> sl := { !sl with sl_reads = (k, 0) :: !sl.sl_reads })
+    lock_list;
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun s sl acc -> (s, !sl) :: acc) slices [])
+
+(* Coordinator side of a cross-shard LVI request (the router anchored it
+   here — normally the minimum touched shard id). Runs the prepare
+   rounds, merges the votes, and either installs the coordinator intent
+   — [arm_intent] starts the recovery layer's intent timer; commit is
+   decided later, by followup or timer — or aborts everywhere and
+   serves the client through backup execution. *)
+let handle_lvi_cross (t : t) sh (req : Proto.lvi_request) ~root ~arm_intent
+    parts : Proto.lvi_response =
+  let exec_id = req.exec_id in
+  t.s_cross <- t.s_cross + 1;
+  Server_persist.register_invocation t ~exec_id;
+  Tracer.record_shard t.tracer ~shard:sh.sh_id ~parts:(List.length parts);
+  let targets = List.map fst parts in
+  let round = ref 0 in
+  let run_round ~blocking ~intent parts =
+    incr round;
+    let r = !round in
+    let votes =
+      Tracer.with_phase t.tracer ~parent:root "shard_prepare" (fun () ->
+          if blocking then
+            (* Sequential, ascending shard order — the global
+               (shard, key) lexicographic lock order. *)
+            List.map
+              (fun part ->
+                (fst part, prepare_at t sh ~exec_id ~round:r ~blocking ~intent part))
+              parts
+          else
+            (* Parallel: [Locks.try_acquire] never waits, so the round
+               creates no wait-for edges. *)
+            let pending =
+              List.map
+                (fun part ->
+                  let iv = Ivar.create () in
+                  Engine.spawn ~name:"shard-prepare" (fun () ->
+                      Ivar.fill iv
+                        (prepare_at t sh ~exec_id ~round:r ~blocking ~intent
+                           part));
+                  (fst part, iv))
+                parts
+            in
+            List.map (fun (s, iv) -> (s, Ivar.read iv)) pending)
+    in
+    (r, votes)
+  in
+  let abort ~r ~parts updates =
+    let extra =
+      List.map
+        (fun u -> Shard.Directory.shard_of_key sh.sh_dir u.Proto.up_key)
+        updates
+    in
+    broadcast_decisions t sh ~exec_id ~round:r ~commit:false
+      ~from:(Some req.from_loc)
+      ~targets:(List.map fst parts @ extra)
+      updates;
+    conclude_local t sh ~exec_id ~round:r ~commit:false
+      ~from:(Some req.from_loc) updates
+  in
+  let any_busy votes =
+    List.exists (fun (_, v) -> v = Proto.Shard_busy) votes
+  in
+  (* Backup execution once validation failed somewhere. Static-class
+     functions run under the slices every shard still holds; dependent
+     functions may have mispredicted their set from a stale cache, so
+     drop everything, re-predict on primary and re-lock the corrected
+     set with ordered lock-only rounds until the prediction is stable.
+     Returns the result plus the round/parts still held (None when all
+     slices were already released). *)
+  let cross_backup (entry : Registry.entry) ~r ~votes:_ =
+    match entry.derived with
+    | Some d
+      when (match d.classification with
+           | Analyzer.Derive.Dependent _ | Analyzer.Derive.Manual -> true
+           | Analyzer.Derive.Static | Analyzer.Derive.Expensive -> false) ->
+        abort ~r ~parts [];
+        let predict_with reader =
+          Analyzer.Derive.predict d ~read:reader ~compute:ignore req.args
+        in
+        let charged_read k =
+          match Kv.get t.kv k with
+          | Some { value; _ } -> value
+          | None -> Dval.Unit
+        in
+        let free_read k =
+          match Kv.peek t.kv k with
+          | Some { value; _ } -> value
+          | None -> Dval.Unit
+        in
+        let rec settle attempt =
+          match predict_with charged_read with
+          | exception Fdsl.Eval.Error _ ->
+              (* Shape drift faulted the residual program: execute
+                 unlocked rather than strand the client. *)
+              (Server_exec.execute_on_primary t ~exec_id entry req.args, None)
+          | rwset -> (
+              let lparts =
+                parts_of_locks sh (Server_persist.lock_list_of rwset)
+              in
+              let rl, votes = run_round ~blocking:true ~intent:false lparts in
+              if any_busy votes then begin
+                abort ~r:rl ~parts:lparts [];
+                if attempt >= 3 then
+                  (Server_exec.execute_on_primary t ~exec_id entry req.args,
+                   None)
+                else settle (attempt + 1)
+              end
+              else
+                let stable =
+                  match predict_with free_read with
+                  | rwset' -> Analyzer.Rwset.equal rwset rwset'
+                  | exception Fdsl.Eval.Error _ -> false
+                in
+                if stable || attempt >= 3 then
+                  ( Server_exec.execute_on_primary t ~exec_id entry req.args,
+                    Some (rl, lparts) )
+                else begin
+                  abort ~r:rl ~parts:lparts [];
+                  settle (attempt + 1)
+                end)
+        in
+        settle 1
+    | Some _ | None ->
+        (Server_exec.execute_on_primary t ~exec_id entry req.args,
+         Some (r, parts))
+  in
+  let rec prepare_phase attempt =
+    let r, votes = run_round ~blocking:(attempt > 0) ~intent:true parts in
+    if any_busy votes then begin
+      abort ~r ~parts [];
+      if attempt >= t.config.tuning.blocking_prepare_attempts then None
+      else prepare_phase (attempt + 1)
+    end
+    else Some (r, votes)
+  in
+  match prepare_phase 0 with
+  | None ->
+      (* Prepares kept failing (partitioned or blacked-out shard):
+         nothing is held anywhere; give the client an error rather than
+         block forever. *)
+      t.s_cross_aborts <- t.s_cross_aborts + 1;
+      Proto.Mismatch
+        {
+          backup =
+            {
+              value = Error ("cross-shard prepare failed: " ^ exec_id);
+              observed = [];
+              written = [];
+            };
+          updates = [];
+        }
+  | Some (r, votes) -> (
+      let stale =
+        List.concat_map
+          (fun (_, v) ->
+            match v with
+            | Proto.Shard_stale { sv_stale } -> sv_stale
+            | Proto.Shard_prepared _ | Proto.Shard_busy -> [])
+          votes
+      in
+      if stale = [] then begin
+        t.s_validated <- t.s_validated + 1;
+        let write_versions =
+          List.concat_map
+            (fun (_, v) ->
+              match v with
+              | Proto.Shard_prepared { sv_write_versions } -> sv_write_versions
+              | Proto.Shard_stale _ | Proto.Shard_busy -> [])
+            votes
+        in
+        if req.writes = [] then begin
+          (* Read-only across shards: validated everywhere, nothing to
+             commit — conclude immediately. *)
+          t.s_cross_commits <- t.s_cross_commits + 1;
+          broadcast_decisions t sh ~exec_id ~round:r ~commit:true ~from:None
+            ~targets [];
+          conclude_local t sh ~exec_id ~round:r ~commit:true ~from:None [];
+          Proto.Validated { write_versions = []; leases = [] }
+        end
+        else begin
+          ignore (Intents.put t.intents ~exec_id : bool);
+          Hashtbl.replace t.durable_reqs exec_id req;
+          Hashtbl.replace sh.sh_coord_round exec_id r;
+          arm_intent req;
+          Proto.Validated { write_versions; leases = [] }
+        end
+      end
+      else begin
+        (* Atomic abort: some slice failed validation, so the write set
+           is applied on no shard; backup execution still serves the
+           client, like the single-server mismatch path. *)
+        t.s_mismatched <- t.s_mismatched + 1;
+        t.s_cross_aborts <- t.s_cross_aborts + 1;
+        match Registry.find t.registry req.fn_name with
+        | None ->
+            abort ~r ~parts [];
+            Proto.Mismatch
+              {
+                backup =
+                  {
+                    value = Error ("unknown function " ^ req.fn_name);
+                    observed = [];
+                    written = [];
+                  };
+                updates = [];
+              }
+        | Some entry ->
+            let sp_backup = Tracer.child t.tracer ~parent:root "backup_exec" in
+            let backup, held = cross_backup entry ~r ~votes in
+            Tracer.stop sp_backup;
+            let refresh_keys =
+              List.sort_uniq String.compare
+                (stale @ List.map fst backup.written)
+            in
+            let updates = Server_propagator.fresh_updates t refresh_keys in
+            (match held with
+            | Some (r_held, held_parts) ->
+                abort ~r:r_held ~parts:held_parts updates
+            | None ->
+                (* Nothing held; one more decision round just to carry
+                   the repair slices to their owners' subscribers. *)
+                incr round;
+                abort ~r:!round ~parts:[] updates);
+            Proto.Mismatch { backup; updates }
+      end)
+
+(* --- Sharded topology wiring ---------------------------------------- *)
+
+let enable_sharding (t : t) ~id ~directory =
+  if t.sharding <> None then
+    invalid_arg "Server.enable_sharding: already enabled";
+  let n = Shard.Directory.shards directory in
+  if id < 0 || id >= n then
+    invalid_arg (Printf.sprintf "Server.enable_sharding: id %d out of range" id);
+  t.sharding <-
+    Some
+      {
+        sh_id = id;
+        sh_dir = directory;
+        sh_peers = [];
+        sh_prepared = Hashtbl.create 64;
+        sh_preparing = Hashtbl.create 16;
+        sh_decided = Hashtbl.create 64;
+        sh_coord_round = Hashtbl.create 64;
+        sh_cross = Hashtbl.create 64;
+        sh_prepares = 0;
+      };
+  t.prepare_svc <-
+    Some
+      (Transport.serve t.net ~loc:t.config.loc ~name:"shard_prepare"
+         (handle_shard_prepare t));
+  t.decide_svc <-
+    Some
+      (Transport.serve t.net ~loc:t.config.loc ~name:"shard_decide"
+         (handle_shard_decide t))
+
+let connect_shards (t : t) servers =
+  match t.sharding with
+  | None -> invalid_arg "Server.connect_shards: sharding not enabled"
+  | Some sh ->
+      let peers =
+        List.filter_map
+          (fun (s : Server_state.t) ->
+            match s.sharding with
+            | Some sh' when sh'.sh_id <> sh.sh_id ->
+                Some
+                  ( sh'.sh_id,
+                    {
+                      pe_prepare = Option.get s.prepare_svc;
+                      pe_decide = Option.get s.decide_svc;
+                    } )
+            | Some _ | None -> None)
+          servers
+      in
+      sh.sh_peers <- List.sort (fun (a, _) (b, _) -> compare a b) peers
+
+let shard_id (t : t) = Option.map (fun sh -> sh.sh_id) t.sharding
+
+let cross_states (t : t) =
+  match t.sharding with
+  | None -> []
+  | Some sh ->
+      Hashtbl.fold
+        (fun exec_id st acc ->
+          ( exec_id,
+            match st with
+            | Cross_prepared -> `Prepared
+            | Cross_committed -> `Committed
+            | Cross_aborted -> `Aborted )
+          :: acc)
+        sh.sh_cross []

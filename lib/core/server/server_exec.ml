@@ -1,0 +1,85 @@
+(* Execution layer of the LVI server engine: running a function against
+   primary storage — backup execution, deterministic re-execution,
+   direct execution — with every write settling the key's leases
+   first. *)
+
+open Server_state
+module Kv = Store.Kv
+module Tracer = Metrics.Tracer
+
+(* Every write an execution makes — backup execution, deterministic
+   re-execution, direct execution — settles the key's leases first.
+   This is the catch-all settle site: it covers writes outside the
+   request's predicted write set (dependent-function backups, direct
+   execs with no prediction at all), which the slow path's up-front
+   settle cannot see. Keys with no outstanding grant cost one table
+   lookup. *)
+let execute_on_primary (t : t) ~exec_id (entry : Registry.entry) args :
+    Proto.exec_result =
+  Execute.run
+    ~external_call:(Extsvc.dispatcher t.extsvc ~exec_id)
+    entry
+    ~read:(fun k ->
+      match Kv.get t.kv k with
+      | Some { Kv.value; _ } -> Some value
+      | None -> None)
+    ~write:(fun k v ->
+      Server_lease_authority.settle_write_leases t [ k ];
+      ignore (Kv.put t.kv k v))
+    args
+
+(* Backup execution for a function whose validation failed. Static
+   functions have an exact predicted set, so they run under the locks
+   already held. Dependent functions may have mispredicted from a stale
+   cache: re-predict against the primary (now coherent), re-lock the
+   corrected set, and confirm the prediction is stable under those locks
+   before executing. *)
+let backup_execute ?(span = Tracer.none) (t : t) (entry : Registry.entry)
+    (req : Proto.lvi_request) ~held_keys =
+  let exec_id = req.exec_id in
+  match entry.derived with
+  | Some d
+    when (match d.classification with
+         | Analyzer.Derive.Dependent _ | Analyzer.Derive.Manual -> true
+         | Analyzer.Derive.Static | Analyzer.Derive.Expensive -> false) ->
+      Server_persist.release t ~owner:exec_id held_keys;
+      let predict_with reader =
+        Analyzer.Derive.predict d ~read:reader ~compute:ignore req.args
+      in
+      let charged_read k =
+        match Kv.get t.kv k with Some { value; _ } -> value | None -> Dval.Unit
+      in
+      let free_read k =
+        match Kv.peek t.kv k with Some { value; _ } -> value | None -> Dval.Unit
+      in
+      let rec settle attempt =
+        match predict_with charged_read with
+        | exception Fdsl.Eval.Error _ ->
+            (* The residual program faulted on current primary data
+               (shape drift); fall back to an unlocked execution rather
+               than stranding the client. *)
+            execute_on_primary t ~exec_id entry req.args
+        | rwset ->
+            let owner = Printf.sprintf "%s#%d" exec_id attempt in
+            Server_persist.acquire ~span t ~owner
+              (Server_persist.lock_list_of rwset);
+            let stable =
+              match predict_with free_read with
+              | rwset' -> Analyzer.Rwset.equal rwset rwset'
+              | exception Fdsl.Eval.Error _ -> false
+            in
+            if stable || attempt >= 3 then begin
+              let result = execute_on_primary t ~exec_id entry req.args in
+              Server_persist.release t ~owner (Analyzer.Rwset.all_keys rwset);
+              result
+            end
+            else begin
+              Server_persist.release t ~owner (Analyzer.Rwset.all_keys rwset);
+              settle (attempt + 1)
+            end
+      in
+      settle 1
+  | Some _ | None ->
+      let result = execute_on_primary t ~exec_id entry req.args in
+      Server_persist.release t ~owner:exec_id held_keys;
+      result

@@ -1,0 +1,24 @@
+(** Execution layer of the LVI server engine: running a function against
+    primary storage. Every write settles the key's outstanding leases
+    first — the catch-all settle site for writes outside a request's
+    predicted write set. *)
+
+val execute_on_primary :
+  Server_state.t ->
+  exec_id:string ->
+  Registry.entry ->
+  Dval.t list ->
+  Proto.exec_result
+
+val backup_execute :
+  ?span:Metrics.Tracer.span ->
+  Server_state.t ->
+  Registry.entry ->
+  Proto.lvi_request ->
+  held_keys:string list ->
+  Proto.exec_result
+(** Backup execution after a failed validation. Static functions run
+    under the locks already held ([held_keys]); dependent functions
+    re-predict against primary, re-lock the corrected set and confirm
+    the prediction is stable under those locks before executing. Always
+    releases whatever it held on return. *)

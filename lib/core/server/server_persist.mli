@@ -1,0 +1,42 @@
+(** Persistence layer of the LVI server engine (§5.6): lock-record
+    replication to the Raft log, the at-most-once execution registry,
+    and the acquire/release pair every higher layer locks through. *)
+
+val persist_records : Server_state.t -> Raft.Kvsm.cmd list -> unit
+(** Submit lock-table commands to the replicated log, through the
+    configured batching path (Nagle flusher, per-request batch, or one
+    submit per record). No-op in singleton mode. *)
+
+val persist_locks : Server_state.t -> exec_id:string -> string list -> unit
+
+val persist_unlocks : Server_state.t -> string list -> unit
+(** Replicate lock deletions off the critical path (spawned fiber): the
+    response does not wait for these. *)
+
+val claim_execution : Server_state.t -> exec_id:string -> bool
+(** False if the execution was already claimed: at-most-once near
+    storage. Singleton mode always allows. *)
+
+val register_invocation : Server_state.t -> exec_id:string -> unit
+
+val release : Server_state.t -> owner:string -> string list -> unit
+(** Release every lock held by [owner] and replicate the unlocks for the
+    given keys. *)
+
+val acquire :
+  ?span:Metrics.Tracer.span ->
+  Server_state.t ->
+  owner:string ->
+  (string * Store.Locks.mode) list ->
+  unit
+(** Block until every listed lock is held, then replicate the lock
+    records (replicated mode). Phases trace as "lock_wait" and
+    "raft_persist" under [span]. *)
+
+val lock_list_of : Analyzer.Rwset.t -> (string * Store.Locks.mode) list
+(** A predicted read/write set's lock list (write mode dominates). *)
+
+val locked_keys_of : Proto.lvi_request -> string list
+(** The keys the slow path actually locked for a request: writes plus
+    reads not also written. Both release sites must use this — a key
+    read {e and} written must not be released (and logged) twice. *)

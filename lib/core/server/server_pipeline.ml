@@ -1,0 +1,31 @@
+(* Explicit request-pipeline engine: the slow-path LVI handler (and the
+   read-only fast path in front of it) are composed from named stages
+   instead of one monolithic function. A stage reads and updates a
+   mutable per-request context and either continues to the next stage
+   or short-circuits with a reply.
+
+   The per-stage [on_stage] callback (wired to [Server_state.stage_hook],
+   default [ignore]) is the attachment point for chaos fault injection
+   and stage-level instrumentation: it fires with the stage name just
+   before the stage body runs, and costs nothing when unset. Tracer
+   spans stay inside the stage bodies — the stage frame itself adds no
+   span, so the trace tree of a request is identical to the
+   pre-pipeline engine's. *)
+
+type ('ctx, 'reply) step = Continue | Done of 'reply
+
+type ('ctx, 'reply) stage = {
+  name : string;
+  run : 'ctx -> ('ctx, 'reply) step;
+}
+
+let stage name run = { name; run }
+
+let run ~on_stage stages ctx ~finish =
+  let rec go = function
+    | [] -> finish ctx
+    | s :: rest -> (
+        on_stage s.name;
+        match s.run ctx with Continue -> go rest | Done reply -> reply)
+  in
+  go stages

@@ -1,0 +1,24 @@
+(** Explicit request-pipeline engine: named stages over a mutable
+    per-request context. {!Server_lvi_engine} composes the LVI admission
+    path from these (admit -> lock -> settle -> validate -> reply);
+    chaos fault injection and stage-level instrumentation attach through
+    [on_stage] ({!Server_state.t.stage_hook}). *)
+
+type ('ctx, 'reply) step = Continue | Done of 'reply
+
+type ('ctx, 'reply) stage = {
+  name : string;
+  run : 'ctx -> ('ctx, 'reply) step;
+}
+
+val stage : string -> ('ctx -> ('ctx, 'reply) step) -> ('ctx, 'reply) stage
+
+val run :
+  on_stage:(string -> unit) ->
+  ('ctx, 'reply) stage list ->
+  'ctx ->
+  finish:('ctx -> 'reply) ->
+  'reply
+(** Run the stages in order against [ctx]. [on_stage] fires with each
+    stage's name just before its body; a [Done] short-circuits the rest,
+    and [finish] produces the reply when every stage continued. *)

@@ -1,0 +1,30 @@
+(** Propagation layer of the LVI server engine: applying committed
+    writes to primary storage and fanning the resulting update records
+    out to subscribed near-user caches through per-destination Nagle
+    batchers. *)
+
+val apply_updates :
+  Server_state.t -> (string * Dval.t) list -> Proto.update list
+(** Apply committed writes to primary storage and return them as
+    (key, value, version) records, ready for cache-update propagation. *)
+
+val committed_records :
+  Server_state.t -> (string * Dval.t) list -> Proto.update list
+(** Records for writes already applied to primary; the authoritative
+    version is whatever primary holds now. Latency-free. *)
+
+val publish :
+  Server_state.t -> ?exclude:Net.Location.t -> Proto.update list -> unit
+(** Fan committed update records out to every subscribed near-user cache
+    except [exclude] (the site whose speculation produced them). Runs in
+    spawned fibers off the request path. No-op with propagation off. *)
+
+val fresh_updates : Server_state.t -> string list -> Proto.update list
+(** Current primary (value, version) records for the given keys —
+    repair material for a mismatch response. Charges storage reads. *)
+
+val subscribe :
+  Server_state.t -> (Proto.cache_update, unit) Net.Transport.service -> unit
+(** Register a near-user cache-update service as a propagation
+    destination, with its own Nagle batcher (prop_window). No-op with
+    propagation disabled. *)

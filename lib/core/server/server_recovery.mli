@@ -1,0 +1,32 @@
+(** Recovery layer of the LVI server engine (§3.4): intent timers,
+    followup application, deterministic re-execution of orphaned
+    intents, and post-restart repopulation. *)
+
+val resolve_orphaned_intent : Server_state.t -> Proto.lvi_request -> unit
+(** Resolve an intent whose followup never arrived by deterministic
+    re-execution (single-shard and cross-shard-coordinator cases).
+    Shared by the intent timer and post-restart recovery. *)
+
+val intent_timeout_for : Server_state.t -> string -> float
+(** The adaptive intent-timer duration for a function: 4x its
+    exponentially-weighted expected followup delay, clamped to
+    [200 ms, configured ceiling]; the configured timeout when adaptive
+    timing is off. *)
+
+val observe_followup_delay : Server_state.t -> string -> float -> unit
+
+val start_intent_timer : Server_state.t -> Proto.lvi_request -> unit
+(** Arm the intent timer for a validated write request and record it in
+    the pending table. *)
+
+val handle_followup : Server_state.t -> Proto.followup -> unit
+(** Figure 3 steps 8a-10: apply the speculative writes carried by the
+    followup, unless re-execution already handled the intent. *)
+
+val handle_followups : Server_state.t -> Proto.followup list -> unit
+
+val restart_recover : Server_state.t -> unit
+(** Simulate a restart of the LVI server process: volatile state is
+    lost, durable intent records and the lock table survive; every
+    orphaned pending intent is resolved by deterministic re-execution
+    and the reply cache is repopulated for durable pending intents. *)

@@ -149,6 +149,19 @@ let release t ~owner =
         (fun (key, mode) -> release_one t ~owner key mode)
         (List.rev locks)
 
+(* Write mode dominates for a key that is both read and written: it
+   takes a single write lock (the read is still validated by the
+   caller). Order is the callers' wire order — writes first, then the
+   reads not already covered — which feeds the replicated lock log, so
+   it must stay stable. *)
+let lock_list ~reads ~writes =
+  List.map (fun k -> (k, Write)) writes
+  @ List.filter_map
+      (fun k -> if List.mem k writes then None else Some (k, Read))
+      reads
+
+let merged_keys ~reads ~writes = List.map fst (lock_list ~reads ~writes)
+
 let write_locked t key =
   match Hashtbl.find_opt t.keys key with
   | None -> false

@@ -33,6 +33,20 @@ val release : t -> owner:string -> unit
 (** Release every lock held by [owner]; wakes eligible waiters FIFO.
     No-op for an unknown owner. *)
 
+val lock_list : reads:string list -> writes:string list -> (string * mode) list
+(** The lock list for an execution that reads [reads] and writes
+    [writes]: one [Write] entry per written key, then one [Read] entry
+    per read key not also written — write mode dominates an overlapping
+    key, so no key appears twice. Order (writes first, in the given
+    order) is part of the contract: callers feed it to the replicated
+    lock log. *)
+
+val merged_keys : reads:string list -> writes:string list -> string list
+(** [List.map fst (lock_list ~reads ~writes)]: the distinct keys such an
+    execution locks, writes first. Both lock-release sites must use this
+    rather than concatenating the raw sets — a key read {e and} written
+    would otherwise be released (and logged) twice. *)
+
 val write_locked : t -> string -> bool
 (** Is some owner currently {e holding} the key's write lock? Queued
     waiters do not count: the read-only LVI fast path probes this to

@@ -440,6 +440,43 @@ let test_intents_unknown_complete () =
         (Store.Intents.try_complete it ~exec_id:"nope"))
 
 (* ------------------------------------------------------------------ *)
+(* lock_list / merged_keys — the shared lock-shape helper              *)
+
+let modes =
+  Alcotest.(list (pair string bool))
+
+let flat ll = List.map (fun (k, m) -> (k, m = Store.Locks.Write)) ll
+
+let test_lock_list_writes_first () =
+  (* The contractual shape fed to both the local lock table and the
+     replicated lock log: every write key first (Write mode, original
+     order), then the reads not also written (Read mode, original
+     order). A key in both sets appears once, as a write. *)
+  Alcotest.check modes "writes lead, written read collapsed"
+    [ ("c", true); ("d", true); ("a", false); ("b", false) ]
+    (flat (Store.Locks.lock_list ~reads:[ "a"; "b"; "c" ] ~writes:[ "c"; "d" ]))
+
+let test_lock_list_degenerate () =
+  Alcotest.check modes "empty" []
+    (flat (Store.Locks.lock_list ~reads:[] ~writes:[]));
+  Alcotest.check modes "reads only"
+    [ ("b", false); ("a", false) ]
+    (flat (Store.Locks.lock_list ~reads:[ "b"; "a" ] ~writes:[]));
+  Alcotest.check modes "writes only"
+    [ ("z", true); ("y", true) ]
+    (flat (Store.Locks.lock_list ~reads:[] ~writes:[ "z"; "y" ]));
+  Alcotest.check modes "all reads written"
+    [ ("a", true); ("b", true) ]
+    (flat (Store.Locks.lock_list ~reads:[ "b"; "a" ] ~writes:[ "a"; "b" ]))
+
+let test_merged_keys_matches_lock_list () =
+  let reads = [ "a"; "b"; "c" ] and writes = [ "c"; "d" ] in
+  Alcotest.(check (list string))
+    "merged_keys = keys of lock_list"
+    (List.map fst (Store.Locks.lock_list ~reads ~writes))
+    (Store.Locks.merged_keys ~reads ~writes)
+
+(* ------------------------------------------------------------------ *)
 (* Idempotency                                                         *)
 
 let test_idempotency () =
@@ -496,6 +533,14 @@ let () =
             test_locks_try_acquire_no_overtake;
         ]
         @ qsuite [ prop_locks_no_deadlock ] );
+      ( "lock_list",
+        [
+          Alcotest.test_case "writes first" `Quick test_lock_list_writes_first;
+          Alcotest.test_case "degenerate shapes" `Quick
+            test_lock_list_degenerate;
+          Alcotest.test_case "merged_keys agrees" `Quick
+            test_merged_keys_matches_lock_list;
+        ] );
       ( "intents",
         [
           Alcotest.test_case "lifecycle" `Quick test_intents_lifecycle;
